@@ -1,0 +1,71 @@
+"""Ablation — quantization scaling factor alpha (Theorem 3).
+
+The paper picks alpha=1e6 and proves the LB_PIM-ED gap is at most
+``4d/alpha + 2d/alpha^2``. This bench sweeps alpha and reports the
+measured mean gap, the Theorem 3 cap, the pruning ratio at the true
+k-th-NN threshold, and the operand bits the quantized values need —
+the tightness/width trade-off behind the paper's choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bounds.pim import PIMEuclideanBound
+from repro.core.report import format_table
+from repro.hardware.controller import PIMController
+from repro.similarity.measures import euclidean_batch
+from repro.similarity.quantization import Quantizer
+
+ALPHAS = [1e2, 1e3, 1e4, 1e6]
+K = 10
+
+
+def test_ablation_alpha(benchmark, msd_workload, save_results):
+    data, queries = msd_workload
+    dims = data.shape[1]
+    q = queries[0]
+    ed = euclidean_batch(data, q)
+    kth = float(np.sort(ed)[K - 1])
+
+    rows = []
+    ratios = {}
+    for alpha in ALPHAS:
+        quantizer = Quantizer(alpha=alpha, assume_normalized=True)
+        bound = PIMEuclideanBound(PIMController(), quantizer)
+        bound.prepare(data)
+        lb = bound.evaluate(q)
+        gap = float(np.mean(ed - lb))
+        ratios[alpha] = float((lb > kth).mean())
+        rows.append(
+            [
+                f"{alpha:.0e}",
+                gap,
+                quantizer.error_bound(dims),
+                f"{ratios[alpha] * 100:.1f}%",
+                quantizer.operand_bits,
+            ]
+        )
+    text = format_table(
+        [
+            "alpha",
+            "mean gap ED-LB",
+            "Theorem 3 cap",
+            "prune ratio",
+            "operand bits",
+        ],
+        rows,
+        title="Ablation: LB_PIM-ED tightness vs alpha (MSD, k=10)",
+    )
+    save_results("ablation_alpha", text)
+
+    # Theorem 3 behaviour: monotone tightening, never above the cap
+    gaps = [row[1] for row in rows]
+    assert all(g1 >= g2 - 1e-12 for g1, g2 in zip(gaps, gaps[1:]))
+    for row in rows:
+        assert row[1] <= row[2] + 1e-9
+    assert ratios[ALPHAS[-1]] >= ratios[ALPHAS[0]]
+
+    bound = PIMEuclideanBound(PIMController())
+    bound.prepare(data)
+    benchmark(lambda: bound.evaluate(q))

@@ -1,0 +1,62 @@
+"""Ablation — energy per kNN query, conventional vs PIM platform.
+
+The paper motivates PIM with the cost of data movement (its citation
+[21]: ~200x the energy of computation). This bench prices one kNN query
+on both platforms with the NVSim-style energy model: the baseline pays
+DRAM traffic for every candidate's full vector; the PIM platform pays
+one crossbar wave (ADC-dominated) plus 3*b bits per candidate.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table
+from repro.hardware.config import PIMArrayConfig
+from repro.hardware.energy import EnergyModel, movement_to_compute_ratio
+from repro.hardware.mapper import plan_layout
+from repro.mining.knn import StandardKNN, StandardPIMKNN
+
+
+def test_energy_per_query(benchmark, knn_workloads, save_results):
+    model = EnergyModel()
+    config = PIMArrayConfig()
+    rows = []
+    ratios = {}
+    for dataset, (data, queries) in knn_workloads.items():
+        n, dims = data.shape
+        base_algo = StandardKNN().fit(data)
+        base_result = base_algo.query(queries[0], 10)
+        base_j = model.cpu_energy_j(base_result.counters)
+
+        pim_algo = StandardPIMKNN().fit(data)
+        pim_result = pim_algo.query(queries[0], 10)
+        layout = plan_layout(n, dims, config)
+        pim_j = model.cpu_energy_j(
+            pim_result.counters, reram_memory=True
+        ) + model.pim_energy_j(layout, config, n_waves=1)
+        ratios[dataset] = base_j / pim_j
+        rows.append(
+            [
+                dataset,
+                dims,
+                base_j * 1e6,  # microjoules
+                pim_j * 1e6,
+                f"{ratios[dataset]:.1f}x",
+            ]
+        )
+    text = format_table(
+        ["dataset", "d", "Standard (uJ)", "Standard-PIM (uJ)", "saving"],
+        rows,
+        title=(
+            "Ablation: energy per kNN query (k=10); movement/compute "
+            f"price ratio = {movement_to_compute_ratio(model):.1f}x"
+        ),
+    )
+    save_results("ablation_energy", text)
+
+    # PIM must save energy on every dataset, more at higher d
+    assert all(r > 1.0 for r in ratios.values())
+    assert ratios["Trevi"] == max(ratios.values())
+
+    data, queries = knn_workloads["MSD"]
+    algo = StandardPIMKNN().fit(data)
+    benchmark(lambda: algo.query(queries[0], 10))

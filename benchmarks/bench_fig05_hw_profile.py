@@ -1,0 +1,73 @@
+"""Fig. 5 — CPU-time breakdown by hardware component.
+
+Paper series: for each kNN algorithm (Standard/FNN/SM/OST on MSD, k=10)
+and each k-means algorithm (Standard/Elkan/Drake/Yinyang on NUS-WIDE,
+k=64), the share of Tc / Tcache / TALU / TBr / TFe per Eq. 1.
+
+Expected shape: Tcache dominates — 65-83%% for kNN, 62-75%% for k-means
+in the paper — which is the motivation for PIM.
+"""
+
+from __future__ import annotations
+
+from repro.core.profiler import profile_kmeans, profile_knn
+from repro.core.report import format_table
+from repro.mining.kmeans import initial_centers, make_kmeans
+from repro.mining.knn import make_baseline
+
+KNN_ALGOS = ["Standard", "FNN", "SM", "OST"]
+KMEANS_ALGOS = ["Standard", "Elkan", "Drake", "Yinyang"]
+COMPONENTS = ["Tc", "Tcache", "TALU", "TBr", "TFe"]
+
+
+def _component_rows(profiles):
+    rows = []
+    for profile in profiles:
+        fractions = profile.component_fractions()
+        rows.append(
+            [profile.name] + [f"{fractions[c] * 100:.1f}%" for c in COMPONENTS]
+        )
+    return rows
+
+
+def test_fig05_hw_profile(benchmark, msd_workload, kmeans_datasets, save_results):
+    data, queries = msd_workload
+    knn_profiles = [
+        profile_knn(
+            make_baseline(name, data.shape[1]).fit(data), queries, k=10
+        )
+        for name in KNN_ALGOS
+    ]
+
+    nuswide = kmeans_datasets["NUS-WIDE"]
+    centers = initial_centers(nuswide, 64, seed=1)
+    kmeans_profiles = [
+        profile_kmeans(
+            make_kmeans(name, 64, max_iters=8), nuswide,
+            centers=centers.copy(),
+        )
+        for name in KMEANS_ALGOS
+    ]
+
+    text = "\n\n".join(
+        [
+            format_table(
+                ["algorithm"] + COMPONENTS,
+                _component_rows(knn_profiles),
+                title="Fig 5(a): kNN on MSD (k=10) — CPU time share",
+            ),
+            format_table(
+                ["algorithm"] + COMPONENTS,
+                _component_rows(kmeans_profiles),
+                title="Fig 5(b): k-means on NUS-WIDE (k=64) — CPU time share",
+            ),
+        ]
+    )
+    save_results("fig05_hw_profile", text)
+
+    # paper shape: memory stalls dominate every algorithm
+    for profile in knn_profiles + kmeans_profiles:
+        assert profile.component_fractions()["Tcache"] > 0.4, profile.name
+
+    algo = make_baseline("Standard", data.shape[1]).fit(data)
+    benchmark(lambda: algo.query(queries[0], 10))

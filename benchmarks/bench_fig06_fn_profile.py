@@ -1,0 +1,93 @@
+"""Fig. 6 — execution-time breakdown by function.
+
+Paper series: per algorithm, the share of time in ED, the bound
+functions, bound updates and everything else.
+
+Expected shape: ED dominates Standard kNN; the LB_* bounds dominate the
+bound-based kNN algorithms (72-86%% in the paper); ED takes 52-96%% of
+every k-means algorithm, with Elkan spending a large share on bound
+maintenance.
+"""
+
+from __future__ import annotations
+
+from repro.core.profiler import profile_kmeans, profile_knn
+from repro.core.report import format_table
+from repro.mining.kmeans import initial_centers, make_kmeans
+from repro.mining.knn import make_baseline
+
+KNN_ALGOS = ["Standard", "OST", "SM", "FNN"]
+KMEANS_ALGOS = ["Standard", "Elkan", "Drake", "Yinyang"]
+
+
+def _function_rows(profiles):
+    rows = []
+    for profile in profiles:
+        fractions = profile.function_fractions()
+        bound_share = sum(
+            v for k, v in fractions.items() if k.startswith(("LB_", "UB_"))
+        )
+        rows.append(
+            [
+                profile.name,
+                f"{fractions.get('euclidean', fractions.get('ED', 0.0)) * 100:.1f}%",
+                f"{bound_share * 100:.1f}%",
+                f"{fractions.get('bound_update', 0.0) * 100:.1f}%",
+                f"{fractions.get('other', 0.0) * 100:.1f}%",
+            ]
+        )
+    return rows
+
+
+def test_fig06_fn_profile(benchmark, msd_workload, kmeans_datasets, save_results):
+    data, queries = msd_workload
+    knn_profiles = [
+        profile_knn(
+            make_baseline(name, data.shape[1]).fit(data), queries, k=10
+        )
+        for name in KNN_ALGOS
+    ]
+    nuswide = kmeans_datasets["NUS-WIDE"]
+    centers = initial_centers(nuswide, 64, seed=1)
+    kmeans_profiles = [
+        profile_kmeans(
+            make_kmeans(name, 64, max_iters=8), nuswide,
+            centers=centers.copy(),
+        )
+        for name in KMEANS_ALGOS
+    ]
+
+    headers = ["algorithm", "ED", "bounds", "bound_update", "other"]
+    text = "\n\n".join(
+        [
+            format_table(
+                headers,
+                _function_rows(knn_profiles),
+                title="Fig 6(a): kNN on MSD (k=10) — time share by function",
+            ),
+            format_table(
+                headers,
+                _function_rows(kmeans_profiles),
+                title=(
+                    "Fig 6(b): k-means on NUS-WIDE (k=64) — "
+                    "time share by function"
+                ),
+            ),
+        ]
+    )
+    save_results("fig06_fn_profile", text)
+
+    # paper shapes
+    standard = knn_profiles[0].function_fractions()
+    assert standard["euclidean"] > 0.8
+    for profile in knn_profiles[1:]:
+        fractions = profile.function_fractions()
+        bound_share = sum(
+            v for k, v in fractions.items() if k.startswith("LB_")
+        )
+        assert bound_share > fractions.get("euclidean", 0.0), profile.name
+    for profile in kmeans_profiles:
+        assert profile.function_fractions()["ED"] > 0.5, profile.name
+
+    algo = make_baseline("FNN", data.shape[1]).fit(data)
+    benchmark(lambda: algo.query(queries[0], 10))

@@ -1,0 +1,82 @@
+"""Fig. 7 — No-PIM vs PIM-oracle (Eq. 2) for kNN and k-means.
+
+Paper series: per algorithm, total execution time and the theoretical
+optimum if every offloadable function became free.
+
+Expected shape: enormous oracle gains for the kNN algorithms (the paper
+reports 183.9x for Standard) and for Standard k-means (51.4x), but much
+smaller gains for Drake/Yinyang/Elkan (7.5x/5.3x/2.2x) because ED is a
+smaller share of their time.
+"""
+
+from __future__ import annotations
+
+from repro.core.profiler import profile_kmeans, profile_knn
+from repro.core.report import format_table
+from repro.mining.kmeans import initial_centers, make_kmeans
+from repro.mining.knn import make_baseline
+
+KNN_ALGOS = ["Standard", "OST", "SM", "FNN"]
+KMEANS_ALGOS = ["Standard", "Elkan", "Drake", "Yinyang"]
+
+
+def test_fig07_pim_oracle(benchmark, msd_workload, kmeans_datasets, save_results):
+    data, queries = msd_workload
+    knn_rows = []
+    for name in KNN_ALGOS:
+        profile = profile_knn(
+            make_baseline(name, data.shape[1]).fit(data), queries, k=10
+        )
+        knn_rows.append(
+            [
+                name,
+                profile.total_time_ms,
+                profile.pim_oracle_ns / 1e6,
+                f"{profile.oracle_speedup:.1f}x",
+            ]
+        )
+
+    nuswide = kmeans_datasets["NUS-WIDE"]
+    centers = initial_centers(nuswide, 64, seed=1)
+    kmeans_rows = []
+    oracle_speedups = {}
+    for name in KMEANS_ALGOS:
+        profile = profile_kmeans(
+            make_kmeans(name, 64, max_iters=8), nuswide,
+            centers=centers.copy(),
+        )
+        iters = profile.extras["n_iterations"]
+        kmeans_rows.append(
+            [
+                name,
+                profile.total_time_ms / iters,
+                profile.pim_oracle_ns / 1e6 / iters,
+                f"{profile.oracle_speedup:.1f}x",
+            ]
+        )
+        oracle_speedups[name] = profile.oracle_speedup
+
+    headers = ["algorithm", "No-PIM (ms)", "PIM-oracle (ms)", "gain"]
+    text = "\n\n".join(
+        [
+            format_table(
+                headers, knn_rows,
+                title="Fig 7(a): kNN on MSD (k=10), total over 5 queries",
+            ),
+            format_table(
+                headers, kmeans_rows,
+                title="Fig 7(b): k-means on NUS-WIDE (k=64), ms/iteration",
+            ),
+        ]
+    )
+    save_results("fig07_pim_oracle", text)
+
+    # paper shape: Standard k-means has the largest oracle gain; the
+    # bound-heavy algorithms (especially Elkan) gain the least
+    assert oracle_speedups["Standard"] > oracle_speedups["Elkan"]
+    assert oracle_speedups["Standard"] > oracle_speedups["Yinyang"]
+
+    algo = make_kmeans("Standard", 64, max_iters=1)
+    benchmark.pedantic(
+        lambda: algo.fit(nuswide, centers.copy()), rounds=2, iterations=1
+    )

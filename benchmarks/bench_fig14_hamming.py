@@ -1,0 +1,60 @@
+"""Fig. 14 — kNN on binary codes (Hamming distance) vs code length.
+
+Paper series: Standard vs Standard-PIM (vs the oracle) on LSH codes of
+128-1024 bits, k=10.
+
+Expected shape: PIM barely helps at 128 bits (its fixed 64-bit result
+transfer is half the 128-bit code), and the speedup grows with code
+length because the CPU transfer grows while PIM's stays constant.
+"""
+
+from __future__ import annotations
+
+from repro.core.profiler import profile_knn
+from repro.core.report import format_table
+from repro.data.lsh import make_binary_codes
+from repro.mining.knn.hamming import HammingKNN, PIMHammingKNN
+
+CODE_LENGTHS = [128, 256, 512, 1024]
+N_CODES = 2000
+K = 10
+
+
+def test_fig14_hamming(benchmark, save_results):
+    rows = []
+    speedups = {}
+    for bits in CODE_LENGTHS:
+        codes = make_binary_codes(N_CODES, bits, input_dims=256, seed=0)
+        queries = codes[:3]
+        cpu = profile_knn(HammingKNN().fit(codes), queries, K)
+        pim = profile_knn(PIMHammingKNN().fit(codes), queries, K)
+        speedups[bits] = cpu.total_time_ns / pim.total_time_ns
+        rows.append(
+            [
+                bits,
+                cpu.total_time_ms,
+                pim.total_time_ms,
+                cpu.pim_oracle_ns / 1e6,
+                f"{speedups[bits]:.2f}x",
+            ]
+        )
+    text = format_table(
+        [
+            "code bits",
+            "Standard (ms)",
+            "Standard-PIM (ms)",
+            "PIM-oracle (ms)",
+            "speedup",
+        ],
+        rows,
+        title="Fig 14: kNN on binary codes (HD, k=10, 3 queries)",
+    )
+    save_results("fig14_hamming", text)
+
+    # paper shape: monotone gain with code length; little gain at 128
+    assert speedups[1024] > speedups[512] > speedups[128]
+    assert speedups[128] < 3.0
+
+    codes = make_binary_codes(N_CODES, 256, input_dims=256, seed=0)
+    algo = PIMHammingKNN().fit(codes)
+    benchmark(lambda: algo.query(codes[0], K))

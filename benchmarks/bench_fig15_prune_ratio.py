@@ -1,0 +1,66 @@
+"""Fig. 15 — pruning ratio and per-dataset transfer cost of the bounds.
+
+Paper series (MSD, alpha=1e6): the pruning ratios of the original FNN
+ladder (LB_FNN^7, LB_FNN^28, LB_FNN^105) and the PIM-aware
+LB_PIM-FNN^105, plus the total data-transfer cost of computing each
+bound for the whole dataset.
+
+Expected shape: LB_PIM-FNN^105 prunes (nearly) as strongly as
+LB_FNN^105 — far stronger than the coarse levels — while its dataset
+transfer cost (3*b bits/object) is the smallest of all.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.ed import FNNBound
+from repro.bounds.pim import PIMFNNBound
+from repro.core.planner import standalone_pruning_ratios
+from repro.core.report import format_table
+from repro.hardware.controller import PIMController
+from repro.mining.knn import StandardKNN
+
+#: MSD's FNN ladder at the paper's resolutions (d=420).
+LADDER = [7, 28, 105]
+PIM_SEGMENTS = 105
+K = 10
+
+
+def test_fig15_prune_ratio(benchmark, msd_workload, save_results):
+    data, queries = msd_workload
+    n = data.shape[0]
+    reference = StandardKNN().fit(data)
+
+    originals = [FNNBound(s) for s in LADDER]
+    pim_bound = PIMFNNBound(PIM_SEGMENTS, PIMController())
+    bounds = originals + [pim_bound]
+    for bound in bounds:
+        bound.prepare(data)
+
+    ratios = standalone_pruning_ratios(bounds, reference, queries, K)
+    rows = [
+        [
+            bound.name,
+            f"{ratios[bound.name] * 100:.1f}%",
+            bound.per_object_transfer_bits * n / 8 / 1024,  # KiB
+        ]
+        for bound in bounds
+    ]
+    text = format_table(
+        ["bound", "prune ratio", "dataset transfer (KiB)"],
+        rows,
+        title=(
+            "Fig 15: pruning ratio and transfer cost of computing each "
+            "bound over the dataset (MSD, alpha=1e6, k=10)"
+        ),
+    )
+    save_results("fig15_prune_ratio", text)
+
+    # paper shapes
+    r = ratios
+    assert r["LB_PIM-FNN_105"] >= r["LB_FNN_105"] - 0.02
+    assert r["LB_PIM-FNN_105"] > r["LB_FNN_7"]
+    assert r["LB_PIM-FNN_105"] > r["LB_FNN_28"]
+    transfer = {b.name: b.per_object_transfer_bits for b in bounds}
+    assert transfer["LB_PIM-FNN_105"] == min(transfer.values())
+
+    benchmark(lambda: pim_bound.evaluate(queries[0]))

@@ -1,0 +1,77 @@
+"""Fig. 16 — execution-plan optimization for FNN-PIM.
+
+Paper series (MSD, k=10): FNN vs FNN-PIM (default plan: LB_PIM-FNN^105
+replaces the bottleneck LB_FNN^7, the rest of the ladder stays) vs
+FNN-PIM-optimize (the Eq. 13-chosen plan) vs the FNN-PIM-oracle.
+
+Expected shape: FNN-PIM already beats FNN; the optimizer drops the
+now-redundant original bounds and moves closer to the oracle.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.ed import FNNBound
+from repro.core.planner import optimize_fnn_plan
+from repro.core.profiler import profile_knn
+from repro.core.report import format_table
+from repro.hardware.controller import PIMController
+from repro.mining.knn import FNNKNN, FNNPIMKNN, FNNPIMOptimizeKNN, StandardKNN
+
+K = 10
+PIM_SEGMENTS = 105  # the paper's Theorem 4 outcome for MSD
+
+
+def test_fig16_plan_optimization(benchmark, msd_workload, save_results):
+    data, queries = msd_workload
+    n, dims = data.shape
+
+    baseline = FNNKNN(dims).fit(data)
+    base_profile = profile_knn(baseline, queries, K)
+
+    controller = PIMController()
+    default_pim = FNNPIMKNN(
+        dims, n, controller=controller, n_segments=PIM_SEGMENTS
+    ).fit(data)
+    default_profile = profile_knn(default_pim, queries, K)
+
+    reference = StandardKNN().fit(data)
+    originals = [FNNBound(s) for s in default_pim.segment_ladder]
+    for bound in originals:
+        bound.prepare(data)
+    plan, ratios = optimize_fnn_plan(
+        default_pim.bounds[0], originals, reference, queries[:2], K
+    )
+    optimized = FNNPIMOptimizeKNN(list(plan.bounds), controller).fit(data)
+    optimized_profile = profile_knn(optimized, queries, K)
+
+    rows = [
+        ["FNN", base_profile.total_time_ms, "-"],
+        [
+            "FNN-PIM",
+            default_profile.total_time_ms,
+            " + ".join(b.name for b in default_pim.bounds),
+        ],
+        [
+            "FNN-PIM-optimize",
+            optimized_profile.total_time_ms,
+            " + ".join(plan.names),
+        ],
+        ["FNN-PIM-oracle", base_profile.pim_oracle_ns / 1e6, "-"],
+    ]
+    text = format_table(
+        ["variant", "time (ms)", "bound plan"],
+        rows,
+        title="Fig 16: execution-plan optimization (MSD, k=10, 5 queries)",
+    )
+    text += "\nmeasured standalone ratios: " + ", ".join(
+        f"{name}={ratio:.3f}" for name, ratio in sorted(ratios.items())
+    )
+    save_results("fig16_plan_opt", text)
+
+    # paper shapes: PIM beats FNN, optimization beats the default plan,
+    # and the optimized plan drops every original bound
+    assert default_profile.total_time_ns < base_profile.total_time_ns
+    assert optimized_profile.total_time_ns <= default_profile.total_time_ns
+    assert plan.names == (default_pim.bounds[0].name,)
+
+    benchmark(lambda: optimized.query(queries[0], K))

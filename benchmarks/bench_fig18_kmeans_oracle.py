@@ -1,0 +1,68 @@
+"""Fig. 18 — Standard and Drake k-means vs their PIM and oracle curves.
+
+Paper series (NUS-WIDE): time per iteration as k grows, for the
+baseline, the -PIM variant and the PIM-oracle (Eq. 2).
+
+Expected shapes: for Standard the gap to the oracle is wide and
+Standard-PIM lands close to the oracle; for Drake the baseline-oracle
+gap is obvious and Drake-PIM "bridges the gap effectively".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiler import profile_kmeans
+from repro.core.report import format_table
+from repro.mining.kmeans import initial_centers, make_kmeans
+
+KS = [4, 16, 64, 256]
+MAX_ITERS = 3
+
+
+@pytest.mark.parametrize("algorithm", ["Standard", "Drake"])
+def test_fig18_kmeans_oracle(
+    benchmark, kmeans_datasets, save_results, algorithm
+):
+    data = kmeans_datasets["NUS-WIDE"]
+    rows = []
+    closeness = []
+    for k in KS:
+        centers = initial_centers(data, k, seed=1)
+        base = profile_kmeans(
+            make_kmeans(algorithm, k, max_iters=MAX_ITERS), data,
+            centers=centers.copy(),
+        )
+        pim = profile_kmeans(
+            make_kmeans(f"{algorithm}-PIM", k, max_iters=MAX_ITERS), data,
+            centers=centers.copy(),
+        )
+        iters = base.extras["n_iterations"]
+        oracle_ms = base.pim_oracle_ns / 1e6 / iters
+        base_ms = base.extras["time_per_iteration_ms"]
+        pim_ms = pim.extras["time_per_iteration_ms"]
+        rows.append([k, base_ms, pim_ms, oracle_ms])
+        closeness.append((base_ms, pim_ms, oracle_ms))
+    text = format_table(
+        ["k", algorithm, f"{algorithm}-PIM", f"{algorithm}-PIM-oracle"],
+        rows,
+        title=(
+            f"Fig 18: {algorithm} k-means on NUS-WIDE — "
+            "ms/iteration vs k"
+        ),
+    )
+    save_results(f"fig18_kmeans_{algorithm.lower()}", text)
+
+    # paper shape: PIM sits between the baseline and the oracle, and at
+    # large k it bridges most of the gap
+    for base_ms, pim_ms, oracle_ms in closeness:
+        assert oracle_ms <= pim_ms <= base_ms * 1.05
+    base_ms, pim_ms, oracle_ms = closeness[-1]
+    assert (base_ms - pim_ms) > 0.5 * (base_ms - oracle_ms)
+
+    k = KS[1]
+    centers = initial_centers(data, k, seed=1)
+    algo = make_kmeans(f"{algorithm}-PIM", k, max_iters=1)
+    benchmark.pedantic(
+        lambda: algo.fit(data, centers.copy()), rounds=1, iterations=1
+    )

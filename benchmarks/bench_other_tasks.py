@@ -1,0 +1,129 @@
+"""Extension — the framework on the paper's other Section II-C tasks.
+
+The paper's conclusion ("we will examine how to extend our techniques
+beyond..." — but Section II-C already names them): distance-based
+outlier detection, time-series motif discovery, and the maximum
+inner-product search behind CS/PCC retrieval. Each gets the same
+treatment as kNN/k-means: baseline vs PIM variant, identical results,
+simulated-time speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.cost.model import CostModel
+from repro.hardware.config import baseline_platform, pim_platform
+from repro.mining.motif import PIMMotifDiscovery, StandardMotifDiscovery
+from repro.mining.outlier import PIMOutlierDetector, StandardOutlierDetector
+from repro.mining.knn.maxip import PIMMIPS, StandardMIPS
+
+
+def _times(base_counters, base_pim_ns, pim_counters, pim_pim_ns):
+    base_ms = CostModel(baseline_platform()).total_time_ns(base_counters) / 1e6
+    pim_ms = (
+        CostModel(pim_platform()).total_time_ns(pim_counters) + pim_pim_ns
+    ) / 1e6
+    return base_ms, pim_ms
+
+
+def test_other_mining_tasks(benchmark, save_results, rng):
+    rows = []
+    speedups = {}
+
+    # --- distance-based outlier detection -----------------------------
+    centers = rng.random((8, 64))
+    data = np.clip(
+        centers[rng.integers(0, 8, 600)]
+        + 0.05 * rng.standard_normal((600, 64)),
+        0,
+        1,
+    )
+    data[:8] = rng.random((8, 64))
+    std_out = (
+        StandardOutlierDetector(n_neighbors=5, n_outliers=8)
+        .fit(data)
+        .detect()
+    )
+    pim_out = (
+        PIMOutlierDetector(n_neighbors=5, n_outliers=8).fit(data).detect()
+    )
+    assert np.allclose(np.sort(std_out.scores), np.sort(pim_out.scores))
+    base_ms, pim_ms = _times(
+        std_out.counters, 0.0, pim_out.counters, pim_out.pim_time_ns
+    )
+    speedups["outliers"] = base_ms / pim_ms
+    rows.append(
+        ["outlier detection (top-8, k=5)", base_ms, pim_ms,
+         f"{speedups['outliers']:.1f}x", "identical"]
+    )
+
+    # --- time-series motif discovery ----------------------------------
+    series = np.sin(np.linspace(0, 30 * np.pi, 1200))
+    series += 0.1 * rng.standard_normal(1200)
+    series[100:164] = series[900:964]
+    std_motif = StandardMotifDiscovery(window=64).fit(series).discover()
+    pim_motif = PIMMotifDiscovery(window=64).fit(series).discover()
+    assert pim_motif.distance == std_motif.distance
+    base_ms, pim_ms = _times(
+        std_motif.counters, 0.0, pim_motif.counters, pim_motif.pim_time_ns
+    )
+    speedups["motif"] = base_ms / pim_ms
+    rows.append(
+        ["motif discovery (w=64)", base_ms, pim_ms,
+         f"{speedups['motif']:.1f}x", "identical"]
+    )
+
+    # --- maximum inner-product search ----------------------------------
+    mips_data = rng.random((2000, 128))
+    q = rng.random(128)
+    std_mips = StandardMIPS(top=10).fit(mips_data).query(q)
+    pim_mips = PIMMIPS(top=10).fit(mips_data).query(q)
+    assert np.allclose(
+        np.sort(std_mips.products), np.sort(pim_mips.products)
+    )
+    base_ms, pim_ms = _times(
+        std_mips.counters, 0.0, pim_mips.counters, pim_mips.pim_time_ns
+    )
+    speedups["mips"] = base_ms / pim_ms
+    rows.append(
+        ["max inner product (top-10)", base_ms, pim_ms,
+         f"{speedups['mips']:.1f}x", "identical"]
+    )
+
+    # --- kNN join (all-kNN, the batch workload) ------------------------
+    from repro.mining.knn.join import PIMKNNJoin, StandardKNNJoin
+
+    join_data = np.clip(
+        centers[rng.integers(0, 8, 500)]
+        + 0.05 * rng.standard_normal((500, 64)),
+        0,
+        1,
+    )
+    std_join = StandardKNNJoin(k=5).fit(join_data).join()
+    pim_join = PIMKNNJoin(k=5).fit(join_data).join()
+    assert np.allclose(std_join.distances, pim_join.distances)
+    base_ms, pim_ms = _times(
+        std_join.counters, 0.0, pim_join.counters, pim_join.pim_time_ns
+    )
+    speedups["join"] = base_ms / pim_ms
+    rows.append(
+        ["kNN self-join (k=5)", base_ms, pim_ms,
+         f"{speedups['join']:.1f}x", "identical"]
+    )
+
+    text = format_table(
+        ["task", "baseline (ms)", "PIM (ms)", "speedup", "results"],
+        rows,
+        title=(
+            "Extension: the framework on further similarity-based "
+            "mining tasks (Section II-C)"
+        ),
+    )
+    save_results("extension_other_tasks", text)
+
+    assert all(s > 1.0 for s in speedups.values())
+
+    detector = PIMOutlierDetector(n_neighbors=5, n_outliers=8).fit(data)
+    benchmark.pedantic(detector.detect, rounds=2, iterations=1)

@@ -1,0 +1,72 @@
+"""Shared fixtures for the bench harness.
+
+Every bench regenerates one table or figure of the paper's evaluation:
+it runs the experiment sweep once, prints the same rows/series the paper
+reports (also persisted under ``benchmarks/results/``), and times a
+representative kernel with pytest-benchmark so regressions in the
+simulator itself are visible.
+
+Scale note: datasets are the synthetic Table 6 stand-ins at laptop
+cardinality, so the *shape* of each result (who wins, how the gap moves
+with d/k/alpha) is the reproduction target, not absolute milliseconds.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import make_dataset, make_queries
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scaled cardinalities per dataset used across the kNN benches.
+KNN_SIZES = {"ImageNet": 2000, "MSD": 1500, "GIST": 1200, "Trevi": 1500}
+#: Scaled cardinalities per dataset used in the k-means benches.
+KMEANS_SIZES = {"Year": 1200, "Notre": 1200, "NUS-WIDE": 800, "Enron": 600}
+#: Queries per kNN configuration.
+N_QUERIES = 5
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2024)
+
+
+@pytest.fixture(scope="session")
+def save_results():
+    """Persist a bench's text output and echo it to the terminal."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def knn_workloads():
+    """dataset name -> (data, queries) for the kNN benches."""
+    workloads = {}
+    for name, n in KNN_SIZES.items():
+        data = make_dataset(name, n=n, seed=0)
+        workloads[name] = (data, make_queries(name, data, N_QUERIES))
+    return workloads
+
+
+@pytest.fixture(scope="session")
+def msd_workload(knn_workloads):
+    """The default kNN workload (the paper's default dataset)."""
+    return knn_workloads["MSD"]
+
+
+@pytest.fixture(scope="session")
+def kmeans_datasets():
+    """dataset name -> data for the k-means benches."""
+    return {
+        name: make_dataset(name, n=n, seed=0)
+        for name, n in KMEANS_SIZES.items()
+    }

@@ -1,0 +1,68 @@
+"""Image search over LSH binary codes on PIM (paper Fig. 14 scenario).
+
+Image retrieval systems compact descriptors into short binary codes with
+locality-sensitive hashing and rank candidates by Hamming distance. PIM
+computes HD *exactly* through the two-dot-product decomposition of
+Table 4 (code . query + complement . complement), so the per-candidate
+transfer is two 32-bit results no matter how long the code is.
+
+This example builds GIST-like descriptors, hashes them at several code
+lengths, runs the same queries on the CPU scan and the PIM scan, checks
+the rankings agree, and shows the crossover the paper reports: PIM is
+pointless at 128 bits and increasingly valuable at 512+.
+
+    python examples/image_code_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.profiler import profile_knn
+from repro.data.lsh import RandomHyperplaneLSH
+from repro.data.synthetic import clustered
+from repro.mining.knn.hamming import HammingKNN, PIMHammingKNN
+
+N_IMAGES = 3000
+DESCRIPTOR_DIMS = 256
+CODE_LENGTHS = (128, 256, 512, 1024)
+K = 10
+
+
+def main() -> None:
+    descriptors = clustered(
+        N_IMAGES, DESCRIPTOR_DIMS, n_clusters=40, spread=0.05, seed=0
+    )
+    query_descriptor = descriptors[123]
+
+    print(f"{N_IMAGES} images, k={K} nearest codes per query\n")
+    print(f"{'bits':>5}  {'CPU (ms)':>9}  {'PIM (ms)':>9}  "
+          f"{'speedup':>7}  identical")
+    for bits in CODE_LENGTHS:
+        lsh = RandomHyperplaneLSH(DESCRIPTOR_DIMS, bits, seed=1)
+        codes = lsh.encode(descriptors)
+        query = lsh.encode(query_descriptor)[0]
+
+        cpu_algo = HammingKNN().fit(codes)
+        pim_algo = PIMHammingKNN().fit(codes)
+        cpu = profile_knn(cpu_algo, query[None, :], K)
+        pim = profile_knn(pim_algo, query[None, :], K)
+        same = np.allclose(
+            np.sort(cpu_algo.query(query, K).scores),
+            np.sort(pim_algo.query(query, K).scores),
+        )
+        print(
+            f"{bits:>5}  {cpu.total_time_ms:>9.4f}  "
+            f"{pim.total_time_ms:>9.4f}  "
+            f"{cpu.total_time_ns / pim.total_time_ns:>6.1f}x  {same}"
+        )
+
+    print(
+        "\nShort codes barely gain (PIM still moves 64 result bits per "
+        "candidate); long codes amortise the fixed transfer — the "
+        "paper's Fig. 14."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Execution-plan tuning walkthrough (paper Sections IV + V-C + V-D).
+
+Follows the framework end to end on the FNN kNN algorithm:
+
+1. profile the baseline to find the bottleneck function (Section IV);
+2. size the compressed dimensionality with Theorem 4 (Section V-C);
+3. measure standalone pruning ratios and enumerate all 2^L execution
+   plans with the Eq. 13 transfer model (Section V-D);
+4. run the default plan and the optimized plan and compare.
+
+    python examples/plan_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro.bounds.ed import FNNBound
+from repro.core.memory_manager import choose_fnn_segments
+from repro.core.planner import ExecutionPlanner, standalone_pruning_ratios
+from repro.core.profiler import profile_knn
+from repro.data.catalog import make_dataset, make_queries
+from repro.hardware.config import pim_platform
+from repro.hardware.controller import PIMController
+from repro.mining.knn import FNNKNN, FNNPIMKNN, FNNPIMOptimizeKNN, StandardKNN
+
+K = 10
+#: A PIM array sized so Theorem 4 must compress (as at paper scale).
+PIM_BYTES = 1536 * 1024
+
+
+def main() -> None:
+    data = make_dataset("MSD", n=1500, seed=0)
+    queries = make_queries("MSD", data, n_queries=5)
+    n, dims = data.shape
+
+    print("step 1 — profile the baseline (Section IV)")
+    baseline = FNNKNN(dims).fit(data)
+    profile = profile_knn(baseline, queries, K)
+    for fn, share in sorted(
+        profile.function_fractions().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"    {fn:<14} {share * 100:5.1f}% of CPU time")
+    print(f"    PIM-oracle speedup limit: {profile.oracle_speedup:.1f}x")
+
+    print("\nstep 2 — size the PIM representation (Theorem 4)")
+    platform = pim_platform(pim_capacity_bytes=PIM_BYTES)
+    s = choose_fnn_segments(n, dims, platform.pim)
+    print(f"    array of {platform.pim.num_crossbars} crossbars "
+          f"-> compressed segments s = {s} (of d = {dims})")
+
+    print("\nstep 3 — enumerate execution plans (Eq. 13)")
+    controller = PIMController(platform)
+    default_pim = FNNPIMKNN(
+        dims, n, controller=controller, n_segments=s
+    ).fit(data)
+    originals = [FNNBound(level) for level in default_pim.segment_ladder]
+    for bound in originals:
+        bound.prepare(data)
+    reference = StandardKNN().fit(data)
+    candidates = [default_pim.bounds[0]] + originals
+    ratios = standalone_pruning_ratios(
+        candidates, reference, queries[:2], K
+    )
+    planner = ExecutionPlanner(candidates, n, dims)
+    for plan in planner.enumerate_plans(ratios)[:4]:
+        print(f"    {plan.transfer_bits / 8 / 1024:10.1f} KiB  "
+              f"{' + '.join(plan.names)}")
+    best = planner.best_plan(ratios)
+
+    print("\nstep 4 — run default vs optimized plan")
+    default_profile = profile_knn(default_pim, queries, K)
+    optimized = FNNPIMOptimizeKNN(list(best.bounds), controller).fit(data)
+    optimized_profile = profile_knn(optimized, queries, K)
+    print(f"    FNN              : {profile.total_time_ms:8.3f} ms")
+    print(f"    FNN-PIM (default): {default_profile.total_time_ms:8.3f} ms")
+    print(f"    FNN-PIM-optimize : {optimized_profile.total_time_ms:8.3f} ms"
+          f"   (plan: {' + '.join(best.names)})")
+
+
+if __name__ == "__main__":
+    main()

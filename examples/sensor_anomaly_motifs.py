@@ -1,0 +1,107 @@
+"""Sensor-stream mining: motifs and outliers on PIM.
+
+A monitoring pipeline over one long sensor stream, combining two of the
+paper's Section II-C mining tasks:
+
+1. **motif discovery** finds the stream's dominant repeated pattern
+   (e.g. a machine cycle) — the closest pair of subsequences;
+2. **outlier detection** over the same sliding windows flags the
+   segments least like anything else (faults / anomalies).
+
+Both tasks run on the CPU baseline and on the PIM-accelerated variant;
+the results are identical, the exact-distance counts are not.
+
+    python examples/sensor_anomaly_motifs.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.cost.model import CostModel
+from repro.hardware.config import baseline_platform, pim_platform
+from repro.mining.motif import (
+    PIMMotifDiscovery,
+    StandardMotifDiscovery,
+    sliding_windows,
+)
+from repro.mining.outlier import PIMOutlierDetector, StandardOutlierDetector
+
+WINDOW = 48
+STREAM_LEN = 1000
+
+
+def make_stream(seed: int = 0) -> np.ndarray:
+    """A periodic machine signal with a planted repeat and two faults."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 24 * np.pi, STREAM_LEN)
+    stream = np.sin(t) + 0.3 * np.sin(3.1 * t)
+    stream += 0.08 * rng.standard_normal(STREAM_LEN)
+    stream[150 : 150 + WINDOW] = stream[700 : 700 + WINDOW]  # exact repeat
+    stream[384 : 384 + WINDOW] += 1.8 * rng.random(WINDOW)  # fault 1
+    stream[864 : 864 + WINDOW] -= 1.8 * rng.random(WINDOW)  # fault 2
+    return stream
+
+
+def simulated_ms(counters, pim_ns: float, pim: bool) -> float:
+    platform = pim_platform() if pim else baseline_platform()
+    return (CostModel(platform).total_time_ns(counters) + pim_ns) / 1e6
+
+
+def main() -> None:
+    stream = make_stream()
+    print(f"stream of {STREAM_LEN} samples, window {WINDOW}\n")
+
+    # -- motifs ---------------------------------------------------------
+    std_m = StandardMotifDiscovery(window=WINDOW).fit(stream).discover()
+    pim_m = PIMMotifDiscovery(window=WINDOW).fit(stream).discover()
+    assert pim_m.pair == std_m.pair
+
+    # -- outliers over the same windows ----------------------------------
+    # stride the windows so neighbours do not trivially overlap
+    windows = sliding_windows(stream, WINDOW)[::WINDOW]
+    std_o = (
+        StandardOutlierDetector(n_neighbors=3, n_outliers=4)
+        .fit(windows)
+        .detect()
+    )
+    pim_o = (
+        PIMOutlierDetector(n_neighbors=3, n_outliers=4)
+        .fit(windows)
+        .detect()
+    )
+    assert set(std_o.indices.tolist()) == set(pim_o.indices.tolist())
+
+    rows = [
+        [
+            "motif discovery",
+            f"pair {std_m.pair}",
+            simulated_ms(std_m.counters, 0.0, pim=False),
+            simulated_ms(pim_m.counters, pim_m.pim_time_ns, pim=True),
+            f"{std_m.exact_computations} -> {pim_m.exact_computations}",
+        ],
+        [
+            "outlier detection",
+            f"windows {sorted((std_o.indices * WINDOW).tolist())}",
+            simulated_ms(std_o.counters, 0.0, pim=False),
+            simulated_ms(pim_o.counters, pim_o.pim_time_ns, pim=True),
+            f"{std_o.exact_computations} -> {pim_o.exact_computations}",
+        ],
+    ]
+    print(
+        format_table(
+            ["task", "finding", "CPU (ms)", "PIM (ms)", "exact EDs"],
+            rows,
+        )
+    )
+    print(
+        "\nThe motif pair is the planted repeat at samples 150/700; the "
+        "top outlier windows include the injected faults at samples 384 "
+        "and 864. PIM finds the same answers from a fraction of the exact "
+        "distance computations."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim enabling legacy editable installs (offline machines
+without the ``wheel`` package cannot build PEP 660 editable wheels)."""
+
+from setuptools import setup
+
+setup()

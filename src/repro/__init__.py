@@ -1,0 +1,64 @@
+"""repro — reproduction of "Accelerating Similarity-based Mining Tasks on
+High-dimensional Data by Processing-in-memory" (Wang, Yiu, Shao; ICDE'21).
+
+The library has four layers; each is importable on its own and the most
+common entry points are re-exported here:
+
+* :mod:`repro.hardware` — a functional + timing simulator of ReRAM
+  processing-in-memory (crossbars, bit-slicing, Theorem 4 mapping,
+  NVSim-style wave latency, Quartz-style CPU model);
+* :mod:`repro.similarity` / :mod:`repro.bounds` — ED/CS/PCC/HD, their
+  PIM-aware decompositions (Table 4), quantization (Theorem 3) and the
+  bound functions (Table 3 baselines, Theorem 1/2 PIM bounds);
+* :mod:`repro.mining` — kNN (Standard/OST/SM/FNN) and k-means
+  (Lloyd/Elkan/Drake/Yinyang) with exact PIM-optimized variants;
+* :mod:`repro.core` — the paper's framework: profiling (Section IV),
+  execution-plan optimization (Section V-D), memory management
+  (Theorem 4) and the :class:`~repro.core.framework.PIMAccelerator`
+  facade.
+
+Quickstart::
+
+    import numpy as np
+    from repro import PIMAccelerator, make_dataset, make_queries
+
+    data = make_dataset("MSD", n=2000)
+    queries = make_queries("MSD", data, n_queries=5)
+    report = PIMAccelerator().accelerate_knn("Standard", data, queries, k=10)
+    print(f"speedup {report.speedup:.1f}x, exact results: "
+          f"{report.results_match}")
+"""
+
+from repro.core.framework import AccelerationReport, PIMAccelerator
+from repro.core.profiler import profile_kmeans, profile_knn
+from repro.data.catalog import make_dataset, make_queries
+from repro.data.lsh import make_binary_codes
+from repro.errors import ReproError
+from repro.hardware.config import baseline_platform, pim_platform
+from repro.hardware.controller import PIMController
+from repro.mining.kmeans import PIMAssist, initial_centers, make_kmeans
+from repro.mining.knn import make_baseline, make_pim_variant
+from repro.similarity.quantization import Quantizer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccelerationReport",
+    "PIMAccelerator",
+    "PIMAssist",
+    "PIMController",
+    "Quantizer",
+    "ReproError",
+    "__version__",
+    "baseline_platform",
+    "initial_centers",
+    "make_baseline",
+    "make_binary_codes",
+    "make_dataset",
+    "make_kmeans",
+    "make_pim_variant",
+    "make_queries",
+    "pim_platform",
+    "profile_kmeans",
+    "profile_knn",
+]

@@ -1,0 +1,41 @@
+"""Bound functions: Table 3 CPU baselines and Theorem 1/2 PIM bounds.
+
+* :mod:`repro.bounds.base` — the :class:`Bound` protocol;
+* :mod:`repro.bounds.ed` — LB_OST, LB_SM, LB_FNN, UB_part;
+* :mod:`repro.bounds.pim` — LB_PIM-ED, LB_PIM-FNN, UB_PIM-CS,
+  UB_PIM-PCC and the exact PIM Hamming distance;
+* :mod:`repro.bounds.cascade` — progressive filtering with statistics.
+"""
+
+from repro.bounds.base import LOWER, UPPER, Bound
+from repro.bounds.cascade import BoundCascade, CascadeResult, StageStats
+from repro.bounds.ed import FNNBound, OSTBound, PartitionUpperBound, SMBound
+from repro.bounds.pim import (
+    PIMCosineBound,
+    PIMEuclideanBound,
+    PIMFNNBound,
+    PIMHammingDistance,
+    PIMOSTBound,
+    PIMPearsonBound,
+    PIMSMBound,
+)
+
+__all__ = [
+    "Bound",
+    "BoundCascade",
+    "CascadeResult",
+    "FNNBound",
+    "LOWER",
+    "OSTBound",
+    "PIMCosineBound",
+    "PIMEuclideanBound",
+    "PIMFNNBound",
+    "PIMHammingDistance",
+    "PIMOSTBound",
+    "PIMPearsonBound",
+    "PIMSMBound",
+    "PartitionUpperBound",
+    "SMBound",
+    "StageStats",
+    "UPPER",
+]

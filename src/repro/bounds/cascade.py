@@ -1,0 +1,127 @@
+"""Bound cascades: progressive filtering with per-stage statistics.
+
+The FNN algorithm (and every execution plan produced by the Section V-D
+optimizer) applies a sequence of bounds of increasing tightness; each
+stage evaluates only the survivors of the previous one. The cascade
+records how many objects each stage evaluated and pruned — these counts
+feed both the cost counters and the pruning-ratio estimation the planner
+relies on (Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bounds.base import Bound
+from repro.cost.counters import PerfCounters
+from repro.errors import PlanError
+
+
+@dataclass
+class StageStats:
+    """Evaluation/pruning counts of one cascade stage."""
+
+    name: str
+    evaluated: int = 0
+    pruned: int = 0
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of evaluated objects the stage eliminated."""
+        if self.evaluated == 0:
+            return 0.0
+        return self.pruned / self.evaluated
+
+
+@dataclass
+class CascadeResult:
+    """Survivor indices plus their latest bound values."""
+
+    indices: np.ndarray
+    values: np.ndarray
+    stats: list[StageStats] = field(default_factory=list)
+
+
+class BoundCascade:
+    """Ordered sequence of bounds applied filter-after-filter.
+
+    All bounds must share pruning direction (all lower or all upper);
+    mixing directions in one threshold-driven cascade is a plan error.
+    """
+
+    def __init__(self, bounds: list[Bound]) -> None:
+        if not bounds:
+            raise PlanError("a cascade needs at least one bound")
+        kinds = {b.kind for b in bounds}
+        if len(kinds) != 1:
+            raise PlanError(
+                f"cascade mixes bound kinds {sorted(kinds)}; "
+                "use one direction per cascade"
+            )
+        self.bounds = list(bounds)
+        self.kind = bounds[0].kind
+        self.stats = [StageStats(name=b.name) for b in self.bounds]
+
+    def prepare(self, data: np.ndarray) -> None:
+        """Offline stage for every bound."""
+        for bound in self.bounds:
+            bound.prepare(data)
+
+    def run(
+        self,
+        query: np.ndarray,
+        threshold: float,
+        counters: PerfCounters | None = None,
+        indices: np.ndarray | None = None,
+    ) -> CascadeResult:
+        """Filter objects against a fixed threshold.
+
+        Parameters
+        ----------
+        query:
+            The online vector.
+        threshold:
+            Pruning threshold (k-th best distance/similarity so far).
+        counters:
+            When given, each stage charges its host-side cost.
+        indices:
+            Initial candidate set; ``None`` means every prepared object.
+
+        Returns
+        -------
+        CascadeResult
+            Indices surviving every stage and the last stage's values
+            for them.
+        """
+        current = (
+            np.arange(self.bounds[0].n_objects)
+            if indices is None
+            else np.asarray(indices)
+        )
+        values = np.empty(0)
+        for bound, stats in zip(self.bounds, self.stats):
+            if current.size == 0:
+                break
+            values = bound.evaluate(query, current)
+            if counters is not None:
+                bound.charge(counters, int(current.size))
+            keep = ~bound.prunes(values, threshold)
+            stats.evaluated += int(current.size)
+            stats.pruned += int(current.size - keep.sum())
+            current = current[keep]
+            values = values[keep]
+        return CascadeResult(
+            indices=current, values=values, stats=self.stats
+        )
+
+    def pruning_ratios(self) -> dict[str, float]:
+        """Observed per-stage pruning ratios (planner input)."""
+        return {s.name: s.pruning_ratio for s in self.stats}
+
+    def reset_stats(self) -> None:
+        """Zero all per-stage counters."""
+        for stats in self.stats:
+            stats.evaluated = 0
+            stats.pruned = 0

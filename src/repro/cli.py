@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Runs the paper's pipeline from a shell without writing code:
+
+* ``info`` — the simulated platforms and the dataset catalog;
+* ``knn`` — accelerate a kNN baseline on a catalog dataset;
+* ``kmeans`` — accelerate a k-means baseline;
+* ``profile`` — Section IV profiling of a baseline (components,
+  functions, PIM-oracle).
+
+Examples::
+
+    python -m repro info
+    python -m repro knn --dataset MSD --algorithm FNN --k 10 --optimize-plan
+    python -m repro kmeans --dataset Year --algorithm Drake --k 64
+    python -m repro profile --dataset MSD --algorithm Standard --task knn
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.framework import PIMAccelerator
+from repro.core.profiler import profile_kmeans, profile_knn
+from repro.core.report import format_fractions, format_table
+from repro.data.catalog import PROFILES, make_dataset, make_queries
+from repro.hardware.config import pim_platform
+from repro.mining.kmeans import initial_centers, make_kmeans
+from repro.mining.knn import make_baseline
+
+KNN_ALGORITHMS = ("Standard", "OST", "SM", "FNN")
+KMEANS_ALGORITHMS = ("Standard", "Elkan", "Drake", "Yinyang")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", default="MSD", choices=sorted(PROFILES),
+        help="Table 6 dataset stand-in",
+    )
+    parser.add_argument(
+        "--n", type=int, default=None,
+        help="override the scaled dataset cardinality",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="dataset RNG seed"
+    )
+    parser.add_argument(
+        "--pim-mib", type=int, default=2048,
+        help="PIM array capacity in MiB (paper default: 2048)",
+    )
+    parser.add_argument(
+        "--data-file", default=None,
+        help=(
+            "run on your own dataset (.npy/.npz/.csv/.txt; min-max "
+            "normalised automatically) instead of the synthetic catalog"
+        ),
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Accelerating Similarity-based Mining Tasks "
+            "on High-dimensional Data by Processing-in-memory' (ICDE'21)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show platforms and dataset catalog")
+
+    knn = sub.add_parser("knn", help="accelerate a kNN baseline")
+    _add_common(knn)
+    knn.add_argument(
+        "--algorithm", default="Standard", choices=KNN_ALGORITHMS
+    )
+    knn.add_argument("--k", type=int, default=10)
+    knn.add_argument("--queries", type=int, default=5)
+    knn.add_argument(
+        "--measure", default="euclidean",
+        choices=("euclidean", "cosine", "pearson"),
+    )
+    knn.add_argument(
+        "--optimize-plan", action="store_true",
+        help="apply the Section V-D execution-plan optimizer (FNN only)",
+    )
+
+    kmeans = sub.add_parser("kmeans", help="accelerate a k-means baseline")
+    _add_common(kmeans)
+    kmeans.add_argument(
+        "--algorithm", default="Standard", choices=KMEANS_ALGORITHMS
+    )
+    kmeans.add_argument("--k", type=int, default=16)
+    kmeans.add_argument("--max-iters", type=int, default=10)
+
+    profile = sub.add_parser(
+        "profile", help="Section IV profiling of a baseline"
+    )
+    _add_common(profile)
+    profile.add_argument("--task", default="knn", choices=("knn", "kmeans"))
+    profile.add_argument("--algorithm", default="Standard")
+    profile.add_argument("--k", type=int, default=10)
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_info(out) -> int:
+    platform = pim_platform()
+    print("Simulated PIM platform (paper Table 5):", file=out)
+    rows = [
+        ["CPU", f"{platform.cpu.frequency_hz / 1e9:.2f} GHz"],
+        ["caches", "32 KB / 256 KB / 20 MB"],
+        ["total memory", f"{platform.memory.total_bytes // 1024**3} GB"],
+        ["PIM array", f"{platform.pim.capacity_bytes // 1024**3} GB"
+                      f" ({platform.pim.num_crossbars} crossbars)"],
+        ["crossbar", f"{platform.pim.crossbar.rows}x"
+                     f"{platform.pim.crossbar.cols}, "
+                     f"{platform.pim.crossbar.cell_bits}-bit cells"],
+        ["internal bus", f"{platform.memory.internal_bus_gbs:.0f} GB/s"],
+    ]
+    print(format_table(["component", "value"], rows), file=out)
+    print("\nDataset catalog (scaled Table 6 stand-ins):", file=out)
+    rows = [
+        [p.name, p.dims, p.default_n, f"{p.paper_n:,}", p.description]
+        for p in PROFILES.values()
+    ]
+    print(
+        format_table(
+            ["dataset", "d", "scaled N", "paper N", "character"], rows
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _platform(args):
+    return pim_platform(pim_capacity_bytes=args.pim_mib * 1024**2)
+
+
+def _load_data(args):
+    """The workload matrix: a user file or the synthetic catalog."""
+    if args.data_file is not None:
+        from repro.data.loaders import load_matrix
+
+        return load_matrix(args.data_file, max_rows=args.n)
+    return make_dataset(args.dataset, n=args.n, seed=args.seed)
+
+
+def _cmd_knn(args, out) -> int:
+    data = _load_data(args)
+    if args.data_file is not None:
+        from repro.data.synthetic import queries_from
+
+        queries = queries_from(data, args.queries, seed=args.seed + 1)
+    else:
+        queries = make_queries(args.dataset, data, n_queries=args.queries)
+    accelerator = PIMAccelerator(hardware=_platform(args))
+    report = accelerator.accelerate_knn(
+        args.algorithm,
+        data,
+        queries,
+        k=args.k,
+        measure=args.measure,
+        optimize_plan=args.optimize_plan,
+    )
+    label = args.data_file if args.data_file else args.dataset
+    print(f"dataset        : {label} {data.shape}", file=out)
+    print(f"baseline       : {report.baseline.total_time_ms:.3f} ms", file=out)
+    print(f"PIM-optimized  : {report.optimized.total_time_ms:.3f} ms", file=out)
+    print(f"speedup        : {report.speedup:.1f}x "
+          f"(oracle {report.oracle_speedup:.1f}x)", file=out)
+    print(f"results exact  : {report.results_match}", file=out)
+    print(f"bound plan     : {' + '.join(report.plan)}", file=out)
+    for note in report.notes:
+        print(f"note           : {note}", file=out)
+    return 0 if report.results_match else 1
+
+
+def _cmd_kmeans(args, out) -> int:
+    data = _load_data(args)
+    accelerator = PIMAccelerator(hardware=_platform(args))
+    report = accelerator.accelerate_kmeans(
+        args.algorithm, data, k=args.k, max_iters=args.max_iters
+    )
+    iters = report.baseline.extras["n_iterations"]
+    label = args.data_file if args.data_file else args.dataset
+    print(f"dataset        : {label} {data.shape}", file=out)
+    print(f"iterations     : {iters:.0f}", file=out)
+    print(
+        f"baseline       : "
+        f"{report.baseline.extras['time_per_iteration_ms']:.3f} ms/iter",
+        file=out,
+    )
+    print(
+        f"PIM-optimized  : "
+        f"{report.optimized.extras['time_per_iteration_ms']:.3f} ms/iter",
+        file=out,
+    )
+    print(f"speedup        : {report.speedup:.1f}x "
+          f"(oracle {report.oracle_speedup:.1f}x)", file=out)
+    print(f"same clustering: {report.results_match}", file=out)
+    for note in report.notes:
+        print(f"note           : {note}", file=out)
+    return 0 if report.results_match else 1
+
+
+def _cmd_profile(args, out) -> int:
+    data = _load_data(args)
+    if args.task == "knn":
+        queries = make_queries(args.dataset, data, n_queries=3)
+        algo = make_baseline(args.algorithm, data.shape[1])
+        profile = profile_knn(algo.fit(data), queries, args.k)
+    else:
+        centers = initial_centers(data, args.k, seed=1)
+        algo = make_kmeans(args.algorithm, args.k, max_iters=5)
+        profile = profile_kmeans(algo, data, centers=centers)
+    print(f"algorithm      : {profile.name}", file=out)
+    print(f"total time     : {profile.total_time_ms:.3f} ms", file=out)
+    print("components     : "
+          + format_fractions(profile.component_fractions()), file=out)
+    print("functions      : "
+          + format_fractions(profile.function_fractions()), file=out)
+    print(f"PIM-oracle     : {profile.pim_oracle_ns / 1e6:.4f} ms "
+          f"({profile.oracle_speedup:.1f}x potential)", file=out)
+    print(f"offloadable    : {', '.join(profile.offloadable)}", file=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info(out)
+    if args.command == "knn":
+        return _cmd_knn(args, out)
+    if args.command == "kmeans":
+        return _cmd_kmeans(args, out)
+    return _cmd_profile(args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""The paper's framework: profiling, planning, memory management, facade.
+
+* :mod:`repro.core.profiler` — Section IV profiling + Eq. 2 PIM-oracle;
+* :mod:`repro.core.planner` — Section V-D execution-plan optimization;
+* :mod:`repro.core.memory_manager` — Theorem 4 capacity solver;
+* :mod:`repro.core.framework` — :class:`PIMAccelerator`, the end-to-end
+  profile -> offload -> verify pipeline;
+* :mod:`repro.core.report` — text rendering for the bench harness.
+"""
+
+from repro.core.framework import (
+    MIN_PROMISING_ORACLE_SPEEDUP,
+    AccelerationReport,
+    PIMAccelerator,
+)
+from repro.core.memory_manager import (
+    CompressionPlan,
+    choose_compressed_dims,
+    choose_fnn_segments,
+    choose_full_dims,
+    max_vectors_at_dims,
+)
+from repro.core.planner import (
+    ExecutionPlanner,
+    PlanCandidate,
+    optimize_fnn_plan,
+    standalone_pruning_ratios,
+)
+from repro.core.profiler import AlgorithmProfile, profile_kmeans, profile_knn
+from repro.core.report import (
+    format_fractions,
+    format_speedup,
+    format_table,
+    format_time_ms,
+    speedup,
+)
+
+__all__ = [
+    "AccelerationReport",
+    "AlgorithmProfile",
+    "CompressionPlan",
+    "ExecutionPlanner",
+    "MIN_PROMISING_ORACLE_SPEEDUP",
+    "PIMAccelerator",
+    "PlanCandidate",
+    "choose_compressed_dims",
+    "choose_fnn_segments",
+    "choose_full_dims",
+    "format_fractions",
+    "format_speedup",
+    "format_table",
+    "format_time_ms",
+    "max_vectors_at_dims",
+    "optimize_fnn_plan",
+    "profile_kmeans",
+    "profile_knn",
+    "speedup",
+    "standalone_pruning_ratios",
+]

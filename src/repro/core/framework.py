@@ -1,0 +1,310 @@
+"""The end-to-end framework of the paper (Section III-B).
+
+Given a similarity-based mining algorithm, :class:`PIMAccelerator`
+executes the paper's pipeline:
+
+1. **profile** the baseline to find the bottleneck function and the
+   PIM-oracle floor (Section IV);
+2. **decide** whether PIM is worth exploiting (oracle speedup above a
+   threshold — the paper's Elkan case shows it sometimes is not);
+3. **build** the PIM-optimized variant: quantize the dataset, size the
+   compressed dimensionality with Theorem 4, program the crossbars, and
+   swap the bottleneck bound for its PIM-aware bound (Section V-A/B/C);
+4. optionally **optimize the execution plan** with Eq. 13 (Section V-D);
+5. **verify** that the optimized algorithm returns identical results and
+   report the simulated speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.planner import optimize_fnn_plan
+from repro.core.profiler import AlgorithmProfile, profile_kmeans, profile_knn
+from repro.errors import ConfigurationError
+from repro.hardware.config import HardwareConfig, pim_platform
+from repro.hardware.controller import PIMController
+from repro.mining.kmeans import PIMAssist, make_kmeans
+from repro.mining.knn import FNNPIMOptimizeKNN, make_baseline, make_pim_variant
+from repro.similarity.quantization import Quantizer
+
+#: Below this PIM-oracle speedup the framework recommends against PIM
+#: (the paper's Elkan discussion: oracle gain of ~2x is marginal).
+MIN_PROMISING_ORACLE_SPEEDUP = 1.5
+
+
+@dataclass
+class AccelerationReport:
+    """Outcome of one accelerate() run."""
+
+    baseline: AlgorithmProfile
+    optimized: AlgorithmProfile
+    results_match: bool
+    promising: bool
+    plan: tuple[str, ...] = ()
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Baseline total time over optimized total time."""
+        if self.optimized.total_time_ns <= 0:
+            return float("inf")
+        return self.baseline.total_time_ns / self.optimized.total_time_ns
+
+    @property
+    def oracle_speedup(self) -> float:
+        """Baseline total time over the Eq. 2 oracle floor."""
+        return self.baseline.oracle_speedup
+
+
+class PIMAccelerator:
+    """Facade running the full profile -> offload -> verify pipeline."""
+
+    def __init__(
+        self,
+        hardware: HardwareConfig | None = None,
+        alpha: float = 10**6,
+    ) -> None:
+        self.hardware = hardware if hardware is not None else pim_platform()
+        if not self.hardware.has_pim:
+            raise ConfigurationError(
+                "PIMAccelerator needs a platform with a PIM array"
+            )
+        self.alpha = alpha
+
+    def _controller(self) -> PIMController:
+        return PIMController(self.hardware)
+
+    def _quantizer(self) -> Quantizer:
+        return Quantizer(alpha=self.alpha, assume_normalized=True)
+
+    # ------------------------------------------------------------------
+    def accelerate_knn(
+        self,
+        baseline_name: str,
+        data: np.ndarray,
+        queries: np.ndarray,
+        k: int,
+        measure: str = "euclidean",
+        optimize_plan: bool = False,
+    ) -> AccelerationReport:
+        """Profile a kNN baseline, build its PIM variant, compare.
+
+        Parameters
+        ----------
+        baseline_name:
+            ``Standard``, ``OST``, ``SM`` or ``FNN``.
+        data:
+            Normalised dataset in [0, 1].
+        queries:
+            Query workload (2-D).
+        k:
+            Neighbour count.
+        measure:
+            Distance measure (``Standard`` supports all; the bound-based
+            baselines are ED-only).
+        optimize_plan:
+            Run the Eq. 13 plan optimizer (FNN only — the other
+            baselines have a single bound, so there is nothing to drop).
+        """
+        data = np.asarray(data, dtype=np.float64)
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n, dims = data.shape
+        notes: list[str] = []
+
+        baseline = make_baseline(baseline_name, dims, measure=measure)
+        baseline.fit(data)
+        base_profile = profile_knn(baseline, queries, k)
+        promising = base_profile.oracle_speedup >= MIN_PROMISING_ORACLE_SPEEDUP
+        if not promising:
+            notes.append(
+                f"PIM-oracle speedup {base_profile.oracle_speedup:.2f}x is "
+                "marginal; offloading may not pay off"
+            )
+
+        controller = self._controller()
+        pim_algo = make_pim_variant(
+            baseline_name + "-PIM",
+            dims,
+            n,
+            measure=measure,
+            controller=controller,
+        )
+        pim_algo.fit(data)
+        plan: tuple[str, ...] = tuple(b.name for b in pim_algo.bounds)
+
+        if optimize_plan:
+            if baseline_name != "FNN":
+                notes.append(
+                    "plan optimization only applies to FNN's bound ladder; "
+                    "running the default plan"
+                )
+            else:
+                pim_algo, plan, ratio_note = self._optimized_fnn(
+                    pim_algo, baseline, data, queries, k, controller
+                )
+                notes.append(ratio_note)
+
+        pim_profile = profile_knn(pim_algo, queries, k)
+        results_match = self._knn_results_match(
+            baseline, pim_algo, queries, k
+        )
+        return AccelerationReport(
+            baseline=base_profile,
+            optimized=pim_profile,
+            results_match=results_match,
+            promising=promising,
+            plan=plan,
+            notes=notes,
+        )
+
+    def _optimized_fnn(self, pim_algo, baseline, data, queries, k, controller):
+        """Apply Section V-D to the FNN-PIM bound ladder."""
+        from repro.bounds.ed import FNNBound
+
+        pim_bound = pim_algo.bounds[0]
+        originals = [
+            FNNBound(s) for s in pim_algo.segment_ladder
+        ]
+        for b in originals:
+            b.prepare(data)
+        sample = queries[: min(3, len(queries))]
+        plan, ratios = optimize_fnn_plan(
+            pim_bound, originals, baseline, sample, k
+        )
+        optimized = FNNPIMOptimizeKNN(list(plan.bounds), controller)
+        optimized.fit(data)
+        note = "plan ratios: " + ", ".join(
+            f"{name}={ratio:.3f}" for name, ratio in ratios.items()
+        )
+        return optimized, plan.names, note
+
+    @staticmethod
+    def _knn_results_match(a, b, queries, k) -> bool:
+        for q in queries:
+            ra = a.query(q, k)
+            rb = b.query(q, k)
+            if not np.allclose(
+                np.sort(ra.scores), np.sort(rb.scores), atol=1e-9
+            ):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def accelerate_outliers(
+        self,
+        data: np.ndarray,
+        n_neighbors: int = 5,
+        n_outliers: int = 10,
+    ) -> AccelerationReport:
+        """Profile the outlier-detection baseline, build its PIM variant.
+
+        Same pipeline as :meth:`accelerate_knn` applied to the
+        distance-based outlier task (Section II-C).
+        """
+        from repro.cost.model import CostModel
+        from repro.core.profiler import AlgorithmProfile
+        from repro.hardware.config import baseline_platform
+        from repro.mining.outlier import (
+            PIMOutlierDetector,
+            StandardOutlierDetector,
+        )
+
+        data = np.asarray(data, dtype=np.float64)
+        baseline = StandardOutlierDetector(n_neighbors, n_outliers)
+        base_result = baseline.fit(data).detect()
+        base_model = CostModel(baseline_platform())
+        base_profile = AlgorithmProfile(
+            name=baseline.name,
+            counters=base_result.counters,
+            components=base_model.component_breakdown(base_result.counters),
+            function_times_ns=base_model.function_times_ns(
+                base_result.counters
+            ),
+            cpu_time_ns=base_model.total_time_ns(base_result.counters),
+            pim_time_ns=0.0,
+            offloadable=baseline.offloadable_functions,
+            pim_oracle_ns=base_model.pim_oracle_time_ns(
+                base_result.counters, set(baseline.offloadable_functions)
+            ),
+        )
+        promising = base_profile.oracle_speedup >= MIN_PROMISING_ORACLE_SPEEDUP
+
+        pim = PIMOutlierDetector(
+            n_neighbors,
+            n_outliers,
+            controller=self._controller(),
+            quantizer=self._quantizer(),
+        )
+        pim_result = pim.fit(data).detect()
+        pim_model = CostModel(pim.controller.hardware)
+        pim_profile = AlgorithmProfile(
+            name=pim.name,
+            counters=pim_result.counters,
+            components=pim_model.component_breakdown(pim_result.counters),
+            function_times_ns=pim_model.function_times_ns(
+                pim_result.counters
+            ),
+            cpu_time_ns=pim_model.total_time_ns(pim_result.counters),
+            pim_time_ns=pim_result.pim_time_ns,
+            offloadable=pim.offloadable_functions,
+            pim_oracle_ns=pim_model.pim_oracle_time_ns(
+                pim_result.counters, set(pim.offloadable_functions)
+            ),
+        )
+        results_match = bool(
+            np.allclose(
+                np.sort(base_result.scores), np.sort(pim_result.scores)
+            )
+        )
+        return AccelerationReport(
+            baseline=base_profile,
+            optimized=pim_profile,
+            results_match=results_match,
+            promising=promising,
+            plan=("LB_PIM-ED",),
+        )
+
+    # ------------------------------------------------------------------
+    def accelerate_kmeans(
+        self,
+        baseline_name: str,
+        data: np.ndarray,
+        k: int,
+        max_iters: int = 10,
+        seed: int = 0,
+    ) -> AccelerationReport:
+        """Profile a k-means baseline, build its PIM variant, compare."""
+        data = np.asarray(data, dtype=np.float64)
+        notes: list[str] = []
+        from repro.mining.kmeans import initial_centers
+
+        centers = initial_centers(data, k, seed)
+        baseline = make_kmeans(baseline_name, k, max_iters=max_iters)
+        base_profile = profile_kmeans(baseline, data, centers=centers.copy())
+        promising = base_profile.oracle_speedup >= MIN_PROMISING_ORACLE_SPEEDUP
+        if not promising:
+            notes.append(
+                f"PIM-oracle speedup {base_profile.oracle_speedup:.2f}x is "
+                "marginal; offloading may not pay off (the paper's Elkan "
+                "case)"
+            )
+
+        assist = PIMAssist(self._controller(), self._quantizer())
+        pim_algo = make_kmeans(
+            baseline_name + "-PIM", k, max_iters=max_iters, pim_assist=assist
+        )
+        pim_profile = profile_kmeans(pim_algo, data, centers=centers.copy())
+        results_match = abs(
+            pim_profile.extras["inertia"] - base_profile.extras["inertia"]
+        ) <= 1e-6 * max(1.0, base_profile.extras["inertia"])
+        return AccelerationReport(
+            baseline=base_profile,
+            optimized=pim_profile,
+            results_match=results_match,
+            promising=promising,
+            plan=(assist.bound_name,),
+            notes=notes,
+        )

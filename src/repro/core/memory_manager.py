@@ -1,0 +1,156 @@
+"""PIM memory management (paper Section V-C, Theorem 4).
+
+The PIM array holds a fixed number of crossbars; re-programming them per
+dataset chunk would wear the ReRAM out (Table 1 endurance), so instead
+the dataset is *compressed*: the bound is computed on ``s``-dimensional
+summaries with the largest ``s`` that fits, because larger ``s`` means a
+tighter bound. This module solves that maximisation for the two bound
+families the paper uses:
+
+* :func:`choose_compressed_dims` — generic Theorem 4: the largest ``s``
+  (optionally restricted to candidates, e.g. divisors of ``d``) such
+  that an ``N x (s * vectors_per_dim)`` matrix fits;
+* :func:`choose_fnn_segments` — the LB_PIM-FNN case, where each object
+  programs *two* ``s``-vectors (means and stds) and ``s`` must divide
+  ``d`` so segments have equal length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CapacityError
+from repro.hardware.config import PIMArrayConfig
+from repro.hardware.mapper import fits, max_dimensionality
+from repro.similarity.segments import equal_segment_counts
+
+
+@dataclass(frozen=True)
+class CompressionPlan:
+    """Outcome of the Theorem 4 solver."""
+
+    original_dims: int
+    compressed_dims: int
+    n_vectors: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """``d / s`` — how much the representation shrank."""
+        return self.original_dims / self.compressed_dims
+
+    @property
+    def is_lossless(self) -> bool:
+        """True when the full dimensionality fits (no compression)."""
+        return self.compressed_dims >= self.original_dims
+
+
+def choose_compressed_dims(
+    n_vectors: int,
+    dims: int,
+    config: PIMArrayConfig,
+    candidates: list[int] | None = None,
+    dims_per_object: int = 1,
+) -> CompressionPlan:
+    """Theorem 4: maximise ``s`` subject to the crossbar budget.
+
+    Parameters
+    ----------
+    n_vectors:
+        Dataset cardinality ``N``.
+    dims:
+        Original dimensionality ``d`` (the ceiling for ``s``).
+    config:
+        The PIM array to fit into.
+    candidates:
+        Optional candidate values for ``s`` (e.g. divisors of ``d``).
+    dims_per_object:
+        How many ``s``-vectors each object programs (2 for LB_PIM-FNN:
+        means and stds).
+
+    Raises
+    ------
+    CapacityError
+        When no candidate fits.
+    """
+    if candidates is None:
+        usable = list(range(1, dims + 1))
+    else:
+        usable = [s for s in candidates if 1 <= s <= dims]
+    feasible = [
+        s for s in usable if fits(n_vectors, s * dims_per_object, config)
+    ]
+    if not feasible:
+        raise CapacityError(
+            f"no dimensionality in 1..{dims} fits {n_vectors} vectors on "
+            f"{config.num_crossbars} crossbars"
+        )
+    return CompressionPlan(
+        original_dims=dims,
+        compressed_dims=max(feasible),
+        n_vectors=n_vectors,
+    )
+
+
+def choose_fnn_segments(
+    n_vectors: int, dims: int, config: PIMArrayConfig
+) -> int:
+    """Segment count ``s`` for LB_PIM-FNN (Theorem 4 + equal segments).
+
+    Each object programs a concatenated ``2s``-vector (floored segment
+    means and stds); ``s`` must divide ``d``.
+    """
+    plan = choose_compressed_dims(
+        n_vectors,
+        dims,
+        config,
+        candidates=equal_segment_counts(dims),
+        dims_per_object=2,
+    )
+    return plan.compressed_dims
+
+
+def choose_full_dims(
+    n_vectors: int, dims: int, config: PIMArrayConfig
+) -> CompressionPlan:
+    """Compression plan for bounds programming raw quantized vectors
+    (LB_PIM-ED and the CS/PCC upper bounds): one ``s``-vector per object.
+
+    When ``s < d`` callers should fall back to a segment-summary bound
+    (raw coordinate truncation is not distance-preserving), so this
+    function is mostly used to *check* whether the full dataset fits.
+    """
+    return choose_compressed_dims(n_vectors, dims, config)
+
+
+def max_vectors_at_dims(dims: int, config: PIMArrayConfig) -> int:
+    """Largest dataset cardinality that fits at a given dimensionality.
+
+    The dual of Theorem 4, useful for sizing experiments: binary-search
+    the largest ``N`` with ``fits(N, dims)``.
+    """
+    lo, hi = 1, 1
+    while fits(hi, dims, config):
+        lo, hi = hi, hi * 2
+        if hi > 10**12:
+            return hi
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if fits(mid, dims, config):
+            lo = mid
+        else:
+            hi = mid
+    if lo == 1 and not fits(1, dims, config):
+        raise CapacityError(
+            f"not even one {dims}-dimensional vector fits the PIM array"
+        )
+    return lo
+
+
+__all__ = [
+    "CompressionPlan",
+    "choose_compressed_dims",
+    "choose_fnn_segments",
+    "choose_full_dims",
+    "max_dimensionality",
+    "max_vectors_at_dims",
+]

@@ -1,0 +1,222 @@
+"""Execution-plan optimization (paper Section V-D, Eq. 13).
+
+Replacing the bottleneck bound with its PIM-aware bound is the *default*
+plan; a better plan may drop some original bounds entirely (Fig. 12b:
+when the PIM bound is tighter than a finer original bound, keeping the
+original only adds transfer). The optimizer:
+
+1. estimates each candidate bound's *standalone pruning ratio* on sample
+   queries, evaluating the bound against the true k-th-NN threshold
+   (the paper measures ratios offline on conventional hardware);
+2. enumerates all ``2^L`` subsets of the candidate set, ordering each
+   plan's bounds by per-object transfer cost (cheap filters first);
+3. scores every plan with Eq. 13 (the exact refinement is charged as the
+   final stage) and returns the minimum-transfer plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.bounds.base import Bound
+from repro.cost.transfer import TransferCost, exact_transfer, plan_transfer_bits
+from repro.errors import PlanError
+from repro.mining.knn.base import KNNAlgorithm
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One enumerated execution plan with its Eq. 13 transfer cost."""
+
+    bounds: tuple[Bound, ...]
+    transfer_bits: float
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Bound names in execution order."""
+        return tuple(b.name for b in self.bounds)
+
+
+def standalone_pruning_ratios(
+    bounds: list[Bound],
+    reference: KNNAlgorithm,
+    queries: np.ndarray,
+    k: int,
+) -> dict[str, float]:
+    """Pr(B) of each bound measured independently (Fig. 15's left axis).
+
+    For each sample query the exact k-th score from ``reference``
+    (typically a linear scan) is the pruning threshold; the ratio is the
+    fraction of all objects each bound eliminates at that threshold.
+
+    The bounds must already be prepared on the reference's dataset.
+    """
+    queries = np.atleast_2d(np.asarray(queries))
+    evaluated = {b.name: 0 for b in bounds}
+    pruned = {b.name: 0 for b in bounds}
+    n = reference.n_objects
+    for q in queries:
+        result = reference.query(q, k)
+        threshold = float(
+            result.scores.max() if reference.minimize else result.scores.min()
+        )
+        for bound in bounds:
+            values = bound.evaluate(q)
+            evaluated[bound.name] += n
+            pruned[bound.name] += int(bound.prunes(values, threshold).sum())
+    return {
+        name: pruned[name] / evaluated[name] if evaluated[name] else 0.0
+        for name in evaluated
+    }
+
+
+class ExecutionPlanner:
+    """Enumerate and score bound subsets per Eq. 13.
+
+    Parameters
+    ----------
+    candidate_bounds:
+        The candidate set: the original bounds plus the PIM-aware bound.
+    n_objects:
+        Dataset cardinality ``N``.
+    dims:
+        Original dimensionality (prices the exact refinement stage).
+    operand_bits:
+        Width of a stored coordinate on the CPU side (32 in the paper).
+    """
+
+    def __init__(
+        self,
+        candidate_bounds: list[Bound],
+        n_objects: int,
+        dims: int,
+        operand_bits: int = 32,
+    ) -> None:
+        if not candidate_bounds:
+            raise PlanError("the candidate bound set is empty")
+        kinds = {b.kind for b in candidate_bounds}
+        if len(kinds) != 1:
+            raise PlanError("candidate bounds must share pruning direction")
+        self.candidates = list(candidate_bounds)
+        self.n_objects = n_objects
+        self.dims = dims
+        self.operand_bits = operand_bits
+
+    def _plan_cost(
+        self, bounds: tuple[Bound, ...], ratios: dict[str, float]
+    ) -> float:
+        """Eq. 13 with *conditional* stage ratios.
+
+        Standalone ratios are measured against the whole dataset, but a
+        bound running after a stronger filter sees only that filter's
+        survivors. For bounds of one family at increasing tightness the
+        pruned sets are (nearly) nested, so the conditional ratio of a
+        stage following filters of combined strength ``r_prev`` is
+        ``max(0, (r - r_prev) / (1 - r_prev))`` — in particular a bound
+        weaker than what already ran prunes nothing, which is exactly
+        the paper's argument for dropping the original bounds once
+        LB_PIM-FNN^s is tighter (Section V-D).
+        """
+        stage_costs: list[TransferCost] = []
+        stage_ratios: list[float] = []
+        strongest = 0.0
+        for bound in bounds:
+            stage_costs.append(TransferCost(bound.per_object_transfer_bits))
+            r = ratios.get(bound.name, 0.0)
+            if strongest >= 1.0:
+                conditional = 0.0
+            else:
+                conditional = max(0.0, (r - strongest) / (1.0 - strongest))
+            stage_ratios.append(conditional)
+            strongest = max(strongest, r)
+        stage_costs.append(exact_transfer(self.dims, self.operand_bits))
+        stage_ratios.append(0.0)
+        return plan_transfer_bits(self.n_objects, stage_costs, stage_ratios)
+
+    def enumerate_plans(
+        self, ratios: dict[str, float]
+    ) -> list[PlanCandidate]:
+        """All 2^L - 1 non-empty plans, cheapest-transfer first.
+
+        Bounds within a plan execute in increasing per-object transfer
+        cost (the natural coarse-to-fine order of the paper's ladders).
+        """
+        plans: list[PlanCandidate] = []
+        for size in range(1, len(self.candidates) + 1):
+            for subset in combinations(self.candidates, size):
+                ordered = tuple(
+                    sorted(subset, key=lambda b: b.per_object_transfer_bits)
+                )
+                plans.append(
+                    PlanCandidate(
+                        bounds=ordered,
+                        transfer_bits=self._plan_cost(ordered, ratios),
+                    )
+                )
+        plans.sort(key=lambda p: p.transfer_bits)
+        return plans
+
+    def best_plan(self, ratios: dict[str, float]) -> PlanCandidate:
+        """The minimum-Eq.13 plan (exhaustive over all subsets)."""
+        return self.enumerate_plans(ratios)[0]
+
+    def greedy_plan(self, ratios: dict[str, float]) -> PlanCandidate:
+        """A greedy plan for large candidate sets.
+
+        Exhaustive enumeration costs ``2^L`` evaluations; with many
+        candidate bounds that becomes the planning bottleneck. The
+        greedy variant grows the plan one bound at a time, always adding
+        the candidate that lowers Eq. 13 the most, and stops when no
+        addition helps. ``O(L^2)`` cost evaluations; the ablation bench
+        compares its plan quality against the exhaustive optimum.
+        """
+        chosen: list[Bound] = []
+        remaining = list(self.candidates)
+        best_cost = self._plan_cost((), ratios)
+        while remaining:
+            scored = []
+            for bound in remaining:
+                trial = tuple(
+                    sorted(
+                        chosen + [bound],
+                        key=lambda b: b.per_object_transfer_bits,
+                    )
+                )
+                scored.append((self._plan_cost(trial, ratios), bound))
+            cost, winner = min(scored, key=lambda pair: pair[0])
+            if cost >= best_cost:
+                break
+            best_cost = cost
+            chosen.append(winner)
+            remaining.remove(winner)
+        ordered = tuple(
+            sorted(chosen, key=lambda b: b.per_object_transfer_bits)
+        )
+        return PlanCandidate(bounds=ordered, transfer_bits=best_cost)
+
+    def no_filter_cost(self) -> float:
+        """Transfer of the plan with no bounds (pure linear scan)."""
+        return self._plan_cost((), {})
+
+
+def optimize_fnn_plan(
+    pim_bound: Bound,
+    original_bounds: list[Bound],
+    reference: KNNAlgorithm,
+    queries: np.ndarray,
+    k: int,
+) -> tuple[PlanCandidate, dict[str, float]]:
+    """The paper's FNN-PIM-optimize construction (Fig. 16).
+
+    All bounds must already be prepared on the reference's dataset.
+    Returns the chosen plan and the measured standalone ratios.
+    """
+    candidates = [pim_bound] + list(original_bounds)
+    ratios = standalone_pruning_ratios(candidates, reference, queries, k)
+    planner = ExecutionPlanner(
+        candidates, reference.n_objects, reference.dims
+    )
+    return planner.best_plan(ratios), ratios

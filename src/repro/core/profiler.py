@@ -1,0 +1,162 @@
+"""Algorithm profiling (paper Section IV).
+
+Given an algorithm run's event counters, the profiler produces the three
+views of the paper's motivating analysis:
+
+* **hardware-component breakdown** (Fig. 5) — shares of T_c, T_cache,
+  T_ALU, T_Br, T_Fe per Eq. 1;
+* **function breakdown** (Fig. 6) — shares per similarity/bound function;
+* **PIM-oracle estimate** (Eq. 2, Fig. 7) — total time minus the
+  offloadable buckets, the floor of any PIM implementation.
+
+Convenience drivers run kNN and k-means workloads end-to-end and return
+an :class:`AlgorithmProfile` with simulated times on the appropriate
+platform. PIM-optimized algorithms add their wave time on top of the
+Quartz CPU time, exactly like the paper sums NVSim and Quartz outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cost.counters import PerfCounters
+from repro.cost.model import ComponentBreakdown, CostModel, combined_time_ns
+from repro.hardware.config import HardwareConfig, baseline_platform
+from repro.mining.kmeans.base import KMeansAlgorithm
+from repro.mining.knn.base import KNNAlgorithm
+
+
+@dataclass
+class AlgorithmProfile:
+    """Profiling outcome of one algorithm on one workload."""
+
+    name: str
+    counters: PerfCounters
+    components: ComponentBreakdown
+    function_times_ns: dict[str, float]
+    cpu_time_ns: float
+    pim_time_ns: float
+    offloadable: tuple[str, ...]
+    pim_oracle_ns: float
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_time_ns(self) -> float:
+        """End-to-end simulated time (CPU + PIM)."""
+        return combined_time_ns(self.cpu_time_ns, self.pim_time_ns)
+
+    @property
+    def total_time_ms(self) -> float:
+        """Total time in milliseconds (the unit of the paper's figures)."""
+        return self.total_time_ns / 1e6
+
+    def component_fractions(self) -> dict[str, float]:
+        """Fig. 5 series."""
+        return self.components.fractions()
+
+    def function_fractions(self) -> dict[str, float]:
+        """Fig. 6 series."""
+        total = sum(self.function_times_ns.values())
+        if total <= 0:
+            return {k: 0.0 for k in self.function_times_ns}
+        return {k: v / total for k, v in self.function_times_ns.items()}
+
+    @property
+    def oracle_speedup(self) -> float:
+        """T_total / T_PIM-oracle — the ideal gain of Eq. 2."""
+        if self.pim_oracle_ns <= 0:
+            return float("inf")
+        return self.cpu_time_ns / self.pim_oracle_ns
+
+
+def _profile_from_counters(
+    name: str,
+    counters: PerfCounters,
+    offloadable: tuple[str, ...],
+    hardware: HardwareConfig,
+    pim_time_ns: float,
+) -> AlgorithmProfile:
+    model = CostModel(hardware)
+    return AlgorithmProfile(
+        name=name,
+        counters=counters,
+        components=model.component_breakdown(counters),
+        function_times_ns=model.function_times_ns(counters),
+        cpu_time_ns=model.total_time_ns(counters),
+        pim_time_ns=pim_time_ns,
+        offloadable=offloadable,
+        pim_oracle_ns=model.pim_oracle_time_ns(counters, set(offloadable)),
+    )
+
+
+def profile_knn(
+    algorithm: KNNAlgorithm,
+    queries: np.ndarray,
+    k: int,
+    hardware: HardwareConfig | None = None,
+) -> AlgorithmProfile:
+    """Run a fitted kNN algorithm over a query workload and profile it.
+
+    Times are summed over all queries. Pass the PIM platform for PIM
+    variants (the controller's platform is used when available).
+    """
+    queries = np.atleast_2d(np.asarray(queries))
+    merged = PerfCounters()
+    pim_time = 0.0
+    exact = 0
+    for q in queries:
+        result = algorithm.query(q, k)
+        merged = merged.merged_with(result.counters)
+        pim_time += result.pim_time_ns
+        exact += result.exact_computations
+    if hardware is None:
+        controller = getattr(algorithm, "controller", None)
+        hardware = (
+            controller.hardware if controller is not None
+            else baseline_platform()
+        )
+    profile = _profile_from_counters(
+        algorithm.name,
+        merged,
+        tuple(algorithm.offloadable_functions),
+        hardware,
+        pim_time,
+    )
+    profile.extras["exact_computations"] = float(exact)
+    profile.extras["n_queries"] = float(len(queries))
+    return profile
+
+
+def profile_kmeans(
+    algorithm: KMeansAlgorithm,
+    data: np.ndarray,
+    centers: np.ndarray | None = None,
+    seed: int = 0,
+    hardware: HardwareConfig | None = None,
+) -> AlgorithmProfile:
+    """Run a k-means algorithm to convergence and profile it.
+
+    ``extras['time_per_iteration_ms']`` carries the Table 7 metric.
+    """
+    result = algorithm.fit(data, centers=centers, seed=seed)
+    if hardware is None:
+        assist = algorithm.pim
+        hardware = (
+            assist.controller.hardware if assist is not None
+            else baseline_platform()
+        )
+    profile = _profile_from_counters(
+        algorithm.name,
+        result.counters,
+        algorithm.offloadable_functions(),
+        hardware,
+        result.pim_time_ns,
+    )
+    iters = max(result.n_iterations, 1)
+    profile.extras["n_iterations"] = float(result.n_iterations)
+    profile.extras["inertia"] = result.inertia
+    profile.extras["exact_distances"] = float(result.exact_distances)
+    profile.extras["time_per_iteration_ms"] = profile.total_time_ms / iters
+    return profile

@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment tables and series.
+
+The bench harness prints the same rows/series the paper's tables and
+figures report; these helpers keep the formatting uniform (fixed-width
+columns, engineering units) and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """A fixed-width text table.
+
+    Cells are stringified; floats get 4 significant digits.
+    """
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_fractions(fractions: dict[str, float]) -> str:
+    """``name=12.3%`` series on one line (Fig. 5/6 style)."""
+    return "  ".join(f"{k}={v * 100:5.1f}%" for k, v in fractions.items())
+
+
+def format_time_ms(ns: float) -> str:
+    """Nanoseconds rendered as milliseconds with sane precision."""
+    return f"{ns / 1e6:.3f} ms"
+
+
+def speedup(baseline_ns: float, optimized_ns: float) -> float:
+    """Baseline/optimized ratio, guarding against zero."""
+    if optimized_ns <= 0:
+        return float("inf")
+    return baseline_ns / optimized_ns
+
+
+def format_speedup(baseline_ns: float, optimized_ns: float) -> str:
+    """``12.3x`` speedup string."""
+    return f"{speedup(baseline_ns, optimized_ns):.1f}x"

@@ -1,0 +1,30 @@
+"""Event counting and analytical cost modelling (the simulator's PAPI).
+
+* :mod:`repro.cost.counters` — per-function event recording;
+* :mod:`repro.cost.model` — events -> Eq. 1 time components per platform;
+* :mod:`repro.cost.transfer` — Eq. 13 data-transfer bookkeeping.
+"""
+
+from repro.cost.counters import OTHER, FunctionEvents, PerfCounters
+from repro.cost.model import ComponentBreakdown, CostModel, combined_time_ns
+from repro.cost.transfer import (
+    TransferCost,
+    bound_transfer,
+    exact_transfer,
+    pim_bound_transfer,
+    plan_transfer_bits,
+)
+
+__all__ = [
+    "ComponentBreakdown",
+    "CostModel",
+    "FunctionEvents",
+    "OTHER",
+    "PerfCounters",
+    "TransferCost",
+    "bound_transfer",
+    "combined_time_ns",
+    "exact_transfer",
+    "pim_bound_transfer",
+    "plan_transfer_bits",
+]

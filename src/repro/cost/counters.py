@@ -1,0 +1,124 @@
+"""Per-function event counters — the simulator's answer to PAPI.
+
+The paper profiles algorithms two ways (Section IV): by hardware
+component, via PAPI hardware counters, and by function, via fine-grained
+timers. Our algorithms cannot be measured with hardware counters (they
+run in Python), so instead every implementation *records the events it
+would execute on the modelled machine*: flops, bytes pulled from main
+memory, bytes served from cache, long-latency ops, branches, calls —
+bucketed per named function (``"ED"``, ``"LB_FNN"``, ``"other"`` ...).
+
+:mod:`repro.cost.model` later converts these exact counts into simulated
+times for either platform, which is what makes the profiling figures
+reproducible without hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FunctionEvents:
+    """Accumulated events of one named function."""
+
+    calls: int = 0
+    flops: float = 0.0
+    bytes_from_memory: float = 0.0
+    bytes_cached: float = 0.0
+    long_ops: float = 0.0
+    branches: float = 0.0
+
+    def add(
+        self,
+        calls: int = 0,
+        flops: float = 0.0,
+        bytes_from_memory: float = 0.0,
+        bytes_cached: float = 0.0,
+        long_ops: float = 0.0,
+        branches: float = 0.0,
+    ) -> None:
+        """Accumulate one batch of events."""
+        self.calls += calls
+        self.flops += flops
+        self.bytes_from_memory += bytes_from_memory
+        self.bytes_cached += bytes_cached
+        self.long_ops += long_ops
+        self.branches += branches
+
+    def merged_with(self, other: "FunctionEvents") -> "FunctionEvents":
+        """A new record holding the sum of both."""
+        return FunctionEvents(
+            calls=self.calls + other.calls,
+            flops=self.flops + other.flops,
+            bytes_from_memory=self.bytes_from_memory + other.bytes_from_memory,
+            bytes_cached=self.bytes_cached + other.bytes_cached,
+            long_ops=self.long_ops + other.long_ops,
+            branches=self.branches + other.branches,
+        )
+
+
+#: Bucket name for work not attributable to a similarity/bound function
+#: (condition checks, heap maintenance, center updates ...).
+OTHER = "other"
+
+
+@dataclass
+class PerfCounters:
+    """Named buckets of :class:`FunctionEvents` for one algorithm run."""
+
+    functions: dict[str, FunctionEvents] = field(default_factory=dict)
+
+    def record(
+        self,
+        function: str,
+        calls: int = 0,
+        flops: float = 0.0,
+        bytes_from_memory: float = 0.0,
+        bytes_cached: float = 0.0,
+        long_ops: float = 0.0,
+        branches: float = 0.0,
+    ) -> None:
+        """Accumulate events into the bucket of ``function``."""
+        bucket = self.functions.setdefault(function, FunctionEvents())
+        bucket.add(
+            calls=calls,
+            flops=flops,
+            bytes_from_memory=bytes_from_memory,
+            bytes_cached=bytes_cached,
+            long_ops=long_ops,
+            branches=branches,
+        )
+
+    def events(self, function: str) -> FunctionEvents:
+        """The bucket of ``function`` (empty record if never touched)."""
+        return self.functions.get(function, FunctionEvents())
+
+    def function_names(self) -> list[str]:
+        """All bucket names, insertion-ordered."""
+        return list(self.functions)
+
+    def total(self) -> FunctionEvents:
+        """Sum over all buckets."""
+        total = FunctionEvents()
+        for bucket in self.functions.values():
+            total = total.merged_with(bucket)
+        return total
+
+    def merged_with(self, other: "PerfCounters") -> "PerfCounters":
+        """A new counter set combining both runs."""
+        merged = PerfCounters()
+        for name, bucket in self.functions.items():
+            merged.functions[name] = bucket.merged_with(FunctionEvents())
+        for name, bucket in other.functions.items():
+            if name in merged.functions:
+                merged.functions[name] = merged.functions[name].merged_with(
+                    bucket
+                )
+            else:
+                merged.functions[name] = bucket.merged_with(FunctionEvents())
+        return merged
+
+    def reset(self) -> None:
+        """Clear every bucket."""
+        self.functions.clear()

@@ -1,0 +1,156 @@
+"""Cost model: turn recorded events into simulated execution times.
+
+Given :class:`~repro.cost.counters.PerfCounters` recorded by an algorithm
+run, the model answers three questions the paper's evaluation needs:
+
+1. **Per-hardware-component breakdown** (Fig. 5): T_c, T_cache, T_ALU,
+   T_Br, T_Fe per Eq. 1, computed by summing the Quartz epoch model over
+   every function bucket.
+2. **Per-function breakdown** (Fig. 6): total time of each bucket.
+3. **PIM-oracle bound** (Eq. 2 / Fig. 7): total time minus the buckets in
+   the PIM-offloadable set ``F``.
+
+The model is platform-aware: the baseline services misses from DRAM, the
+PIM platform from the slower ReRAM memory array. PIM-side wave time is
+*not* produced here — it comes from :class:`~repro.hardware.pim_array.PIMArray`
+stats — but :func:`combined_time_ns` merges the two, mirroring the
+paper's "NVSim time + Quartz time" summation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.counters import FunctionEvents, PerfCounters
+from repro.hardware.config import HardwareConfig, baseline_platform
+from repro.hardware.quartz import Epoch, EpochTime, epoch_time_ns
+
+
+@dataclass(frozen=True)
+class ComponentBreakdown:
+    """The five Eq. 1 components, in nanoseconds."""
+
+    compute_ns: float
+    cache_ns: float
+    alu_ns: float
+    branch_ns: float
+    frontend_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        """T_total of Eq. 1."""
+        return (
+            self.compute_ns
+            + self.cache_ns
+            + self.alu_ns
+            + self.branch_ns
+            + self.frontend_ns
+        )
+
+    def fractions(self) -> dict[str, float]:
+        """Share of each component in the total (Fig. 5's y-axis)."""
+        total = self.total_ns
+        if total <= 0:
+            return {k: 0.0 for k in ("Tc", "Tcache", "TALU", "TBr", "TFe")}
+        return {
+            "Tc": self.compute_ns / total,
+            "Tcache": self.cache_ns / total,
+            "TALU": self.alu_ns / total,
+            "TBr": self.branch_ns / total,
+            "TFe": self.frontend_ns / total,
+        }
+
+
+class CostModel:
+    """Event-to-time conversion for one hardware platform."""
+
+    def __init__(self, hardware: HardwareConfig | None = None) -> None:
+        self.hardware = (
+            hardware if hardware is not None else baseline_platform()
+        )
+
+    @property
+    def miss_latency_ns(self) -> float:
+        """Last-level miss service latency on this platform."""
+        cpu = self.hardware.cpu
+        if self.hardware.has_pim:
+            return cpu.reram_miss_latency_ns
+        return cpu.dram_miss_latency_ns
+
+    # ------------------------------------------------------------------
+    def _epoch(self, events: FunctionEvents) -> EpochTime:
+        epoch = Epoch(
+            flops=events.flops,
+            bytes_from_memory=events.bytes_from_memory,
+            bytes_cached=events.bytes_cached,
+            long_ops=events.long_ops,
+            branches=events.branches,
+        )
+        return epoch_time_ns(epoch, self.hardware.cpu, self.miss_latency_ns)
+
+    def function_time_ns(self, counters: PerfCounters, function: str) -> float:
+        """Simulated time attributable to one function bucket."""
+        return self._epoch(counters.events(function)).total_ns
+
+    def function_times_ns(self, counters: PerfCounters) -> dict[str, float]:
+        """Per-function simulated times (Fig. 6 series)."""
+        return {
+            name: self._epoch(events).total_ns
+            for name, events in counters.functions.items()
+        }
+
+    def total_time_ns(self, counters: PerfCounters) -> float:
+        """T_total over every bucket."""
+        return sum(self.function_times_ns(counters).values())
+
+    def component_breakdown(self, counters: PerfCounters) -> ComponentBreakdown:
+        """Hardware-component breakdown (Fig. 5 series)."""
+        compute = cache = alu = branch = frontend = 0.0
+        for events in counters.functions.values():
+            t = self._epoch(events)
+            compute += t.compute_ns
+            cache += t.cache_ns
+            alu += t.alu_ns
+            branch += t.branch_ns
+            frontend += t.frontend_ns
+        return ComponentBreakdown(
+            compute_ns=compute,
+            cache_ns=cache,
+            alu_ns=alu,
+            branch_ns=branch,
+            frontend_ns=frontend,
+        )
+
+    def pim_oracle_time_ns(
+        self, counters: PerfCounters, offloadable: set[str] | list[str]
+    ) -> float:
+        """Theoretical optimum with PIM (Eq. 2).
+
+        ``T_PIM-oracle = T_total - sum_{f in F} T_f``: the time left if
+        every offloadable function became free.
+        """
+        names = set(offloadable)
+        return sum(
+            time
+            for name, time in self.function_times_ns(counters).items()
+            if name not in names
+        )
+
+
+def combined_time_ns(
+    cpu_time_ns: float, pim_time_ns: float, overlap: float = 0.0
+) -> float:
+    """Total PIM-optimized time: Quartz CPU time plus NVSim PIM time.
+
+    Parameters
+    ----------
+    cpu_time_ns, pim_time_ns:
+        The two components the paper sums.
+    overlap:
+        Fraction of the PIM time hidden behind CPU work thanks to the
+        buffer array (0 = fully serialized, the paper's conservative
+        accounting; the ablation bench sweeps this).
+    """
+    if not 0.0 <= overlap <= 1.0:
+        raise ValueError("overlap must be within [0, 1]")
+    return cpu_time_ns + (1.0 - overlap) * pim_time_ns

@@ -1,0 +1,91 @@
+"""Data-transfer bookkeeping for the execution-plan optimizer (Eq. 13).
+
+Section V-D ranks candidate execution plans by the memory->CPU transfer
+they trigger:
+
+``Tcost = N * sum_i Tcost(B_i) * prod_{j<=i} (1 - Pr(B_j))``
+
+where ``Tcost(B_i)`` is the bits a single evaluation of bound ``B_i``
+moves to the CPU and ``Pr(B_j)`` the pruning ratio of the j-th applied
+bound. This module provides the per-bound transfer constants:
+
+* an original bound over ``s`` dimensions of ``b``-bit values moves
+  ``s*b`` bits (the reduced vector must be fetched);
+* a PIM-aware bound moves ``3*b`` bits regardless of dimensionality
+  (``Phi(p)`` + the dot-product result(s), Fig. 8);
+* an exact refinement over ``d`` dimensions moves ``d*b`` bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bits moved to the CPU per object by a PIM-aware bound evaluation
+#: (Fig. 8: Phi(p) and the PIM dot-product result; Phi(q) is amortised).
+PIM_BOUND_TRANSFER_OPERANDS = 3
+
+
+@dataclass(frozen=True)
+class TransferCost:
+    """Bits of memory->CPU traffic per evaluated object."""
+
+    bits_per_object: float
+
+    def bytes_per_object(self) -> float:
+        """Same cost in bytes."""
+        return self.bits_per_object / 8.0
+
+    def total_bits(self, n_objects: float) -> float:
+        """Traffic for evaluating ``n_objects`` objects."""
+        return self.bits_per_object * n_objects
+
+
+def bound_transfer(dims: int, operand_bits: int) -> TransferCost:
+    """Transfer of one original (CPU) bound over ``dims`` dimensions."""
+    return TransferCost(bits_per_object=float(dims * operand_bits))
+
+
+def pim_bound_transfer(operand_bits: int, dot_products: int = 1) -> TransferCost:
+    """Transfer of one PIM-aware bound evaluation.
+
+    ``dot_products`` > 1 covers bounds needing several PIM terms (e.g.
+    LB_PIM-FNN moves both the mean and the std dot product; HD moves two
+    results). The precomputed ``Phi`` term always adds one operand.
+    """
+    operands = dot_products + (PIM_BOUND_TRANSFER_OPERANDS - 1)
+    return TransferCost(bits_per_object=float(operands * operand_bits))
+
+
+def exact_transfer(dims: int, operand_bits: int) -> TransferCost:
+    """Transfer of one exact distance refinement (full vector fetch)."""
+    return TransferCost(bits_per_object=float(dims * operand_bits))
+
+
+def plan_transfer_bits(
+    n_objects: float,
+    stage_costs: list[TransferCost],
+    pruning_ratios: list[float],
+) -> float:
+    """Eq. 13: total transfer of a staged filtering plan.
+
+    Parameters
+    ----------
+    n_objects:
+        Initial candidate count ``N``.
+    stage_costs:
+        Per-stage per-object transfer, first filter first. The final
+        refinement stage should be included as the last entry.
+    pruning_ratios:
+        ``Pr(B_i)`` for each stage (the last stage's ratio does not
+        affect the total but keeps the lists aligned).
+    """
+    if len(stage_costs) != len(pruning_ratios):
+        raise ValueError("stage_costs and pruning_ratios must align")
+    total = 0.0
+    survivors = float(n_objects)
+    for cost, ratio in zip(stage_costs, pruning_ratios):
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError(f"pruning ratio {ratio} outside [0, 1]")
+        total += cost.bits_per_object * survivors
+        survivors *= 1.0 - ratio
+    return total

@@ -1,0 +1,38 @@
+"""Synthetic stand-ins for the paper's datasets (Table 6 + LSH codes)."""
+
+from repro.data.catalog import (
+    KMEANS_DATASETS,
+    KNN_DATASETS,
+    PROFILES,
+    DatasetProfile,
+    dataset_names,
+    make_dataset,
+    make_queries,
+    profile,
+)
+from repro.data.lsh import RandomHyperplaneLSH, make_binary_codes
+from repro.data.synthetic import (
+    clustered,
+    correlated,
+    diffuse,
+    queries_from,
+    sparse_counts,
+)
+
+__all__ = [
+    "DatasetProfile",
+    "KMEANS_DATASETS",
+    "KNN_DATASETS",
+    "PROFILES",
+    "RandomHyperplaneLSH",
+    "clustered",
+    "correlated",
+    "dataset_names",
+    "diffuse",
+    "make_binary_codes",
+    "make_dataset",
+    "make_queries",
+    "profile",
+    "queries_from",
+    "sparse_counts",
+]

@@ -1,0 +1,109 @@
+"""Loading user-supplied datasets into the pipeline's input form.
+
+The library operates on min-max-normalised float matrices in [0, 1]
+(Section V-B's first step). These helpers read a matrix from common
+on-disk formats and normalise it, so real feature files can be dropped
+into the CLI and the examples:
+
+* ``.npy``  — a 2-D ``numpy.save`` array;
+* ``.npz``  — the first 2-D array in the archive (or a named one);
+* ``.csv`` / ``.txt`` — numeric text, comma or whitespace separated,
+  optionally with a header row (auto-detected).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+def normalize_unit_range(data: np.ndarray) -> np.ndarray:
+    """Min-max normalise each dimension into [0, 1] (constant dims -> 0)."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise DatasetError("expected a 2-D (vectors x dims) matrix")
+    lo = data.min(axis=0)
+    rng = data.max(axis=0) - lo
+    rng[rng == 0] = 1.0
+    return (data - lo) / rng
+
+
+def _load_csv(path: Path) -> np.ndarray:
+    with open(path) as handle:
+        first = handle.readline()
+    delimiter = "," if "," in first else None
+    try:
+        return np.loadtxt(path, delimiter=delimiter)
+    except ValueError:
+        # retry assuming a header row
+        try:
+            return np.loadtxt(path, delimiter=delimiter, skiprows=1)
+        except ValueError as exc:
+            raise DatasetError(f"cannot parse {path} as numbers: {exc}")
+
+
+def load_matrix(
+    path: str | Path,
+    array_name: str | None = None,
+    normalize: bool = True,
+    max_rows: int | None = None,
+) -> np.ndarray:
+    """Read a dataset file and return a (normalised) float matrix.
+
+    Parameters
+    ----------
+    path:
+        ``.npy``, ``.npz``, ``.csv`` or ``.txt`` file.
+    array_name:
+        For ``.npz``: which archive member to use (default: the first
+        2-D array).
+    normalize:
+        Min-max normalise into [0, 1] (the pipeline's expected form).
+    max_rows:
+        Keep only the first ``max_rows`` rows (handy for slicing huge
+        files down to simulator scale).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no dataset file at {path}")
+    suffix = path.suffix.lower()
+    if suffix == ".npy":
+        data = np.load(path)
+    elif suffix == ".npz":
+        with np.load(path) as bundle:
+            if array_name is not None:
+                if array_name not in bundle.files:
+                    raise DatasetError(
+                        f"{path} has no array {array_name!r}; "
+                        f"available: {bundle.files}"
+                    )
+                data = bundle[array_name]
+            else:
+                two_d = [
+                    name
+                    for name in bundle.files
+                    if bundle[name].ndim == 2
+                ]
+                if not two_d:
+                    raise DatasetError(f"{path} contains no 2-D array")
+                data = bundle[two_d[0]]
+    elif suffix in (".csv", ".txt"):
+        data = _load_csv(path)
+    else:
+        raise DatasetError(
+            f"unsupported dataset format {suffix!r}; "
+            "use .npy, .npz, .csv or .txt"
+        )
+    data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+    if data.ndim != 2 or data.size == 0:
+        raise DatasetError(f"{path} did not yield a non-empty 2-D matrix")
+    if not np.all(np.isfinite(data)):
+        raise DatasetError(f"{path} contains NaN or infinite values")
+    if max_rows is not None:
+        if max_rows <= 0:
+            raise DatasetError("max_rows must be positive")
+        data = data[:max_rows]
+    return normalize_unit_range(data) if normalize else data

@@ -1,0 +1,76 @@
+"""Query workload generators of controlled difficulty.
+
+Bound pruning — and therefore every PIM speedup in the paper — depends
+on how *selective* a query is: a query near dense data has a tiny k-th
+distance and bounds prune almost everything; a query far from the data
+sees concentrated distances and bounds prune nothing. These generators
+produce workloads along that spectrum so ablations can sweep it:
+
+* ``member``      — exact dataset points (duplicates; zero distance);
+* ``near``        — small perturbations of dataset points (the default
+  classification-style workload);
+* ``far``         — points near the corners of the unit cube, away from
+  the data manifold;
+* ``uniform``     — i.i.d. uniform queries;
+* ``adversarial`` — points at the *mean* of many dataset points, where
+  distances concentrate the most.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+KINDS = ("member", "near", "far", "uniform", "adversarial")
+
+
+def make_workload(
+    data: np.ndarray,
+    kind: str,
+    n_queries: int = 5,
+    seed: int = 0,
+    noise: float = 0.02,
+) -> np.ndarray:
+    """Queries of one difficulty class against ``data`` (in [0, 1])."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise DatasetError("make_workload() expects a 2-D dataset")
+    if n_queries <= 0:
+        raise DatasetError("n_queries must be positive")
+    if kind not in KINDS:
+        raise DatasetError(f"unknown kind {kind!r}; one of {KINDS}")
+    rng = np.random.default_rng(seed)
+    n, dims = data.shape
+    if kind == "member":
+        return data[rng.integers(0, n, size=n_queries)].copy()
+    if kind == "near":
+        picks = data[rng.integers(0, n, size=n_queries)]
+        return np.clip(
+            picks + noise * rng.standard_normal((n_queries, dims)), 0, 1
+        )
+    if kind == "far":
+        corners = rng.integers(0, 2, size=(n_queries, dims)).astype(
+            np.float64
+        )
+        return np.clip(
+            corners + 0.05 * rng.standard_normal((n_queries, dims)), 0, 1
+        )
+    if kind == "uniform":
+        return rng.random((n_queries, dims))
+    # adversarial: centroids of large random subsets
+    queries = np.empty((n_queries, dims))
+    for i in range(n_queries):
+        subset = rng.integers(0, n, size=max(10, n // 4))
+        queries[i] = data[subset].mean(axis=0)
+    return np.clip(queries, 0.0, 1.0)
+
+
+def workload_suite(
+    data: np.ndarray, n_queries: int = 5, seed: int = 0
+) -> dict[str, np.ndarray]:
+    """One workload of each kind, keyed by kind."""
+    return {
+        kind: make_workload(data, kind, n_queries=n_queries, seed=seed)
+        for kind in KINDS
+    }

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch every failure mode of the simulator and the mining framework with a
+single ``except`` clause while still being able to discriminate precisely.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A hardware or algorithm configuration value is invalid."""
+
+
+class CapacityError(ReproError):
+    """The PIM array cannot accommodate the requested data.
+
+    Raised by the memory manager when no compressed dimensionality ``s``
+    satisfies Theorem 4 for the given hardware budget, and by the mapper
+    when a caller tries to program more data than the array holds.
+    """
+
+
+class EnduranceExceededError(ReproError):
+    """A ReRAM cell was written more times than its rated endurance."""
+
+
+class OperandError(ReproError):
+    """An operand violates PIM constraints (negative, too wide, wrong shape)."""
+
+
+class ProgrammingError(ReproError):
+    """The PIM array is used before data has been programmed onto it,
+    or programmed twice without an explicit reset."""
+
+
+class PlanError(ReproError):
+    """The execution-plan optimizer was given an unusable bound set."""
+
+
+class DatasetError(ReproError):
+    """A dataset request cannot be fulfilled (unknown name, bad shape)."""

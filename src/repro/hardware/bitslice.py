@@ -1,0 +1,122 @@
+"""Bit-slicing of integer operands for crossbar storage (paper Fig. 2).
+
+A ReRAM cell stores only ``h`` bits (typically 2), so a ``b``-bit operand
+is split into ``ceil(b/h)`` slices stored in adjacent cells of the same
+row. Symmetrically, an input (multiplicand) is fed to the DACs ``g`` bits
+at a time over several cycles. The exact dot product is recovered by the
+shift-and-add (S&A) unit:
+
+``x = sum_j slice_j * 2**(j*h)``  and similarly for inputs, so
+
+``p . q = sum_{j,k} (P_j . Q_k) * 2**(j*h + k*g)``
+
+where ``P_j`` is the matrix of j-th operand slices and ``Q_k`` the k-th
+input slice. All helpers operate on NumPy integer arrays and are the
+single source of truth used by :class:`repro.hardware.crossbar.Crossbar`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OperandError
+
+
+def check_non_negative_integers(values: np.ndarray, bits: int) -> None:
+    """Validate that ``values`` are PIM-compatible operands.
+
+    ReRAM analog computation only supports non-negative integers of
+    limited width; anything else raises :class:`OperandError`.
+    """
+    if not np.issubdtype(np.asarray(values).dtype, np.integer):
+        raise OperandError("PIM operands must have an integer dtype")
+    if values.size and int(values.min()) < 0:
+        raise OperandError("PIM operands must be non-negative")
+    if values.size and int(values.max()) >= (1 << bits):
+        raise OperandError(
+            f"PIM operand exceeds {bits}-bit width: max={int(values.max())}"
+        )
+
+
+def num_slices(operand_bits: int, slice_bits: int) -> int:
+    """Number of ``slice_bits``-wide slices needed for ``operand_bits``."""
+    if operand_bits <= 0 or slice_bits <= 0:
+        raise OperandError("bit widths must be positive")
+    return -(-operand_bits // slice_bits)
+
+
+def slice_operands(values: np.ndarray, operand_bits: int, slice_bits: int) -> np.ndarray:
+    """Split integers into little-endian slices of ``slice_bits`` each.
+
+    Parameters
+    ----------
+    values:
+        Integer array of any shape, each value < ``2**operand_bits``.
+    operand_bits:
+        Declared operand width ``b``.
+    slice_bits:
+        Cell (or DAC) precision ``h``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``values.shape + (num_slices,)`` where slice ``j``
+        holds bits ``[j*h, (j+1)*h)`` of the original value.
+    """
+    values = np.asarray(values)
+    check_non_negative_integers(values, operand_bits)
+    n = num_slices(operand_bits, slice_bits)
+    mask = (1 << slice_bits) - 1
+    work = values.astype(np.uint64)
+    slices = np.empty(values.shape + (n,), dtype=np.uint64)
+    for j in range(n):
+        slices[..., j] = (work >> np.uint64(j * slice_bits)) & np.uint64(mask)
+    return slices
+
+
+def reconstruct(slices: np.ndarray, slice_bits: int) -> np.ndarray:
+    """Inverse of :func:`slice_operands`: shift-and-add slices back.
+
+    The last axis of ``slices`` is the slice axis.
+    """
+    slices = np.asarray(slices, dtype=np.uint64)
+    n = slices.shape[-1]
+    total = np.zeros(slices.shape[:-1], dtype=np.uint64)
+    for j in range(n):
+        total += slices[..., j] << np.uint64(j * slice_bits)
+    return total
+
+
+def shift_add_partials(
+    partials: np.ndarray, operand_slice_bits: int, input_slice_bits: int
+) -> np.ndarray:
+    """Combine per-(operand-slice, input-slice) dot-product partials.
+
+    ``partials`` has shape ``(n_operand_slices, n_input_slices, ...)`` and
+    entry ``[j, k]`` is the integer dot product of the j-th operand slice
+    matrix with the k-th input slice vector. The combined exact result is
+    ``sum_{j,k} partials[j, k] << (j*h + k*g)`` — exactly what the S&A
+    circuit of Fig. 2 produces.
+    """
+    partials = np.asarray(partials, dtype=np.int64)
+    if partials.ndim < 2:
+        raise OperandError("partials must have operand- and input-slice axes")
+    total = np.zeros(partials.shape[2:], dtype=np.int64)
+    n_op, n_in = partials.shape[0], partials.shape[1]
+    for j in range(n_op):
+        for k in range(n_in):
+            shift = j * operand_slice_bits + k * input_slice_bits
+            total += partials[j, k] << np.int64(shift)
+    return total
+
+
+def truncate_result(values: np.ndarray, accumulator_bits: int) -> np.ndarray:
+    """Keep the least-significant ``accumulator_bits`` of PIM results.
+
+    The paper keeps the least-significant 64 bits of dot-product results
+    (32 bits for binary codes) to match the host word width.
+    """
+    if accumulator_bits >= 64:
+        return np.asarray(values, dtype=np.int64)
+    mask = np.uint64((1 << accumulator_bits) - 1)
+    return (np.asarray(values).astype(np.uint64) & mask).astype(np.int64)

@@ -1,0 +1,241 @@
+"""Hardware configuration for the simulated platforms.
+
+Two platforms are modelled, mirroring Table 5 of the paper:
+
+* the **baseline** (conventional von Neumann) platform — a Xeon-class CPU
+  with a three-level cache hierarchy and DDR4 DRAM; and
+* the **PIM** platform — the same CPU, but main memory is ReRAM-based and
+  contains a *memory array* (plain storage), a small eDRAM *buffer array*
+  for PIM results, and a *PIM array* made of many small ReRAM crossbars.
+
+The classes here are plain frozen dataclasses: they carry numbers, validate
+them, and derive a few convenient quantities (e.g. the crossbar count of a
+PIM array of a given byte capacity). All timing logic lives in
+:mod:`repro.hardware.timing` and :mod:`repro.cost.model`.
+
+Table 1 of the paper (NVM device characteristics) is exposed as
+:data:`NVM_CHARACTERISTICS` for documentation and for tests that sanity
+check the chosen ReRAM latencies against the published ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Representative NVM characteristics (paper Table 1). Latencies in ns,
+#: cell size in F^2, write energy in J/bit. Ranges are (low, high).
+NVM_CHARACTERISTICS = {
+    "DRAM": {
+        "volatile": True,
+        "endurance": (1e15, 1e15),
+        "read_latency_ns": (10.0, 10.0),
+        "write_latency_ns": (10.0, 10.0),
+        "cell_size_f2": (60, 100),
+        "write_energy_j_per_bit": 1e-14,
+    },
+    "ReRAM": {
+        "volatile": False,
+        "endurance": (1e8, 1e11),
+        "read_latency_ns": (10.0, 10.0),
+        "write_latency_ns": (50.0, 50.0),
+        "cell_size_f2": (4, 10),
+        "write_energy_j_per_bit": 1e-13,
+    },
+    "PCM": {
+        "volatile": False,
+        "endurance": (1e8, 1e9),
+        "read_latency_ns": (20.0, 60.0),
+        "write_latency_ns": (20.0, 150.0),
+        "cell_size_f2": (4, 12),
+        "write_energy_j_per_bit": 1e-11,
+    },
+    "STT-RAM": {
+        "volatile": False,
+        "endurance": (1e12, 1e15),
+        "read_latency_ns": (2.0, 35.0),
+        "write_latency_ns": (3.0, 50.0),
+        "cell_size_f2": (6, 50),
+        "write_energy_j_per_bit": 1e-13,
+    },
+}
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """Geometry and device parameters of one ReRAM crossbar.
+
+    Defaults follow the paper's evaluation setup: 256x256 cells with 2-bit
+    precision, read/write latencies of 29.31/50.88 ns (derived from the
+    ReRAM design of Niu et al.), and DAC/ADC resolutions used by the
+    bit-sliced dot-product pipeline of Fig. 2.
+    """
+
+    rows: int = 256
+    cols: int = 256
+    cell_bits: int = 2
+    read_latency_ns: float = 29.31
+    write_latency_ns: float = 50.88
+    dac_bits: int = 2
+    adc_bits: int = 8
+    endurance: float = 1e10
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigurationError("crossbar dimensions must be positive")
+        if not 1 <= self.cell_bits <= 8:
+            raise ConfigurationError("cell precision must be 1..8 bits")
+        if self.dac_bits < 1 or self.adc_bits < 1:
+            raise ConfigurationError("DAC/ADC resolution must be >= 1 bit")
+        if self.read_latency_ns <= 0 or self.write_latency_ns <= 0:
+            raise ConfigurationError("crossbar latencies must be positive")
+        if self.endurance <= 0:
+            raise ConfigurationError("endurance must be positive")
+
+    @property
+    def cells(self) -> int:
+        """Number of cells in the crossbar."""
+        return self.rows * self.cols
+
+    @property
+    def capacity_bits(self) -> int:
+        """Storage capacity of the crossbar in bits."""
+        return self.cells * self.cell_bits
+
+    @property
+    def max_cell_value(self) -> int:
+        """Largest integer one cell can represent."""
+        return (1 << self.cell_bits) - 1
+
+
+@dataclass(frozen=True)
+class PIMArrayConfig:
+    """Capacity and organisation of the PIM array (a pool of crossbars)."""
+
+    crossbar: CrossbarConfig = field(default_factory=CrossbarConfig)
+    capacity_bytes: int = 2 * 1024**3  # 2 GB, paper default
+    operand_bits: int = 32
+    accumulator_bits: int = 64
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("PIM array capacity must be positive")
+        if self.operand_bits < 1:
+            raise ConfigurationError("operand width must be at least 1 bit")
+        if self.accumulator_bits < self.operand_bits:
+            raise ConfigurationError("accumulator must be wider than operands")
+
+    @property
+    def num_crossbars(self) -> int:
+        """Total crossbars in the array (paper: 131072 for the defaults)."""
+        return (self.capacity_bytes * 8) // self.crossbar.capacity_bits
+
+    @property
+    def slices_per_operand(self) -> int:
+        """How many cell-width slices a ``operand_bits`` value occupies."""
+        h = self.crossbar.cell_bits
+        return -(-self.operand_bits // h)  # ceil division
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Host-processor model (paper: Broadwell Xeon E5-2620 @ 2.10 GHz)."""
+
+    frequency_hz: float = 2.10e9
+    l1_bytes: int = 32 * 1024
+    l2_bytes: int = 256 * 1024
+    l3_bytes: int = 20 * 1024**2
+    cache_line_bytes: int = 64
+    #: average useful flops retired per cycle for the streaming kernels
+    #: the mining algorithms execute (vectorised adds/multiplies).
+    flops_per_cycle: float = 4.0
+    #: penalty of one last-level cache miss serviced from DRAM.
+    dram_miss_latency_ns: float = 80.0
+    #: penalty of one last-level cache miss serviced from the ReRAM
+    #: memory array (higher read latency than DRAM).
+    reram_miss_latency_ns: float = 105.0
+    branch_mispredict_penalty_ns: float = 7.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError("CPU frequency must be positive")
+        if min(self.l1_bytes, self.l2_bytes, self.l3_bytes) <= 0:
+            raise ConfigurationError("cache sizes must be positive")
+        if self.cache_line_bytes <= 0:
+            raise ConfigurationError("cache line size must be positive")
+
+    @property
+    def seconds_per_flop(self) -> float:
+        """Time to retire one useful floating-point operation."""
+        return 1.0 / (self.frequency_hz * self.flops_per_cycle)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Main-memory organisation shared by both platforms."""
+
+    total_bytes: int = 16 * 1024**3
+    dram_bandwidth_gbs: float = 19.2
+    internal_bus_gbs: float = 50.0
+    buffer_bytes: int = 16 * 1024**2
+    buffer_read_latency_ns: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0 or self.buffer_bytes <= 0:
+            raise ConfigurationError("memory sizes must be positive")
+        if self.dram_bandwidth_gbs <= 0 or self.internal_bus_gbs <= 0:
+            raise ConfigurationError("bandwidths must be positive")
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Complete platform description (paper Table 5).
+
+    ``pim`` may be ``None`` to describe the conventional baseline platform,
+    in which case all of main memory is DRAM.
+    """
+
+    cpu: CPUConfig = field(default_factory=CPUConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    pim: PIMArrayConfig | None = field(default_factory=PIMArrayConfig)
+
+    @property
+    def has_pim(self) -> bool:
+        """Whether this platform contains a PIM array."""
+        return self.pim is not None
+
+    @property
+    def memory_array_bytes(self) -> int:
+        """Plain-storage capacity (total minus PIM array and buffer)."""
+        if self.pim is None:
+            return self.memory.total_bytes
+        return (
+            self.memory.total_bytes
+            - self.pim.capacity_bytes
+            - self.memory.buffer_bytes
+        )
+
+
+def baseline_platform() -> HardwareConfig:
+    """The conventional DRAM-only platform of the paper's experiments."""
+    return HardwareConfig(pim=None)
+
+
+def pim_platform(
+    pim_capacity_bytes: int = 2 * 1024**3,
+    crossbar: CrossbarConfig | None = None,
+) -> HardwareConfig:
+    """A ReRAM PIM platform with the paper's Table 5 defaults.
+
+    Parameters
+    ----------
+    pim_capacity_bytes:
+        Size of the PIM array (default 2 GB as in the paper).
+    crossbar:
+        Crossbar geometry override; defaults to 256x256 2-bit cells.
+    """
+    xbar = crossbar if crossbar is not None else CrossbarConfig()
+    return HardwareConfig(
+        pim=PIMArrayConfig(crossbar=xbar, capacity_bytes=pim_capacity_bytes)
+    )

@@ -1,0 +1,69 @@
+"""Write-endurance accounting for ReRAM crossbars.
+
+ReRAM cells tolerate a limited number of SET/RESET cycles (1e8-1e11,
+paper Table 1). The paper's memory-management section (V-C) is motivated
+by exactly this: re-programming crossbars for every dataset chunk would
+wear the device out, so the dataset is compressed to fit instead.
+
+:class:`EnduranceTracker` counts writes per crossbar (a full crossbar
+programming counts as one write to each touched cell) and raises
+:class:`~repro.errors.EnduranceExceededError` once a cell's budget is
+exhausted. It also exposes wear statistics used by the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EnduranceExceededError
+
+
+@dataclass
+class EnduranceTracker:
+    """Tracks per-unit write counts against a fixed endurance budget.
+
+    The tracker is deliberately coarse: it records the maximum write count
+    over the cells of each tracked unit (a crossbar), which is the figure
+    of merit for device lifetime.
+    """
+
+    endurance: float
+    writes: dict[int, int] = field(default_factory=dict)
+
+    def record_write(self, unit_id: int, count: int = 1) -> None:
+        """Record ``count`` write cycles to unit ``unit_id``.
+
+        Raises
+        ------
+        EnduranceExceededError
+            If the cumulative writes exceed the configured endurance.
+        """
+        total = self.writes.get(unit_id, 0) + count
+        if total > self.endurance:
+            raise EnduranceExceededError(
+                f"unit {unit_id} written {total} times "
+                f"(endurance {self.endurance:.3g})"
+            )
+        self.writes[unit_id] = total
+
+    def write_count(self, unit_id: int) -> int:
+        """Cumulative writes recorded for ``unit_id``."""
+        return self.writes.get(unit_id, 0)
+
+    @property
+    def max_writes(self) -> int:
+        """Largest write count over all tracked units."""
+        return max(self.writes.values(), default=0)
+
+    @property
+    def total_writes(self) -> int:
+        """Total writes over all tracked units."""
+        return sum(self.writes.values())
+
+    def remaining(self, unit_id: int) -> float:
+        """Write cycles left before ``unit_id`` exceeds its endurance."""
+        return self.endurance - self.write_count(unit_id)
+
+    def wear_fraction(self, unit_id: int) -> float:
+        """Fraction of the endurance budget consumed by ``unit_id``."""
+        return self.write_count(unit_id) / self.endurance

@@ -1,0 +1,223 @@
+"""Dataset-to-crossbar mapping and crossbar-cost equations (Theorem 4).
+
+The PIM array is a pool of ``C`` crossbars of ``m x m`` cells at ``h``-bit
+precision. Programming an ``N x s`` matrix of ``b``-bit operands uses:
+
+* **data crossbars** — each vector occupies ``ceil(b/h)`` adjacent columns
+  and ``min(s, m)`` rows, so one crossbar stores ``floor(m*h/b)`` vectors
+  over ``m`` dimensions; a vector with ``s > m`` spans ``ceil(s/m)``
+  stacked data crossbars (Fig. 3);
+* **gather crossbars** — when ``s > m`` the per-crossbar partial results
+  are summed by a tree of crossbars programmed with all-ones vectors;
+  level ``i`` of the tree needs ``ceil(s / m**i)`` crossbars per vector
+  group (Eq. 11/12 of the paper).
+
+:func:`crossbars_for_vector_pair`, :func:`data_crossbars` and
+:func:`gather_crossbars` implement Eqs. 11-12; :class:`DatasetLayout`
+packages a concrete mapping used by :class:`repro.hardware.pim_array.PIMArray`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.config import PIMArrayConfig
+
+
+def gather_tree_levels(dims: int, rows: int) -> int:
+    """Depth of the gather tree for ``dims``-dimensional vectors.
+
+    Level 1 is the data-crossbar layer; each further level divides the
+    partial count by ``rows`` until a single value remains. Returns 1 when
+    no gathering is needed (``dims <= rows``).
+    """
+    if dims <= 0 or rows <= 0:
+        raise ConfigurationError("dims and rows must be positive")
+    levels = 1
+    remaining = math.ceil(dims / rows)
+    while remaining > 1:
+        levels += 1
+        remaining = math.ceil(remaining / rows)
+    return levels
+
+
+def crossbars_for_vector_pair(dims: int, rows: int) -> int:
+    """Crossbar cost of one dot product on ``dims``-dim vectors (Eq. 11).
+
+    For ``dims <= rows`` a single (fraction of a) crossbar suffices and the
+    cost is 1; otherwise the data layer plus every gather level is counted.
+    """
+    if dims <= rows:
+        return 1
+    return _pair_cost(dims, rows)
+
+
+def _pair_cost(dims: int, rows: int) -> int:
+    """Sum of ceil(dims / rows**i) over tree levels i=1..depth."""
+    total = 0
+    level = 1
+    while True:
+        count = math.ceil(dims / rows**level)
+        total += count
+        if count <= 1:
+            break
+        level += 1
+    return total
+
+
+def vectors_per_crossbar(config: PIMArrayConfig) -> int:
+    """How many operand vectors share one data crossbar's columns."""
+    per = config.crossbar.cols // config.slices_per_operand
+    if per <= 0:
+        raise CapacityError(
+            "operand too wide: one vector does not fit a crossbar row"
+        )
+    return per
+
+
+def data_crossbars(n_vectors: int, dims: int, config: PIMArrayConfig) -> int:
+    """Number of data crossbars for an ``n_vectors x dims`` matrix (Eq. 12)."""
+    if n_vectors <= 0 or dims <= 0:
+        raise ConfigurationError("matrix shape must be positive")
+    groups = math.ceil(n_vectors / vectors_per_crossbar(config))
+    return groups * math.ceil(dims / config.crossbar.rows)
+
+
+def gather_crossbars(n_vectors: int, dims: int, config: PIMArrayConfig) -> int:
+    """Number of gather crossbars for the same matrix (Eq. 12).
+
+    Zero when ``dims <= rows`` (no partials to merge).
+    """
+    rows = config.crossbar.rows
+    if dims <= rows:
+        return 0
+    groups = math.ceil(n_vectors / vectors_per_crossbar(config))
+    per_group = 0
+    level = 2
+    while True:
+        count = math.ceil(dims / rows**level)
+        if count < 1:
+            count = 1
+        per_group += count
+        if count <= 1:
+            break
+        level += 1
+    return groups * per_group
+
+
+def total_crossbars(n_vectors: int, dims: int, config: PIMArrayConfig) -> int:
+    """Data plus gather crossbars needed to host the matrix."""
+    return data_crossbars(n_vectors, dims, config) + gather_crossbars(
+        n_vectors, dims, config
+    )
+
+
+def fits(n_vectors: int, dims: int, config: PIMArrayConfig) -> bool:
+    """Whether the matrix fits the PIM array without re-programming."""
+    return total_crossbars(n_vectors, dims, config) <= config.num_crossbars
+
+
+def max_dimensionality(
+    n_vectors: int,
+    upper: int,
+    config: PIMArrayConfig,
+    candidates: list[int] | None = None,
+) -> int:
+    """Largest dimensionality ``s <= upper`` that fits (Theorem 4).
+
+    Parameters
+    ----------
+    n_vectors:
+        Dataset cardinality ``N``.
+    upper:
+        Original (or maximum useful) dimensionality ``d``.
+    config:
+        PIM array description.
+    candidates:
+        Optional restricted candidate set (e.g. divisors of ``d`` so that
+        FNN-style segmentation produces equal-length segments). Defaults
+        to every value in ``1..upper``.
+
+    Returns
+    -------
+    int
+        The chosen ``s``.
+
+    Raises
+    ------
+    CapacityError
+        When even ``s = 1`` does not fit.
+    """
+    pool = sorted(candidates) if candidates is not None else None
+    if pool is not None:
+        options = [s for s in pool if 1 <= s <= upper]
+    else:
+        options = list(range(1, upper + 1))
+    best = 0
+    for s in options:
+        if fits(n_vectors, s, config):
+            best = max(best, s)
+    if best == 0:
+        raise CapacityError(
+            f"no dimensionality in 1..{upper} fits {n_vectors} vectors on "
+            f"{config.num_crossbars} crossbars"
+        )
+    return best
+
+
+@dataclass(frozen=True)
+class DatasetLayout:
+    """Concrete placement of an ``n_vectors x dims`` matrix on the array.
+
+    Attributes mirror the quantities of Theorem 4 plus the cycle counts
+    the timing model charges per dot-product wave.
+    """
+
+    n_vectors: int
+    dims: int
+    operand_bits: int
+    vectors_per_crossbar: int
+    n_data_crossbars: int
+    n_gather_crossbars: int
+    gather_levels: int
+
+    @property
+    def n_crossbars(self) -> int:
+        """Total crossbars occupied."""
+        return self.n_data_crossbars + self.n_gather_crossbars
+
+    @property
+    def storage_bits(self) -> int:
+        """Payload bits programmed (excluding gather all-ones vectors)."""
+        return self.n_vectors * self.dims * self.operand_bits
+
+
+def plan_layout(
+    n_vectors: int, dims: int, config: PIMArrayConfig
+) -> DatasetLayout:
+    """Compute the layout of a matrix, validating capacity.
+
+    Raises
+    ------
+    CapacityError
+        If the matrix does not fit the configured PIM array.
+    """
+    ndata = data_crossbars(n_vectors, dims, config)
+    ngather = gather_crossbars(n_vectors, dims, config)
+    if ndata + ngather > config.num_crossbars:
+        raise CapacityError(
+            f"matrix {n_vectors}x{dims} needs {ndata + ngather} crossbars, "
+            f"array has {config.num_crossbars}; compress the dataset "
+            f"(Theorem 4) or enlarge the PIM array"
+        )
+    return DatasetLayout(
+        n_vectors=n_vectors,
+        dims=dims,
+        operand_bits=config.operand_bits,
+        vectors_per_crossbar=vectors_per_crossbar(config),
+        n_data_crossbars=ndata,
+        n_gather_crossbars=ngather,
+        gather_levels=gather_tree_levels(dims, config.crossbar.rows),
+    )

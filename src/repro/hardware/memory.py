@@ -1,0 +1,61 @@
+"""Memory-array access-time model (DRAM vs ReRAM storage).
+
+Both platforms expose the same storage abstraction: the baseline keeps
+datasets in DRAM, the PIM platform keeps them in the ReRAM memory array
+(whose reads are as fast as DRAM but whose writes are ~5x slower, Table
+1). :class:`MemoryArray` answers "how long does moving this many bytes
+take" for sequential streams and charges write time for pre-processing
+(Fig. 17 compares exactly these write costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.config import MemoryConfig
+
+#: Per-device relative write slowdown vs read (Table 1: DRAM ~10/10 ns,
+#: ReRAM ~50/10 ns).
+WRITE_SLOWDOWN = {"dram": 1.0, "reram": 5.0}
+
+
+@dataclass(frozen=True)
+class MemoryArray:
+    """Streaming-bandwidth model of one storage device.
+
+    Parameters
+    ----------
+    config:
+        Shared memory configuration (bandwidths).
+    device:
+        ``"dram"`` or ``"reram"``.
+    """
+
+    config: MemoryConfig
+    device: str = "dram"
+
+    def __post_init__(self) -> None:
+        if self.device not in WRITE_SLOWDOWN:
+            raise ConfigurationError(
+                f"unknown memory device {self.device!r}; "
+                f"expected one of {sorted(WRITE_SLOWDOWN)}"
+            )
+
+    @property
+    def read_bandwidth_gbs(self) -> float:
+        """Sequential read bandwidth in GB/s."""
+        return self.config.dram_bandwidth_gbs
+
+    @property
+    def write_bandwidth_gbs(self) -> float:
+        """Sequential write bandwidth in GB/s (device-dependent)."""
+        return self.config.dram_bandwidth_gbs / WRITE_SLOWDOWN[self.device]
+
+    def read_time_ns(self, nbytes: float) -> float:
+        """Time to stream ``nbytes`` out of the array."""
+        return nbytes / self.read_bandwidth_gbs  # B / (GB/s) = ns
+
+    def write_time_ns(self, nbytes: float) -> float:
+        """Time to stream ``nbytes`` into the array."""
+        return nbytes / self.write_bandwidth_gbs

@@ -1,0 +1,314 @@
+"""Array-level PIM interface: program matrices, fire dot-product waves.
+
+:class:`PIMArray` is the substrate the mining layer talks to. Datasets
+(or several distinct matrices — e.g. a code matrix and its complement for
+Hamming distance) are programmed once at the offline stage; at the online
+stage a *wave* evaluates one query vector against every programmed vector
+of a matrix concurrently and deposits the results in the buffer array.
+
+Two execution paths produce identical values:
+
+* the default fast path computes the integer matrix-vector product with
+  NumPy (the bit-sliced analog pipeline is value-exact, so this is a pure
+  optimisation), while still charging the cycle-accurate wave latency; and
+* ``simulate_cells=True`` shards the matrix over real
+  :class:`~repro.hardware.crossbar.Crossbar` objects and merges their
+  partial results — slow, but it exercises DAC/ADC bit-slicing cell by
+  cell. The test suite cross-checks both paths on small geometries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CapacityError, OperandError, ProgrammingError
+from repro.hardware import bitslice
+from repro.hardware.buffer import BufferArray
+from repro.hardware.config import HardwareConfig, PIMArrayConfig, pim_platform
+from repro.hardware.crossbar import Crossbar
+from repro.hardware.endurance import EnduranceTracker
+from repro.hardware.mapper import DatasetLayout, plan_layout, vectors_per_crossbar
+from repro.hardware.timing import WaveTiming, programming_time_ns, wave_timing
+
+
+@dataclass(frozen=True)
+class PIMQueryResult:
+    """Values plus timing of one dot-product wave."""
+
+    values: np.ndarray
+    timing: WaveTiming
+
+
+@dataclass
+class PIMStats:
+    """Cumulative activity counters of a :class:`PIMArray`."""
+
+    waves: int = 0
+    pim_time_ns: float = 0.0
+    programming_time_ns: float = 0.0
+    crossbars_used: int = 0
+    results_produced: int = 0
+    matrices: dict[str, DatasetLayout] = field(default_factory=dict)
+
+
+class _ProgrammedMatrix:
+    """Internal record of one programmed matrix."""
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        layout: DatasetLayout,
+        crossbars: list[list[Crossbar]] | None,
+        crossbar_ids: list[int] | None = None,
+    ) -> None:
+        self.matrix = matrix
+        self.layout = layout
+        self.crossbars = crossbars  # only in simulate_cells mode
+        self.crossbar_ids = crossbar_ids or []
+
+
+class PIMArray:
+    """The PIM array of one ReRAM memory module.
+
+    Parameters
+    ----------
+    hardware:
+        Platform description; must contain a PIM array. Defaults to the
+        paper's Table 5 platform.
+    simulate_cells:
+        Route every wave through per-crossbar bit-sliced computation.
+        Exact but slow; intended for small-geometry verification.
+    """
+
+    def __init__(
+        self,
+        hardware: HardwareConfig | None = None,
+        simulate_cells: bool = False,
+    ) -> None:
+        self.hardware = hardware if hardware is not None else pim_platform()
+        if self.hardware.pim is None:
+            raise ProgrammingError("hardware platform has no PIM array")
+        self.config: PIMArrayConfig = self.hardware.pim
+        self.simulate_cells = simulate_cells
+        self.buffer = BufferArray(self.hardware.memory)
+        self.endurance = EnduranceTracker(self.config.crossbar.endurance)
+        self.stats = PIMStats()
+        self._matrices: dict[str, _ProgrammedMatrix] = {}
+        self._next_crossbar_id = 0
+        self._free_crossbar_ids: list[int] = []
+
+    # ------------------------------------------------------------------
+    # programming (offline stage)
+    # ------------------------------------------------------------------
+    def program_matrix(
+        self, name: str, matrix: np.ndarray, input_bits: int | None = None
+    ) -> DatasetLayout:
+        """Program a named ``(n_vectors, dims)`` integer matrix.
+
+        Parameters
+        ----------
+        name:
+            Handle used by :meth:`query`.
+        matrix:
+            Non-negative integers below ``2**operand_bits``.
+        input_bits:
+            Reserved for callers that later query with narrower inputs;
+            only validated here.
+
+        Returns
+        -------
+        DatasetLayout
+            The crossbar placement, also recorded in :attr:`stats`.
+        """
+        if name in self._matrices:
+            raise ProgrammingError(
+                f"matrix {name!r} already programmed; reset it first"
+            )
+        matrix = np.ascontiguousarray(matrix)
+        if matrix.ndim != 2:
+            raise OperandError("expected a 2-D (vectors x dims) matrix")
+        bitslice.check_non_negative_integers(matrix, self.config.operand_bits)
+        n_vectors, dims = matrix.shape
+        layout = plan_layout(n_vectors, dims, self.config)
+        used = self.stats.crossbars_used + layout.n_crossbars
+        if used > self.config.num_crossbars:
+            raise CapacityError(
+                f"programming {name!r} would use {used} crossbars, "
+                f"array has {self.config.num_crossbars}"
+            )
+        crossbars = (
+            self._program_cells(matrix, layout) if self.simulate_cells else None
+        )
+        crossbar_ids: list[int] = []
+        if not self.simulate_cells:
+            # charge endurance at layout granularity (one write per
+            # crossbar), reusing freed physical crossbars so repeated
+            # re-programming accumulates wear on the same cells
+            for _ in range(layout.n_crossbars):
+                if self._free_crossbar_ids:
+                    unit = self._free_crossbar_ids.pop()
+                else:
+                    unit = self._next_crossbar_id
+                    self._next_crossbar_id += 1
+                self.endurance.record_write(unit)
+                crossbar_ids.append(unit)
+        self._matrices[name] = _ProgrammedMatrix(
+            matrix.astype(np.int64), layout, crossbars, crossbar_ids
+        )
+        self.stats.crossbars_used = used
+        self.stats.matrices[name] = layout
+        self.stats.programming_time_ns += programming_time_ns(
+            layout, self.config
+        )
+        return layout
+
+    def _program_cells(
+        self, matrix: np.ndarray, layout: DatasetLayout
+    ) -> list[list[Crossbar]]:
+        """Shard the matrix over real crossbar objects (simulate mode)."""
+        rows = self.config.crossbar.rows
+        per_xbar = vectors_per_crossbar(self.config)
+        n_vectors, dims = matrix.shape
+        shards: list[list[Crossbar]] = []
+        for v0 in range(0, n_vectors, per_xbar):
+            chunk_vectors = matrix[v0 : v0 + per_xbar]
+            column: list[Crossbar] = []
+            for d0 in range(0, dims, rows):
+                xbar = Crossbar(
+                    self.config.crossbar,
+                    crossbar_id=self._next_crossbar_id,
+                    endurance_tracker=self.endurance,
+                )
+                self._next_crossbar_id += 1
+                xbar.program(
+                    chunk_vectors[:, d0 : d0 + rows], self.config.operand_bits
+                )
+                column.append(xbar)
+            shards.append(column)
+        return shards
+
+    def reset_matrix(self, name: str) -> None:
+        """Erase a programmed matrix, freeing its crossbars.
+
+        Re-programming afterwards wears the device: the endurance tracker
+        keeps counting against the same crossbar budget.
+        """
+        record = self._matrices.pop(name, None)
+        if record is None:
+            raise ProgrammingError(f"no matrix named {name!r}")
+        self.stats.crossbars_used -= record.layout.n_crossbars
+        del self.stats.matrices[name]
+        self._free_crossbar_ids.extend(record.crossbar_ids)
+        if record.crossbars is not None:
+            for column in record.crossbars:
+                for xbar in column:
+                    xbar.reset()
+
+    def layouts(self) -> dict[str, DatasetLayout]:
+        """Layouts of all programmed matrices."""
+        return {name: rec.layout for name, rec in self._matrices.items()}
+
+    # ------------------------------------------------------------------
+    # querying (online stage)
+    # ------------------------------------------------------------------
+    def query(
+        self, name: str, vector: np.ndarray, input_bits: int | None = None
+    ) -> PIMQueryResult:
+        """Fire one wave: dot products of ``vector`` with every row of ``name``.
+
+        Results are truncated to the accumulator width (the paper keeps
+        the least-significant 64 bits; 32 for binary codes) and pushed to
+        the buffer array; the caller is expected to drain the buffer.
+        """
+        record = self._matrices.get(name)
+        if record is None:
+            raise ProgrammingError(f"no matrix named {name!r}")
+        vector = np.asarray(vector)
+        bits = input_bits if input_bits is not None else self.config.operand_bits
+        bitslice.check_non_negative_integers(vector, bits)
+        if vector.ndim != 1 or vector.shape[0] != record.layout.dims:
+            raise OperandError(
+                f"query must be a vector of length {record.layout.dims}"
+            )
+        if record.crossbars is not None:
+            values = self._query_cells(record, vector, bits)
+        else:
+            values = record.matrix @ vector.astype(np.int64)
+        values = bitslice.truncate_result(values, self.config.accumulator_bits)
+        timing = wave_timing(
+            record.layout, self.config, self.hardware, input_bits=bits
+        )
+        if values.nbytes <= self.buffer.free_bytes:
+            self.buffer.push(values)
+            self.buffer.pop()  # the host drains synchronously in this model
+        self.stats.waves += 1
+        self.stats.pim_time_ns += timing.total_ns
+        self.stats.results_produced += int(values.shape[0])
+        return PIMQueryResult(values=values, timing=timing)
+
+    def query_many(
+        self,
+        name: str,
+        vectors: np.ndarray,
+        input_bits: int | None = None,
+    ) -> PIMQueryResult:
+        """Fire one wave per row of ``vectors`` (a batched :meth:`query`).
+
+        Semantically identical to looping :meth:`query` — each row is
+        its own wave, charged separately — but evaluated as a single
+        matrix product, which keeps large sweeps (k-means iterations
+        firing one wave per center) fast to simulate. Returns values of
+        shape ``(n_queries, n_programmed_vectors)``.
+        """
+        record = self._matrices.get(name)
+        if record is None:
+            raise ProgrammingError(f"no matrix named {name!r}")
+        vectors = np.atleast_2d(np.asarray(vectors))
+        bits = input_bits if input_bits is not None else self.config.operand_bits
+        bitslice.check_non_negative_integers(vectors, bits)
+        if vectors.shape[1] != record.layout.dims:
+            raise OperandError(
+                f"queries must have length {record.layout.dims}"
+            )
+        if record.crossbars is not None:
+            values = np.vstack(
+                [self._query_cells(record, v, bits) for v in vectors]
+            )
+        else:
+            values = vectors.astype(np.int64) @ record.matrix.T
+        values = bitslice.truncate_result(values, self.config.accumulator_bits)
+        timing = wave_timing(
+            record.layout, self.config, self.hardware, input_bits=bits
+        )
+        n_queries = vectors.shape[0]
+        self.stats.waves += n_queries
+        self.stats.pim_time_ns += timing.total_ns * n_queries
+        self.stats.results_produced += int(values.size)
+        return PIMQueryResult(values=values, timing=timing)
+
+    def _query_cells(
+        self, record: _ProgrammedMatrix, vector: np.ndarray, bits: int
+    ) -> np.ndarray:
+        """Per-crossbar bit-sliced evaluation (simulate mode)."""
+        rows = self.config.crossbar.rows
+        outputs: list[np.ndarray] = []
+        for column in record.crossbars or []:
+            partial_sum: np.ndarray | None = None
+            for i, xbar in enumerate(column):
+                segment = vector[i * rows : i * rows + xbar._rows_used]
+                wave = xbar.dot_product(segment, input_bits=bits)
+                partial_sum = (
+                    wave.values
+                    if partial_sum is None
+                    else partial_sum + wave.values
+                )
+            assert partial_sum is not None
+            outputs.append(partial_sum)
+        return np.concatenate(outputs)
+
+    # ------------------------------------------------------------------
+    def total_pim_time_ns(self) -> float:
+        """Cumulative simulated PIM time (waves only)."""
+        return self.stats.pim_time_ns

@@ -1,0 +1,119 @@
+"""Quartz-style CPU performance emulation.
+
+Quartz (Volos et al., Middleware'15) estimates application time on a
+hypothetical NVM-backed machine by injecting software delays proportional
+to the memory accesses of each epoch. We reproduce the idea analytically:
+an *epoch* is a bundle of work described by operation counts, and the
+emulator converts it to time on a platform whose last-level misses are
+serviced by either DRAM or the ReRAM memory array.
+
+The mining algorithms never call this directly — they record counters and
+:mod:`repro.cost.model` calls :func:`epoch_time_ns` per function. Keeping
+the formula here mirrors the paper's NVSim (PIM side) / Quartz (CPU side)
+split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.config import CPUConfig
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One bundle of CPU work.
+
+    Attributes
+    ----------
+    flops:
+        Useful arithmetic operations (adds/multiplies) retired.
+    bytes_from_memory:
+        Bytes whose cache lines must be fetched from main memory
+        (i.e. beyond what the last-level cache retains).
+    bytes_cached:
+        Bytes served from cache (charged only L1-hit streaming cost,
+        folded into ``flops`` throughput, so they add no stall time).
+    long_ops:
+        Long-latency ALU operations (division, sqrt).
+    branches:
+        Conditional branches executed.
+    branch_mispredict_rate:
+        Fraction of ``branches`` that mispredict.
+    """
+
+    flops: float = 0.0
+    bytes_from_memory: float = 0.0
+    bytes_cached: float = 0.0
+    long_ops: float = 0.0
+    branches: float = 0.0
+    branch_mispredict_rate: float = 0.02
+
+
+#: Cycles a long-latency ALU op (division/sqrt) stalls the pipeline.
+LONG_OP_STALL_CYCLES = 20.0
+#: Fraction of the busy time lost to instruction fetch/decode stalls;
+#: Intel's top-down method attributes a small constant share to the
+#: front end for streaming kernels.
+FRONTEND_FRACTION = 0.05
+#: Memory-level parallelism: outstanding misses overlap, so the effective
+#: per-line stall is the raw latency divided by this factor.
+MEMORY_LEVEL_PARALLELISM = 4.0
+
+
+@dataclass(frozen=True)
+class EpochTime:
+    """Per-component times of one epoch (paper Eq. 1)."""
+
+    compute_ns: float
+    cache_ns: float
+    alu_ns: float
+    branch_ns: float
+    frontend_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        """T_total = T_c + T_cache + T_ALU + T_Br + T_Fe."""
+        return (
+            self.compute_ns
+            + self.cache_ns
+            + self.alu_ns
+            + self.branch_ns
+            + self.frontend_ns
+        )
+
+
+def epoch_time_ns(
+    epoch: Epoch, cpu: CPUConfig, miss_latency_ns: float
+) -> EpochTime:
+    """Convert an epoch to the five time components of paper Eq. 1.
+
+    Parameters
+    ----------
+    epoch:
+        The work description.
+    cpu:
+        Host-processor model.
+    miss_latency_ns:
+        Latency of one last-level miss on this platform
+        (:attr:`CPUConfig.dram_miss_latency_ns` or the ReRAM variant).
+    """
+    compute_ns = epoch.flops * cpu.seconds_per_flop * 1e9
+    lines = epoch.bytes_from_memory / cpu.cache_line_bytes
+    cache_ns = lines * miss_latency_ns / MEMORY_LEVEL_PARALLELISM
+    alu_ns = (
+        epoch.long_ops * LONG_OP_STALL_CYCLES / cpu.frequency_hz * 1e9
+    )
+    branch_ns = (
+        epoch.branches
+        * epoch.branch_mispredict_rate
+        * cpu.branch_mispredict_penalty_ns
+    )
+    frontend_ns = FRONTEND_FRACTION * compute_ns
+    return EpochTime(
+        compute_ns=compute_ns,
+        cache_ns=cache_ns,
+        alu_ns=alu_ns,
+        branch_ns=branch_ns,
+        frontend_ns=frontend_ns,
+    )

@@ -1,0 +1,94 @@
+"""NVSim-style latency model for PIM dot-product waves.
+
+The paper measures PIM-side time with NVSim: the latency of computing a
+PIM-aware bound on the crossbars plus buffering the results. We charge:
+
+* ``ceil(b/g)`` crossbar read cycles for the DAC-sliced input waves
+  (Fig. 2) — operand slices and columns are concurrent in the analog
+  domain;
+* a constant pipeline overhead for S&H -> ADC -> S&A drain;
+* one extra read cycle per gather-tree level beyond the data layer
+  (Fig. 3 / Fig. 11);
+* buffer-write time for depositing the per-vector results into the
+  eDRAM buffer array over the internal bus.
+
+Every quantity is derived from :class:`~repro.hardware.config` values, so
+changing the crossbar geometry or bus width in a bench sweep changes the
+simulated times coherently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import bitslice
+from repro.hardware.config import HardwareConfig, PIMArrayConfig
+from repro.hardware.mapper import DatasetLayout
+
+#: Cycles needed to drain the S&H/ADC/S&A pipeline after the last input wave.
+PIPELINE_DRAIN_CYCLES = 2
+
+
+@dataclass(frozen=True)
+class WaveTiming:
+    """Latency breakdown of one array-wide dot-product wave."""
+
+    input_cycles: int
+    gather_cycles: int
+    pipeline_cycles: int
+    crossbar_ns: float
+    buffer_ns: float
+
+    @property
+    def total_cycles(self) -> int:
+        """All crossbar read cycles charged for the wave."""
+        return self.input_cycles + self.gather_cycles + self.pipeline_cycles
+
+    @property
+    def total_ns(self) -> float:
+        """End-to-end wave latency in nanoseconds."""
+        return self.crossbar_ns + self.buffer_ns
+
+
+def wave_timing(
+    layout: DatasetLayout,
+    config: PIMArrayConfig,
+    hardware: HardwareConfig,
+    input_bits: int | None = None,
+) -> WaveTiming:
+    """Latency of one query wave against a programmed layout.
+
+    A wave evaluates the dot product of one query vector against *every*
+    programmed vector concurrently (the crossbars form a SIMD pool), then
+    writes ``n_vectors`` accumulator-width results to the buffer array.
+    """
+    bits = input_bits if input_bits is not None else config.operand_bits
+    input_cycles = bitslice.num_slices(bits, config.crossbar.dac_bits)
+    gather_cycles = layout.gather_levels - 1
+    cycles = input_cycles + gather_cycles + PIPELINE_DRAIN_CYCLES
+    crossbar_ns = cycles * config.crossbar.read_latency_ns
+    result_bytes = layout.n_vectors * config.accumulator_bits / 8.0
+    buffer_ns = result_bytes / hardware.memory.internal_bus_gbs  # B / (GB/s) = ns
+    return WaveTiming(
+        input_cycles=input_cycles,
+        gather_cycles=gather_cycles,
+        pipeline_cycles=PIPELINE_DRAIN_CYCLES,
+        crossbar_ns=crossbar_ns,
+        buffer_ns=buffer_ns,
+    )
+
+
+def programming_time_ns(layout: DatasetLayout, config: PIMArrayConfig) -> float:
+    """Offline time to program a layout onto the crossbars.
+
+    Crossbars are programmed row by row; rows of different crossbars are
+    written in parallel across banks, but within a crossbar each of the
+    ``min(dims, rows)`` rows takes one write cycle. Gather crossbars hold
+    constant all-ones vectors and are charged a single write cycle each.
+    """
+    rows_written = min(layout.dims, config.crossbar.rows)
+    data_ns = rows_written * config.crossbar.write_latency_ns
+    gather_ns = (
+        config.crossbar.write_latency_ns if layout.n_gather_crossbars else 0.0
+    )
+    return data_ns + gather_ns

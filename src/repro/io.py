@@ -1,0 +1,119 @@
+"""Persistence of offline-stage artifacts.
+
+The paper's offline stage is expensive on purpose — quantize, compute
+``Phi``, program crossbars — so a production deployment computes it once
+and reloads it at boot. This module saves/loads the host-side artifacts
+(the crossbar contents are re-programmed from the saved integers, which
+charges programming time exactly like a real boot would):
+
+* :func:`save_quantized` / :func:`load_quantized` — the quantized
+  dataset, the quantizer configuration, and arbitrary named side arrays
+  (``Phi`` values, norms, segment summaries) in one ``.npz`` file.
+
+The format is plain NumPy ``savez_compressed``: no pickling, no code
+execution on load.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.similarity.quantization import Quantizer
+
+#: Format marker written into every artifact file.
+FORMAT_VERSION = 1
+
+
+def save_quantized(
+    path: str | Path,
+    quantizer: Quantizer,
+    integers: np.ndarray,
+    side_arrays: dict[str, np.ndarray] | None = None,
+) -> Path:
+    """Write quantized data + quantizer state to ``path`` (.npz).
+
+    Parameters
+    ----------
+    path:
+        Destination file; ``.npz`` is appended if missing.
+    quantizer:
+        A fitted quantizer (its alpha and normalisation ranges are
+        stored so online queries quantize identically after reload).
+    integers:
+        The quantized integer matrix (what gets programmed).
+    side_arrays:
+        Extra named arrays (``Phi`` etc.). Names must not collide with
+        the reserved keys.
+    """
+    if not quantizer.is_fitted:
+        raise DatasetError("only fitted quantizers can be saved")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    payload: dict[str, np.ndarray] = {
+        "__format__": np.array([FORMAT_VERSION]),
+        "__alpha__": np.array([quantizer.alpha]),
+        "__assume_normalized__": np.array(
+            [1 if quantizer.assume_normalized else 0]
+        ),
+        "__min__": quantizer._min,
+        "__range__": quantizer._range,
+        "integers": np.asarray(integers),
+    }
+    for name, array in (side_arrays or {}).items():
+        if name in payload:
+            raise DatasetError(f"side array name {name!r} is reserved")
+        payload[name] = np.asarray(array)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_quantized(
+    path: str | Path,
+) -> tuple[Quantizer, np.ndarray, dict[str, np.ndarray]]:
+    """Load a :func:`save_quantized` artifact.
+
+    Returns
+    -------
+    (quantizer, integers, side_arrays)
+        The quantizer is fitted (ranges restored); ``side_arrays`` holds
+        every non-reserved array by name.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no artifact at {path}")
+    with np.load(path) as bundle:
+        try:
+            version = int(bundle["__format__"][0])
+        except KeyError:
+            raise DatasetError(f"{path} is not a repro artifact") from None
+        if version != FORMAT_VERSION:
+            raise DatasetError(
+                f"artifact format {version} unsupported "
+                f"(expected {FORMAT_VERSION})"
+            )
+        quantizer = Quantizer(
+            alpha=float(bundle["__alpha__"][0]),
+            assume_normalized=bool(bundle["__assume_normalized__"][0]),
+        )
+        quantizer._min = bundle["__min__"]
+        quantizer._range = bundle["__range__"]
+        integers = bundle["integers"]
+        reserved = {
+            "__format__",
+            "__alpha__",
+            "__assume_normalized__",
+            "__min__",
+            "__range__",
+            "integers",
+        }
+        side = {
+            name: bundle[name]
+            for name in bundle.files
+            if name not in reserved
+        }
+    return quantizer, integers, side

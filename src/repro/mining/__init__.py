@@ -1,0 +1,32 @@
+"""Similarity-based mining algorithms.
+
+kNN classification and k-means clustering are the paper's two worked
+examples; distance-based outlier detection, time-series motif discovery
+and maximum inner-product search are the further Section II-C tasks the
+framework covers.
+"""
+
+from repro.mining import kmeans, knn
+from repro.mining.motif import (
+    MotifResult,
+    PIMMotifDiscovery,
+    StandardMotifDiscovery,
+    sliding_windows,
+)
+from repro.mining.outlier import (
+    OutlierResult,
+    PIMOutlierDetector,
+    StandardOutlierDetector,
+)
+
+__all__ = [
+    "MotifResult",
+    "OutlierResult",
+    "PIMMotifDiscovery",
+    "PIMOutlierDetector",
+    "StandardMotifDiscovery",
+    "StandardOutlierDetector",
+    "kmeans",
+    "knn",
+    "sliding_windows",
+]

@@ -1,0 +1,71 @@
+"""k-means clustering algorithms: baselines and PIM-assisted variants.
+
+The four baselines of the paper (Standard/Lloyd, Elkan, Drake, Yinyang)
+all run exact Lloyd iterations; passing a
+:class:`~repro.mining.kmeans.pim.PIMAssist` turns any of them into its
+``-PIM`` variant, where LB_PIM-ED (Theorem 1) filters exact distance
+computations in the assign step.
+"""
+
+from repro.errors import ConfigurationError
+from repro.mining.kmeans.base import (
+    BOUND_UPDATE,
+    KMeansAlgorithm,
+    KMeansResult,
+    initial_centers,
+    initial_centers_plusplus,
+)
+from repro.mining.kmeans.drake import DrakeKMeans
+from repro.mining.kmeans.elkan import ElkanKMeans
+from repro.mining.kmeans.lloyd import LloydKMeans
+from repro.mining.kmeans.pim import PIMAssist
+from repro.mining.kmeans.yinyang import YinyangKMeans
+
+_ALGORITHMS = {
+    "Standard": LloydKMeans,
+    "Elkan": ElkanKMeans,
+    "Drake": DrakeKMeans,
+    "Yinyang": YinyangKMeans,
+}
+
+
+def make_kmeans(
+    name: str,
+    n_clusters: int,
+    max_iters: int = 20,
+    pim_assist: PIMAssist | None = None,
+) -> KMeansAlgorithm:
+    """k-means factory by paper name.
+
+    ``name`` may be a baseline (``"Standard"``) or a PIM variant
+    (``"Standard-PIM"``); the latter requires ``pim_assist`` or creates
+    a default one.
+    """
+    base = name[: -len("-PIM")] if name.endswith("-PIM") else name
+    if base not in _ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown k-means algorithm {name!r}; "
+            f"bases: {sorted(_ALGORITHMS)} (optionally with -PIM suffix)"
+        )
+    if name.endswith("-PIM") and pim_assist is None:
+        pim_assist = PIMAssist()
+    if not name.endswith("-PIM"):
+        pim_assist = None
+    return _ALGORITHMS[base](
+        n_clusters, max_iters=max_iters, pim_assist=pim_assist
+    )
+
+
+__all__ = [
+    "BOUND_UPDATE",
+    "DrakeKMeans",
+    "ElkanKMeans",
+    "KMeansAlgorithm",
+    "KMeansResult",
+    "LloydKMeans",
+    "PIMAssist",
+    "YinyangKMeans",
+    "initial_centers",
+    "initial_centers_plusplus",
+    "make_kmeans",
+]

@@ -1,0 +1,173 @@
+"""Drake & Hamerly's k-means (NIPS OPT'12): adaptive distance bounds.
+
+Instead of Elkan's k lower bounds per point, Drake tracks only the ``b``
+closest centers (``b ~ k/8``) with individual lower bounds plus a single
+aggregate bound covering all remaining centers — less bound-maintenance
+traffic, slightly weaker pruning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cost.counters import OTHER
+from repro.mining.kmeans.base import BOUND_UPDATE, KMeansAlgorithm
+from repro.mining.knn.base import OPERAND_BYTES
+
+
+def default_tracked(k: int) -> int:
+    """Drake's recommended starting point, ``b = k/8`` (at least 2)."""
+    return max(2, min(k - 1, k // 8)) if k > 1 else 1
+
+
+class DrakeKMeans(KMeansAlgorithm):
+    """Drake's exact accelerated k-means (fixed ``b`` variant)."""
+
+    base_name = "Drake"
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iters: int = 20,
+        pim_assist=None,
+        n_tracked: int | None = None,
+    ) -> None:
+        super().__init__(n_clusters, max_iters, pim_assist)
+        self.n_tracked = (
+            n_tracked if n_tracked is not None else default_tracked(n_clusters)
+        )
+
+    def _initialize_state(self, centers: np.ndarray) -> None:
+        n = self.data.shape[0]
+        b = self.n_tracked
+        self._ub = np.full(n, np.inf)
+        self._a = np.full(n, -1, dtype=np.int64)
+        self._tracked = np.zeros((n, b), dtype=np.int64)
+        self._tracked_lb = np.zeros((n, b))
+        self._rest_lb = np.zeros(n)
+        self._first = True
+
+    def _rebuild_point(
+        self, i: int, values: np.ndarray, exact: np.ndarray | None = None
+    ) -> None:
+        """Reset point state from a full vector of distance values.
+
+        ``values`` may mix exact distances and safe lower bounds; both
+        are valid entries for the bound lists, but the *assigned* center
+        must carry an exact value (``ub`` must upper-bound its true
+        distance), so the winner is chosen among exact entries when an
+        ``exact`` mask is provided.
+        """
+        b = self.n_tracked
+        if exact is None:
+            winner = int(np.argmin(values))
+        else:
+            exact_ids = np.nonzero(exact)[0]
+            winner = int(exact_ids[np.argmin(values[exact_ids])])
+        self._a[i] = winner
+        self._ub[i] = float(values[winner])
+        others = np.argsort(values)
+        others = others[others != winner]
+        if others.size == 0:
+            # k = 1: nothing to track; the assignment can never change
+            self._tracked[i] = winner
+            self._tracked_lb[i] = np.inf
+            self._rest_lb[i] = np.inf
+            return
+        self._tracked[i] = others[:b]  # size-1 broadcasts when b > others
+        self._tracked_lb[i] = values[self._tracked[i]]
+        if others.size > b:
+            self._rest_lb[i] = float(values[others[b]])
+        else:
+            self._rest_lb[i] = np.inf
+
+    def _assign(self, centers: np.ndarray) -> np.ndarray:
+        n = self.data.shape[0]
+        k = self.n_clusters
+        ids = np.arange(k)
+        if self._first:
+            self._first = False
+            for i in range(n):
+                values, exact = self._all_values(i, centers, ids)
+                self._rebuild_point(i, values, exact)
+            return self._a.copy()
+
+        for i in range(n):
+            guard = min(float(self._tracked_lb[i].min(initial=np.inf)),
+                        float(self._rest_lb[i]))
+            if self._ub[i] <= guard:
+                self._counters.record(OTHER, branches=1.0)
+                continue
+            a = int(self._a[i])
+            d_a = float(self._exact_distances(i, centers, np.array([a]))[0])
+            self._ub[i] = d_a
+            if d_a <= guard:
+                continue
+            if self._rest_lb[i] < d_a:
+                # the aggregate bound fails: rescan every center
+                values, exact = self._all_values(
+                    i, centers, ids, threshold=d_a
+                )
+                values[a] = d_a
+                exact[a] = True
+                self._rebuild_point(i, values, exact)
+                continue
+            mask = self._tracked_lb[i] < d_a
+            cand = self._tracked[i][mask]
+            if cand.size == 0:
+                continue
+            values, exact = self._distances_with_pim(i, centers, cand, d_a)
+            self._tracked_lb[i][mask] = values
+            j = int(np.argmin(values))
+            if exact[j] and values[j] < self._ub[i]:
+                # swap assignment with the tracked winner
+                old_a, old_d = a, d_a
+                self._a[i] = int(cand[j])
+                self._ub[i] = float(values[j])
+                pos = int(np.nonzero(self._tracked[i] == cand[j])[0][0])
+                self._tracked[i, pos] = old_a
+                self._tracked_lb[i, pos] = old_d
+        return self._a.copy()
+
+    def _all_values(
+        self,
+        i: int,
+        centers: np.ndarray,
+        ids: np.ndarray,
+        threshold: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Distances (or safe bounds) of point ``i`` to every center,
+        plus the mask of entries that are exact."""
+        if self.pim is None:
+            values = self._exact_distances(i, centers, ids)
+            return values, np.ones(len(ids), dtype=bool)
+        if threshold is None:
+            lbs = self.pim.lower_bounds(i, ids)
+            self.pim.charge(self._counters, len(ids))
+            seed = int(np.argmin(lbs))
+            threshold = float(
+                self._exact_distances(i, centers, np.array([seed]))[0]
+            )
+            values, exact = self._distances_with_pim(
+                i, centers, ids, threshold
+            )
+            values[seed] = threshold
+            exact[seed] = True
+            return values, exact
+        return self._distances_with_pim(i, centers, ids, threshold)
+
+    def _after_update(
+        self, old_centers: np.ndarray, new_centers: np.ndarray
+    ) -> None:
+        drifts = self._center_drifts(old_centers, new_centers)
+        n, b = self._tracked_lb.shape
+        self._tracked_lb = np.maximum(
+            self._tracked_lb - drifts[self._tracked], 0.0
+        )
+        self._rest_lb = np.maximum(self._rest_lb - drifts.max(), 0.0)
+        self._ub += drifts[self._a]
+        self._counters.record(
+            BOUND_UPDATE,
+            flops=float(n * b + 2 * n),
+            bytes_from_memory=float(n * b * OPERAND_BYTES),
+        )

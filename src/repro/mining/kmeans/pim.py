@@ -1,0 +1,69 @@
+"""PIM assistance for the k-means assign step (paper Section VI-D).
+
+The quantized dataset is programmed onto the crossbars once; at the start
+of every Lloyd iteration one PIM wave per center delivers
+``LB_PIM-ED(p, c)`` for *all* points simultaneously. The assign step then
+consults the (rooted) bound before each exact distance: a center whose
+bound already meets the point's current best distance is discarded with
+``3*b`` bits of transfer instead of ``d*b``.
+
+:class:`PIMAssist` is the single object the algorithm family shares; it
+owns the controller, the Theorem 1 bound and the per-iteration LB matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bounds.pim import PIMEuclideanBound
+from repro.cost.counters import PerfCounters
+from repro.errors import OperandError
+from repro.hardware.controller import PIMController
+from repro.similarity.quantization import Quantizer
+
+
+class PIMAssist:
+    """LB_PIM-ED provider for PIM-optimized k-means variants."""
+
+    def __init__(
+        self,
+        controller: PIMController | None = None,
+        quantizer: Quantizer | None = None,
+    ) -> None:
+        self.controller = (
+            controller if controller is not None else PIMController()
+        )
+        self.bound = PIMEuclideanBound(self.controller, quantizer)
+        self._lb: np.ndarray | None = None
+        self._prepared = False
+
+    @property
+    def bound_name(self) -> str:
+        """Counter bucket of the PIM bound."""
+        return self.bound.name
+
+    def prepare(self, data: np.ndarray) -> None:
+        """Offline stage: quantize and program the dataset (idempotent)."""
+        if not self._prepared:
+            self.bound.prepare(np.asarray(data, dtype=np.float64))
+            self._prepared = True
+
+    def begin_iteration(self, centers: np.ndarray) -> None:
+        """Fire one wave per center; cache the rooted N x k LB matrix."""
+        if not self._prepared:
+            raise OperandError("PIMAssist.prepare() must run before use")
+        self._lb = np.sqrt(self.bound.evaluate_matrix(centers))
+
+    def lower_bounds(self, i: int, center_ids: np.ndarray) -> np.ndarray:
+        """Rooted LB_PIM-ED of point ``i`` to the selected centers."""
+        if self._lb is None:
+            raise OperandError("begin_iteration() must run each iteration")
+        return self._lb[i, center_ids]
+
+    def charge(self, counters: PerfCounters, n_pairs: int) -> None:
+        """Host-side cost of consulting ``n_pairs`` bound values."""
+        self.bound.charge(counters, n_pairs)
+
+    def pim_time_ns(self) -> float:
+        """Cumulative simulated wave time on this assist's controller."""
+        return self.controller.pim.stats.pim_time_ns

@@ -1,0 +1,63 @@
+"""kNN classification algorithms: baselines and PIM-optimized variants."""
+
+from repro.mining.knn.approximate import ApproximatePIMKNN, recall_at_k
+from repro.mining.knn.base import KNNAlgorithm, KNNResult
+from repro.mining.knn.classifier import (
+    ClassificationReport,
+    KNNClassifier,
+    labelled_dataset,
+)
+from repro.mining.knn.filtered import FilteredKNN
+from repro.mining.knn.maxip import MIPSResult, PIMMIPS, StandardMIPS
+from repro.mining.knn.fnn import FNNKNN
+from repro.mining.knn.join import KNNJoinResult, PIMKNNJoin, StandardKNNJoin
+from repro.mining.knn.hamming import (
+    HammingKNN,
+    PIMHammingKNN,
+    binary_pim_platform,
+)
+from repro.mining.knn.ost import OSTKNN
+from repro.mining.knn.pim import (
+    FNNPIMKNN,
+    FNNPIMOptimizeKNN,
+    OSTPIMKNN,
+    SMPIMKNN,
+    StandardPIMKNN,
+    make_baseline,
+    make_pim_variant,
+    pim_bound_for_measure,
+)
+from repro.mining.knn.sm import SMKNN
+from repro.mining.knn.standard import StandardKNN
+
+__all__ = [
+    "ApproximatePIMKNN",
+    "ClassificationReport",
+    "FNNKNN",
+    "FNNPIMKNN",
+    "FNNPIMOptimizeKNN",
+    "FilteredKNN",
+    "HammingKNN",
+    "KNNAlgorithm",
+    "KNNClassifier",
+    "KNNJoinResult",
+    "KNNResult",
+    "MIPSResult",
+    "OSTKNN",
+    "OSTPIMKNN",
+    "PIMHammingKNN",
+    "PIMKNNJoin",
+    "PIMMIPS",
+    "SMKNN",
+    "SMPIMKNN",
+    "StandardKNN",
+    "StandardKNNJoin",
+    "StandardMIPS",
+    "StandardPIMKNN",
+    "binary_pim_platform",
+    "labelled_dataset",
+    "make_baseline",
+    "make_pim_variant",
+    "pim_bound_for_measure",
+    "recall_at_k",
+]

@@ -1,0 +1,32 @@
+"""FNN kNN (Hwang et al.): progressive LB_FNN bounds before exact ED.
+
+The algorithm stacks three LB_FNN bounds of increasing resolution
+(``d/64``, ``d/16``, ``d/4`` segments — Fig. 12a of the paper): cheap
+coarse bounds eliminate most objects, finer ones catch stragglers, and
+only survivors pay the full ED.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.ed import FNNBound
+from repro.mining.knn.filtered import FilteredKNN
+from repro.similarity.segments import fnn_segment_ladder
+
+
+class FNNKNN(FilteredKNN):
+    """Three-level LB_FNN filter-and-refine kNN (ED only)."""
+
+    def __init__(
+        self, dims: int, segment_ladder: list[int] | None = None
+    ) -> None:
+        ladder = (
+            list(segment_ladder)
+            if segment_ladder is not None
+            else fnn_segment_ladder(dims)
+        )
+        super().__init__(
+            bounds=[FNNBound(n_segments=s) for s in ladder],
+            measure="euclidean",
+            name="FNN",
+        )
+        self.segment_ladder = ladder

@@ -1,0 +1,32 @@
+"""OST kNN (Liaw et al.): LB_OST filtering before exact ED.
+
+The original work organises points in an orthogonal search tree; its
+pruning power comes from the LB_OST bound of Table 3, which is what the
+paper profiles (Fig. 6 attributes OST's time to the bound function). We
+implement it as LB_OST filter-and-refine, the form the paper's cost
+analysis uses.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.ed import OSTBound
+from repro.mining.knn.filtered import FilteredKNN
+
+
+def default_head_dims(dims: int) -> int:
+    """The paper does not fix ``d0``; half the dimensions balances the
+    bound's transfer cost against its tightness."""
+    return max(1, dims // 2)
+
+
+class OSTKNN(FilteredKNN):
+    """LB_OST filter-and-refine kNN (ED only)."""
+
+    def __init__(self, dims: int, head_dims: int | None = None) -> None:
+        head = head_dims if head_dims is not None else default_head_dims(dims)
+        super().__init__(
+            bounds=[OSTBound(head_dims=head)],
+            measure="euclidean",
+            name="OST",
+        )
+        self.head_dims = head

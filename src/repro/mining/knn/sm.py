@@ -1,0 +1,33 @@
+"""SM kNN (Yi & Faloutsos): segmented-mean filtering before exact ED."""
+
+from __future__ import annotations
+
+from repro.bounds.ed import SMBound
+from repro.mining.knn.filtered import FilteredKNN
+from repro.similarity.segments import equal_segment_counts
+
+
+def default_segments(dims: int) -> int:
+    """Closest divisor of ``dims`` to ``dims / 4``.
+
+    Matches the finest level of the FNN ladder: coarse enough to reduce
+    transfer 4x, fine enough that the bound (not the ED refinement)
+    carries the work — the regime the paper's Fig. 6 profiles.
+    """
+    target = max(1, dims // 4)
+    return min(equal_segment_counts(dims), key=lambda s: (abs(s - target), s))
+
+
+class SMKNN(FilteredKNN):
+    """LB_SM filter-and-refine kNN (ED only)."""
+
+    def __init__(self, dims: int, n_segments: int | None = None) -> None:
+        segments = (
+            n_segments if n_segments is not None else default_segments(dims)
+        )
+        super().__init__(
+            bounds=[SMBound(n_segments=segments)],
+            measure="euclidean",
+            name="SM",
+        )
+        self.n_segments = segments

@@ -1,0 +1,233 @@
+"""Distance-based outlier detection (a paper Section II-C mining task).
+
+The classic definition (Ramaswamy et al.): rank every object by the
+distance to its k-th nearest neighbour; the top-m ranks are outliers.
+This is similarity-computation-bound exactly like kNN classification,
+and the paper's framework applies unchanged:
+
+* :class:`StandardOutlierDetector` — the nested-loop baseline with the
+  ORCA-style cutoff: once the m-th best outlier score so far is known,
+  a candidate's scan stops as soon as its running k-th distance drops
+  below that cutoff (it can no longer be an outlier);
+* :class:`PIMOutlierDetector` — the same algorithm, but each candidate
+  first gets one LB_PIM-ED wave: visiting neighbours in ascending bound
+  order finds the true k nearest (and triggers the cutoff) after a few
+  exact distances instead of a full scan.
+
+Both return the identical outlier set (ties aside), which tests assert.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bounds.pim import PIMEuclideanBound
+from repro.cost.counters import OTHER, PerfCounters
+from repro.errors import ConfigurationError, OperandError
+from repro.hardware.controller import PIMController
+from repro.mining.knn.base import OPERAND_BYTES
+from repro.similarity.quantization import Quantizer
+
+
+@dataclass
+class OutlierResult:
+    """Top-m outliers, best (most outlying) first."""
+
+    indices: np.ndarray
+    scores: np.ndarray
+    counters: PerfCounters
+    pim_time_ns: float = 0.0
+    exact_computations: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+class _BaseOutlierDetector:
+    """Shared cutoff machinery and cost accounting."""
+
+    name = "outlier"
+
+    def __init__(self, n_neighbors: int = 5, n_outliers: int = 10) -> None:
+        if n_neighbors <= 0 or n_outliers <= 0:
+            raise ConfigurationError(
+                "n_neighbors and n_outliers must be positive"
+            )
+        self.k = n_neighbors
+        self.m = n_outliers
+        self._data: np.ndarray | None = None
+
+    @property
+    def data(self) -> np.ndarray:
+        if self._data is None:
+            raise OperandError(f"{self.name} is not fitted")
+        return self._data
+
+    def fit(self, data: np.ndarray) -> "_BaseOutlierDetector":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] <= self.k:
+            raise OperandError(
+                "fit() needs a 2-D dataset with more than k objects"
+            )
+        self._data = data
+        self._prepare(data)
+        return self
+
+    def _prepare(self, data: np.ndarray) -> None:
+        """Hook for subclasses."""
+
+    def _charge_ed(self, counters: PerfCounters, n: int) -> None:
+        d = self.data.shape[1]
+        counters.record(
+            "ED",
+            calls=n,
+            flops=3.0 * d * n,
+            bytes_from_memory=d * OPERAND_BYTES * n,
+            branches=float(n),
+        )
+
+    @staticmethod
+    def _kth_so_far(heap: list[float], k: int) -> float:
+        """Current k-th smallest distance (inf until k seen).
+
+        ``heap`` is a max-heap (negated) of the k smallest distances.
+        """
+        if len(heap) < k:
+            return float("inf")
+        return -heap[0]
+
+    def _finalize(
+        self,
+        scores: dict[int, float],
+        counters: PerfCounters,
+        pim_time_ns: float,
+        exact: int,
+    ) -> OutlierResult:
+        ranked = sorted(scores.items(), key=lambda kv: -kv[1])[: self.m]
+        return OutlierResult(
+            indices=np.array([i for i, _ in ranked], dtype=np.int64),
+            scores=np.array([s for _, s in ranked]),
+            counters=counters,
+            pim_time_ns=pim_time_ns,
+            exact_computations=exact,
+        )
+
+
+class StandardOutlierDetector(_BaseOutlierDetector):
+    """Nested-loop detector with the ORCA cutoff."""
+
+    name = "Standard"
+    offloadable_functions = ("ED",)
+
+    def detect(self) -> OutlierResult:
+        """Rank all objects; return the top-m by k-NN distance."""
+        data = self.data
+        n = data.shape[0]
+        counters = PerfCounters()
+        cutoff = 0.0
+        top: list[tuple[float, int]] = []  # min-heap of outlier scores
+        scores: dict[int, float] = {}
+        exact = 0
+        for i in range(n):
+            knn_heap: list[float] = []  # max-heap (negated) of distances
+            pruned = False
+            for j in range(n):
+                if j == i:
+                    continue
+                diff = data[j] - data[i]
+                dist = float(np.sqrt(diff @ diff))
+                exact += 1
+                heapq.heappush(knn_heap, -dist)
+                if len(knn_heap) > self.k:
+                    heapq.heappop(knn_heap)
+                kth = self._kth_so_far(knn_heap, self.k)
+                if len(top) >= self.m and kth < cutoff:
+                    pruned = True
+                    break
+            counters.record(OTHER, branches=float(n))
+            if pruned:
+                continue
+            score = self._kth_so_far(knn_heap, self.k)
+            scores[i] = score
+            heapq.heappush(top, (score, i))
+            if len(top) > self.m:
+                heapq.heappop(top)
+            if len(top) >= self.m:
+                cutoff = top[0][0]
+        self._charge_ed(counters, exact)
+        return self._finalize(scores, counters, 0.0, exact)
+
+
+class PIMOutlierDetector(_BaseOutlierDetector):
+    """The same detector with an LB_PIM-ED wave per candidate."""
+
+    name = "Standard-PIM"
+    offloadable_functions = ("ED", "LB_PIM-ED")
+
+    def __init__(
+        self,
+        n_neighbors: int = 5,
+        n_outliers: int = 10,
+        controller: PIMController | None = None,
+        quantizer: Quantizer | None = None,
+    ) -> None:
+        super().__init__(n_neighbors, n_outliers)
+        self.controller = (
+            controller if controller is not None else PIMController()
+        )
+        self._bound = PIMEuclideanBound(self.controller, quantizer)
+
+    def _prepare(self, data: np.ndarray) -> None:
+        self._bound.prepare(data)
+
+    def detect(self) -> OutlierResult:
+        """Exact top-m outliers with bound-guided neighbour scans."""
+        data = self.data
+        n = data.shape[0]
+        counters = PerfCounters()
+        pim_before = self.controller.pim.stats.pim_time_ns
+        cutoff = 0.0
+        top: list[tuple[float, int]] = []
+        scores: dict[int, float] = {}
+        exact = 0
+        for i in range(n):
+            lbs = np.sqrt(self._bound.evaluate(data[i]))
+            self._bound.charge(counters, n)
+            order = np.argsort(lbs)
+            knn_heap: list[float] = []
+            is_outlier_candidate = True
+            for j in order:
+                j = int(j)
+                if j == i:
+                    continue
+                kth = self._kth_so_far(knn_heap, self.k)
+                if len(top) >= self.m and kth < cutoff:
+                    # true k-NN distance is already below the cutoff
+                    is_outlier_candidate = False
+                    break
+                if lbs[j] >= kth:
+                    # every remaining bound is >= kth: the k-NN set is
+                    # final and the score is exactly kth
+                    break
+                diff = data[j] - data[i]
+                dist = float(np.sqrt(diff @ diff))
+                exact += 1
+                heapq.heappush(knn_heap, -dist)
+                if len(knn_heap) > self.k:
+                    heapq.heappop(knn_heap)
+            if not is_outlier_candidate:
+                counters.record(OTHER, branches=1.0)
+                continue
+            score = self._kth_so_far(knn_heap, self.k)
+            scores[i] = score
+            heapq.heappush(top, (score, i))
+            if len(top) > self.m:
+                heapq.heappop(top)
+            if len(top) >= self.m:
+                cutoff = top[0][0]
+        self._charge_ed(counters, exact)
+        pim_after = self.controller.pim.stats.pim_time_ns
+        return self._finalize(
+            scores, counters, pim_after - pim_before, exact
+        )

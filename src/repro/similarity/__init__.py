@@ -1,0 +1,67 @@
+"""Similarity measures, PIM-aware decompositions and quantization.
+
+* :mod:`repro.similarity.measures` — ED/CS/PCC/HD (paper Table 2);
+* :mod:`repro.similarity.decomposition` — Table 4 decompositions;
+* :mod:`repro.similarity.quantization` — Eqs. 5-6 + Theorem 3;
+* :mod:`repro.similarity.segments` — FNN-style segment summaries.
+"""
+
+from repro.similarity.decomposition import (
+    Decomposition,
+    decomposition_for,
+    is_pim_aware,
+)
+from repro.similarity.measures import (
+    MEASURES,
+    compute,
+    compute_batch,
+    cosine,
+    cosine_batch,
+    euclidean,
+    euclidean_batch,
+    hamming,
+    hamming_batch,
+    is_similarity,
+    pearson,
+    pearson_batch,
+)
+from repro.similarity.quantization import (
+    DEFAULT_ALPHA,
+    QuantizedVector,
+    Quantizer,
+    required_operand_bits,
+    theorem3_error_bound,
+)
+from repro.similarity.segments import (
+    SegmentSummary,
+    equal_segment_counts,
+    fnn_segment_ladder,
+    summarize,
+)
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "Decomposition",
+    "MEASURES",
+    "QuantizedVector",
+    "Quantizer",
+    "SegmentSummary",
+    "compute",
+    "compute_batch",
+    "cosine",
+    "cosine_batch",
+    "decomposition_for",
+    "equal_segment_counts",
+    "euclidean",
+    "euclidean_batch",
+    "fnn_segment_ladder",
+    "hamming",
+    "hamming_batch",
+    "is_pim_aware",
+    "is_similarity",
+    "pearson",
+    "pearson_batch",
+    "required_operand_bits",
+    "summarize",
+    "theorem3_error_bound",
+]

@@ -1,0 +1,197 @@
+"""PIM-aware function decomposition (paper Section V-A, Table 4).
+
+A similarity or bound function ``F(p, q)`` is *PIM-aware* when it can be
+written ``F(p, q) = G(Phi(p), Phi(q), p.q)`` where
+
+* ``Phi`` maps a vector to a fixed-size summary (pre-computable offline),
+* the dot products are the only O(d) work (offloadable to PIM), and
+* ``G`` combines the pieces in O(1) on the host.
+
+:class:`Decomposition` packages the three pieces per measure so that the
+identity ``F(p, q) == G(...)`` is executable and testable. The mining
+layer itself uses the *quantized bound* variants in :mod:`repro.bounds.pim`;
+these exact decompositions document the algebra and back the exactness
+tests (and the HD case, which PIM computes exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import OperandError
+from repro.similarity import measures
+from repro.similarity.segments import summarize
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """One row of Table 4.
+
+    Attributes
+    ----------
+    name:
+        Measure or bound name (``"euclidean"``, ``"LB_FNN"`` ...).
+    phi:
+        Offline summary ``Phi(p) -> 1-D array of scalars``.
+    dot_operands:
+        The vector(s) whose dot products PIM computes; returns a list of
+        equal-length vectors (one entry for ED/CS/PCC; two for HD — the
+        code and its complement; two for LB_FNN — segment means and stds).
+    combine:
+        ``G(phi_p, phi_q, dots) -> float`` where ``dots[i]`` is the dot
+        product of the i-th operand of ``p`` with the i-th of ``q``.
+    """
+
+    name: str
+    phi: Callable[[np.ndarray], np.ndarray]
+    dot_operands: Callable[[np.ndarray], list[np.ndarray]]
+    combine: Callable[[np.ndarray, np.ndarray, list[float]], float]
+
+    def evaluate(self, p: np.ndarray, q: np.ndarray) -> float:
+        """Evaluate ``F(p, q)`` through the decomposition.
+
+        Tests assert this equals the direct measure.
+        """
+        p = np.asarray(p, dtype=np.float64)
+        q = np.asarray(q, dtype=np.float64)
+        ops_p = self.dot_operands(p)
+        ops_q = self.dot_operands(q)
+        dots = [float(a @ b) for a, b in zip(ops_p, ops_q)]
+        return float(self.combine(self.phi(p), self.phi(q), dots))
+
+
+# ----------------------------------------------------------------------
+# Table 4 rows
+# ----------------------------------------------------------------------
+def _ed_phi(p: np.ndarray) -> np.ndarray:
+    return np.array([float(p @ p)])
+
+
+def euclidean_decomposition() -> Decomposition:
+    """ED(p,q) = Phi(p) + Phi(q) - 2 p.q with Phi(p) = sum p_i^2 (Eq. 4)."""
+    return Decomposition(
+        name="euclidean",
+        phi=_ed_phi,
+        dot_operands=lambda p: [np.asarray(p, dtype=np.float64)],
+        combine=lambda fp, fq, dots: float(fp[0] + fq[0] - 2.0 * dots[0]),
+    )
+
+
+def cosine_decomposition() -> Decomposition:
+    """CS(p,q) = p.q / (Phi(p) Phi(q)) with Phi(p) = |p|."""
+
+    def combine(fp: np.ndarray, fq: np.ndarray, dots: list[float]) -> float:
+        denom = float(fp[0] * fq[0])
+        return dots[0] / denom if denom else 0.0
+
+    return Decomposition(
+        name="cosine",
+        phi=lambda p: np.array([float(np.linalg.norm(p))]),
+        dot_operands=lambda p: [np.asarray(p, dtype=np.float64)],
+        combine=combine,
+    )
+
+
+def pearson_decomposition() -> Decomposition:
+    """PCC via Table 4: (d p.q - Phi_b(p) Phi_b(q)) / (Phi_a(p) Phi_a(q)).
+
+    ``Phi_a(p) = sqrt(d sum p^2 - (sum p)^2)`` and ``Phi_b(p) = sum p``.
+    """
+
+    def phi(p: np.ndarray) -> np.ndarray:
+        d = p.shape[0]
+        total = float(p.sum())
+        phi_a_sq = d * float(p @ p) - total**2
+        phi_a = float(np.sqrt(max(phi_a_sq, 0.0)))
+        return np.array([phi_a, total])
+
+    def combine(fp: np.ndarray, fq: np.ndarray, dots: list[float]) -> float:
+        denom = float(fp[0] * fq[0])
+        if denom == 0.0:
+            return 0.0
+        return (fp[2] * dots[0] - fp[1] * fq[1]) / denom
+
+    def phi_with_d(p: np.ndarray) -> np.ndarray:
+        base = phi(p)
+        return np.append(base, float(p.shape[0]))
+
+    return Decomposition(
+        name="pearson",
+        phi=phi_with_d,
+        dot_operands=lambda p: [np.asarray(p, dtype=np.float64)],
+        combine=combine,
+    )
+
+
+def hamming_decomposition() -> Decomposition:
+    """HD(p,q) = d - p.q - p~.q~ with p~ the bit complement (Table 4)."""
+
+    def operands(p: np.ndarray) -> list[np.ndarray]:
+        p = np.asarray(p)
+        if p.size and (int(p.min()) < 0 or int(p.max()) > 1):
+            raise OperandError("hamming decomposition needs 0/1 vectors")
+        code = p.astype(np.float64)
+        return [code, 1.0 - code]
+
+    return Decomposition(
+        name="hamming",
+        phi=lambda p: np.array([float(np.asarray(p).shape[0])]),
+        dot_operands=operands,
+        combine=lambda fp, fq, dots: float(fp[0] - dots[0] - dots[1]),
+    )
+
+
+def fnn_decomposition(n_segments: int) -> Decomposition:
+    """LB_FNN via Table 4: Phi(p) = l sum(mu^2 + sigma^2); two dot terms.
+
+    ``LB_FNN = Phi(p) + Phi(q) - 2 l mu(p).mu(q) - 2 l sigma(p).sigma(q)``.
+    """
+
+    def phi(p: np.ndarray) -> np.ndarray:
+        s = summarize(p, n_segments)
+        val = s.segment_length * float((s.means**2).sum() + (s.stds**2).sum())
+        return np.array([val, float(s.segment_length)])
+
+    def operands(p: np.ndarray) -> list[np.ndarray]:
+        s = summarize(p, n_segments)
+        return [np.asarray(s.means), np.asarray(s.stds)]
+
+    def combine(fp: np.ndarray, fq: np.ndarray, dots: list[float]) -> float:
+        length = fp[1]
+        return float(fp[0] + fq[0] - 2.0 * length * (dots[0] + dots[1]))
+
+    return Decomposition(
+        name="LB_FNN", phi=phi, dot_operands=operands, combine=combine
+    )
+
+
+def decomposition_for(measure: str, n_segments: int | None = None) -> Decomposition:
+    """Factory over Table 4 by measure name."""
+    if measure == "euclidean":
+        return euclidean_decomposition()
+    if measure == "cosine":
+        return cosine_decomposition()
+    if measure == "pearson":
+        return pearson_decomposition()
+    if measure == "hamming":
+        return hamming_decomposition()
+    if measure == "LB_FNN":
+        if n_segments is None:
+            raise OperandError("LB_FNN decomposition needs n_segments")
+        return fnn_decomposition(n_segments)
+    raise OperandError(
+        f"no PIM-aware decomposition for {measure!r}; "
+        f"known: euclidean, cosine, pearson, hamming, LB_FNN"
+    )
+
+
+def is_pim_aware(measure: str) -> bool:
+    """Whether a measure has a Table 4 decomposition."""
+    return measure in {"euclidean", "cosine", "pearson", "hamming", "LB_FNN"}
+
+
+# re-export for convenience in tests
+direct_measures = measures

@@ -1,0 +1,68 @@
+"""Unit tests for bound cascades."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.cascade import BoundCascade
+from repro.bounds.ed import FNNBound, PartitionUpperBound, SMBound
+from repro.cost.counters import PerfCounters
+from repro.errors import PlanError
+from repro.similarity.measures import euclidean_batch
+
+
+@pytest.fixture
+def cascade(clustered_data):
+    cascade = BoundCascade([FNNBound(2), FNNBound(8)])
+    cascade.prepare(clustered_data)
+    return cascade
+
+
+class TestConstruction:
+    def test_empty_cascade_rejected(self):
+        with pytest.raises(PlanError):
+            BoundCascade([])
+
+    def test_mixed_directions_rejected(self):
+        with pytest.raises(PlanError, match="mixes"):
+            BoundCascade([FNNBound(2), PartitionUpperBound(head_dims=4)])
+
+
+class TestFiltering:
+    def test_survivors_never_include_true_neighbors_wrongly(
+        self, cascade, clustered_data, query_vector
+    ):
+        ed = euclidean_batch(clustered_data, query_vector)
+        threshold = float(np.sort(ed)[10])
+        result = cascade.run(query_vector, threshold)
+        # every object within the threshold must survive the cascade
+        within = set(np.nonzero(ed <= threshold)[0].tolist())
+        assert within.issubset(set(result.indices.tolist()))
+
+    def test_stats_accumulate(self, cascade, clustered_data, query_vector):
+        ed = euclidean_batch(clustered_data, query_vector)
+        threshold = float(np.sort(ed)[10])
+        cascade.run(query_vector, threshold)
+        stats = cascade.stats
+        assert stats[0].evaluated == clustered_data.shape[0]
+        assert stats[1].evaluated == stats[0].evaluated - stats[0].pruned
+
+    def test_counters_charged(self, cascade, clustered_data, query_vector):
+        counters = PerfCounters()
+        cascade.run(query_vector, 1.0, counters=counters)
+        assert counters.events(cascade.bounds[0].name).calls > 0
+
+    def test_initial_indices_respected(self, cascade, query_vector):
+        subset = np.array([0, 1, 2, 3])
+        result = cascade.run(query_vector, np.inf, indices=subset)
+        assert set(result.indices.tolist()) == set(subset.tolist())
+
+    def test_zero_threshold_prunes_everything_far(self, cascade, query_vector):
+        result = cascade.run(query_vector, -1.0)
+        assert result.indices.size == 0
+
+    def test_pruning_ratios_and_reset(self, cascade, clustered_data, query_vector):
+        cascade.run(query_vector, 0.5)
+        ratios = cascade.pruning_ratios()
+        assert set(ratios) == {b.name for b in cascade.bounds}
+        cascade.reset_stats()
+        assert all(s.evaluated == 0 for s in cascade.stats)

@@ -1,0 +1,153 @@
+"""Unit tests for the Table 3 CPU bounds.
+
+The defining contracts: lower bounds never exceed the squared ED, and
+UB_part never undershoots the cosine similarity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bounds.ed import FNNBound, OSTBound, PartitionUpperBound, SMBound
+from repro.cost.counters import PerfCounters
+from repro.errors import ConfigurationError, OperandError
+from repro.similarity.measures import cosine_batch, euclidean_batch
+
+
+@pytest.fixture
+def data(clustered_data):
+    return clustered_data
+
+
+@pytest.fixture
+def query(query_vector):
+    return query_vector
+
+
+class TestOSTBound:
+    def test_lower_bounds_ed(self, data, query):
+        bound = OSTBound(head_dims=16)
+        bound.prepare(data)
+        lb = bound.evaluate(query)
+        ed = euclidean_batch(data, query)
+        assert np.all(lb <= ed + 1e-9)
+
+    def test_full_head_equals_ed_plus_zero_tail(self, data, query):
+        bound = OSTBound(head_dims=data.shape[1])
+        bound.prepare(data)
+        assert np.allclose(bound.evaluate(query), euclidean_batch(data, query))
+
+    def test_subset_evaluation(self, data, query):
+        bound = OSTBound(head_dims=8)
+        bound.prepare(data)
+        full = bound.evaluate(query)
+        subset = bound.evaluate(query, np.array([3, 7, 11]))
+        assert np.allclose(subset, full[[3, 7, 11]])
+
+    def test_transfer_and_flops_profile(self):
+        bound = OSTBound(head_dims=16)
+        assert bound.per_object_transfer_bits == (16 + 1) * 32
+        assert bound.per_object_flops > 0
+
+    def test_unprepared_raises(self, query):
+        with pytest.raises(OperandError):
+            OSTBound(head_dims=4).evaluate(query)
+
+    def test_head_exceeding_dims(self, data):
+        bound = OSTBound(head_dims=100)
+        with pytest.raises(ConfigurationError):
+            bound.prepare(data)
+
+    def test_charge_records_events(self, data, query):
+        bound = OSTBound(head_dims=8)
+        bound.prepare(data)
+        counters = PerfCounters()
+        bound.charge(counters, 10)
+        events = counters.events(bound.name)
+        assert events.calls == 10
+        assert events.bytes_from_memory == pytest.approx(
+            bound.per_object_transfer_bits / 8 * 10
+        )
+
+
+class TestSMBound:
+    def test_lower_bounds_ed(self, data, query):
+        bound = SMBound(n_segments=8)
+        bound.prepare(data)
+        assert np.all(bound.evaluate(query) <= euclidean_batch(data, query) + 1e-9)
+
+    def test_coarser_is_looser(self, data, query):
+        ed = euclidean_batch(data, query)
+        coarse = SMBound(n_segments=2)
+        fine = SMBound(n_segments=16)
+        coarse.prepare(data)
+        fine.prepare(data)
+        # both are valid; the finer one is on average tighter
+        assert fine.evaluate(query).mean() >= coarse.evaluate(query).mean() - 1e-9
+        assert np.all(fine.evaluate(query) <= ed + 1e-9)
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(ConfigurationError):
+            SMBound(n_segments=0)
+
+
+class TestFNNBound:
+    def test_lower_bounds_ed(self, data, query):
+        bound = FNNBound(n_segments=8)
+        bound.prepare(data)
+        assert np.all(bound.evaluate(query) <= euclidean_batch(data, query) + 1e-9)
+
+    def test_tighter_than_sm(self, data, query):
+        # LB_FNN adds the sigma term, so it dominates LB_SM per segment
+        sm = SMBound(n_segments=8)
+        fnn = FNNBound(n_segments=8)
+        sm.prepare(data)
+        fnn.prepare(data)
+        assert np.all(fnn.evaluate(query) >= sm.evaluate(query) - 1e-9)
+
+    def test_transfer_counts_means_and_stds(self):
+        assert FNNBound(n_segments=8).per_object_transfer_bits == 2 * 8 * 32
+
+    def test_subset_evaluation(self, data, query):
+        bound = FNNBound(n_segments=4)
+        bound.prepare(data)
+        idx = np.array([0, 5, 9])
+        assert np.allclose(
+            bound.evaluate(query, idx), bound.evaluate(query)[idx]
+        )
+
+
+class TestPartitionUpperBound:
+    def test_upper_bounds_cosine(self, data, query):
+        bound = PartitionUpperBound(head_dims=16)
+        bound.prepare(data)
+        ub = bound.evaluate(query)
+        cs = cosine_batch(data, query)
+        assert np.all(ub >= cs - 1e-9)
+
+    def test_unnormalized_bounds_dot_product(self, data, query):
+        bound = PartitionUpperBound(head_dims=16, normalize=False)
+        bound.prepare(data)
+        ub = bound.evaluate(query)
+        dots = data @ query
+        assert np.all(ub >= dots - 1e-9)
+
+    def test_pruning_direction_is_upper(self):
+        bound = PartitionUpperBound(head_dims=4)
+        values = np.array([0.1, 0.9])
+        assert bound.prunes(values, 0.5).tolist() == [True, False]
+
+
+class TestPruningSemantics:
+    def test_lower_bound_prunes_above_threshold(self, data, query):
+        bound = FNNBound(n_segments=8)
+        bound.prepare(data)
+        values = np.array([0.5, 1.5, 2.5])
+        assert bound.prunes(values, 1.5).tolist() == [False, False, True]
+
+    def test_survivors_with_indices(self, data, query):
+        bound = FNNBound(n_segments=8)
+        bound.prepare(data)
+        values = np.array([0.5, 2.5, 1.0])
+        indices = np.array([10, 20, 30])
+        survivors = bound.survivors(values, 1.5, indices)
+        assert survivors.tolist() == [10, 30]

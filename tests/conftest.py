@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+Small geometries keep the cell-level crossbar simulation affordable;
+clustered datasets give the bounds realistic pruning behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.config import (
+    CrossbarConfig,
+    HardwareConfig,
+    PIMArrayConfig,
+)
+from repro.hardware.controller import PIMController
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_crossbar_config() -> CrossbarConfig:
+    """8x8 crossbar with 2-bit cells — tiny enough for cell simulation."""
+    return CrossbarConfig(rows=8, cols=8, cell_bits=2, dac_bits=2)
+
+
+@pytest.fixture
+def small_pim_platform(small_crossbar_config) -> HardwareConfig:
+    """A miniature PIM platform (1 MB array of 8x8 crossbars)."""
+    return HardwareConfig(
+        pim=PIMArrayConfig(
+            crossbar=small_crossbar_config,
+            capacity_bytes=1 << 20,
+            operand_bits=8,
+            accumulator_bits=64,
+        )
+    )
+
+
+@pytest.fixture
+def controller() -> PIMController:
+    """A full-size (paper Table 5) PIM controller."""
+    return PIMController()
+
+
+@pytest.fixture
+def clustered_data(rng) -> np.ndarray:
+    """Clustered [0,1] data where bounds actually prune."""
+    centers = rng.random((8, 32))
+    labels = rng.integers(0, 8, size=400)
+    data = centers[labels] + 0.05 * rng.standard_normal((400, 32))
+    return np.clip(data, 0.0, 1.0)
+
+
+@pytest.fixture
+def query_vector(clustered_data, rng) -> np.ndarray:
+    """A query near the data manifold."""
+    q = clustered_data[7] + 0.02 * rng.standard_normal(32)
+    return np.clip(q, 0.0, 1.0)

@@ -1,0 +1,90 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["knn", "--dataset", "CIFAR"])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["knn", "--algorithm", "Annoy"])
+
+
+class TestInfo:
+    def test_prints_platform_and_catalog(self):
+        code, text = run_cli("info")
+        assert code == 0
+        assert "131072 crossbars" in text
+        assert "MSD" in text and "Trevi" in text
+
+
+class TestKNNCommand:
+    def test_standard_run(self):
+        code, text = run_cli(
+            "knn", "--dataset", "Year", "--n", "400", "--queries", "2",
+            "--k", "5",
+        )
+        assert code == 0
+        assert "results exact  : True" in text
+        assert "speedup" in text
+
+    def test_cosine_measure(self):
+        code, text = run_cli(
+            "knn", "--dataset", "Year", "--n", "300", "--queries", "1",
+            "--measure", "cosine",
+        )
+        assert code == 0
+        assert "results exact  : True" in text
+
+    def test_plan_optimization_note_for_non_fnn(self):
+        code, text = run_cli(
+            "knn", "--dataset", "Year", "--n", "300", "--queries", "1",
+            "--optimize-plan",
+        )
+        assert code == 0
+        assert "only applies to FNN" in text
+
+
+class TestKMeansCommand:
+    def test_standard_run(self):
+        code, text = run_cli(
+            "kmeans", "--dataset", "Year", "--n", "300", "--k", "6",
+            "--max-iters", "4",
+        )
+        assert code == 0
+        assert "same clustering: True" in text
+
+
+class TestProfileCommand:
+    def test_knn_profile(self):
+        code, text = run_cli(
+            "profile", "--dataset", "Year", "--n", "300", "--task", "knn",
+        )
+        assert code == 0
+        assert "Tcache" in text
+        assert "PIM-oracle" in text
+
+    def test_kmeans_profile(self):
+        code, text = run_cli(
+            "profile", "--dataset", "Year", "--n", "300",
+            "--task", "kmeans", "--algorithm", "Yinyang", "--k", "6",
+        )
+        assert code == 0
+        assert "ED" in text

@@ -1,0 +1,95 @@
+"""Unit tests for the PIMAccelerator facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import PIMAccelerator
+from repro.errors import ConfigurationError
+from repro.hardware.config import baseline_platform
+
+
+@pytest.fixture
+def data(clustered_data):
+    return clustered_data
+
+
+@pytest.fixture
+def queries(data, rng):
+    picks = rng.integers(0, len(data), size=2)
+    return np.clip(
+        data[picks] + 0.02 * rng.standard_normal((2, data.shape[1])), 0, 1
+    )
+
+
+class TestConstruction:
+    def test_rejects_platform_without_pim(self):
+        with pytest.raises(ConfigurationError):
+            PIMAccelerator(hardware=baseline_platform())
+
+
+class TestAccelerateKNN:
+    def test_standard_speedup_and_exactness(self, data, queries):
+        report = PIMAccelerator().accelerate_knn(
+            "Standard", data, queries, k=5
+        )
+        assert report.results_match
+        assert report.speedup > 1.0
+        assert report.promising
+        assert report.oracle_speedup >= report.speedup * 0.9
+
+    def test_plan_recorded(self, data, queries):
+        report = PIMAccelerator().accelerate_knn(
+            "Standard", data, queries, k=5
+        )
+        assert report.plan == ("LB_PIM-ED",)
+
+    def test_fnn_with_plan_optimization(self, data, queries):
+        report = PIMAccelerator().accelerate_knn(
+            "FNN", data, queries, k=5, optimize_plan=True
+        )
+        assert report.results_match
+        assert any("plan ratios" in note for note in report.notes)
+
+    def test_plan_optimization_only_for_fnn(self, data, queries):
+        report = PIMAccelerator().accelerate_knn(
+            "Standard", data, queries, k=5, optimize_plan=True
+        )
+        assert any("only applies to FNN" in note for note in report.notes)
+
+    def test_cosine_measure(self, data, queries):
+        report = PIMAccelerator().accelerate_knn(
+            "Standard", data, queries, k=5, measure="cosine"
+        )
+        assert report.results_match
+
+
+class TestAccelerateOutliers:
+    def test_exact_and_reported(self, data):
+        report = PIMAccelerator().accelerate_outliers(
+            data, n_neighbors=4, n_outliers=5
+        )
+        assert report.results_match
+        assert report.plan == ("LB_PIM-ED",)
+        assert report.baseline.total_time_ns > 0
+        assert report.optimized.pim_time_ns > 0
+
+
+class TestAccelerateKMeans:
+    def test_standard_speedup_and_exactness(self, data):
+        report = PIMAccelerator().accelerate_kmeans(
+            "Standard", data, k=8, max_iters=5
+        )
+        assert report.results_match
+        assert report.speedup > 1.0
+
+    def test_oracle_bound_respected(self, data):
+        report = PIMAccelerator().accelerate_kmeans(
+            "Standard", data, k=8, max_iters=5
+        )
+        assert report.speedup <= report.oracle_speedup + 1e-9
+
+    def test_plan_names_the_pim_bound(self, data):
+        report = PIMAccelerator().accelerate_kmeans(
+            "Drake", data, k=8, max_iters=5
+        )
+        assert report.plan == ("LB_PIM-ED",)

@@ -1,0 +1,84 @@
+"""Unit tests for the Theorem 4 capacity solver."""
+
+import pytest
+
+from repro.core.memory_manager import (
+    choose_compressed_dims,
+    choose_fnn_segments,
+    choose_full_dims,
+    max_vectors_at_dims,
+)
+from repro.errors import CapacityError
+from repro.hardware.config import CrossbarConfig, PIMArrayConfig
+from repro.hardware.mapper import fits
+
+
+@pytest.fixture
+def paper_config() -> PIMArrayConfig:
+    return PIMArrayConfig()
+
+
+@pytest.fixture
+def constrained_config() -> PIMArrayConfig:
+    """16x16 crossbars, 600 of them (see mining tests for the math)."""
+    return PIMArrayConfig(
+        crossbar=CrossbarConfig(rows=16, cols=16, cell_bits=2),
+        capacity_bytes=600 * 64,
+        operand_bits=2,
+    )
+
+
+class TestChooseCompressedDims:
+    def test_small_data_is_lossless(self, paper_config):
+        plan = choose_compressed_dims(1000, 420, paper_config)
+        assert plan.is_lossless
+        assert plan.compression_ratio == 1.0
+
+    def test_paper_scale_forces_compression(self, paper_config):
+        # MSD at paper scale with the doubled FNN payload compresses
+        plan = choose_compressed_dims(
+            992272, 420, paper_config, dims_per_object=2
+        )
+        assert not plan.is_lossless
+        assert fits(992272, plan.compressed_dims * 2, paper_config)
+
+    def test_maximality(self, paper_config):
+        plan = choose_compressed_dims(992272, 4096, paper_config)
+        assert fits(992272, plan.compressed_dims, paper_config)
+        assert not fits(992272, plan.compressed_dims + 1, paper_config)
+
+    def test_candidate_restriction(self, paper_config):
+        plan = choose_compressed_dims(
+            992272, 4096, paper_config, candidates=[64, 128, 256, 512]
+        )
+        assert plan.compressed_dims in {64, 128, 256, 512}
+
+    def test_nothing_fits(self, constrained_config):
+        with pytest.raises(CapacityError):
+            choose_compressed_dims(10**9, 64, constrained_config)
+
+
+class TestChooseFNNSegments:
+    def test_divides_dims(self, constrained_config):
+        s = choose_fnn_segments(2000, 64, constrained_config)
+        assert 64 % s == 0
+        assert s == 16  # worked example from the mapper math
+
+    def test_unconstrained_is_full(self, paper_config):
+        assert choose_fnn_segments(1000, 64, paper_config) == 64
+
+
+class TestChooseFullDims:
+    def test_reports_feasibility(self, paper_config):
+        plan = choose_full_dims(992272, 420, paper_config)
+        assert not plan.is_lossless or plan.compressed_dims == 420
+
+
+class TestMaxVectorsAtDims:
+    def test_inverse_of_fits(self, constrained_config):
+        n = max_vectors_at_dims(8, constrained_config)
+        assert fits(n, 8, constrained_config)
+        assert not fits(n + 1, 8, constrained_config)
+
+    def test_paper_array_holds_msd(self, paper_config):
+        assert max_vectors_at_dims(105, paper_config) >= 992272

@@ -1,0 +1,165 @@
+"""Unit tests for the Section V-D execution-plan optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.ed import FNNBound
+from repro.bounds.pim import PIMFNNBound
+from repro.core.planner import (
+    ExecutionPlanner,
+    optimize_fnn_plan,
+    standalone_pruning_ratios,
+)
+from repro.errors import PlanError
+from repro.hardware.controller import PIMController
+from repro.mining.knn import StandardKNN
+
+
+@pytest.fixture
+def prepared_bounds(clustered_data):
+    controller = PIMController()
+    pim = PIMFNNBound(16, controller)
+    originals = [FNNBound(2), FNNBound(8), FNNBound(16)]
+    for bound in [pim] + originals:
+        bound.prepare(clustered_data)
+    return pim, originals
+
+
+@pytest.fixture
+def reference(clustered_data):
+    return StandardKNN().fit(clustered_data)
+
+
+class TestStandalonePruningRatios:
+    def test_ratios_in_unit_interval(
+        self, prepared_bounds, reference, clustered_data, rng
+    ):
+        pim, originals = prepared_bounds
+        queries = clustered_data[rng.integers(0, len(clustered_data), 2)]
+        ratios = standalone_pruning_ratios(
+            [pim] + originals, reference, queries, 5
+        )
+        assert all(0.0 <= r <= 1.0 for r in ratios.values())
+
+    def test_tighter_bound_prunes_more(
+        self, prepared_bounds, reference, clustered_data, rng
+    ):
+        _, originals = prepared_bounds
+        queries = clustered_data[rng.integers(0, len(clustered_data), 2)]
+        ratios = standalone_pruning_ratios(originals, reference, queries, 5)
+        assert ratios["LB_FNN_16"] >= ratios["LB_FNN_2"] - 1e-9
+
+    def test_pim_bound_nearly_as_strong_as_same_resolution_original(
+        self, prepared_bounds, reference, clustered_data, rng
+    ):
+        pim, originals = prepared_bounds
+        queries = clustered_data[rng.integers(0, len(clustered_data), 2)]
+        ratios = standalone_pruning_ratios(
+            [pim, originals[2]], reference, queries, 5
+        )
+        assert ratios["LB_PIM-FNN_16"] >= ratios["LB_FNN_16"] - 0.02
+
+
+class TestExecutionPlanner:
+    def test_enumerates_all_subsets(self, prepared_bounds):
+        pim, originals = prepared_bounds
+        planner = ExecutionPlanner([pim] + originals, 1000, 32)
+        plans = planner.enumerate_plans({})
+        assert len(plans) == 2**4 - 1
+
+    def test_plans_sorted_by_cost(self, prepared_bounds):
+        pim, originals = prepared_bounds
+        planner = ExecutionPlanner([pim] + originals, 1000, 32)
+        plans = planner.enumerate_plans({b.name: 0.5 for b in [pim] + originals})
+        costs = [p.transfer_bits for p in plans]
+        assert costs == sorted(costs)
+
+    def test_strong_pim_bound_wins_alone(self, prepared_bounds):
+        # the paper's Fig. 16 outcome: when LB_PIM-FNN prunes more than
+        # every original bound, the best plan keeps only the PIM bound
+        pim, originals = prepared_bounds
+        planner = ExecutionPlanner([pim] + originals, 10000, 420)
+        ratios = {pim.name: 0.99}
+        ratios.update({b.name: 0.9 for b in originals})
+        best = planner.best_plan(ratios)
+        assert best.names == (pim.name,)
+
+    def test_weak_pim_bound_keeps_stronger_original(self, prepared_bounds):
+        pim, originals = prepared_bounds
+        planner = ExecutionPlanner([pim, originals[2]], 10000, 420)
+        ratios = {pim.name: 0.30, originals[2].name: 0.95}
+        best = planner.best_plan(ratios)
+        assert pim.name in best.names
+        assert originals[2].name in best.names
+
+    def test_bounds_ordered_cheap_first(self, prepared_bounds):
+        pim, originals = prepared_bounds
+        planner = ExecutionPlanner([pim] + originals, 1000, 64)
+        plans = planner.enumerate_plans({})
+        for plan in plans:
+            costs = [b.per_object_transfer_bits for b in plan.bounds]
+            assert costs == sorted(costs)
+
+    def test_rejects_empty_candidates(self):
+        with pytest.raises(PlanError):
+            ExecutionPlanner([], 10, 4)
+
+    def test_no_filter_cost_is_full_scan(self, prepared_bounds):
+        pim, _ = prepared_bounds
+        planner = ExecutionPlanner([pim], 1000, 64)
+        assert planner.no_filter_cost() == 1000 * 64 * 32
+
+
+class TestGreedyPlanner:
+    def test_matches_exhaustive_on_small_sets(self, prepared_bounds):
+        pim, originals = prepared_bounds
+        planner = ExecutionPlanner([pim] + originals, 10000, 420)
+        ratios = {pim.name: 0.99}
+        ratios.update({b.name: 0.9 for b in originals})
+        exhaustive = planner.best_plan(ratios)
+        greedy = planner.greedy_plan(ratios)
+        assert greedy.names == exhaustive.names
+        assert greedy.transfer_bits == pytest.approx(
+            exhaustive.transfer_bits
+        )
+
+    def test_never_worse_than_single_best_bound(self, prepared_bounds):
+        pim, originals = prepared_bounds
+        planner = ExecutionPlanner([pim] + originals, 5000, 420)
+        ratios = {b.name: 0.5 for b in [pim] + originals}
+        greedy = planner.greedy_plan(ratios)
+        singles = [
+            planner._plan_cost((b,), ratios) for b in [pim] + originals
+        ]
+        assert greedy.transfer_bits <= min(singles) + 1e-9
+
+    def test_empty_when_no_bound_helps(self, prepared_bounds):
+        # with zero pruning, any filter only adds transfer
+        pim, originals = prepared_bounds
+        planner = ExecutionPlanner([pim] + originals, 1000, 4)
+        greedy = planner.greedy_plan({})
+        assert greedy.names == ()
+        assert greedy.transfer_bits == planner.no_filter_cost()
+
+
+class TestOptimizeFNNPlan:
+    def test_returns_plan_and_ratios(
+        self, prepared_bounds, reference, clustered_data, rng
+    ):
+        pim, originals = prepared_bounds
+        queries = clustered_data[rng.integers(0, len(clustered_data), 2)]
+        plan, ratios = optimize_fnn_plan(
+            pim, originals, reference, queries, 5
+        )
+        assert plan.transfer_bits > 0
+        assert set(ratios) == {pim.name} | {b.name for b in originals}
+
+    def test_clustered_data_drops_originals(
+        self, prepared_bounds, reference, clustered_data, rng
+    ):
+        # with the paper's alpha the PIM bound at the same resolution
+        # dominates all originals, so the optimized plan is PIM-only
+        pim, originals = prepared_bounds
+        queries = clustered_data[rng.integers(0, len(clustered_data), 2)]
+        plan, _ = optimize_fnn_plan(pim, originals, reference, queries, 5)
+        assert plan.names == (pim.name,)

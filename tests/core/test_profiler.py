@@ -1,0 +1,106 @@
+"""Unit tests for the Section IV profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import profile_kmeans, profile_knn
+from repro.mining.kmeans import initial_centers, make_kmeans
+from repro.mining.knn import FNNKNN, StandardKNN, StandardPIMKNN
+
+
+@pytest.fixture
+def data(clustered_data):
+    return clustered_data
+
+
+@pytest.fixture
+def queries(data, rng):
+    picks = rng.integers(0, len(data), size=3)
+    return np.clip(
+        data[picks] + 0.02 * rng.standard_normal((3, data.shape[1])), 0, 1
+    )
+
+
+class TestProfileKNN:
+    def test_baseline_profile_fields(self, data, queries):
+        profile = profile_knn(StandardKNN().fit(data), queries, 5)
+        assert profile.name == "Standard"
+        assert profile.cpu_time_ns > 0
+        assert profile.pim_time_ns == 0.0
+        assert profile.total_time_ms > 0
+        assert profile.extras["n_queries"] == 3.0
+
+    def test_fig5_shape_cache_dominates(self, data, queries):
+        # the paper's Fig. 5: Tcache accounts for 65-83% of kNN time
+        profile = profile_knn(StandardKNN().fit(data), queries, 5)
+        fractions = profile.component_fractions()
+        assert fractions["Tcache"] > 0.5
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_fig6_shape_ed_dominates_standard(self, data, queries):
+        profile = profile_knn(StandardKNN().fit(data), queries, 5)
+        fractions = profile.function_fractions()
+        assert fractions["euclidean"] > 0.8
+
+    def test_fig6_shape_bounds_dominate_fnn(self, data, queries):
+        profile = profile_knn(FNNKNN(data.shape[1]).fit(data), queries, 5)
+        fractions = profile.function_fractions()
+        bound_share = sum(
+            v for k, v in fractions.items() if k.startswith("LB_FNN")
+        )
+        assert bound_share > fractions.get("other", 0.0)
+
+    def test_eq2_oracle_below_total(self, data, queries):
+        profile = profile_knn(StandardKNN().fit(data), queries, 5)
+        assert profile.pim_oracle_ns < profile.cpu_time_ns
+        assert profile.oracle_speedup > 1.0
+
+    def test_pim_variant_includes_wave_time(self, data, queries):
+        profile = profile_knn(StandardPIMKNN().fit(data), queries, 5)
+        assert profile.pim_time_ns > 0
+        assert profile.total_time_ns == pytest.approx(
+            profile.cpu_time_ns + profile.pim_time_ns
+        )
+
+    def test_pim_variant_faster_than_baseline(self, data, queries):
+        base = profile_knn(StandardKNN().fit(data), queries, 5)
+        pim = profile_knn(StandardPIMKNN().fit(data), queries, 5)
+        assert pim.total_time_ns < base.total_time_ns
+
+    def test_pim_no_slower_than_oracle(self, data, queries):
+        # Eq. 2: the oracle is a floor for any PIM implementation
+        base = profile_knn(StandardKNN().fit(data), queries, 5)
+        pim = profile_knn(StandardPIMKNN().fit(data), queries, 5)
+        assert pim.total_time_ns >= base.pim_oracle_ns
+
+
+class TestProfileKMeans:
+    def test_per_iteration_metric(self, data):
+        centers = initial_centers(data, 8, seed=1)
+        profile = profile_kmeans(
+            make_kmeans("Standard", 8, max_iters=5), data, centers=centers
+        )
+        assert profile.extras["time_per_iteration_ms"] > 0
+        assert profile.extras["n_iterations"] >= 1
+
+    def test_ed_dominates_lloyd(self, data):
+        centers = initial_centers(data, 8, seed=1)
+        profile = profile_kmeans(
+            make_kmeans("Standard", 8, max_iters=5), data, centers=centers
+        )
+        assert profile.function_fractions()["ED"] > 0.5
+
+    def test_pim_variant_faster(self, data):
+        centers = initial_centers(data, 8, seed=1)
+        base = profile_kmeans(
+            make_kmeans("Standard", 8, max_iters=5),
+            data,
+            centers=centers.copy(),
+        )
+        pim = profile_kmeans(
+            make_kmeans("Standard-PIM", 8, max_iters=5),
+            data,
+            centers=centers.copy(),
+        )
+        assert pim.total_time_ns < base.total_time_ns
+        assert pim.extras["inertia"] == pytest.approx(base.extras["inertia"])

@@ -1,0 +1,47 @@
+"""Unit tests for the text reporting helpers."""
+
+import pytest
+
+from repro.core.report import (
+    format_fractions,
+    format_speedup,
+    format_table,
+    format_time_ms,
+    speedup,
+)
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.5], ["b", 22.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456789]])
+        assert "1.235" in text
+
+
+class TestNumbers:
+    def test_format_fractions(self):
+        text = format_fractions({"Tc": 0.25, "Tcache": 0.75})
+        assert "Tc= 25.0%" in text
+        assert "Tcache= 75.0%" in text
+
+    def test_format_time_ms(self):
+        assert format_time_ms(2.5e6) == "2.500 ms"
+
+    def test_speedup(self):
+        assert speedup(100.0, 10.0) == pytest.approx(10.0)
+        assert speedup(1.0, 0.0) == float("inf")
+
+    def test_format_speedup(self):
+        assert format_speedup(100.0, 10.0) == "10.0x"

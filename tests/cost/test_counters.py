@@ -1,0 +1,61 @@
+"""Unit tests for the per-function event counters."""
+
+from repro.cost.counters import OTHER, FunctionEvents, PerfCounters
+
+
+class TestFunctionEvents:
+    def test_add_accumulates(self):
+        events = FunctionEvents()
+        events.add(calls=2, flops=10.0, bytes_from_memory=64.0)
+        events.add(calls=1, flops=5.0, branches=3.0)
+        assert events.calls == 3
+        assert events.flops == 15.0
+        assert events.bytes_from_memory == 64.0
+        assert events.branches == 3.0
+
+    def test_merged_with(self):
+        a = FunctionEvents(calls=1, flops=2.0)
+        b = FunctionEvents(calls=2, long_ops=4.0)
+        merged = a.merged_with(b)
+        assert merged.calls == 3
+        assert merged.flops == 2.0
+        assert merged.long_ops == 4.0
+        # originals untouched
+        assert a.calls == 1 and b.calls == 2
+
+
+class TestPerfCounters:
+    def test_record_creates_buckets(self):
+        counters = PerfCounters()
+        counters.record("ED", calls=3, flops=30.0)
+        counters.record("LB", calls=1)
+        assert counters.function_names() == ["ED", "LB"]
+        assert counters.events("ED").calls == 3
+
+    def test_unknown_bucket_is_empty(self):
+        assert PerfCounters().events("nope").calls == 0
+
+    def test_total_sums_buckets(self):
+        counters = PerfCounters()
+        counters.record("ED", flops=10.0)
+        counters.record(OTHER, flops=5.0, branches=2.0)
+        total = counters.total()
+        assert total.flops == 15.0
+        assert total.branches == 2.0
+
+    def test_merged_with_combines_runs(self):
+        a = PerfCounters()
+        a.record("ED", calls=1, flops=3.0)
+        b = PerfCounters()
+        b.record("ED", calls=2)
+        b.record("LB", calls=5)
+        merged = a.merged_with(b)
+        assert merged.events("ED").calls == 3
+        assert merged.events("LB").calls == 5
+        assert a.events("ED").calls == 1  # inputs untouched
+
+    def test_reset(self):
+        counters = PerfCounters()
+        counters.record("ED", calls=1)
+        counters.reset()
+        assert counters.function_names() == []

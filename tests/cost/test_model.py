@@ -1,0 +1,78 @@
+"""Unit tests for the cost model (Eq. 1 components, Eq. 2 oracle)."""
+
+import pytest
+
+from repro.cost.counters import PerfCounters
+from repro.cost.model import CostModel, combined_time_ns
+from repro.hardware.config import baseline_platform, pim_platform
+
+
+@pytest.fixture
+def streaming_counters() -> PerfCounters:
+    """A kNN-like workload: ED dominates and is memory-bound."""
+    counters = PerfCounters()
+    counters.record(
+        "ED", calls=1000, flops=3e6, bytes_from_memory=4e6, branches=1e3
+    )
+    counters.record("other", flops=2e4, branches=2e3)
+    return counters
+
+
+class TestCostModel:
+    def test_total_is_sum_of_functions(self, streaming_counters):
+        model = CostModel(baseline_platform())
+        times = model.function_times_ns(streaming_counters)
+        assert model.total_time_ns(streaming_counters) == pytest.approx(
+            sum(times.values())
+        )
+
+    def test_memory_bound_workload_shows_cache_dominance(
+        self, streaming_counters
+    ):
+        # the Fig. 5 observation: Tcache is 65-83% for kNN workloads
+        model = CostModel(baseline_platform())
+        fractions = model.component_breakdown(streaming_counters).fractions()
+        assert fractions["Tcache"] > 0.5
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_pim_platform_charges_reram_latency(self, streaming_counters):
+        base = CostModel(baseline_platform())
+        pim = CostModel(pim_platform())
+        assert pim.miss_latency_ns > base.miss_latency_ns
+        assert pim.total_time_ns(streaming_counters) > base.total_time_ns(
+            streaming_counters
+        )
+
+    def test_oracle_removes_offloadable_buckets(self, streaming_counters):
+        model = CostModel(baseline_platform())
+        oracle = model.pim_oracle_time_ns(streaming_counters, {"ED"})
+        assert oracle == pytest.approx(
+            model.function_time_ns(streaming_counters, "other")
+        )
+        assert oracle < model.total_time_ns(streaming_counters)
+
+    def test_oracle_with_empty_set_is_total(self, streaming_counters):
+        model = CostModel(baseline_platform())
+        assert model.pim_oracle_time_ns(
+            streaming_counters, set()
+        ) == pytest.approx(model.total_time_ns(streaming_counters))
+
+    def test_empty_counters_zero_time(self):
+        model = CostModel()
+        counters = PerfCounters()
+        assert model.total_time_ns(counters) == 0.0
+        fractions = model.component_breakdown(counters).fractions()
+        assert all(v == 0.0 for v in fractions.values())
+
+
+class TestCombinedTime:
+    def test_serialized_sum(self):
+        assert combined_time_ns(100.0, 50.0) == 150.0
+
+    def test_overlap_hides_pim_time(self):
+        assert combined_time_ns(100.0, 50.0, overlap=1.0) == 100.0
+        assert combined_time_ns(100.0, 50.0, overlap=0.5) == 125.0
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ValueError):
+            combined_time_ns(1.0, 1.0, overlap=1.5)

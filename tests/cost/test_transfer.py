@@ -1,0 +1,71 @@
+"""Unit tests for Eq. 13 transfer bookkeeping."""
+
+import pytest
+
+from repro.cost.transfer import (
+    TransferCost,
+    bound_transfer,
+    exact_transfer,
+    pim_bound_transfer,
+    plan_transfer_bits,
+)
+
+
+class TestTransferCosts:
+    def test_bound_transfer_scales_with_dims(self):
+        assert bound_transfer(105, 32).bits_per_object == 105 * 32
+
+    def test_pim_bound_is_three_operands(self):
+        # Fig. 8: d*b collapses to 3*b bits regardless of dimensionality
+        assert pim_bound_transfer(32).bits_per_object == 3 * 32
+
+    def test_pim_bound_with_two_dot_products(self):
+        assert pim_bound_transfer(32, dot_products=2).bits_per_object == 4 * 32
+
+    def test_exact_transfer_is_full_vector(self):
+        assert exact_transfer(420, 32).bits_per_object == 420 * 32
+
+    def test_bytes_and_totals(self):
+        cost = TransferCost(bits_per_object=96)
+        assert cost.bytes_per_object() == 12.0
+        assert cost.total_bits(100) == 9600
+
+
+class TestPlanTransferBits:
+    def test_single_stage(self):
+        total = plan_transfer_bits(
+            1000, [TransferCost(10.0)], [0.9]
+        )
+        assert total == 1000 * 10.0
+
+    def test_pruning_shrinks_later_stages(self):
+        stages = [TransferCost(10.0), TransferCost(100.0)]
+        total = plan_transfer_bits(1000, stages, [0.9, 0.0])
+        assert total == pytest.approx(1000 * 10.0 + 100 * 100.0)
+
+    def test_paper_shape_pim_plan_beats_original_ladder(self):
+        # MSD-like: N objects, 32-bit operands, d=420.
+        n, b, d = 10000, 32, 420
+        # original FNN ladder: d/64, d/16, d/4 bounds then exact
+        ladder = [
+            bound_transfer(7, b),
+            bound_transfer(28, b),
+            bound_transfer(105, b),
+            exact_transfer(d, b),
+        ]
+        original = plan_transfer_bits(n, ladder, [0.5, 0.8, 0.8, 0.0])
+        # PIM plan: one 3*b bound pruning 99%, then exact
+        pim = plan_transfer_bits(
+            n,
+            [pim_bound_transfer(b), exact_transfer(d, b)],
+            [0.99, 0.0],
+        )
+        assert pim < original
+
+    def test_validates_alignment(self):
+        with pytest.raises(ValueError):
+            plan_transfer_bits(10, [TransferCost(1.0)], [])
+
+    def test_validates_ratio_range(self):
+        with pytest.raises(ValueError):
+            plan_transfer_bits(10, [TransferCost(1.0)], [1.5])

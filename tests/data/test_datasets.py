@@ -1,0 +1,144 @@
+"""Unit tests for the synthetic dataset generators and the catalog."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic
+from repro.data.catalog import (
+    KMEANS_DATASETS,
+    KNN_DATASETS,
+    PROFILES,
+    dataset_names,
+    make_dataset,
+    make_queries,
+    profile,
+)
+from repro.data.lsh import RandomHyperplaneLSH, make_binary_codes
+from repro.errors import DatasetError
+
+
+class TestGenerators:
+    def test_clustered_shape_and_range(self):
+        data = synthetic.clustered(100, 16, seed=1)
+        assert data.shape == (100, 16)
+        assert data.min() >= 0.0 and data.max() <= 1.0
+
+    def test_clustered_deterministic(self):
+        a = synthetic.clustered(50, 8, seed=2)
+        b = synthetic.clustered(50, 8, seed=2)
+        assert np.array_equal(a, b)
+
+    def test_correlation_smooths_noise(self):
+        plain = synthetic.clustered(300, 64, correlation=0.0, seed=3)
+        smooth = synthetic.clustered(300, 64, correlation=0.9, seed=3)
+
+        def adjacent_corr(data):
+            deltas = data - data.mean(axis=0)
+            return np.mean(
+                [
+                    np.corrcoef(deltas[:, j], deltas[:, j + 1])[0, 1]
+                    for j in range(0, 63, 7)
+                ]
+            )
+
+        assert adjacent_corr(smooth) > adjacent_corr(plain)
+
+    def test_diffuse_prunes_poorly(self):
+        # distance concentration: the coefficient of variation of pairwise
+        # distances is much lower for diffuse data than for clustered data
+        from repro.similarity.measures import euclidean_batch
+
+        diffuse = synthetic.diffuse(300, 64, seed=4)
+        clustered = synthetic.clustered(300, 64, spread=0.04, seed=4)
+
+        def cv(data):
+            d = euclidean_batch(data[1:], data[0])
+            return d.std() / d.mean()
+
+        assert cv(diffuse) < cv(clustered)
+
+    def test_sparse_counts_density(self):
+        data = synthetic.sparse_counts(200, 100, density=0.1, seed=5)
+        nonzero_fraction = np.count_nonzero(data) / data.size
+        assert nonzero_fraction < 0.3
+        assert data.min() >= 0.0
+
+    def test_sparse_rejects_bad_density(self):
+        with pytest.raises(DatasetError):
+            synthetic.sparse_counts(10, 10, density=0.0)
+
+    def test_queries_near_manifold(self):
+        data = synthetic.clustered(100, 16, seed=6)
+        queries = synthetic.queries_from(data, 5, noise=0.01, seed=7)
+        assert queries.shape == (5, 16)
+        assert queries.min() >= 0.0 and queries.max() <= 1.0
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(DatasetError):
+            synthetic.clustered(0, 4)
+
+
+class TestCatalog:
+    def test_all_table6_datasets_present(self):
+        expected = {
+            "ImageNet", "MSD", "GIST", "Trevi",
+            "Year", "Notre", "NUS-WIDE", "Enron",
+        }
+        assert set(dataset_names()) == expected
+        assert set(KNN_DATASETS) | set(KMEANS_DATASETS) <= expected
+
+    def test_paper_dimensionalities_preserved(self):
+        dims = {name: prof.dims for name, prof in PROFILES.items()}
+        assert dims == {
+            "ImageNet": 150, "MSD": 420, "GIST": 960, "Trevi": 4096,
+            "Year": 90, "Notre": 128, "NUS-WIDE": 500, "Enron": 1369,
+        }
+
+    def test_make_dataset_defaults(self):
+        data = make_dataset("Year", n=123)
+        assert data.shape == (123, 90)
+
+    def test_make_dataset_deterministic(self):
+        assert np.array_equal(
+            make_dataset("Notre", n=50, seed=1),
+            make_dataset("Notre", n=50, seed=1),
+        )
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            make_dataset("CIFAR")
+        with pytest.raises(DatasetError):
+            profile("CIFAR")
+
+    def test_make_queries_shape(self):
+        data = make_dataset("Year", n=100)
+        queries = make_queries("Year", data, n_queries=4)
+        assert queries.shape == (4, 90)
+
+
+class TestLSH:
+    def test_codes_are_binary(self):
+        codes = make_binary_codes(100, 128, input_dims=32, seed=1)
+        assert codes.shape == (100, 128)
+        assert set(np.unique(codes)) <= {0, 1}
+
+    def test_similarity_preservation(self):
+        # nearby descriptors should share more bits than far ones
+        rng = np.random.default_rng(2)
+        base = rng.random(64)
+        near = base + 0.01 * rng.standard_normal(64)
+        far = rng.random(64)
+        lsh = RandomHyperplaneLSH(64, 512, seed=3)
+        codes = lsh.encode(np.vstack([base, near, far]))
+        hd_near = int(np.count_nonzero(codes[0] != codes[1]))
+        hd_far = int(np.count_nonzero(codes[0] != codes[2]))
+        assert hd_near < hd_far
+
+    def test_rejects_wrong_input_dims(self):
+        lsh = RandomHyperplaneLSH(16, 32)
+        with pytest.raises(DatasetError):
+            lsh.encode(np.zeros((2, 8)))
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(DatasetError):
+            RandomHyperplaneLSH(0, 8)

@@ -1,0 +1,109 @@
+"""Unit tests for user-dataset loading."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import load_matrix, normalize_unit_range
+from repro.errors import DatasetError
+
+
+@pytest.fixture
+def raw(rng):
+    return rng.random((30, 6)) * 12 - 4
+
+
+class TestNormalize:
+    def test_unit_range(self, raw):
+        normed = normalize_unit_range(raw)
+        assert normed.min() == pytest.approx(0.0)
+        assert normed.max() == pytest.approx(1.0)
+
+    def test_constant_dimension(self):
+        data = np.column_stack([np.full(5, 3.0), np.arange(5.0)])
+        normed = normalize_unit_range(data)
+        assert np.all(normed[:, 0] == 0.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(DatasetError):
+            normalize_unit_range(np.arange(5.0))
+
+
+class TestLoadMatrix:
+    def test_npy(self, tmp_path, raw):
+        path = tmp_path / "data.npy"
+        np.save(path, raw)
+        data = load_matrix(path)
+        assert data.shape == raw.shape
+        assert data.min() >= 0.0 and data.max() <= 1.0
+
+    def test_npz_first_2d_array(self, tmp_path, raw):
+        path = tmp_path / "data.npz"
+        np.savez(path, meta=np.arange(3), features=raw)
+        data = load_matrix(path)
+        assert data.shape == raw.shape
+
+    def test_npz_named_array(self, tmp_path, raw):
+        path = tmp_path / "data.npz"
+        np.savez(path, a=raw, b=raw[:5])
+        assert load_matrix(path, array_name="b").shape == (5, 6)
+
+    def test_npz_missing_name(self, tmp_path, raw):
+        path = tmp_path / "data.npz"
+        np.savez(path, a=raw)
+        with pytest.raises(DatasetError, match="no array"):
+            load_matrix(path, array_name="zzz")
+
+    def test_csv_with_header(self, tmp_path, raw):
+        path = tmp_path / "data.csv"
+        header = ",".join(f"f{i}" for i in range(raw.shape[1]))
+        np.savetxt(path, raw, delimiter=",", header=header, comments="")
+        data = load_matrix(path)
+        assert data.shape == raw.shape
+
+    def test_whitespace_txt(self, tmp_path, raw):
+        path = tmp_path / "data.txt"
+        np.savetxt(path, raw)
+        assert load_matrix(path).shape == raw.shape
+
+    def test_max_rows(self, tmp_path, raw):
+        path = tmp_path / "data.npy"
+        np.save(path, raw)
+        assert load_matrix(path, max_rows=7).shape == (7, 6)
+
+    def test_no_normalize(self, tmp_path, raw):
+        path = tmp_path / "data.npy"
+        np.save(path, raw)
+        data = load_matrix(path, normalize=False)
+        assert np.allclose(data, raw)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="no dataset file"):
+            load_matrix(tmp_path / "nope.npy")
+
+    def test_unsupported_format(self, tmp_path):
+        path = tmp_path / "data.parquet"
+        path.write_bytes(b"xx")
+        with pytest.raises(DatasetError, match="unsupported"):
+            load_matrix(path)
+
+    def test_rejects_nan(self, tmp_path, raw):
+        raw[0, 0] = np.nan
+        path = tmp_path / "data.npy"
+        np.save(path, raw)
+        with pytest.raises(DatasetError, match="NaN"):
+            load_matrix(path)
+
+    def test_cli_integration(self, tmp_path, raw):
+        import io
+
+        from repro.cli import main
+
+        path = tmp_path / "data.npy"
+        np.save(path, raw)
+        out = io.StringIO()
+        code = main(
+            ["knn", "--data-file", str(path), "--queries", "1", "--k", "3"],
+            out=out,
+        )
+        assert code == 0
+        assert "results exact  : True" in out.getvalue()

@@ -1,0 +1,126 @@
+"""Unit tests for hardware configuration (paper Tables 1 and 5)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.config import (
+    CPUConfig,
+    CrossbarConfig,
+    HardwareConfig,
+    MemoryConfig,
+    NVM_CHARACTERISTICS,
+    PIMArrayConfig,
+    baseline_platform,
+    pim_platform,
+)
+
+
+class TestCrossbarConfig:
+    def test_paper_defaults(self):
+        cfg = CrossbarConfig()
+        assert cfg.rows == cfg.cols == 256
+        assert cfg.cell_bits == 2
+        assert cfg.read_latency_ns == pytest.approx(29.31)
+        assert cfg.write_latency_ns == pytest.approx(50.88)
+
+    def test_capacity_bits(self):
+        cfg = CrossbarConfig()
+        assert cfg.capacity_bits == 256 * 256 * 2
+
+    def test_max_cell_value(self):
+        assert CrossbarConfig(cell_bits=2).max_cell_value == 3
+        assert CrossbarConfig(cell_bits=4).max_cell_value == 15
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarConfig(rows=0)
+
+    def test_rejects_bad_precision(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarConfig(cell_bits=9)
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarConfig(read_latency_ns=-1.0)
+
+
+class TestPIMArrayConfig:
+    def test_paper_crossbar_count(self):
+        # 2 GB of 256x256 2-bit crossbars = 131072 crossbars (Section VI-A)
+        assert PIMArrayConfig().num_crossbars == 131072
+
+    def test_slices_per_operand(self):
+        assert PIMArrayConfig().slices_per_operand == 16  # 32-bit on 2-bit
+
+    def test_binary_operands_allowed(self):
+        cfg = PIMArrayConfig(operand_bits=1, accumulator_bits=32)
+        assert cfg.slices_per_operand == 1
+
+    def test_rejects_narrow_accumulator(self):
+        with pytest.raises(ConfigurationError):
+            PIMArrayConfig(operand_bits=32, accumulator_bits=16)
+
+
+class TestCPUConfig:
+    def test_paper_frequency(self):
+        assert CPUConfig().frequency_hz == pytest.approx(2.10e9)
+
+    def test_seconds_per_flop(self):
+        cpu = CPUConfig()
+        assert cpu.seconds_per_flop == pytest.approx(
+            1.0 / (2.10e9 * 4.0)
+        )
+
+    def test_rejects_bad_cache(self):
+        with pytest.raises(ConfigurationError):
+            CPUConfig(l1_bytes=0)
+
+
+class TestHardwareConfig:
+    def test_baseline_has_no_pim(self):
+        platform = baseline_platform()
+        assert not platform.has_pim
+        assert platform.memory_array_bytes == platform.memory.total_bytes
+
+    def test_pim_platform_partitions_memory(self):
+        platform = pim_platform()
+        # 16 GB total = 14 GB memory array + 16 MB buffer + 2 GB PIM
+        expected = 16 * 1024**3 - 2 * 1024**3 - 16 * 1024**2
+        assert platform.memory_array_bytes == expected
+
+    def test_pim_capacity_override(self):
+        platform = pim_platform(pim_capacity_bytes=1024**3)
+        assert platform.pim.capacity_bytes == 1024**3
+
+
+class TestNVMCharacteristics:
+    def test_table1_devices_present(self):
+        assert set(NVM_CHARACTERISTICS) == {"DRAM", "ReRAM", "PCM", "STT-RAM"}
+
+    def test_reram_write_slower_than_read(self):
+        reram = NVM_CHARACTERISTICS["ReRAM"]
+        assert reram["write_latency_ns"][0] > reram["read_latency_ns"][0]
+
+    def test_reram_endurance_below_dram(self):
+        assert (
+            NVM_CHARACTERISTICS["ReRAM"]["endurance"][1]
+            < NVM_CHARACTERISTICS["DRAM"]["endurance"][0]
+        )
+
+    def test_default_crossbar_latencies_within_published_ranges(self):
+        # the Table 5 crossbar read is derived from ReRAM designs; it
+        # should sit near the Table 1 order of magnitude
+        cfg = CrossbarConfig()
+        assert 1.0 <= cfg.read_latency_ns <= 100.0
+        assert cfg.write_latency_ns > cfg.read_latency_ns
+
+
+class TestMemoryConfig:
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            MemoryConfig(dram_bandwidth_gbs=0)
+
+    def test_defaults(self):
+        cfg = MemoryConfig()
+        assert cfg.internal_bus_gbs == pytest.approx(50.0)
+        assert cfg.buffer_bytes == 16 * 1024**2

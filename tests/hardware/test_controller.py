@@ -1,0 +1,59 @@
+"""Unit tests for the controller facade (offline/online orchestration)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.config import HardwareConfig, PIMArrayConfig
+from repro.hardware.controller import PIMController
+
+
+@pytest.fixture
+def small_controller(small_pim_platform) -> PIMController:
+    return PIMController(small_pim_platform)
+
+
+class TestProgramReceipts:
+    def test_receipt_fields(self, small_controller, rng):
+        matrix = rng.integers(0, 256, size=(6, 12))
+        receipt = small_controller.program("d", matrix, side_data_bytes=48)
+        assert receipt.name == "d"
+        assert receipt.crossbars > 0
+        assert receipt.crossbar_write_ns > 0
+        assert receipt.memory_write_ns > 0
+        assert receipt.total_ns == pytest.approx(
+            receipt.crossbar_write_ns + receipt.memory_write_ns
+        )
+
+    def test_receipt_lookup(self, small_controller, rng):
+        small_controller.program("d", rng.integers(0, 256, size=(2, 4)))
+        assert small_controller.receipt("d").name == "d"
+
+    def test_total_preprocessing_sums(self, small_controller, rng):
+        r1 = small_controller.program("a", rng.integers(0, 256, size=(2, 4)))
+        r2 = small_controller.program("b", rng.integers(0, 256, size=(2, 4)))
+        assert small_controller.total_preprocessing_ns() == pytest.approx(
+            r1.total_ns + r2.total_ns
+        )
+
+    def test_side_data_increases_write_time(self, small_pim_platform, rng):
+        matrix = rng.integers(0, 256, size=(4, 8))
+        lean = PIMController(small_pim_platform).program("d", matrix)
+        heavy = PIMController(small_pim_platform).program(
+            "d", matrix, side_data_bytes=10**6
+        )
+        assert heavy.memory_write_ns > lean.memory_write_ns
+
+
+class TestDotProducts:
+    def test_values_exact(self, small_controller, rng):
+        matrix = rng.integers(0, 256, size=(6, 12))
+        small_controller.program("d", matrix)
+        q = rng.integers(0, 256, size=12)
+        result = small_controller.dot_products("d", q)
+        assert np.array_equal(result.values, matrix @ q)
+        assert result.timing.total_ns > 0
+
+    def test_default_platform_is_paper_table5(self):
+        controller = PIMController()
+        assert controller.pim.config.num_crossbars == 131072
+        assert controller.memory.device == "reram"

@@ -1,0 +1,119 @@
+"""Unit tests for the single-crossbar functional model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OperandError, ProgrammingError
+from repro.hardware.config import CrossbarConfig
+from repro.hardware.crossbar import Crossbar
+from repro.hardware.endurance import EnduranceTracker
+
+
+@pytest.fixture
+def crossbar(small_crossbar_config) -> Crossbar:
+    return Crossbar(small_crossbar_config)
+
+
+class TestProgramming:
+    def test_unprogrammed_crossbar_rejects_queries(self, crossbar):
+        with pytest.raises(ProgrammingError):
+            crossbar.dot_product(np.zeros(8, dtype=np.int64))
+
+    def test_program_and_reconstruct(self, crossbar, rng):
+        matrix = rng.integers(0, 256, size=(2, 8))
+        crossbar.program(matrix, operand_bits=8)
+        assert np.array_equal(crossbar.stored_matrix(), matrix)
+
+    def test_vectors_capacity(self, crossbar):
+        # 8 columns / (8-bit operands over 2-bit cells = 4 slices) = 2
+        assert crossbar.vectors_capacity(8) == 2
+
+    def test_rejects_too_many_vectors(self, crossbar, rng):
+        matrix = rng.integers(0, 256, size=(3, 8))
+        with pytest.raises(OperandError, match="column capacity"):
+            crossbar.program(matrix, operand_bits=8)
+
+    def test_rejects_too_many_dims(self, crossbar, rng):
+        matrix = rng.integers(0, 256, size=(1, 9))
+        with pytest.raises(OperandError, match="rows"):
+            crossbar.program(matrix, operand_bits=8)
+
+    def test_reset_clears_state(self, crossbar, rng):
+        crossbar.program(rng.integers(0, 4, size=(1, 4)), operand_bits=2)
+        crossbar.reset()
+        assert not crossbar.is_programmed
+        with pytest.raises(ProgrammingError):
+            crossbar.stored_matrix()
+
+
+class TestDotProduct:
+    def test_matches_numpy_exactly(self, crossbar, rng):
+        matrix = rng.integers(0, 256, size=(2, 8))
+        crossbar.program(matrix, operand_bits=8)
+        query = rng.integers(0, 256, size=8)
+        result = crossbar.dot_product(query)
+        assert np.array_equal(result.values, matrix @ query)
+
+    def test_paper_figure1_example(self):
+        # Fig. 1: [3,1,0],[1,2,3],[2,0,1] against [3,1,2]
+        cfg = CrossbarConfig(rows=3, cols=3, cell_bits=2, dac_bits=2)
+        xbar = Crossbar(cfg)
+        matrix = np.array([[3, 1, 0], [1, 2, 3], [2, 0, 1]])
+        xbar.program(matrix, operand_bits=2)
+        result = xbar.dot_product(np.array([3, 1, 2]))
+        assert result.values.tolist() == [10, 11, 8]
+
+    def test_partial_row_usage(self, crossbar, rng):
+        matrix = rng.integers(0, 4, size=(2, 5))
+        crossbar.program(matrix, operand_bits=2)
+        query = rng.integers(0, 4, size=5)
+        result = crossbar.dot_product(query)
+        assert np.array_equal(result.values, matrix @ query)
+
+    def test_cycles_follow_input_slicing(self, crossbar, rng):
+        matrix = rng.integers(0, 256, size=(1, 8))
+        crossbar.program(matrix, operand_bits=8)
+        query = rng.integers(0, 256, size=8)
+        # 8-bit inputs on a 2-bit DAC = 4 input waves
+        assert crossbar.dot_product(query).cycles == 4
+
+    def test_narrow_input_bits(self, crossbar, rng):
+        matrix = rng.integers(0, 256, size=(1, 8))
+        crossbar.program(matrix, operand_bits=8)
+        query = rng.integers(0, 4, size=8)
+        result = crossbar.dot_product(query, input_bits=2)
+        assert result.cycles == 1
+        assert np.array_equal(result.values, matrix @ query)
+
+    def test_rejects_wrong_query_length(self, crossbar, rng):
+        crossbar.program(rng.integers(0, 4, size=(1, 8)), operand_bits=2)
+        with pytest.raises(OperandError):
+            crossbar.dot_product(np.zeros(5, dtype=np.int64))
+
+    def test_adc_conversions_counted(self, crossbar, rng):
+        crossbar.program(rng.integers(0, 256, size=(2, 8)), operand_bits=8)
+        result = crossbar.dot_product(rng.integers(0, 256, size=8))
+        # 4 input waves x (2 vectors x 4 operand slices) columns
+        assert result.adc_conversions == 4 * 8
+
+
+class TestEnduranceIntegration:
+    def test_programs_count_against_endurance(self, small_crossbar_config, rng):
+        tracker = EnduranceTracker(endurance=2)
+        xbar = Crossbar(
+            small_crossbar_config, crossbar_id=7, endurance_tracker=tracker
+        )
+        xbar.program(rng.integers(0, 4, size=(1, 4)), operand_bits=2)
+        xbar.reset()
+        assert tracker.write_count(7) == 2
+
+    def test_exhaustion_raises(self, small_crossbar_config, rng):
+        from repro.errors import EnduranceExceededError
+
+        tracker = EnduranceTracker(endurance=1)
+        xbar = Crossbar(
+            small_crossbar_config, crossbar_id=1, endurance_tracker=tracker
+        )
+        xbar.program(rng.integers(0, 4, size=(1, 4)), operand_bits=2)
+        with pytest.raises(EnduranceExceededError):
+            xbar.reset()

@@ -1,0 +1,89 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.cost.counters import PerfCounters
+from repro.hardware.config import PIMArrayConfig
+from repro.hardware.energy import EnergyModel, movement_to_compute_ratio
+from repro.hardware.mapper import plan_layout
+
+
+@pytest.fixture
+def model() -> EnergyModel:
+    return EnergyModel()
+
+
+@pytest.fixture
+def config() -> PIMArrayConfig:
+    return PIMArrayConfig()
+
+
+class TestCPUEnergy:
+    def test_components_add_up(self, model):
+        counters = PerfCounters()
+        counters.record("ED", flops=1e6, bytes_from_memory=1e6, branches=1e3)
+        expected = (
+            1e6 * model.cpu_flop_j
+            + 1e6 * model.dram_byte_j
+            + 1e3 * model.branch_j
+        )
+        assert model.cpu_energy_j(counters) == pytest.approx(expected)
+
+    def test_reram_reads_cheaper(self, model):
+        counters = PerfCounters()
+        counters.record("ED", bytes_from_memory=1e6)
+        assert model.cpu_energy_j(
+            counters, reram_memory=True
+        ) < model.cpu_energy_j(counters, reram_memory=False)
+
+    def test_movement_dominates_compute(self, model):
+        # the paper's motivation: moving an operand costs far more than
+        # computing with it
+        assert movement_to_compute_ratio(model) > 1.0
+
+
+class TestPIMEnergy:
+    def test_wave_energy_positive_and_scales_with_vectors(
+        self, model, config
+    ):
+        small = plan_layout(100, 128, config)
+        large = plan_layout(10000, 128, config)
+        assert model.wave_energy_j(small, config) > 0
+        assert model.wave_energy_j(large, config) > model.wave_energy_j(
+            small, config
+        )
+
+    def test_narrow_inputs_cost_less(self, model, config):
+        layout = plan_layout(1000, 128, config)
+        assert model.wave_energy_j(
+            layout, config, input_bits=1
+        ) < model.wave_energy_j(layout, config, input_bits=32)
+
+    def test_programming_energy_is_table1_rate(self, model, config):
+        layout = plan_layout(100, 128, config)
+        assert model.programming_energy_j(layout) == pytest.approx(
+            layout.storage_bits * model.reram_write_bit_j
+        )
+
+    def test_pim_energy_linear_in_waves(self, model, config):
+        layout = plan_layout(1000, 128, config)
+        one = model.pim_energy_j(layout, config, 1)
+        ten = model.pim_energy_j(layout, config, 10)
+        assert ten == pytest.approx(10 * one)
+
+
+class TestEndToEndComparison:
+    def test_pim_bound_saves_energy_vs_full_scan(self, model, config):
+        # Standard kNN: move N*d*4 bytes + 3*N*d flops.
+        # Standard-PIM: one wave + N * (12 bytes + 7 flops).
+        n, d = 100000, 420
+        scan = PerfCounters()
+        scan.record("ED", flops=3.0 * d * n, bytes_from_memory=4.0 * d * n)
+        scan_j = model.cpu_energy_j(scan)
+
+        layout = plan_layout(n, d, config)
+        pim_side = model.pim_energy_j(layout, config, 1)
+        host = PerfCounters()
+        host.record("G", flops=7.0 * n, bytes_from_memory=12.0 * n)
+        pim_j = pim_side + model.cpu_energy_j(host, reram_memory=True)
+        assert pim_j < scan_j

@@ -1,0 +1,103 @@
+"""Unit tests for the controller instruction trace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OperandError
+from repro.hardware.isa import (
+    Instruction,
+    InstructionTrace,
+    TracingPIMController,
+    replay,
+)
+from repro.hardware.controller import PIMController
+from repro.mining.knn import StandardPIMKNN
+
+
+class TestInstruction:
+    def test_rejects_unknown_opcode(self):
+        with pytest.raises(OperandError):
+            Instruction("JMP", "x")
+
+
+class TestTraceRecording:
+    @pytest.fixture
+    def traced(self, rng):
+        controller = TracingPIMController()
+        matrix = rng.integers(0, 1000, size=(20, 8))
+        controller.program("d", matrix, side_data_bytes=160)
+        controller.dot_products("d", rng.integers(0, 1000, size=8))
+        controller.dot_products("d", rng.integers(0, 1000, size=8))
+        return controller
+
+    def test_opcode_counts(self, traced):
+        assert traced.trace.count("PROGRAM") == 1
+        assert traced.trace.count("STORE") == 1
+        assert traced.trace.count("COMPUTE") == 2
+        assert traced.trace.count("READBUF") == 2
+
+    def test_payload_accounting(self, traced):
+        # 20x8 values at 32-bit operands
+        assert traced.trace.payload_bytes("PROGRAM") == 20 * 8 * 4
+        assert traced.trace.payload_bytes("STORE") == 160
+        # two waves of 20 64-bit results each
+        assert traced.trace.payload_bytes("READBUF") == 2 * 20 * 8
+
+    def test_offline_online_split(self, traced):
+        online_start, total = traced.trace.offline_online_split()
+        assert online_start == 2  # PROGRAM + STORE before any COMPUTE
+        assert total == len(traced.trace)
+
+    def test_well_formedness(self, traced):
+        assert traced.trace.is_well_formed()
+
+    def test_compute_on_dead_matrix_is_malformed(self):
+        trace = InstructionTrace()
+        trace.append(Instruction("COMPUTE", "ghost"))
+        assert not trace.is_well_formed()
+
+    def test_reset_then_compute_is_malformed(self):
+        trace = InstructionTrace()
+        trace.append(Instruction("PROGRAM", "d"))
+        trace.append(Instruction("RESET", "d"))
+        trace.append(Instruction("COMPUTE", "d"))
+        assert not trace.is_well_formed()
+
+    def test_query_many_counted_once(self, rng):
+        controller = TracingPIMController()
+        controller.program("d", rng.integers(0, 100, size=(5, 4)))
+        controller.dot_products_many(
+            "d", rng.integers(0, 100, size=(3, 4))
+        )
+        assert controller.trace.count("COMPUTE") == 1
+        assert "3 wave(s)" in controller.trace.instructions[-2].detail
+
+
+class TestAlgorithmTraces:
+    def test_knn_issues_no_program_online(self, clustered_data, query_vector):
+        controller = TracingPIMController()
+        algo = StandardPIMKNN(controller=controller).fit(clustered_data)
+        offline_len = len(controller.trace)
+        algo.query(query_vector, 5)
+        online = controller.trace.instructions[offline_len:]
+        assert all(i.opcode in ("COMPUTE", "READBUF") for i in online)
+        assert controller.trace.is_well_formed()
+
+
+class TestReplay:
+    def test_replay_reproduces_results(self, rng):
+        controller = TracingPIMController()
+        matrix = rng.integers(0, 1000, size=(15, 6))
+        controller.program("d", matrix)
+        queries = [rng.integers(0, 1000, size=6) for _ in range(3)]
+        originals = [
+            controller.dot_products("d", q).values for q in queries
+        ]
+        replayed = replay(
+            controller.trace,
+            matrices={"d": matrix},
+            queries={"d": queries},
+            controller=PIMController(),
+        )
+        for a, b in zip(originals, replayed):
+            assert np.array_equal(a, b)

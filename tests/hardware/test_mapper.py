@@ -1,0 +1,125 @@
+"""Unit tests for Theorem 4 crossbar-cost equations and layout."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.config import CrossbarConfig, PIMArrayConfig
+from repro.hardware import mapper
+
+
+@pytest.fixture
+def paper_config() -> PIMArrayConfig:
+    """The paper's Table 5 PIM array (131072 crossbars)."""
+    return PIMArrayConfig()
+
+
+@pytest.fixture
+def tiny_config(small_crossbar_config) -> PIMArrayConfig:
+    return PIMArrayConfig(
+        crossbar=small_crossbar_config,
+        capacity_bytes=1 << 14,
+        operand_bits=8,
+        accumulator_bits=64,
+    )
+
+
+class TestGatherTreeLevels:
+    def test_no_gather_when_dims_fit(self):
+        assert mapper.gather_tree_levels(100, 256) == 1
+
+    def test_one_gather_level(self):
+        assert mapper.gather_tree_levels(512, 256) == 2
+
+    def test_deep_tree(self):
+        # 8 dims on 2-row crossbars: 4 leaves -> 2 -> 1: 3 levels
+        assert mapper.gather_tree_levels(8, 2) == 3
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            mapper.gather_tree_levels(0, 4)
+
+
+class TestCrossbarsForVectorPair:
+    def test_single_crossbar(self):
+        assert mapper.crossbars_for_vector_pair(100, 256) == 1
+
+    def test_paper_figure11_example(self):
+        # s=8, m=2: 4 data + 2 gather + 1 gather = 7 crossbars
+        assert mapper.crossbars_for_vector_pair(8, 2) == 7
+
+
+class TestDataAndGatherCounts:
+    def test_vectors_per_crossbar(self, paper_config):
+        # 256 columns / (32-bit over 2-bit cells = 16 slices) = 16
+        assert mapper.vectors_per_crossbar(paper_config) == 16
+
+    def test_data_crossbars_formula(self, paper_config):
+        # N*b*s/(m^2*h) for divisible shapes (Eq. 12)
+        n, s = 1600, 512
+        expected = math.ceil(n / 16) * math.ceil(s / 256)
+        assert mapper.data_crossbars(n, s, paper_config) == expected
+
+    def test_no_gather_below_row_count(self, paper_config):
+        assert mapper.gather_crossbars(1000, 256, paper_config) == 0
+
+    def test_gather_above_row_count(self, paper_config):
+        groups = math.ceil(1000 / 16)
+        assert mapper.gather_crossbars(1000, 512, paper_config) == groups
+
+    def test_total_is_sum(self, paper_config):
+        total = mapper.total_crossbars(1000, 512, paper_config)
+        assert total == mapper.data_crossbars(
+            1000, 512, paper_config
+        ) + mapper.gather_crossbars(1000, 512, paper_config)
+
+    def test_operand_too_wide_for_crossbar(self):
+        cfg = PIMArrayConfig(
+            crossbar=CrossbarConfig(rows=4, cols=4, cell_bits=2),
+            capacity_bytes=1 << 12,
+            operand_bits=32,
+        )
+        with pytest.raises(CapacityError, match="operand too wide"):
+            mapper.vectors_per_crossbar(cfg)
+
+
+class TestFitsAndMaxDimensionality:
+    def test_paper_msd_scale_fits(self, paper_config):
+        # the paper stores compressed MSD (992k x 105) on 131072 crossbars
+        assert mapper.fits(992272, 105, paper_config)
+
+    def test_paper_msd_full_does_not_fit(self, paper_config):
+        # full 420 dimensions exceed the 2 GB array
+        assert not mapper.fits(992272, 420 * 2, paper_config)
+
+    def test_max_dimensionality_monotone(self, paper_config):
+        s = mapper.max_dimensionality(992272, 420, paper_config)
+        assert mapper.fits(992272, s, paper_config)
+        if s < 420:
+            assert not mapper.fits(992272, s + 1, paper_config)
+
+    def test_candidate_restriction(self, paper_config):
+        s = mapper.max_dimensionality(
+            992272, 420, paper_config, candidates=[7, 28, 105, 210, 420]
+        )
+        assert s in {7, 28, 105, 210, 420}
+
+    def test_raises_when_nothing_fits(self, tiny_config):
+        with pytest.raises(CapacityError):
+            mapper.max_dimensionality(10**9, 64, tiny_config)
+
+
+class TestPlanLayout:
+    def test_layout_fields(self, tiny_config):
+        layout = mapper.plan_layout(4, 16, tiny_config)
+        assert layout.n_vectors == 4
+        assert layout.dims == 16
+        assert layout.gather_levels == mapper.gather_tree_levels(16, 8)
+        assert layout.n_crossbars == mapper.total_crossbars(4, 16, tiny_config)
+        assert layout.storage_bits == 4 * 16 * 8
+
+    def test_layout_rejects_oversize(self, tiny_config):
+        with pytest.raises(CapacityError, match="compress the dataset"):
+            mapper.plan_layout(10**6, 64, tiny_config)

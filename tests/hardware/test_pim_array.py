@@ -1,0 +1,153 @@
+"""Unit tests for the array-level PIM interface."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, OperandError, ProgrammingError
+from repro.hardware.config import HardwareConfig, PIMArrayConfig
+from repro.hardware.pim_array import PIMArray
+
+
+@pytest.fixture
+def array(small_pim_platform) -> PIMArray:
+    return PIMArray(small_pim_platform)
+
+
+class TestProgramming:
+    def test_program_returns_layout(self, array, rng):
+        matrix = rng.integers(0, 256, size=(10, 20))
+        layout = array.program_matrix("data", matrix)
+        assert layout.n_vectors == 10
+        assert layout.dims == 20
+        assert array.stats.crossbars_used == layout.n_crossbars
+
+    def test_duplicate_name_rejected(self, array, rng):
+        matrix = rng.integers(0, 256, size=(4, 8))
+        array.program_matrix("data", matrix)
+        with pytest.raises(ProgrammingError, match="already programmed"):
+            array.program_matrix("data", matrix)
+
+    def test_multiple_matrices_share_capacity(self, array, rng):
+        array.program_matrix("a", rng.integers(0, 256, size=(4, 8)))
+        array.program_matrix("b", rng.integers(0, 256, size=(4, 8)))
+        assert len(array.layouts()) == 2
+
+    def test_reset_frees_capacity(self, array, rng):
+        layout = array.program_matrix("a", rng.integers(0, 256, size=(4, 8)))
+        used = array.stats.crossbars_used
+        array.reset_matrix("a")
+        assert array.stats.crossbars_used == used - layout.n_crossbars
+        with pytest.raises(ProgrammingError):
+            array.query("a", np.zeros(8, dtype=np.int64))
+
+    def test_capacity_error_on_overflow(self, small_pim_platform, rng):
+        array = PIMArray(small_pim_platform)
+        with pytest.raises(CapacityError):
+            array.program_matrix(
+                "big", rng.integers(0, 256, size=(100000, 64))
+            )
+
+    def test_rejects_negative_values(self, array):
+        with pytest.raises(OperandError):
+            array.program_matrix("bad", np.array([[-1, 2]]))
+
+    def test_rejects_1d_matrix(self, array):
+        with pytest.raises(OperandError):
+            array.program_matrix("bad", np.arange(5))
+
+    def test_programming_time_accumulates(self, array, rng):
+        array.program_matrix("a", rng.integers(0, 256, size=(4, 8)))
+        assert array.stats.programming_time_ns > 0
+
+
+class TestQueries:
+    def test_dot_products_exact(self, array, rng):
+        matrix = rng.integers(0, 256, size=(10, 20))
+        array.program_matrix("data", matrix)
+        query = rng.integers(0, 256, size=20)
+        result = array.query("data", query)
+        assert np.array_equal(result.values, matrix @ query)
+
+    def test_unknown_matrix(self, array):
+        with pytest.raises(ProgrammingError, match="no matrix"):
+            array.query("missing", np.zeros(3, dtype=np.int64))
+
+    def test_wrong_query_length(self, array, rng):
+        array.program_matrix("data", rng.integers(0, 256, size=(4, 8)))
+        with pytest.raises(OperandError):
+            array.query("data", np.zeros(5, dtype=np.int64))
+
+    def test_wave_stats(self, array, rng):
+        matrix = rng.integers(0, 256, size=(4, 8))
+        array.program_matrix("data", matrix)
+        array.query("data", rng.integers(0, 256, size=8))
+        array.query("data", rng.integers(0, 256, size=8))
+        assert array.stats.waves == 2
+        assert array.stats.results_produced == 8
+        assert array.stats.pim_time_ns > 0
+
+    def test_query_many_matches_loop(self, array, rng):
+        matrix = rng.integers(0, 256, size=(10, 20))
+        array.program_matrix("data", matrix)
+        queries = rng.integers(0, 256, size=(5, 20))
+        batched = array.query_many("data", queries)
+        assert batched.values.shape == (5, 10)
+        for i, q in enumerate(queries):
+            assert np.array_equal(batched.values[i], matrix @ q)
+
+    def test_query_many_charges_per_wave(self, array, rng):
+        matrix = rng.integers(0, 256, size=(10, 20))
+        array.program_matrix("data", matrix)
+        single = array.query("data", rng.integers(0, 256, size=20))
+        time_before = array.stats.pim_time_ns
+        waves_before = array.stats.waves
+        array.query_many("data", rng.integers(0, 256, size=(5, 20)))
+        assert array.stats.waves == waves_before + 5
+        assert array.stats.pim_time_ns - time_before == pytest.approx(
+            5 * single.timing.total_ns
+        )
+
+    def test_accumulator_truncation(self, small_crossbar_config, rng):
+        platform = HardwareConfig(
+            pim=PIMArrayConfig(
+                crossbar=small_crossbar_config,
+                capacity_bytes=1 << 20,
+                operand_bits=8,
+                accumulator_bits=8,
+            )
+        )
+        array = PIMArray(platform)
+        matrix = np.full((1, 8), 255, dtype=np.int64)
+        array.program_matrix("data", matrix)
+        result = array.query("data", np.full(8, 255, dtype=np.int64))
+        full = 8 * 255 * 255
+        assert result.values[0] == full % 256
+
+
+class TestCellSimulationEquivalence:
+    def test_fast_path_matches_cell_path(self, small_pim_platform, rng):
+        matrix = rng.integers(0, 256, size=(7, 19))
+        query = rng.integers(0, 256, size=19)
+        fast = PIMArray(small_pim_platform, simulate_cells=False)
+        cells = PIMArray(small_pim_platform, simulate_cells=True)
+        fast.program_matrix("d", matrix)
+        cells.program_matrix("d", matrix)
+        v_fast = fast.query("d", query).values
+        v_cells = cells.query("d", query).values
+        assert np.array_equal(v_fast, v_cells)
+        assert np.array_equal(v_fast, matrix @ query)
+
+    def test_cell_path_tracks_endurance_per_crossbar(
+        self, small_pim_platform, rng
+    ):
+        array = PIMArray(small_pim_platform, simulate_cells=True)
+        array.program_matrix("d", rng.integers(0, 256, size=(4, 16)))
+        assert array.endurance.total_writes > 0
+
+
+class TestPlatformValidation:
+    def test_rejects_platform_without_pim(self):
+        from repro.hardware.config import baseline_platform
+
+        with pytest.raises(ProgrammingError):
+            PIMArray(baseline_platform())

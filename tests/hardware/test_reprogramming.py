@@ -1,0 +1,123 @@
+"""Unit tests for the chunked re-programming engine (future work #1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, OperandError
+from repro.hardware.config import (
+    CrossbarConfig,
+    HardwareConfig,
+    PIMArrayConfig,
+)
+from repro.hardware.reprogramming import ChunkedDotProductEngine
+
+
+def _tiny_platform(n_crossbars: int = 8) -> HardwareConfig:
+    """A small array so modest datasets need several chunks."""
+    xbar = CrossbarConfig(rows=16, cols=16, cell_bits=2)
+    return HardwareConfig(
+        pim=PIMArrayConfig(
+            crossbar=xbar,
+            capacity_bytes=n_crossbars * (xbar.capacity_bits // 8),
+            operand_bits=8,
+        )
+    )
+
+
+@pytest.fixture
+def engine() -> ChunkedDotProductEngine:
+    return ChunkedDotProductEngine(_tiny_platform())
+
+
+class TestLoading:
+    def test_partitions_oversized_dataset(self, engine, rng):
+        data = rng.integers(0, 256, size=(100, 16))
+        assert engine.load(data) > 1
+
+    def test_single_chunk_when_it_fits(self, rng):
+        engine = ChunkedDotProductEngine()
+        data = rng.integers(0, 2**20, size=(100, 16))
+        assert engine.load(data) == 1
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            ChunkedDotProductEngine(policy="lru")
+
+    def test_query_before_load(self, engine):
+        with pytest.raises(OperandError):
+            engine.dot_products_all(np.zeros(4, dtype=np.int64))
+
+
+class TestCorrectness:
+    def test_results_match_numpy_across_chunks(self, engine, rng):
+        data = rng.integers(0, 256, size=(100, 16))
+        engine.load(data)
+        query = rng.integers(0, 256, size=16)
+        assert np.array_equal(engine.dot_products_all(query), data @ query)
+
+    def test_pinned_policy_also_exact(self, rng):
+        engine = ChunkedDotProductEngine(_tiny_platform(), policy="pinned")
+        data = rng.integers(0, 256, size=(90, 16))
+        engine.load(data)
+        for _ in range(3):
+            query = rng.integers(0, 256, size=16)
+            assert np.array_equal(
+                engine.dot_products_all(query), data @ query
+            )
+
+
+class TestCostAccounting:
+    def test_round_robin_reprograms_every_chunk(self, engine, rng):
+        data = rng.integers(0, 256, size=(100, 16))
+        n_chunks = engine.load(data)
+        query = rng.integers(0, 256, size=16)
+        engine.dot_products_all(query)
+        assert engine.stats.reprogrammings == n_chunks
+        engine.dot_products_all(query)
+        # the last chunk stays resident, so the second query swaps
+        # all chunks again except it starts from chunk 0
+        assert engine.stats.reprogrammings == 2 * n_chunks
+
+    def test_pinned_saves_one_swap_per_query(self, rng):
+        data = rng.integers(0, 256, size=(100, 16))
+        rr = ChunkedDotProductEngine(_tiny_platform(), policy="round_robin")
+        pinned = ChunkedDotProductEngine(_tiny_platform(), policy="pinned")
+        n_chunks = rr.load(data)
+        pinned.load(data)
+        query = rng.integers(0, 256, size=16)
+        for _ in range(4):
+            rr.dot_products_all(query)
+            pinned.dot_products_all(query)
+        assert pinned.stats.reprogrammings < rr.stats.reprogrammings
+
+    def test_resident_dataset_never_reprograms_after_first(self, rng):
+        engine = ChunkedDotProductEngine()
+        data = rng.integers(0, 2**20, size=(50, 16))
+        engine.load(data)
+        query = rng.integers(0, 2**20, size=16)
+        for _ in range(5):
+            engine.dot_products_all(query)
+        assert engine.stats.reprogrammings == 1
+        assert engine.projected_lifetime_queries() > 1e9
+
+    def test_lifetime_shrinks_with_chunking(self, engine, rng):
+        data = rng.integers(0, 256, size=(100, 16))
+        engine.load(data)
+        query = rng.integers(0, 256, size=16)
+        engine.dot_products_all(query)
+        lifetime = engine.projected_lifetime_queries()
+        endurance = engine.pim.config.crossbar.endurance
+        assert lifetime == pytest.approx(
+            endurance / engine.writes_per_query()
+        )
+        assert lifetime < endurance  # more than one write per query
+
+    def test_programming_time_charged(self, engine, rng):
+        data = rng.integers(0, 256, size=(100, 16))
+        engine.load(data)
+        engine.dot_products_all(rng.integers(0, 256, size=16))
+        assert engine.stats.programming_time_ns > 0
+        assert engine.stats.wave_time_ns > 0
+        assert engine.amortized_query_time_ns() == pytest.approx(
+            engine.stats.total_time_ns
+        )

@@ -1,0 +1,125 @@
+"""Integration tests: the full pipeline on catalog datasets.
+
+These mirror the paper's experimental flow at miniature scale: generate
+a Table 6 stand-in, profile a baseline, build the PIM variant, verify
+exactness, and check the speedup *shape* (who wins and roughly why),
+not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import PIMAccelerator
+from repro.core.profiler import profile_kmeans, profile_knn
+from repro.data.catalog import make_dataset, make_queries
+from repro.data.lsh import make_binary_codes
+from repro.hardware.controller import PIMController
+from repro.mining.kmeans import initial_centers, make_kmeans
+from repro.mining.knn import (
+    HammingKNN,
+    PIMHammingKNN,
+    StandardKNN,
+    StandardPIMKNN,
+)
+
+
+class TestKNNPipeline:
+    @pytest.mark.parametrize("dataset", ["MSD", "Year"])
+    def test_accelerate_standard_on_catalog_data(self, dataset):
+        data = make_dataset(dataset, n=600, seed=0)
+        queries = make_queries(dataset, data, n_queries=2)
+        report = PIMAccelerator().accelerate_knn(
+            "Standard", data, queries, k=10
+        )
+        assert report.results_match
+        assert report.promising
+        assert report.speedup > 2.0
+        assert report.speedup <= report.oracle_speedup + 1e-9
+
+    def test_higher_dimensionality_gives_larger_speedup(self):
+        # Fig. 13a: speedup grows with d (transfer shrinks d*b -> 3*b)
+        speedups = {}
+        for dataset, n in [("Year", 500), ("Trevi", 200)]:
+            data = make_dataset(dataset, n=n, seed=1)
+            queries = make_queries(dataset, data, n_queries=2)
+            report = PIMAccelerator().accelerate_knn(
+                "Standard", data, queries, k=5
+            )
+            speedups[dataset] = report.speedup
+        assert speedups["Trevi"] > speedups["Year"]
+
+    def test_diffuse_data_weakens_pim_gain(self):
+        # Fig. 13a: GIST-like data prunes poorly under the compressed
+        # (Theorem 4) bound, shrinking PIM's gain vs clustered data
+        gains = {}
+        for dataset in ["MSD", "GIST"]:
+            data = make_dataset(dataset, n=400, seed=2)
+            queries = make_queries(dataset, data, n_queries=2)
+            dims = data.shape[1]
+            algo = StandardPIMKNN(n_segments=dims // 4).fit(data)
+            result = algo.query(queries[0], 10)
+            gains[dataset] = result.exact_computations / data.shape[0]
+        assert gains["MSD"] < gains["GIST"]
+
+
+class TestHammingPipeline:
+    def test_fig14_shape_long_codes_benefit_more(self):
+        # PIM transfer is fixed (64 bits) while CPU transfer grows with
+        # code length, so the speedup must grow with dimensionality
+        speedups = {}
+        for bits in [128, 1024]:
+            codes = make_binary_codes(400, bits, input_dims=64, seed=3)
+            q = codes[17]
+            cpu = profile_knn(HammingKNN().fit(codes), q[None, :], 10)
+            pim = profile_knn(PIMHammingKNN().fit(codes), q[None, :], 10)
+            speedups[bits] = cpu.total_time_ns / pim.total_time_ns
+        assert speedups[1024] > speedups[128]
+
+
+class TestKMeansPipeline:
+    def test_accelerate_all_algorithms_exactly(self):
+        data = make_dataset("Notre", n=400, seed=4)
+        for name in ["Standard", "Drake", "Yinyang"]:
+            report = PIMAccelerator().accelerate_kmeans(
+                name, data, k=8, max_iters=5
+            )
+            assert report.results_match, name
+            assert report.speedup > 1.0, name
+
+    def test_standard_gains_most_from_pim(self):
+        # Table 7 shape: Standard has no bounds, so PIM removes the most
+        data = make_dataset("Year", n=500, seed=5)
+        k = 16
+        init = initial_centers(data, k, seed=6)
+        speedups = {}
+        for name in ["Standard", "Elkan"]:
+            base = profile_kmeans(
+                make_kmeans(name, k, max_iters=5), data,
+                centers=init.copy(),
+            )
+            pim = profile_kmeans(
+                make_kmeans(name + "-PIM", k, max_iters=5), data,
+                centers=init.copy(),
+            )
+            speedups[name] = base.total_time_ns / pim.total_time_ns
+        assert speedups["Standard"] > speedups["Elkan"]
+
+
+class TestSharedSubstrate:
+    def test_one_controller_hosts_knn_and_kmeans(self):
+        # the 2 GB array is big enough for several programmed matrices
+        data = make_dataset("Year", n=300, seed=7)
+        controller = PIMController()
+        knn = StandardPIMKNN(controller=controller).fit(data)
+        queries = make_queries("Year", data, n_queries=1)
+        ref = StandardKNN().fit(data).query(queries[0], 5)
+        res = knn.query(queries[0], 5)
+        assert np.allclose(np.sort(res.scores), np.sort(ref.scores))
+
+        from repro.mining.kmeans import PIMAssist
+
+        assist = PIMAssist(controller)
+        algo = make_kmeans("Standard-PIM", 6, max_iters=4, pim_assist=assist)
+        result = algo.fit(data, initial_centers(data, 6, seed=8))
+        assert result.n_iterations >= 1
+        assert len(controller.pim.layouts()) == 2

@@ -1,0 +1,66 @@
+"""Unit tests for the approximate (never-refine) PIM kNN."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OperandError
+from repro.hardware.controller import PIMController
+from repro.hardware.noise import NoiseModel
+from repro.mining.knn import StandardKNN
+from repro.mining.knn.approximate import ApproximatePIMKNN, recall_at_k
+
+
+class TestApproximatePIMKNN:
+    def test_zero_exact_computations(self, clustered_data, query_vector):
+        result = (
+            ApproximatePIMKNN().fit(clustered_data).query(query_vector, 10)
+        )
+        assert result.exact_computations == 0
+        assert result.pim_time_ns > 0
+
+    def test_high_recall_on_ideal_device(self, clustered_data, query_vector):
+        # with alpha=1e6 and no noise, the estimate is near-exact, so
+        # the approximate ranking almost always matches
+        exact = StandardKNN().fit(clustered_data).query(query_vector, 10)
+        approx = (
+            ApproximatePIMKNN().fit(clustered_data).query(query_vector, 10)
+        )
+        assert recall_at_k(approx.indices, exact.indices) >= 0.9
+
+    def test_recall_degrades_with_noise(self, clustered_data, query_vector):
+        exact = StandardKNN().fit(clustered_data).query(query_vector, 10)
+        noisy = ApproximatePIMKNN(
+            controller=PIMController(
+                noise=NoiseModel(cell_sigma=0.05, seed=5)
+            )
+        )
+        result = noisy.fit(clustered_data).query(query_vector, 10)
+        clean = (
+            ApproximatePIMKNN().fit(clustered_data).query(query_vector, 10)
+        )
+        assert recall_at_k(result.indices, exact.indices) < recall_at_k(
+            clean.indices, exact.indices
+        )
+
+    def test_scores_are_estimates_sorted(self, clustered_data, query_vector):
+        result = (
+            ApproximatePIMKNN().fit(clustered_data).query(query_vector, 5)
+        )
+        assert np.all(np.diff(result.scores) >= -1e-12)
+        assert np.all(result.scores >= 0.0)
+
+    def test_unfitted_query_rejected(self, query_vector):
+        with pytest.raises(OperandError):
+            ApproximatePIMKNN().query(query_vector, 3)
+
+
+class TestRecallAtK:
+    def test_full_and_partial_overlap(self):
+        assert recall_at_k(np.array([1, 2, 3]), np.array([1, 2, 3])) == 1.0
+        assert recall_at_k(np.array([1, 9, 8]), np.array([1, 2, 3])) == (
+            pytest.approx(1 / 3)
+        )
+
+    def test_empty_exact_rejected(self):
+        with pytest.raises(OperandError):
+            recall_at_k(np.array([1]), np.array([]))

@@ -1,0 +1,93 @@
+"""Unit tests for the kNN classifier wrapper (accuracy preservation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, OperandError
+from repro.mining.knn import (
+    FNNKNN,
+    KNNClassifier,
+    StandardKNN,
+    StandardPIMKNN,
+    labelled_dataset,
+)
+
+
+@pytest.fixture
+def split():
+    """Train/test split from one labelled mixture."""
+    data, labels = labelled_dataset(600, 24, n_classes=6, spread=0.05, seed=3)
+    return data[:500], labels[:500], data[500:], labels[500:]
+
+
+class TestClassifier:
+    def test_reasonable_accuracy(self, split):
+        X, y, Q, qy = split
+        clf = KNNClassifier(StandardKNN(), k=7).fit(X, y)
+        report = clf.score(Q, qy)
+        assert report.accuracy > 0.8
+        assert report.n_queries == len(Q)
+
+    def test_pim_accuracy_identical(self, split):
+        # the paper's headline: PIM acceleration never changes accuracy
+        X, y, Q, qy = split
+        base = KNNClassifier(StandardKNN(), k=7).fit(X, y)
+        pim = KNNClassifier(StandardPIMKNN(), k=7).fit(X, y)
+        base_report = base.score(Q, qy)
+        pim_report = pim.score(Q, qy)
+        assert pim_report.accuracy == base_report.accuracy
+        assert np.array_equal(base.predict(Q), pim.predict(Q))
+
+    def test_pim_does_less_exact_work(self, split):
+        X, y, Q, qy = split
+        base = KNNClassifier(StandardKNN(), k=7).fit(X, y)
+        pim = KNNClassifier(StandardPIMKNN(), k=7).fit(X, y)
+        assert (
+            pim.score(Q, qy).exact_computations
+            < base.score(Q, qy).exact_computations
+        )
+
+    def test_bounded_search_also_identical(self, split):
+        X, y, Q, qy = split
+        base = KNNClassifier(StandardKNN(), k=7).fit(X, y)
+        fnn = KNNClassifier(FNNKNN(dims=X.shape[1]), k=7).fit(X, y)
+        assert np.array_equal(base.predict(Q), fnn.predict(Q))
+
+    def test_predict_one(self, split):
+        X, y, Q, _ = split
+        clf = KNNClassifier(StandardKNN(), k=5).fit(X, y)
+        assert clf.predict_one(Q[0]) in set(y.tolist())
+
+    def test_tie_break_is_deterministic(self):
+        data = np.array([[0.0, 0.0], [0.1, 0.0], [1.0, 1.0], [0.9, 1.0]])
+        labels = np.array([0, 0, 1, 1])
+        clf = KNNClassifier(StandardKNN(), k=4).fit(data, labels)
+        # 2-2 tie: the label of the nearest neighbour wins
+        assert clf.predict_one(np.array([0.05, 0.0])) == 0
+        assert clf.predict_one(np.array([0.95, 1.0])) == 1
+
+    def test_validation(self, split):
+        X, y, Q, qy = split
+        with pytest.raises(ConfigurationError):
+            KNNClassifier(StandardKNN(), k=0)
+        with pytest.raises(OperandError):
+            KNNClassifier(StandardKNN(), k=3).fit(X, y[:-1])
+        clf = KNNClassifier(StandardKNN(), k=3)
+        with pytest.raises(OperandError):
+            clf.predict_one(Q[0])
+        clf.fit(X, y)
+        with pytest.raises(OperandError):
+            clf.score(Q, qy[:-1])
+
+
+class TestLabelledDataset:
+    def test_shapes_and_ranges(self):
+        data, labels = labelled_dataset(100, 8, n_classes=4, seed=1)
+        assert data.shape == (100, 8)
+        assert labels.shape == (100,)
+        assert set(labels.tolist()) <= set(range(4))
+        assert data.min() >= 0.0 and data.max() <= 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            labelled_dataset(0, 8)

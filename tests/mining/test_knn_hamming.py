@@ -1,0 +1,79 @@
+"""Unit tests for Hamming-distance kNN (Fig. 14 algorithms)."""
+
+import numpy as np
+import pytest
+
+from repro.data.lsh import make_binary_codes
+from repro.errors import OperandError
+from repro.hardware.controller import PIMController
+from repro.mining.knn.hamming import (
+    HammingKNN,
+    PIMHammingKNN,
+    binary_pim_platform,
+)
+
+
+@pytest.fixture
+def codes(rng):
+    return rng.integers(0, 2, size=(300, 128)).astype(np.int8)
+
+
+@pytest.fixture
+def query_code(rng):
+    return rng.integers(0, 2, size=128).astype(np.int8)
+
+
+class TestHammingKNN:
+    def test_exact_distances(self, codes, query_code):
+        result = HammingKNN().fit(codes).query(query_code, 10)
+        from repro.similarity.measures import hamming_batch
+
+        ref = np.sort(hamming_batch(codes, query_code))[:10]
+        assert np.allclose(np.sort(result.scores), ref)
+
+    def test_transfer_counts_packed_bits(self, codes, query_code):
+        result = HammingKNN().fit(codes).query(query_code, 5)
+        events = result.counters.events("hamming")
+        # d bits = d/8 bytes per object
+        assert events.bytes_from_memory == pytest.approx(
+            codes.shape[0] * codes.shape[1] / 8.0
+        )
+
+
+class TestPIMHammingKNN:
+    def test_identical_to_cpu_scan(self, codes, query_code):
+        ref = HammingKNN().fit(codes).query(query_code, 10)
+        result = PIMHammingKNN().fit(codes).query(query_code, 10)
+        assert np.allclose(np.sort(result.scores), np.sort(ref.scores))
+
+    def test_no_exact_cpu_computations(self, codes, query_code):
+        result = PIMHammingKNN().fit(codes).query(query_code, 10)
+        assert result.exact_computations == 0
+        assert result.pim_time_ns > 0
+
+    def test_transfer_is_64_bits_per_object(self, codes, query_code):
+        result = PIMHammingKNN().fit(codes).query(query_code, 5)
+        events = result.counters.events("HD_PIM")
+        assert events.bytes_from_memory == pytest.approx(
+            codes.shape[0] * 8.0
+        )
+
+    def test_requires_binary_platform(self):
+        with pytest.raises(OperandError, match="1-bit"):
+            PIMHammingKNN(controller=PIMController())
+
+    def test_binary_platform_defaults(self):
+        platform = binary_pim_platform()
+        assert platform.pim.operand_bits == 1
+        assert platform.pim.accumulator_bits == 32
+
+
+class TestLSHWorkload:
+    @pytest.mark.parametrize("bits", [128, 256])
+    def test_lsh_codes_work_end_to_end(self, bits):
+        codes = make_binary_codes(200, bits, input_dims=64, seed=3)
+        q = codes[0]
+        cpu = HammingKNN().fit(codes).query(q, 5)
+        pim = PIMHammingKNN().fit(codes).query(q, 5)
+        assert cpu.scores[0] == 0.0  # the query is in the dataset
+        assert np.allclose(np.sort(cpu.scores), np.sort(pim.scores))

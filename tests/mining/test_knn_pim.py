@@ -1,0 +1,169 @@
+"""Unit tests for the PIM-optimized kNN variants.
+
+Central contract (the paper's headline): PIM variants return results
+identical to their baselines while transferring far less data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.config import (
+    CrossbarConfig,
+    HardwareConfig,
+    PIMArrayConfig,
+)
+from repro.hardware.controller import PIMController
+from repro.mining.knn import (
+    FNNPIMKNN,
+    FNNPIMOptimizeKNN,
+    OSTPIMKNN,
+    SMPIMKNN,
+    StandardKNN,
+    StandardPIMKNN,
+    make_pim_variant,
+)
+
+
+@pytest.fixture
+def data(clustered_data):
+    return clustered_data
+
+
+@pytest.fixture
+def query(query_vector):
+    return query_vector
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda d, n: StandardPIMKNN(),
+        lambda d, n: OSTPIMKNN(dims=d),
+        lambda d, n: SMPIMKNN(dims=d),
+        lambda d, n: FNNPIMKNN(dims=d, n_vectors=n),
+    ],
+    ids=["Standard-PIM", "OST-PIM", "SM-PIM", "FNN-PIM"],
+)
+class TestPIMVariantsExactness:
+    def test_identical_results(self, factory, data, query):
+        ref = StandardKNN().fit(data).query(query, 10)
+        algo = factory(data.shape[1], data.shape[0]).fit(data)
+        result = algo.query(query, 10)
+        assert np.allclose(np.sort(result.scores), np.sort(ref.scores))
+
+    def test_pim_time_attributed(self, factory, data, query):
+        algo = factory(data.shape[1], data.shape[0]).fit(data)
+        result = algo.query(query, 10)
+        assert result.pim_time_ns > 0
+
+
+class TestStandardPIM:
+    def test_strong_pruning_on_clustered_data(self, data, query):
+        result = StandardPIMKNN().fit(data).query(query, 10)
+        assert result.exact_computations < 0.2 * data.shape[0]
+
+    def test_cosine_variant(self, data, query):
+        ref = StandardKNN(measure="cosine").fit(data).query(query, 10)
+        result = StandardPIMKNN(measure="cosine").fit(data).query(query, 10)
+        assert np.allclose(np.sort(result.scores), np.sort(ref.scores))
+
+    def test_pearson_variant(self, data, query):
+        ref = StandardKNN(measure="pearson").fit(data).query(query, 10)
+        result = StandardPIMKNN(measure="pearson").fit(data).query(query, 10)
+        assert np.allclose(np.sort(result.scores), np.sort(ref.scores))
+
+    def test_hamming_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StandardPIMKNN(measure="hamming")
+
+    def test_capacity_guard(self, rng):
+        tiny = HardwareConfig(
+            pim=PIMArrayConfig(
+                crossbar=CrossbarConfig(rows=8, cols=8),
+                capacity_bytes=1 << 12,
+                operand_bits=32,
+            )
+        )
+        algo = StandardPIMKNN(controller=PIMController(tiny))
+        with pytest.raises(CapacityError):
+            algo.fit(rng.random((10000, 64)))
+
+
+def _constrained_platform() -> HardwareConfig:
+    """A PIM array where Theorem 4 forces s=16 for 2000 x 64 data.
+
+    16x16 2-bit crossbars (64 B each), 600 of them: the concatenated
+    mean/std matrix of s=16 segments fits (375 crossbars) while s=32
+    does not (625).
+    """
+    return HardwareConfig(
+        pim=PIMArrayConfig(
+            crossbar=CrossbarConfig(rows=16, cols=16, cell_bits=2),
+            capacity_bytes=600 * 64,
+            operand_bits=2,
+        )
+    )
+
+
+class TestFNNPIM:
+    def test_theorem4_picks_compressed_segments(self, rng):
+        algo = FNNPIMKNN(
+            dims=64,
+            n_vectors=2000,
+            controller=PIMController(_constrained_platform()),
+        )
+        assert algo.n_segments == 16
+        assert 64 % algo.n_segments == 0
+
+    def test_default_plan_keeps_remaining_original_bounds(self):
+        # the paper's default FNN-PIM replaces only the bottleneck (the
+        # coarsest) bound and keeps the rest of the ladder (Fig. 12b);
+        # the Section V-D optimizer is what removes redundant ones
+        algo = FNNPIMKNN(dims=64, n_vectors=2000, n_segments=4)
+        names = [b.name for b in algo.bounds]
+        assert names[0] == "LB_PIM-FNN_4"
+        assert names[1:] == ["LB_FNN_4", "LB_FNN_16"]
+
+    def test_explicit_segments_respected(self, data):
+        algo = FNNPIMKNN(
+            dims=data.shape[1], n_vectors=data.shape[0], n_segments=8
+        )
+        assert algo.n_segments == 8
+
+    def test_compressed_variant_still_exact(self, data, query):
+        algo = FNNPIMKNN(
+            dims=data.shape[1], n_vectors=data.shape[0], n_segments=4
+        ).fit(data)
+        ref = StandardKNN().fit(data).query(query, 10)
+        result = algo.query(query, 10)
+        assert np.allclose(np.sort(result.scores), np.sort(ref.scores))
+
+
+class TestFNNPIMOptimize:
+    def test_runs_explicit_plan(self, data, query):
+        controller = PIMController()
+        base = FNNPIMKNN(
+            dims=data.shape[1],
+            n_vectors=data.shape[0],
+            controller=controller,
+        ).fit(data)
+        optimized = FNNPIMOptimizeKNN(list(base.bounds), controller)
+        optimized.fit(data)
+        ref = StandardKNN().fit(data).query(query, 10)
+        result = optimized.query(query, 10)
+        assert optimized.name == "FNN-PIM-optimize"
+        assert np.allclose(np.sort(result.scores), np.sort(ref.scores))
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name", ["Standard-PIM", "OST-PIM", "SM-PIM", "FNN-PIM"]
+    )
+    def test_known_variants(self, name, data):
+        algo = make_pim_variant(name, data.shape[1], data.shape[0])
+        assert algo.name == name
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            make_pim_variant("Faiss-PIM", 8, 100)

@@ -1,0 +1,123 @@
+"""Property-based tests: Table 4 decompositions are identities.
+
+``F(p, q) == G(Phi(p), Phi(q), p·q)`` must hold for every measure on
+arbitrary vectors — this is what makes the offline/online split of the
+paper lossless before any quantization enters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import measures
+from repro.similarity.decomposition import (
+    cosine_decomposition,
+    euclidean_decomposition,
+    fnn_decomposition,
+    hamming_decomposition,
+    pearson_decomposition,
+)
+from repro.similarity.segments import summarize
+
+
+@st.composite
+def vector_pairs(draw):
+    dims = draw(st.sampled_from([2, 4, 8, 16, 32]))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    scale = draw(st.sampled_from([1.0, 10.0, 1000.0]))
+    rng = np.random.default_rng(seed)
+    return rng.random(dims) * scale, rng.random(dims) * scale
+
+
+class TestDecompositionIdentities:
+    @given(vector_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_euclidean(self, pair):
+        p, q = pair
+        assert euclidean_decomposition().evaluate(p, q) == pytest.approx(
+            measures.euclidean(p, q), rel=1e-9, abs=1e-9
+        )
+
+    @given(vector_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_cosine(self, pair):
+        p, q = pair
+        assert cosine_decomposition().evaluate(p, q) == pytest.approx(
+            measures.cosine(p, q), rel=1e-9, abs=1e-9
+        )
+
+    @given(vector_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_pearson(self, pair):
+        p, q = pair
+        assert pearson_decomposition().evaluate(p, q) == pytest.approx(
+            measures.pearson(p, q), rel=1e-6, abs=1e-6
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hamming(self, dims, seed):
+        rng = np.random.default_rng(seed)
+        p = rng.integers(0, 2, size=dims)
+        q = rng.integers(0, 2, size=dims)
+        assert hamming_decomposition().evaluate(p, q) == pytest.approx(
+            float(measures.hamming(p, q))
+        )
+
+    @given(
+        st.sampled_from([8, 16, 32]),
+        st.sampled_from([2, 4, 8]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fnn_decomposition_equals_direct_formula(
+        self, dims, segments, seed
+    ):
+        rng = np.random.default_rng(seed)
+        p, q = rng.random(dims), rng.random(dims)
+        sp = summarize(p, segments)
+        sq = summarize(q, segments)
+        direct = sp.segment_length * float(
+            ((sp.means - sq.means) ** 2).sum()
+            + ((sp.stds - sq.stds) ** 2).sum()
+        )
+        assert fnn_decomposition(segments).evaluate(p, q) == pytest.approx(
+            direct, rel=1e-9, abs=1e-9
+        )
+
+
+class TestSegmentIdentities:
+    @given(
+        st.sampled_from([8, 16, 32]),
+        st.sampled_from([1, 2, 4, 8]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_segment_stats_match_manual(self, dims, segments, seed):
+        rng = np.random.default_rng(seed)
+        v = rng.random(dims)
+        summary = summarize(v, segments)
+        length = dims // segments
+        for i in range(segments):
+            chunk = v[i * length : (i + 1) * length]
+            assert summary.means[i] == pytest.approx(chunk.mean())
+            assert summary.stds[i] == pytest.approx(chunk.std())
+
+    @given(
+        st.sampled_from([8, 16, 32]),
+        st.sampled_from([2, 4, 8]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fnn_lower_bounds_ed_at_any_resolution(
+        self, dims, segments, seed
+    ):
+        # the classic inequality behind LB_FNN, on raw random vectors
+        rng = np.random.default_rng(seed)
+        p, q = rng.random(dims), rng.random(dims)
+        lb = fnn_decomposition(segments).evaluate(p, q)
+        assert lb <= measures.euclidean(p, q) + 1e-9

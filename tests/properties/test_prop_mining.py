@@ -1,0 +1,115 @@
+"""Property-based tests: mining results are exact under randomness.
+
+The paper's headline guarantee — PIM optimization never changes results
+— must hold for arbitrary datasets, ks and measures.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.kmeans import LloydKMeans, make_kmeans, initial_centers
+from repro.mining.knn import (
+    FNNKNN,
+    HammingKNN,
+    PIMHammingKNN,
+    StandardKNN,
+    StandardPIMKNN,
+)
+
+
+@st.composite
+def knn_case(draw):
+    n = draw(st.integers(min_value=5, max_value=80))
+    dims = draw(st.sampled_from([8, 16, 24]))
+    k = draw(st.integers(min_value=1, max_value=min(n, 10)))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    # mixture data so the test also exercises the pruning path
+    centers = rng.random((4, dims))
+    data = np.clip(
+        centers[rng.integers(0, 4, n)]
+        + 0.1 * rng.standard_normal((n, dims)),
+        0,
+        1,
+    )
+    query = rng.random(dims)
+    return data, query, k
+
+
+class TestKNNExactness:
+    @given(knn_case())
+    @settings(max_examples=25, deadline=None)
+    def test_standard_pim_equals_standard(self, case):
+        data, query, k = case
+        ref = StandardKNN().fit(data).query(query, k)
+        res = StandardPIMKNN().fit(data).query(query, k)
+        assert np.allclose(np.sort(res.scores), np.sort(ref.scores))
+
+    @given(knn_case())
+    @settings(max_examples=25, deadline=None)
+    def test_fnn_equals_standard(self, case):
+        data, query, k = case
+        ref = StandardKNN().fit(data).query(query, k)
+        res = FNNKNN(dims=data.shape[1]).fit(data).query(query, k)
+        assert np.allclose(np.sort(res.scores), np.sort(ref.scores))
+
+    @given(knn_case(), st.sampled_from(["cosine", "pearson"]))
+    @settings(max_examples=20, deadline=None)
+    def test_similarity_measures_exact(self, case, measure):
+        data, query, k = case
+        ref = StandardKNN(measure=measure).fit(data).query(query, k)
+        res = StandardPIMKNN(measure=measure).fit(data).query(query, k)
+        assert np.allclose(np.sort(res.scores), np.sort(ref.scores))
+
+
+class TestHammingExactness:
+    @given(
+        st.integers(min_value=5, max_value=60),
+        st.sampled_from([32, 64]),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_pim_equals_cpu(self, n, bits, k, seed):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 2, size=(n, bits))
+        q = rng.integers(0, 2, size=bits)
+        ref = HammingKNN().fit(codes).query(q, k)
+        res = PIMHammingKNN().fit(codes).query(q, k)
+        assert np.allclose(np.sort(res.scores), np.sort(ref.scores))
+
+
+@st.composite
+def kmeans_case(draw):
+    n = draw(st.integers(min_value=20, max_value=100))
+    dims = draw(st.sampled_from([4, 8, 16]))
+    k = draw(st.integers(min_value=2, max_value=min(8, n // 3)))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    centers = rng.random((k, dims))
+    data = np.clip(
+        centers[rng.integers(0, k, n)]
+        + 0.08 * rng.standard_normal((n, dims)),
+        0,
+        1,
+    )
+    return data, k, seed
+
+
+class TestKMeansEquivalence:
+    @given(
+        kmeans_case(),
+        st.sampled_from(
+            ["Elkan", "Drake", "Yinyang", "Standard-PIM", "Elkan-PIM"]
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_variant_matches_lloyd(self, case, name):
+        data, k, seed = case
+        init = initial_centers(data, k, seed=seed % 1000)
+        ref = LloydKMeans(k, max_iters=6).fit(data, init.copy())
+        res = make_kmeans(name, k, max_iters=6).fit(data, init.copy())
+        assert res.inertia <= ref.inertia * (1 + 1e-9) + 1e-12
+        assert res.n_iterations == ref.n_iterations
+        assert np.array_equal(res.assignments, ref.assignments)

@@ -1,0 +1,87 @@
+"""Property-based tests: noise never breaks a guarantee.
+
+For every noise magnitude and dataset, (1) noisy readings stay within
+the model's declared worst case, (2) compensated bounds bracket the
+truth, and (3) the quantized ED lower bound under a noisy controller
+still lower-bounds the exact distance.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.config import HardwareConfig, PIMArrayConfig
+from repro.hardware.controller import PIMController
+from repro.hardware.noise import (
+    NoiseModel,
+    NoisyPIMArray,
+    compensate_dot_lower,
+    compensate_dot_upper,
+)
+
+
+@st.composite
+def noisy_cases(draw):
+    sigma = draw(st.sampled_from([0.0, 0.001, 0.01, 0.05]))
+    adc_step = draw(st.sampled_from([0.0, 16.0, 1024.0]))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    n = draw(st.integers(min_value=1, max_value=30))
+    dims = draw(st.sampled_from([4, 8, 16]))
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, 10**5, size=(n, dims))
+    query = rng.integers(0, 10**5, size=dims)
+    model = NoiseModel(cell_sigma=sigma, adc_step=adc_step, seed=seed % 997)
+    return model, matrix, query
+
+
+class TestNoiseEnvelope:
+    @given(noisy_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_readings_within_declared_worst_case(self, case):
+        model, matrix, query = case
+        array = NoisyPIMArray(HardwareConfig(pim=PIMArrayConfig()), model)
+        array.program_matrix("d", matrix)
+        truth = (matrix @ query).astype(np.float64)
+        noisy = array.query("d", query).values
+        e = model.relative_error_bound
+        a = model.additive_error_bound
+        assert np.all(noisy <= truth * (1 + e) + a + 1e-6)
+        assert np.all(noisy >= truth * (1 - e) - a - 1e-6)
+
+    @given(noisy_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_compensation_brackets_truth(self, case):
+        model, matrix, query = case
+        array = NoisyPIMArray(HardwareConfig(pim=PIMArrayConfig()), model)
+        array.program_matrix("d", matrix)
+        truth = (matrix @ query).astype(np.float64)
+        noisy = array.query("d", query).values
+        assert np.all(
+            compensate_dot_upper(noisy, model)
+            >= truth * (1.0 - 1e-12) - 1e-6
+        )
+        assert np.all(
+            compensate_dot_lower(noisy, model)
+            <= truth * (1.0 + 1e-12) + 1e-6
+        )
+
+
+class TestNoisyBoundsProperty:
+    @given(
+        st.sampled_from([0.0, 0.01, 0.05]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lb_pim_ed_valid_under_noise(self, sigma, seed):
+        from repro.bounds.pim import PIMEuclideanBound
+        from repro.similarity.measures import euclidean_batch
+
+        rng = np.random.default_rng(seed)
+        data = rng.random((25, 16))
+        query = rng.random(16)
+        model = NoiseModel(cell_sigma=sigma, seed=seed % 997)
+        bound = PIMEuclideanBound(PIMController(noise=model))
+        bound.prepare(data)
+        lb = bound.evaluate(query)
+        ed = euclidean_batch(data, query)
+        assert np.all(lb <= ed + 1e-9)

@@ -1,0 +1,131 @@
+"""Property-based tests: the extended mining tasks are exact.
+
+Random data, random parameters — outlier detection, motif discovery,
+MIPS and the chunked engine must match their reference computations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.config import (
+    CrossbarConfig,
+    HardwareConfig,
+    PIMArrayConfig,
+)
+from repro.hardware.reprogramming import ChunkedDotProductEngine
+from repro.mining.knn.maxip import PIMMIPS, StandardMIPS
+from repro.mining.motif import PIMMotifDiscovery, StandardMotifDiscovery
+from repro.mining.outlier import PIMOutlierDetector, StandardOutlierDetector
+
+
+@st.composite
+def outlier_cases(draw):
+    n = draw(st.integers(min_value=20, max_value=80))
+    dims = draw(st.sampled_from([4, 8, 16]))
+    k = draw(st.integers(min_value=1, max_value=4))
+    m = draw(st.integers(min_value=1, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    centers = rng.random((4, dims))
+    data = np.clip(
+        centers[rng.integers(0, 4, n)]
+        + 0.08 * rng.standard_normal((n, dims)),
+        0,
+        1,
+    )
+    return data, k, m
+
+
+class TestOutlierProperty:
+    @given(outlier_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_pim_matches_standard(self, case):
+        data, k, m = case
+        std = (
+            StandardOutlierDetector(n_neighbors=k, n_outliers=m)
+            .fit(data)
+            .detect()
+        )
+        pim = (
+            PIMOutlierDetector(n_neighbors=k, n_outliers=m)
+            .fit(data)
+            .detect()
+        )
+        assert np.allclose(np.sort(std.scores), np.sort(pim.scores))
+
+    @given(outlier_cases())
+    @settings(max_examples=10, deadline=None)
+    def test_scores_are_true_knn_distances(self, case):
+        data, k, m = case
+        result = (
+            StandardOutlierDetector(n_neighbors=k, n_outliers=m)
+            .fit(data)
+            .detect()
+        )
+        for idx, score in zip(result.indices, result.scores):
+            diff = data - data[idx]
+            dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            dists = np.delete(dists, idx)
+            assert score == pytest.approx(np.sort(dists)[k - 1], abs=1e-9)
+
+
+class TestMotifProperty:
+    @given(
+        st.integers(min_value=100, max_value=250),
+        st.sampled_from([8, 16]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_pim_matches_standard(self, length, window, seed):
+        rng = np.random.default_rng(seed)
+        series = np.cumsum(rng.standard_normal(length))  # random walk
+        std = StandardMotifDiscovery(window=window).fit(series).discover()
+        pim = PIMMotifDiscovery(window=window).fit(series).discover()
+        assert pim.distance <= std.distance + 1e-9
+        assert std.distance <= pim.distance + 1e-9
+
+
+class TestMIPSProperty:
+    @given(
+        st.integers(min_value=10, max_value=100),
+        st.sampled_from([4, 8, 16]),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_both_match_brute_force(self, n, dims, top, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.random((max(n, top), dims))
+        q = rng.random(dims)
+        brute = np.sort(data @ q)[-top:]
+        std = StandardMIPS(top=top).fit(data).query(q)
+        pim = PIMMIPS(top=top).fit(data).query(q)
+        assert np.allclose(np.sort(std.products), brute)
+        assert np.allclose(np.sort(pim.products), brute)
+
+
+class TestChunkedEngineProperty:
+    @given(
+        st.integers(min_value=5, max_value=120),
+        st.sampled_from([4, 8, 16]),
+        st.sampled_from(["round_robin", "pinned"]),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_chunked_dot_products_exact(self, n, dims, policy, seed):
+        rng = np.random.default_rng(seed)
+        xbar = CrossbarConfig(rows=16, cols=16, cell_bits=2)
+        platform = HardwareConfig(
+            pim=PIMArrayConfig(
+                crossbar=xbar,
+                capacity_bytes=8 * (xbar.capacity_bits // 8),
+                operand_bits=8,
+            )
+        )
+        engine = ChunkedDotProductEngine(platform, policy=policy)
+        data = rng.integers(0, 256, size=(n, dims))
+        engine.load(data)
+        query = rng.integers(0, 256, size=dims)
+        assert np.array_equal(engine.dot_products_all(query), data @ query)

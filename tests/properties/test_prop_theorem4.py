@@ -1,0 +1,88 @@
+"""Property-based tests: Theorem 4 capacity math is consistent.
+
+Crossbar counts must be monotone in every argument, the solver's choice
+must be feasible-and-maximal, and the gather tree must terminate.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.memory_manager import choose_compressed_dims
+from repro.errors import CapacityError
+from repro.hardware.config import CrossbarConfig, PIMArrayConfig
+from repro.hardware import mapper
+
+
+@st.composite
+def array_configs(draw):
+    rows = draw(st.sampled_from([4, 8, 16, 64, 256]))
+    cell_bits = draw(st.sampled_from([1, 2, 4]))
+    operand_bits = draw(st.sampled_from([1, 8, 16, 32]))
+    slices = -(-operand_bits // cell_bits)
+    if slices > rows:  # ensure at least one vector fits a crossbar row
+        operand_bits = cell_bits
+    crossbar = CrossbarConfig(rows=rows, cols=rows, cell_bits=cell_bits)
+    capacity = draw(
+        st.integers(min_value=64, max_value=1 << 22)
+    )
+    capacity = max(capacity, crossbar.capacity_bits // 8 + 1)
+    return PIMArrayConfig(
+        crossbar=crossbar,
+        capacity_bytes=capacity,
+        operand_bits=operand_bits,
+        accumulator_bits=64,
+    )
+
+
+class TestMonotonicity:
+    @given(
+        array_configs(),
+        st.integers(min_value=1, max_value=5000),
+        st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_crossbars_monotone_in_dims(self, config, n, dims):
+        a = mapper.total_crossbars(n, dims, config)
+        b = mapper.total_crossbars(n, dims + 1, config)
+        assert b >= a
+
+    @given(
+        array_configs(),
+        st.integers(min_value=1, max_value=5000),
+        st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_crossbars_monotone_in_vectors(self, config, n, dims):
+        a = mapper.total_crossbars(n, dims, config)
+        b = mapper.total_crossbars(n + 50, dims, config)
+        assert b >= a
+
+    @given(array_configs(), st.integers(min_value=1, max_value=2048))
+    @settings(max_examples=60, deadline=None)
+    def test_gather_tree_terminates_and_counts(self, config, dims):
+        levels = mapper.gather_tree_levels(dims, config.crossbar.rows)
+        assert 1 <= levels <= 12
+        if dims <= config.crossbar.rows:
+            assert mapper.gather_crossbars(10, dims, config) == 0
+        else:
+            assert mapper.gather_crossbars(10, dims, config) > 0
+
+
+class TestSolver:
+    @given(
+        array_configs(),
+        st.integers(min_value=1, max_value=3000),
+        st.integers(min_value=1, max_value=256),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_choice_is_feasible_and_maximal(self, config, n, dims):
+        try:
+            plan = choose_compressed_dims(n, dims, config)
+        except CapacityError:
+            assert not mapper.fits(n, 1, config)
+            return
+        s = plan.compressed_dims
+        assert 1 <= s <= dims
+        assert mapper.fits(n, s, config)
+        if s < dims:
+            assert not mapper.fits(n, s + 1, config)

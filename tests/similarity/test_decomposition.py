@@ -1,0 +1,116 @@
+"""Unit tests for the Table 4 PIM-aware decompositions.
+
+The defining property: evaluating through G(Phi(p), Phi(q), p.q) must
+equal the direct measure exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import OperandError
+from repro.similarity import measures
+from repro.similarity.decomposition import (
+    cosine_decomposition,
+    decomposition_for,
+    euclidean_decomposition,
+    fnn_decomposition,
+    hamming_decomposition,
+    is_pim_aware,
+    pearson_decomposition,
+)
+from repro.bounds.ed import FNNBound
+
+
+class TestEuclideanDecomposition:
+    def test_matches_direct(self, rng):
+        decomp = euclidean_decomposition()
+        for _ in range(5):
+            p, q = rng.random(16), rng.random(16)
+            assert decomp.evaluate(p, q) == pytest.approx(
+                measures.euclidean(p, q)
+            )
+
+    def test_phi_is_squared_norm(self, rng):
+        p = rng.random(8)
+        assert euclidean_decomposition().phi(p)[0] == pytest.approx(
+            float(p @ p)
+        )
+
+
+class TestCosineDecomposition:
+    def test_matches_direct(self, rng):
+        decomp = cosine_decomposition()
+        for _ in range(5):
+            p, q = rng.random(16), rng.random(16)
+            assert decomp.evaluate(p, q) == pytest.approx(
+                measures.cosine(p, q)
+            )
+
+    def test_zero_vector(self):
+        decomp = cosine_decomposition()
+        assert decomp.evaluate(np.zeros(4), np.ones(4)) == 0.0
+
+
+class TestPearsonDecomposition:
+    def test_matches_direct(self, rng):
+        decomp = pearson_decomposition()
+        for _ in range(5):
+            p, q = rng.random(16), rng.random(16)
+            assert decomp.evaluate(p, q) == pytest.approx(
+                measures.pearson(p, q)
+            )
+
+    def test_constant_vector(self, rng):
+        decomp = pearson_decomposition()
+        assert decomp.evaluate(np.full(8, 3.0), rng.random(8)) == 0.0
+
+
+class TestHammingDecomposition:
+    def test_matches_direct(self, rng):
+        decomp = hamming_decomposition()
+        for _ in range(5):
+            p = rng.integers(0, 2, size=32)
+            q = rng.integers(0, 2, size=32)
+            assert decomp.evaluate(p, q) == pytest.approx(
+                measures.hamming(p, q)
+            )
+
+    def test_complement_operand(self):
+        decomp = hamming_decomposition()
+        code, complement = decomp.dot_operands(np.array([1, 0, 1]))
+        assert complement.tolist() == [0.0, 1.0, 0.0]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(OperandError):
+            hamming_decomposition().dot_operands(np.array([0, 2]))
+
+
+class TestFNNDecomposition:
+    def test_matches_fnn_bound(self, rng):
+        # the decomposition evaluates LB_FNN itself
+        data = rng.random((10, 16))
+        q = rng.random(16)
+        bound = FNNBound(4)
+        bound.prepare(data)
+        decomp = fnn_decomposition(4)
+        expected = bound.evaluate(q)
+        for i in range(10):
+            assert decomp.evaluate(data[i], q) == pytest.approx(expected[i])
+
+    def test_requires_segments(self):
+        with pytest.raises(OperandError):
+            decomposition_for("LB_FNN")
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "measure", ["euclidean", "cosine", "pearson", "hamming"]
+    )
+    def test_known_measures(self, measure):
+        assert decomposition_for(measure).name == measure
+        assert is_pim_aware(measure)
+
+    def test_unknown_measure(self):
+        with pytest.raises(OperandError):
+            decomposition_for("manhattan")
+        assert not is_pim_aware("manhattan")

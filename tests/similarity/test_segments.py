@@ -1,0 +1,78 @@
+"""Unit tests for segment summaries and the FNN segment ladder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, OperandError
+from repro.similarity.segments import (
+    equal_segment_counts,
+    fnn_segment_ladder,
+    summarize,
+)
+
+
+class TestEqualSegmentCounts:
+    def test_divisors_of_12(self):
+        assert equal_segment_counts(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_prime_dims(self):
+        assert equal_segment_counts(13) == [1, 13]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            equal_segment_counts(0)
+
+
+class TestFNNLadder:
+    def test_power_of_two_dims(self):
+        # d=1024: exactly d/64=16, d/16=64, d/4=256
+        assert fnn_segment_ladder(1024) == [16, 64, 256]
+
+    def test_msd_like_dims(self):
+        # d=420: nearest divisors to 6.56, 26.25, 105
+        ladder = fnn_segment_ladder(420)
+        assert ladder == sorted(ladder)
+        assert all(420 % s == 0 for s in ladder)
+        assert 105 in ladder
+
+    def test_small_dims_deduplicate(self):
+        ladder = fnn_segment_ladder(8)
+        assert len(ladder) == len(set(ladder))
+        assert all(8 % s == 0 for s in ladder)
+
+
+class TestSummarize:
+    def test_batch_shapes(self, rng):
+        data = rng.random((10, 12))
+        summary = summarize(data, 4)
+        assert summary.means.shape == (10, 4)
+        assert summary.stds.shape == (10, 4)
+        assert summary.segment_length == 3
+        assert summary.n_segments == 4
+
+    def test_single_vector(self, rng):
+        v = rng.random(12)
+        summary = summarize(v, 3)
+        assert summary.means.shape == (3,)
+        assert summary.means[0] == pytest.approx(v[:4].mean())
+        assert summary.stds[2] == pytest.approx(v[8:].std())
+
+    def test_one_segment_is_global_stats(self, rng):
+        v = rng.random(9)
+        summary = summarize(v, 1)
+        assert summary.means[0] == pytest.approx(v.mean())
+        assert summary.stds[0] == pytest.approx(v.std())
+
+    def test_full_segmentation_zero_std(self, rng):
+        v = rng.random(6)
+        summary = summarize(v, 6)
+        assert np.allclose(summary.means, v)
+        assert np.allclose(summary.stds, 0.0)
+
+    def test_rejects_non_divisor(self, rng):
+        with pytest.raises(ConfigurationError):
+            summarize(rng.random(10), 3)
+
+    def test_rejects_3d_input(self, rng):
+        with pytest.raises(OperandError):
+            summarize(rng.random((2, 2, 2)), 2)
