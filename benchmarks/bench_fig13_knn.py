@@ -10,6 +10,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.profiler import profile_knn
@@ -133,6 +134,52 @@ def test_fig13c_vary_k(benchmark, msd_workload, save_results, k):
 
     algo = make_baseline("Standard", data.shape[1]).fit(data)
     benchmark(lambda: algo.query(queries[0], k))
+
+
+@pytest.mark.parametrize("batch", [8, 16])
+def test_fig13_batched_waves(benchmark, msd_workload, save_results, batch):
+    """Batched dispatch beats B sequential waves (beyond-paper check).
+
+    B >= 8 queries shipped as one multi-query wave must cost strictly
+    less simulated PIM time than B single-query dispatches, while
+    returning bit-identical neighbours.
+    """
+    from repro.data.catalog import make_queries
+    from repro.mining.knn import StandardPIMKNN
+
+    data, _ = msd_workload
+    queries = make_queries("MSD", data, batch)
+
+    sequential = StandardPIMKNN(controller=PIMController()).fit(data)
+    seq_results = [sequential.query(q, 10) for q in queries]
+    seq_ns = sequential.controller.pim.stats.pim_time_ns
+
+    batched = StandardPIMKNN(controller=PIMController()).fit(data)
+    bat_results = batched.query_batch(queries, 10)
+    bat_ns = batched.controller.pim.stats.pim_time_ns
+    stats = batched.controller.pim.stats
+
+    text = format_table(
+        ["B", "sequential (ms)", "batched (ms)", "saved (ms)", "waves/batch"],
+        [[
+            batch,
+            seq_ns / 1e6,
+            bat_ns / 1e6,
+            (seq_ns - bat_ns) / 1e6,
+            stats.waves_per_batch,
+        ]],
+        title=f"Batched wave dispatch at B={batch} (MSD, k=10, ED)",
+    )
+    save_results(f"fig13_batched_b{batch}", text)
+
+    # strictly below B x single-query latency, with identical answers
+    assert bat_ns < seq_ns
+    assert stats.waves == sequential.controller.pim.stats.waves
+    for rs, rb in zip(seq_results, bat_results):
+        assert np.array_equal(rs.indices, rb.indices)
+        assert np.array_equal(rs.scores, rb.scores)
+
+    benchmark(lambda: batched.query_batch(queries, 10))
 
 
 @pytest.mark.parametrize("measure", ["euclidean", "cosine", "pearson"])

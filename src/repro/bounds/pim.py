@@ -61,6 +61,7 @@ class _PIMBoundBase(Bound):
         self._matrix_name = f"{name}#{_PIMBoundBase._instances}"
         self._last_key: bytes | None = None
         self._last_values: np.ndarray | None = None
+        self._batch_cache: dict[bytes, np.ndarray] = {}
         self._prep_key: tuple | None = None
 
     def _already_prepared(self, data: np.ndarray) -> bool:
@@ -92,30 +93,78 @@ class _PIMBoundBase(Bound):
         """Operand width used for transfer accounting."""
         return self.controller.pim.config.operand_bits
 
+    def _compensated(self, values: np.ndarray) -> np.ndarray:
+        """Raw wave readings -> safe dot-product upper bounds under noise."""
+        values = values.astype(np.float64)
+        noise = getattr(self.controller, "noise", None)
+        if noise is not None and not noise.is_ideal:
+            from repro.hardware.noise import compensate_dot_upper
+
+            values = compensate_dot_upper(values, noise)
+        return values
+
     def _wave(self, query_ints: np.ndarray) -> np.ndarray:
         """Fire (or reuse) the wave for this exact query.
 
-        On a noisy controller the reading is compensated to a guaranteed
-        *upper* bound of the true dot product. That keeps every derived
-        bound valid in its own direction: the ED-family lower bounds use
+        Results primed by :meth:`prime_queries` are served from the
+        batch cache without touching the array again. On a noisy
+        controller the reading is compensated to a guaranteed *upper*
+        bound of the true dot product. That keeps every derived bound
+        valid in its own direction: the ED-family lower bounds use
         ``-2*dot`` (a larger dot only loosens them downward) and the
         CS/PCC upper bounds use ``+dot`` (a larger dot only loosens them
         upward). Noise costs tightness, never correctness.
         """
         key = query_ints.tobytes()
+        cached = self._batch_cache.get(key)
+        if cached is not None:
+            return cached
         if key != self._last_key or self._last_values is None:
             result = self.controller.dot_products(
                 self._matrix_name, query_ints
             )
-            values = result.values.astype(np.float64)
-            noise = getattr(self.controller, "noise", None)
-            if noise is not None and not noise.is_ideal:
-                from repro.hardware.noise import compensate_dot_upper
-
-                values = compensate_dot_upper(values, noise)
             self._last_key = key
-            self._last_values = values
+            self._last_values = self._compensated(result.values)
         return self._last_values
+
+    def _query_ints(self, query: np.ndarray) -> np.ndarray:
+        """The integer input vector this bound dispatches for ``query``.
+
+        Must match what :meth:`evaluate` computes internally byte for
+        byte, so primed batch results are found in the cache.
+        """
+        raise NotImplementedError
+
+    def prime_queries(self, queries: np.ndarray) -> int:
+        """Fire ONE batched wave covering every query's dot products.
+
+        Subsequent :meth:`evaluate` calls on any of these queries (for
+        any object subset) hit the cache instead of dispatching their
+        own wave, so a workload of B queries pays one pipeline setup.
+        Returns the number of queries dispatched (after intra-batch
+        dedup). Priming replaces any previously primed batch.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        ints = np.stack([self._query_ints(q) for q in queries])
+        # duplicate query vectors would waste wave slots; keep first
+        keys: list[bytes] = []
+        rows: list[np.ndarray] = []
+        seen: set[bytes] = set()
+        for row in ints:
+            key = row.tobytes()
+            if key in seen:
+                continue
+            seen.add(key)
+            keys.append(key)
+            rows.append(row)
+        result = self.controller.dot_products_batch(
+            self._matrix_name, np.stack(rows)
+        )
+        values = self._compensated(result.values)
+        self._batch_cache = {
+            key: values[i] for i, key in enumerate(keys)
+        }
+        return len(rows)
 
     @property
     def per_object_transfer_bits(self) -> float:
@@ -162,6 +211,9 @@ class PIMEuclideanBound(_PIMBoundBase):
         self.controller.program(self._matrix_name, qv.integers, side_bytes)
         self._n_objects = data.shape[0]
 
+    def _query_ints(self, query: np.ndarray) -> np.ndarray:
+        return self.quantizer.quantize(query).integers
+
     def evaluate(
         self, query: np.ndarray, indices: np.ndarray | None = None
     ) -> np.ndarray:
@@ -178,23 +230,19 @@ class PIMEuclideanBound(_PIMBoundBase):
     def evaluate_matrix(self, queries: np.ndarray) -> np.ndarray:
         """Bounds for several queries at once, shape ``(N, n_queries)``.
 
-        One wave per query (charged as such); used by the k-means assign
-        step, which needs LB_PIM-ED of every point to every center.
+        The queries ship as one batched wave (one pipeline setup plus
+        per-query increments); used by the k-means assign step, which
+        needs LB_PIM-ED of every point to every center each iteration.
         """
         if self._phi is None or self._dims is None:
             raise OperandError(f"{self.name} is not prepared")
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         qq = self.quantizer.quantize(queries)
         phi_q = (qq.scaled**2).sum(axis=1) - 2.0 * qq.integers.sum(axis=1)
-        result = self.controller.dot_products_many(
+        result = self.controller.dot_products_batch(
             self._matrix_name, qq.integers
         )
-        values = result.values.astype(np.float64)
-        noise = getattr(self.controller, "noise", None)
-        if noise is not None and not noise.is_ideal:
-            from repro.hardware.noise import compensate_dot_upper
-
-            values = compensate_dot_upper(values, noise)
+        values = self._compensated(result.values)
         dots = values.T  # (N, n_queries)
         lb = (
             self._phi[:, None] + phi_q[None, :] - 2.0 * dots
@@ -262,6 +310,10 @@ class PIMFNNBound(_PIMBoundBase):
         self.controller.program(self._matrix_name, floors, self._phi.nbytes)
         self._n_objects = data.shape[0]
 
+    def _query_ints(self, query: np.ndarray) -> np.ndarray:
+        means, stds, _ = self._summaries(query)
+        return np.floor(np.concatenate([means[0], stds[0]])).astype(np.int64)
+
     def evaluate(
         self, query: np.ndarray, indices: np.ndarray | None = None
     ) -> np.ndarray:
@@ -328,6 +380,10 @@ class PIMSMBound(_PIMBoundBase):
         self.controller.program(self._matrix_name, floors, self._phi.nbytes)
         self._n_objects = data.shape[0]
 
+    def _query_ints(self, query: np.ndarray) -> np.ndarray:
+        means = summarize(self.quantizer.scale(query), self.n_segments).means
+        return np.floor(means).astype(np.int64)
+
     def evaluate(
         self, query: np.ndarray, indices: np.ndarray | None = None
     ) -> np.ndarray:
@@ -393,6 +449,10 @@ class PIMOSTBound(_PIMBoundBase):
         side = self._phi.nbytes + self._tail_norms.nbytes
         self.controller.program(self._matrix_name, floors, side)
         self._n_objects = data.shape[0]
+
+    def _query_ints(self, query: np.ndarray) -> np.ndarray:
+        head = self.quantizer.scale(query)[: self.head_dims]
+        return np.floor(head).astype(np.int64)
 
     def evaluate(
         self, query: np.ndarray, indices: np.ndarray | None = None
@@ -463,6 +523,9 @@ class PIMCosineBound(_PIMBoundBase):
         self.controller.program(self._matrix_name, qv.integers, side)
         self._n_objects = data.shape[0]
 
+    def _query_ints(self, query: np.ndarray) -> np.ndarray:
+        return self.quantizer.quantize(query).integers
+
     def evaluate(
         self, query: np.ndarray, indices: np.ndarray | None = None
     ) -> np.ndarray:
@@ -531,6 +594,9 @@ class PIMPearsonBound(_PIMBoundBase):
         )
         self.controller.program(self._matrix_name, qv.integers, side)
         self._n_objects = data.shape[0]
+
+    def _query_ints(self, query: np.ndarray) -> np.ndarray:
+        return self.quantizer.quantize(query).integers
 
     def evaluate(
         self, query: np.ndarray, indices: np.ndarray | None = None
@@ -602,6 +668,7 @@ class PIMHammingDistance(Bound):
         self._dims: int | None = None
         self._last_key: bytes | None = None
         self._last_values: np.ndarray | None = None
+        self._batch_cache: dict[bytes, np.ndarray] = {}
 
     @property
     def result_bits(self) -> int:
@@ -622,6 +689,23 @@ class PIMHammingDistance(Bound):
         self._dims = codes.shape[1]
         self._n_objects = codes.shape[0]
 
+    def prime_queries(self, queries: np.ndarray) -> int:
+        """Two batched waves (codes + complement) covering every query."""
+        if self._dims is None:
+            raise OperandError(f"{self.name} is not prepared")
+        queries = np.atleast_2d(np.asarray(queries)).astype(np.int64)
+        dots = self.controller.dot_products_batch(
+            self._code_name, queries
+        ).values
+        comps = self.controller.dot_products_batch(
+            self._comp_name, 1 - queries
+        ).values
+        distances = (self._dims - dots - comps).astype(np.float64)
+        self._batch_cache = {
+            row.tobytes(): distances[i] for i, row in enumerate(queries)
+        }
+        return queries.shape[0]
+
     def evaluate(
         self, query: np.ndarray, indices: np.ndarray | None = None
     ) -> np.ndarray:
@@ -629,14 +713,19 @@ class PIMHammingDistance(Bound):
             raise OperandError(f"{self.name} is not prepared")
         query = np.asarray(query).astype(np.int64)
         key = query.tobytes()
-        if key != self._last_key or self._last_values is None:
+        cached = self._batch_cache.get(key)
+        if cached is not None:
+            values = cached
+        elif key == self._last_key and self._last_values is not None:
+            values = self._last_values
+        else:
             dot = self.controller.dot_products(self._code_name, query).values
             comp = self.controller.dot_products(
                 self._comp_name, 1 - query
             ).values
-            self._last_values = (self._dims - dot - comp).astype(np.float64)
+            values = (self._dims - dot - comp).astype(np.float64)
+            self._last_values = values
             self._last_key = key
-        values = self._last_values
         return values if indices is None else values[indices]
 
     @property

@@ -24,7 +24,11 @@ from typing import Sequence
 
 from repro.core.framework import PIMAccelerator
 from repro.core.profiler import profile_kmeans, profile_knn
-from repro.core.report import format_fractions, format_table
+from repro.core.report import (
+    format_batch_stats,
+    format_fractions,
+    format_table,
+)
 from repro.data.catalog import PROFILES, make_dataset, make_queries
 from repro.hardware.config import pim_platform
 from repro.mining.kmeans import initial_centers, make_kmeans
@@ -32,6 +36,13 @@ from repro.mining.knn import make_baseline
 
 KNN_ALGORITHMS = ("Standard", "OST", "SM", "FNN")
 KMEANS_ALGORITHMS = ("Standard", "Elkan", "Drake", "Yinyang")
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -85,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
     knn.add_argument(
         "--optimize-plan", action="store_true",
         help="apply the Section V-D execution-plan optimizer (FNN only)",
+    )
+    knn.add_argument(
+        "--batch-size", type=_positive_int, default=None,
+        help="PIM wave batch size (default: the whole query workload; "
+        "1 reproduces scalar dispatch)",
     )
 
     kmeans = sub.add_parser("kmeans", help="accelerate a k-means baseline")
@@ -164,6 +180,7 @@ def _cmd_knn(args, out) -> int:
         k=args.k,
         measure=args.measure,
         optimize_plan=args.optimize_plan,
+        batch_size=args.batch_size,
     )
     label = args.data_file if args.data_file else args.dataset
     print(f"dataset        : {label} {data.shape}", file=out)
@@ -173,6 +190,9 @@ def _cmd_knn(args, out) -> int:
           f"(oracle {report.oracle_speedup:.1f}x)", file=out)
     print(f"results exact  : {report.results_match}", file=out)
     print(f"bound plan     : {' + '.join(report.plan)}", file=out)
+    batching = format_batch_stats(report.optimized.extras)
+    if batching:
+        print(f"batching       : {batching}", file=out)
     for note in report.notes:
         print(f"note           : {note}", file=out)
     return 0 if report.results_match else 1

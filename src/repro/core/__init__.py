@@ -21,6 +21,9 @@ from repro.core.memory_manager import (
     max_vectors_at_dims,
 )
 from repro.core.planner import (
+    BatchScheduler,
+    BatchSchedulerStats,
+    BatchTicket,
     ExecutionPlanner,
     PlanCandidate,
     optimize_fnn_plan,
@@ -28,6 +31,7 @@ from repro.core.planner import (
 )
 from repro.core.profiler import AlgorithmProfile, profile_kmeans, profile_knn
 from repro.core.report import (
+    format_batch_stats,
     format_fractions,
     format_speedup,
     format_table,
@@ -38,6 +42,9 @@ from repro.core.report import (
 __all__ = [
     "AccelerationReport",
     "AlgorithmProfile",
+    "BatchScheduler",
+    "BatchSchedulerStats",
+    "BatchTicket",
     "CompressionPlan",
     "ExecutionPlanner",
     "MIN_PROMISING_ORACLE_SPEEDUP",
@@ -46,6 +53,7 @@ __all__ = [
     "choose_compressed_dims",
     "choose_fnn_segments",
     "choose_full_dims",
+    "format_batch_stats",
     "format_fractions",
     "format_speedup",
     "format_table",

@@ -1,29 +1,40 @@
-"""Execution-plan optimization (paper Section V-D, Eq. 13).
+"""Execution planning: bound-subset optimization and wave batching.
 
-Replacing the bottleneck bound with its PIM-aware bound is the *default*
-plan; a better plan may drop some original bounds entirely (Fig. 12b:
-when the PIM bound is tighter than a finer original bound, keeping the
-original only adds transfer). The optimizer:
+Two planners live here:
 
-1. estimates each candidate bound's *standalone pruning ratio* on sample
-   queries, evaluating the bound against the true k-th-NN threshold
-   (the paper measures ratios offline on conventional hardware);
-2. enumerates all ``2^L`` subsets of the candidate set, ordering each
-   plan's bounds by per-object transfer cost (cheap filters first);
-3. scores every plan with Eq. 13 (the exact refinement is charged as the
-   final stage) and returns the minimum-transfer plan.
+* the Eq. 13 optimizer (paper Section V-D). Replacing the bottleneck
+  bound with its PIM-aware bound is the *default* plan; a better plan
+  may drop some original bounds entirely (Fig. 12b: when the PIM bound
+  is tighter than a finer original bound, keeping the original only adds
+  transfer). The optimizer:
+
+  1. estimates each candidate bound's *standalone pruning ratio* on
+     sample queries, evaluating the bound against the true k-th-NN
+     threshold (the paper measures ratios offline on conventional
+     hardware);
+  2. enumerates all ``2^L`` subsets of the candidate set, ordering each
+     plan's bounds by per-object transfer cost (cheap filters first);
+  3. scores every plan with Eq. 13 (the exact refinement is charged as
+     the final stage) and returns the minimum-transfer plan;
+
+* :class:`BatchScheduler`, the online batching layer. Distance-bound
+  requests against the same programmed matrix are queued and flushed as
+  one multi-query wave (one pipeline setup amortised over the group)
+  when the group reaches ``max_batch``, when its deadline expires on the
+  simulated clock, or when a caller forces the results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import combinations
 
 import numpy as np
 
 from repro.bounds.base import Bound
 from repro.cost.transfer import TransferCost, exact_transfer, plan_transfer_bits
-from repro.errors import PlanError
+from repro.errors import OperandError, PlanError
+from repro.hardware.controller import PIMController
 from repro.mining.knn.base import KNNAlgorithm
 
 
@@ -200,6 +211,175 @@ class ExecutionPlanner:
     def no_filter_cost(self) -> float:
         """Transfer of the plan with no bounds (pure linear scan)."""
         return self._plan_cost((), {})
+
+
+class BatchTicket:
+    """A pending dot-product request issued to a :class:`BatchScheduler`.
+
+    ``values`` blocks (in simulation: forces the owning group's flush)
+    until the batched wave containing the request has fired.
+    """
+
+    def __init__(self, scheduler: "BatchScheduler", group: tuple) -> None:
+        self._scheduler = scheduler
+        self._group = group
+        self._values: np.ndarray | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the backing wave has fired."""
+        return self._values is not None
+
+    @property
+    def values(self) -> np.ndarray:
+        """The dot products, flushing the pending group on first access."""
+        if self._values is None:
+            self._scheduler._flush_group(self._group, reason="demand")
+        assert self._values is not None
+        return self._values
+
+
+@dataclass
+class BatchSchedulerStats:
+    """Dispatch accounting of one :class:`BatchScheduler`."""
+
+    submitted: int = 0
+    batches_flushed: int = 0
+    queries_flushed: int = 0
+    flush_reasons: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def waves_per_batch(self) -> float:
+        """Mean flushed batch size (0 before the first flush)."""
+        if self.batches_flushed == 0:
+            return 0.0
+        return self.queries_flushed / self.batches_flushed
+
+
+class BatchScheduler:
+    """Group pending PIM requests by matrix and flush them as one wave.
+
+    The scheduler is the host-side half of the batched query engine:
+    callers :meth:`submit` integer query vectors against a programmed
+    matrix and hold a :class:`BatchTicket`; the scheduler stacks the
+    vectors of each ``(matrix, input_bits)`` group into a single
+    :meth:`~repro.hardware.controller.PIMController.dot_products_batch`
+    dispatch when
+
+    * the group reaches ``max_batch`` requests (size flush),
+    * the group's oldest request ages past ``max_delay_ns`` on the
+      simulated clock (deadline flush; advance the clock with
+      :meth:`advance`), or
+    * a ticket's results are demanded, or :meth:`flush` is called.
+
+    Parameters
+    ----------
+    controller:
+        The controller owning the programmed matrices.
+    max_batch:
+        Size threshold triggering an immediate flush.
+    max_delay_ns:
+        Deadline (simulated ns) a request may wait before its group is
+        flushed; ``None`` disables deadline flushing.
+    """
+
+    def __init__(
+        self,
+        controller: PIMController,
+        max_batch: int = 32,
+        max_delay_ns: float | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise PlanError("max_batch must be >= 1")
+        if max_delay_ns is not None and max_delay_ns < 0:
+            raise PlanError("max_delay_ns must be >= 0")
+        self.controller = controller
+        self.max_batch = max_batch
+        self.max_delay_ns = max_delay_ns
+        self.clock_ns = 0.0
+        self.stats = BatchSchedulerStats()
+        self._pending: dict[tuple, list[tuple[np.ndarray, BatchTicket]]] = {}
+        self._deadlines: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        vector: np.ndarray,
+        input_bits: int | None = None,
+    ) -> BatchTicket:
+        """Queue one query vector; returns the ticket holding its results."""
+        vector = np.asarray(vector)
+        if vector.ndim != 1:
+            raise OperandError("submit() expects a single 1-D query vector")
+        group = (name, input_bits)
+        ticket = BatchTicket(self, group)
+        queue = self._pending.setdefault(group, [])
+        if not queue and self.max_delay_ns is not None:
+            self._deadlines[group] = self.clock_ns + self.max_delay_ns
+        queue.append((vector, ticket))
+        self.stats.submitted += 1
+        if len(queue) >= self.max_batch:
+            self._flush_group(group, reason="size")
+        return ticket
+
+    def advance(self, ns: float) -> int:
+        """Advance the simulated clock, flushing groups past deadline.
+
+        Returns the number of groups flushed.
+        """
+        if ns < 0:
+            raise PlanError("time only moves forward")
+        self.clock_ns += ns
+        overdue = [
+            group
+            for group, due in self._deadlines.items()
+            if due <= self.clock_ns
+        ]
+        for group in overdue:
+            self._flush_group(group, reason="deadline")
+        return len(overdue)
+
+    def flush(self, name: str | None = None) -> int:
+        """Flush every pending group (or only those of ``name``).
+
+        Returns the number of queries dispatched.
+        """
+        groups = [
+            g for g in list(self._pending) if name is None or g[0] == name
+        ]
+        dispatched = 0
+        for group in groups:
+            dispatched += self._flush_group(group, reason="manual")
+        return dispatched
+
+    def pending(self, name: str | None = None) -> int:
+        """Queued requests awaiting a wave (optionally for one matrix)."""
+        return sum(
+            len(queue)
+            for group, queue in self._pending.items()
+            if name is None or group[0] == name
+        )
+
+    # ------------------------------------------------------------------
+    def _flush_group(self, group: tuple, reason: str) -> int:
+        queue = self._pending.pop(group, [])
+        self._deadlines.pop(group, None)
+        if not queue:
+            return 0
+        name, input_bits = group
+        vectors = np.stack([vec for vec, _ in queue])
+        result = self.controller.dot_products_batch(
+            name, vectors, input_bits=input_bits
+        )
+        for row, (_, ticket) in zip(result.values, queue):
+            ticket._values = row
+        self.stats.batches_flushed += 1
+        self.stats.queries_flushed += len(queue)
+        self.stats.flush_reasons[reason] = (
+            self.stats.flush_reasons.get(reason, 0) + 1
+        )
+        return len(queue)
 
 
 def optimize_fnn_plan(

@@ -96,23 +96,47 @@ def profile_knn(
     queries: np.ndarray,
     k: int,
     hardware: HardwareConfig | None = None,
+    batch_size: int | None = None,
 ) -> AlgorithmProfile:
     """Run a fitted kNN algorithm over a query workload and profile it.
 
     Times are summed over all queries. Pass the PIM platform for PIM
     variants (the controller's platform is used when available).
+
+    ``batch_size`` routes the workload through the algorithm's
+    :meth:`~repro.mining.knn.base.KNNAlgorithm.query_batch` in chunks of
+    that size (amortizing wave setup on PIM variants); ``None`` keeps
+    per-query dispatch. Results are identical either way; on a PIM
+    controller the batch counters land in ``extras`` (waves per batch,
+    amortized dispatch bytes per query, wave time saved).
     """
     queries = np.atleast_2d(np.asarray(queries))
+    controller = getattr(algorithm, "controller", None)
+    stats_before = None
+    if controller is not None:
+        stats_before = (
+            controller.pim.stats.batches,
+            controller.pim.stats.batched_queries,
+            controller.pim.stats.batch_saved_ns,
+        )
     merged = PerfCounters()
     pim_time = 0.0
     exact = 0
-    for q in queries:
-        result = algorithm.query(q, k)
+    if batch_size is None:
+        results = [algorithm.query(q, k) for q in queries]
+    else:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        results = []
+        for start in range(0, len(queries), batch_size):
+            results.extend(
+                algorithm.query_batch(queries[start : start + batch_size], k)
+            )
+    for result in results:
         merged = merged.merged_with(result.counters)
         pim_time += result.pim_time_ns
         exact += result.exact_computations
     if hardware is None:
-        controller = getattr(algorithm, "controller", None)
         hardware = (
             controller.hardware if controller is not None
             else baseline_platform()
@@ -126,7 +150,33 @@ def profile_knn(
     )
     profile.extras["exact_computations"] = float(exact)
     profile.extras["n_queries"] = float(len(queries))
+    if stats_before is not None:
+        _record_batch_extras(profile, algorithm, controller, stats_before)
     return profile
+
+
+def _record_batch_extras(
+    profile: AlgorithmProfile,
+    algorithm: KNNAlgorithm,
+    controller,
+    stats_before: tuple[int, int, float],
+) -> None:
+    """Batch-level counters of one run -> ``profile.extras``."""
+    from repro.cost.transfer import dispatch_transfer
+
+    stats = controller.pim.stats
+    batches = stats.batches - stats_before[0]
+    batched_queries = stats.batched_queries - stats_before[1]
+    saved_ns = stats.batch_saved_ns - stats_before[2]
+    profile.extras["pim_batches"] = float(batches)
+    profile.extras["pim_waves_per_batch"] = (
+        batched_queries / batches if batches else 0.0
+    )
+    profile.extras["pim_batch_saved_ns"] = saved_ns
+    mean_batch = max(int(round(batched_queries / batches)), 1) if batches else 1
+    profile.extras["pim_dispatch_bytes_per_query"] = dispatch_transfer(
+        algorithm.dims, controller.pim.config.operand_bits, mean_batch
+    ).bytes_per_object()
 
 
 def profile_kmeans(
@@ -140,9 +190,12 @@ def profile_kmeans(
 
     ``extras['time_per_iteration_ms']`` carries the Table 7 metric.
     """
+    assist = algorithm.pim
+    batches_before = (
+        assist.controller.pim.stats.batches if assist is not None else 0
+    )
     result = algorithm.fit(data, centers=centers, seed=seed)
     if hardware is None:
-        assist = algorithm.pim
         hardware = (
             assist.controller.hardware if assist is not None
             else baseline_platform()
@@ -159,4 +212,9 @@ def profile_kmeans(
     profile.extras["inertia"] = result.inertia
     profile.extras["exact_distances"] = float(result.exact_distances)
     profile.extras["time_per_iteration_ms"] = profile.total_time_ms / iters
+    if assist is not None:
+        stats = assist.controller.pim.stats
+        batches = stats.batches - batches_before
+        profile.extras["pim_batches"] = float(batches)
+        profile.extras["pim_waves_per_batch"] = stats.waves_per_batch
     return profile

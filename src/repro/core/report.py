@@ -52,6 +52,31 @@ def format_time_ms(ns: float) -> str:
     return f"{ns / 1e6:.3f} ms"
 
 
+def format_batch_stats(extras: dict[str, float]) -> str:
+    """One-line batch summary from a profile's ``extras``.
+
+    Quotes the waves-per-batch ratio and the amortized per-query
+    dispatch bytes that the batched engine reports; empty string when
+    the run never batched.
+    """
+    batches = extras.get("pim_batches", 0.0)
+    if not batches:
+        return ""
+    parts = [
+        f"batches={batches:.0f}",
+        f"waves/batch={extras.get('pim_waves_per_batch', 0.0):.1f}",
+    ]
+    if "pim_dispatch_bytes_per_query" in extras:
+        parts.append(
+            f"dispatch B/query={extras['pim_dispatch_bytes_per_query']:.1f}"
+        )
+    if "pim_batch_saved_ns" in extras:
+        parts.append(
+            f"saved={extras['pim_batch_saved_ns'] / 1e6:.3f} ms"
+        )
+    return "  ".join(parts)
+
+
 def speedup(baseline_ns: float, optimized_ns: float) -> float:
     """Baseline/optimized ratio, guarding against zero."""
     if optimized_ns <= 0:

@@ -24,6 +24,11 @@ from dataclasses import dataclass
 #: (Fig. 8: Phi(p) and the PIM dot-product result; Phi(q) is amortised).
 PIM_BOUND_TRANSFER_OPERANDS = 3
 
+#: Control-message bits of one host->PIM wave dispatch (opcode, matrix
+#: handle, geometry and the buffer-drain handshake). Paid once per
+#: dispatch, so batching B queries into one dispatch amortises it B-fold.
+DISPATCH_OVERHEAD_BITS = 256.0
+
 
 @dataclass(frozen=True)
 class TransferCost:
@@ -54,6 +59,23 @@ def pim_bound_transfer(operand_bits: int, dot_products: int = 1) -> TransferCost
     """
     operands = dot_products + (PIM_BOUND_TRANSFER_OPERANDS - 1)
     return TransferCost(bits_per_object=float(operands * operand_bits))
+
+
+def dispatch_transfer(
+    dims: int, operand_bits: int, batch_size: int = 1
+) -> TransferCost:
+    """Per-query host->PIM traffic of dispatching a wave.
+
+    Each query uploads its ``dims * operand_bits`` input vector; the
+    control message (:data:`DISPATCH_OVERHEAD_BITS`) is paid once per
+    dispatch, so a batch of ``batch_size`` queries amortises it.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    return TransferCost(
+        bits_per_object=float(dims * operand_bits)
+        + DISPATCH_OVERHEAD_BITS / batch_size
+    )
 
 
 def exact_transfer(dims: int, operand_bits: int) -> TransferCost:

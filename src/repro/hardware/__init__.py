@@ -46,13 +46,20 @@ from repro.hardware.noise import (
     compensate_dot_lower,
     compensate_dot_upper,
 )
-from repro.hardware.pim_array import PIMArray, PIMQueryResult, PIMStats
+from repro.hardware.pim_array import (
+    PIMArray,
+    PIMBatchResult,
+    PIMQueryResult,
+    PIMStats,
+)
+from repro.hardware.timing import BatchWaveTiming, WaveTiming
 from repro.hardware.reprogramming import (
     ChunkedDotProductEngine,
     ReprogrammingStats,
 )
 
 __all__ = [
+    "BatchWaveTiming",
     "CPUConfig",
     "ChunkedDotProductEngine",
     "Crossbar",
@@ -69,6 +76,7 @@ __all__ = [
     "NoisyPIMArray",
     "PIMArray",
     "PIMArrayConfig",
+    "PIMBatchResult",
     "PIMController",
     "PIMQueryResult",
     "PIMStats",
@@ -76,6 +84,7 @@ __all__ = [
     "ReprogrammingStats",
     "TracingPIMController",
     "WaveResult",
+    "WaveTiming",
     "baseline_platform",
     "compensate_dot_lower",
     "compensate_dot_upper",

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.hardware.config import HardwareConfig, pim_platform
 from repro.hardware.memory import MemoryArray
-from repro.hardware.pim_array import PIMArray, PIMQueryResult
+from repro.hardware.pim_array import PIMArray, PIMBatchResult, PIMQueryResult
 
 
 @dataclass(frozen=True)
@@ -101,6 +101,16 @@ class PIMController:
     ) -> PIMQueryResult:
         """One wave per row of ``queries`` (batched dot_products)."""
         return self.pim.query_many(name, queries, input_bits=input_bits)
+
+    def dot_products_batch(
+        self, name: str, queries: np.ndarray, input_bits: int | None = None
+    ) -> PIMBatchResult:
+        """One *batched* wave covering every row of ``queries``.
+
+        Values match :meth:`dot_products_many` bit for bit; the timing
+        model charges one pipeline setup plus per-query increments.
+        """
+        return self.pim.query_batch(name, queries, input_bits=input_bits)
 
     def receipt(self, name: str) -> ProgramReceipt:
         """Pre-processing accounting recorded by :meth:`program`."""

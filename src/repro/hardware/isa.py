@@ -161,6 +161,25 @@ class TracingPIMController(PIMController):
         )
         return result
 
+    def dot_products_batch(self, name, queries, input_bits=None):
+        result = super().dot_products_batch(
+            name, queries, input_bits=input_bits
+        )
+        n = int(np.atleast_2d(queries).shape[0])
+        self.trace.append(
+            Instruction("COMPUTE", name, detail=f"batch of {n}")
+        )
+        self.trace.append(
+            Instruction(
+                "READBUF",
+                name,
+                payload_bytes=float(result.values.size)
+                * self.pim.config.accumulator_bits
+                / 8.0,
+            )
+        )
+        return result
+
     def reset_matrix(self, name: str) -> None:
         """Erase a matrix and record the RESET."""
         self.pim.reset_matrix(name)

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.hardware.config import HardwareConfig
-from repro.hardware.pim_array import PIMArray, PIMQueryResult
+from repro.hardware.pim_array import PIMArray, PIMBatchResult, PIMQueryResult
 
 #: Noise samples are truncated at this many standard deviations so the
 #: worst-case compensation bound is finite and provable.
@@ -148,5 +148,11 @@ class NoisyPIMArray(PIMArray):
     def query_many(self, name, vectors, input_bits=None) -> PIMQueryResult:
         result = super().query_many(name, vectors, input_bits=input_bits)
         return PIMQueryResult(
+            values=self._perturb(result.values), timing=result.timing
+        )
+
+    def query_batch(self, name, vectors, input_bits=None) -> PIMBatchResult:
+        result = super().query_batch(name, vectors, input_bits=input_bits)
+        return PIMBatchResult(
             values=self._perturb(result.values), timing=result.timing
         )

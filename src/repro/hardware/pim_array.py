@@ -30,7 +30,13 @@ from repro.hardware.config import HardwareConfig, PIMArrayConfig, pim_platform
 from repro.hardware.crossbar import Crossbar
 from repro.hardware.endurance import EnduranceTracker
 from repro.hardware.mapper import DatasetLayout, plan_layout, vectors_per_crossbar
-from repro.hardware.timing import WaveTiming, programming_time_ns, wave_timing
+from repro.hardware.timing import (
+    BatchWaveTiming,
+    WaveTiming,
+    batch_wave_timing,
+    programming_time_ns,
+    wave_timing,
+)
 
 
 @dataclass(frozen=True)
@@ -41,16 +47,41 @@ class PIMQueryResult:
     timing: WaveTiming
 
 
+@dataclass(frozen=True)
+class PIMBatchResult:
+    """Values plus timing of one batched multi-query wave."""
+
+    values: np.ndarray
+    timing: BatchWaveTiming
+
+
 @dataclass
 class PIMStats:
-    """Cumulative activity counters of a :class:`PIMArray`."""
+    """Cumulative activity counters of a :class:`PIMArray`.
+
+    ``waves`` counts logical query waves regardless of dispatch style, so
+    a batch of B queries and B sequential queries report the same count;
+    ``batches``/``batched_queries`` record how much of that traffic went
+    through the amortized batch path, and ``batch_saved_ns`` the wave
+    time the amortization saved versus sequential dispatch.
+    """
 
     waves: int = 0
     pim_time_ns: float = 0.0
     programming_time_ns: float = 0.0
     crossbars_used: int = 0
     results_produced: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    batch_saved_ns: float = 0.0
     matrices: dict[str, DatasetLayout] = field(default_factory=dict)
+
+    @property
+    def waves_per_batch(self) -> float:
+        """Mean batch size of the batched traffic (0 when unused)."""
+        if self.batches == 0:
+            return 0.0
+        return self.batched_queries / self.batches
 
 
 class _ProgrammedMatrix:
@@ -287,6 +318,58 @@ class PIMArray:
         self.stats.pim_time_ns += timing.total_ns * n_queries
         self.stats.results_produced += int(values.size)
         return PIMQueryResult(values=values, timing=timing)
+
+    def query_batch(
+        self,
+        name: str,
+        vectors: np.ndarray,
+        input_bits: int | None = None,
+    ) -> PIMBatchResult:
+        """Fire one *batched* wave: all rows of ``vectors`` in one dispatch.
+
+        Values are bit-identical to looping :meth:`query` (the analog
+        pipeline is value-exact either way), and each row still counts as
+        one logical wave in :attr:`stats`, but the timing model charges
+        one pipeline setup plus per-query DAC/ADC increments instead of B
+        full dispatches — see
+        :func:`~repro.hardware.timing.batch_wave_timing`.
+        """
+        record = self._matrices.get(name)
+        if record is None:
+            raise ProgrammingError(f"no matrix named {name!r}")
+        vectors = np.atleast_2d(np.asarray(vectors))
+        bits = input_bits if input_bits is not None else self.config.operand_bits
+        bitslice.check_non_negative_integers(vectors, bits)
+        if vectors.shape[1] != record.layout.dims:
+            raise OperandError(
+                f"queries must have length {record.layout.dims}"
+            )
+        if record.crossbars is not None:
+            values = np.vstack(
+                [self._query_cells(record, v, bits) for v in vectors]
+            )
+        else:
+            values = vectors.astype(np.int64) @ record.matrix.T
+        values = bitslice.truncate_result(values, self.config.accumulator_bits)
+        n_queries = vectors.shape[0]
+        timing = batch_wave_timing(
+            record.layout, self.config, self.hardware, n_queries,
+            input_bits=bits,
+        )
+        single = wave_timing(
+            record.layout, self.config, self.hardware, input_bits=bits
+        )
+        for row in values:
+            if row.nbytes <= self.buffer.free_bytes:
+                self.buffer.push(row)
+                self.buffer.pop()  # the host drains synchronously
+        self.stats.waves += n_queries
+        self.stats.batches += 1
+        self.stats.batched_queries += n_queries
+        self.stats.pim_time_ns += timing.total_ns
+        self.stats.batch_saved_ns += n_queries * single.total_ns - timing.total_ns
+        self.stats.results_produced += int(values.size)
+        return PIMBatchResult(values=values, timing=timing)
 
     def _query_cells(
         self, record: _ProgrammedMatrix, vector: np.ndarray, bits: int

@@ -78,6 +78,75 @@ def wave_timing(
     )
 
 
+@dataclass(frozen=True)
+class BatchWaveTiming:
+    """Latency breakdown of one *batched* wave of several query vectors.
+
+    The controller streams the DAC slices of the B queries through the
+    crossbars back to back; the gather tree and the S&H/ADC/S&A drain are
+    pipelined behind the input stream, so their cycles are charged once
+    per batch instead of once per query. Result drains to the buffer
+    array still happen per query (every query produces ``n_vectors``
+    accumulator-width results).
+    """
+
+    n_queries: int
+    setup_cycles: int
+    per_query_cycles: int
+    crossbar_ns: float
+    buffer_ns: float
+
+    @property
+    def total_cycles(self) -> int:
+        """All crossbar read cycles charged for the batch."""
+        return self.setup_cycles + self.n_queries * self.per_query_cycles
+
+    @property
+    def total_ns(self) -> float:
+        """End-to-end batch latency in nanoseconds."""
+        return self.crossbar_ns + self.buffer_ns
+
+    @property
+    def amortized_ns_per_query(self) -> float:
+        """Per-query share of the batch latency."""
+        return self.total_ns / self.n_queries
+
+
+def batch_wave_timing(
+    layout: DatasetLayout,
+    config: PIMArrayConfig,
+    hardware: HardwareConfig,
+    n_queries: int,
+    input_bits: int | None = None,
+) -> BatchWaveTiming:
+    """Latency of one batched wave of ``n_queries`` query vectors.
+
+    Each query still pays its ``ceil(b/g)`` DAC input cycles (the analog
+    array evaluates one input vector at a time), but the gather-tree and
+    pipeline-drain cycles overlap with the next query's input stream and
+    are charged once per batch. A batch of 1 therefore costs exactly
+    :func:`wave_timing`; a batch of B costs strictly less than B single
+    waves whenever the pipeline has anything to drain (always, since
+    :data:`PIPELINE_DRAIN_CYCLES` > 0).
+    """
+    if n_queries < 1:
+        raise ValueError("a batch needs at least one query")
+    bits = input_bits if input_bits is not None else config.operand_bits
+    per_query_cycles = bitslice.num_slices(bits, config.crossbar.dac_bits)
+    setup_cycles = (layout.gather_levels - 1) + PIPELINE_DRAIN_CYCLES
+    cycles = setup_cycles + n_queries * per_query_cycles
+    crossbar_ns = cycles * config.crossbar.read_latency_ns
+    result_bytes = layout.n_vectors * config.accumulator_bits / 8.0
+    buffer_ns = n_queries * result_bytes / hardware.memory.internal_bus_gbs
+    return BatchWaveTiming(
+        n_queries=n_queries,
+        setup_cycles=setup_cycles,
+        per_query_cycles=per_query_cycles,
+        crossbar_ns=crossbar_ns,
+        buffer_ns=buffer_ns,
+    )
+
+
 def programming_time_ns(layout: DatasetLayout, config: PIMArrayConfig) -> float:
     """Offline time to program a layout onto the crossbars.
 

@@ -49,10 +49,19 @@ class PIMAssist:
             self._prepared = True
 
     def begin_iteration(self, centers: np.ndarray) -> None:
-        """Fire one wave per center; cache the rooted N x k LB matrix."""
+        """One batched wave over all centers; cache the rooted N x k LBs.
+
+        The k center queries ship as a single multi-query dispatch, so
+        each Lloyd iteration pays one pipeline setup instead of k.
+        """
         if not self._prepared:
             raise OperandError("PIMAssist.prepare() must run before use")
         self._lb = np.sqrt(self.bound.evaluate_matrix(centers))
+
+    def batch_stats(self) -> tuple[int, float]:
+        """(batches dispatched, mean waves per batch) on this controller."""
+        stats = self.controller.pim.stats
+        return stats.batches, stats.waves_per_batch
 
     def lower_bounds(self, i: int, center_ids: np.ndarray) -> np.ndarray:
         """Rooted LB_PIM-ED of point ``i`` to the selected centers."""

@@ -162,6 +162,17 @@ class KNNAlgorithm(abc.ABC):
     def query(self, q: np.ndarray, k: int) -> KNNResult:
         """Online stage: the k nearest/most-similar objects to ``q``."""
 
+    def query_batch(self, queries: np.ndarray, k: int) -> list[KNNResult]:
+        """kNN of every row of ``queries``, results in row order.
+
+        The base implementation is a plain loop; PIM-backed subclasses
+        override it to ship the whole batch as one amortized wave per
+        bound. Results are identical to calling :meth:`query` per row
+        either way — batching changes timing, never answers.
+        """
+        queries = np.atleast_2d(np.asarray(queries))
+        return [self.query(q, k) for q in queries]
+
     # ------------------------------------------------------------------
     # shared cost-charging helpers
     # ------------------------------------------------------------------

@@ -1,10 +1,15 @@
 """Shared fixtures for the test suite.
 
 Small geometries keep the cell-level crossbar simulation affordable;
-clustered datasets give the bounds realistic pruning behaviour.
+clustered datasets give the bounds realistic pruning behaviour. Every
+test also gets NumPy's *global* RNG seeded deterministically from its
+node id, so stray ``np.random.*`` calls are reproducible regardless of
+execution order (``pytest -p no:randomly`` replays exactly).
 """
 
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 import pytest
@@ -15,6 +20,19 @@ from repro.hardware.config import (
     PIMArrayConfig,
 )
 from repro.hardware.controller import PIMController
+
+
+@pytest.fixture(autouse=True)
+def _seed_global_numpy_rng(request) -> int:
+    """Seed ``np.random`` per test from a hash of the test's node id.
+
+    The seed is recorded in the report (``numpy_seed`` user property) so
+    a failure can be replayed standalone with ``np.random.seed(seed)``.
+    """
+    seed = zlib.crc32(request.node.nodeid.encode("utf-8")) & 0xFFFFFFFF
+    np.random.seed(seed)
+    request.node.user_properties.append(("numpy_seed", seed))
+    return seed
 
 
 @pytest.fixture

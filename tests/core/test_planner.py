@@ -163,3 +163,82 @@ class TestOptimizeFNNPlan:
         queries = clustered_data[rng.integers(0, len(clustered_data), 2)]
         plan, _ = optimize_fnn_plan(pim, originals, reference, queries, 5)
         assert plan.names == (pim.name,)
+
+
+class TestBatchScheduler:
+    @pytest.fixture
+    def programmed(self):
+        from repro.core.planner import BatchScheduler
+
+        controller = PIMController()
+        matrix = np.arange(32, dtype=np.int64).reshape(4, 8)
+        controller.pim.program_matrix("d", matrix)
+        return BatchScheduler, controller, matrix
+
+    def test_size_flush_at_max_batch(self, programmed):
+        BatchScheduler, controller, matrix = programmed
+        scheduler = BatchScheduler(controller, max_batch=3)
+        tickets = [
+            scheduler.submit("d", np.full(8, i, dtype=np.int64))
+            for i in range(3)
+        ]
+        assert all(t.done for t in tickets)
+        assert scheduler.stats.flush_reasons == {"size": 1}
+        assert scheduler.pending() == 0
+
+    def test_deadline_flush_on_advance(self, programmed):
+        BatchScheduler, controller, matrix = programmed
+        scheduler = BatchScheduler(
+            controller, max_batch=32, max_delay_ns=100.0
+        )
+        ticket = scheduler.submit("d", np.ones(8, dtype=np.int64))
+        assert scheduler.advance(50.0) == 0
+        assert not ticket.done
+        assert scheduler.advance(60.0) == 1
+        assert ticket.done
+        assert scheduler.stats.flush_reasons == {"deadline": 1}
+
+    def test_manual_flush_by_name(self, programmed):
+        BatchScheduler, controller, matrix = programmed
+        controller.pim.program_matrix(
+            "e", np.ones((2, 8), dtype=np.int64)
+        )
+        scheduler = BatchScheduler(controller, max_batch=32)
+        td = scheduler.submit("d", np.ones(8, dtype=np.int64))
+        te = scheduler.submit("e", np.ones(8, dtype=np.int64))
+        assert scheduler.flush("d") == 1
+        assert td.done and not te.done
+        assert scheduler.pending("e") == 1
+
+    def test_demand_flush_only_touches_own_group(self, programmed):
+        BatchScheduler, controller, matrix = programmed
+        controller.pim.program_matrix(
+            "e", np.ones((2, 8), dtype=np.int64)
+        )
+        scheduler = BatchScheduler(controller, max_batch=32)
+        td = scheduler.submit("d", np.full(8, 2, dtype=np.int64))
+        te = scheduler.submit("e", np.full(8, 2, dtype=np.int64))
+        np.testing.assert_array_equal(
+            td.values, matrix @ np.full(8, 2, dtype=np.int64)
+        )
+        assert not te.done
+        assert scheduler.stats.flush_reasons == {"demand": 1}
+
+    def test_rejects_bad_parameters(self, programmed):
+        BatchScheduler, controller, matrix = programmed
+        with pytest.raises(PlanError):
+            BatchScheduler(controller, max_batch=0)
+        with pytest.raises(PlanError):
+            BatchScheduler(controller, max_delay_ns=-1.0)
+        scheduler = BatchScheduler(controller)
+        with pytest.raises(PlanError):
+            scheduler.advance(-5.0)
+
+    def test_grouping_respects_input_bits(self, programmed):
+        BatchScheduler, controller, matrix = programmed
+        scheduler = BatchScheduler(controller, max_batch=2)
+        a = scheduler.submit("d", np.ones(8, dtype=np.int64), input_bits=4)
+        b = scheduler.submit("d", np.ones(8, dtype=np.int64), input_bits=8)
+        assert not a.done and not b.done  # distinct groups, no size flush
+        assert scheduler.flush() == 2
+        assert scheduler.stats.batches_flushed == 2

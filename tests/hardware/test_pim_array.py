@@ -60,6 +60,50 @@ class TestProgramming:
         assert array.stats.programming_time_ns > 0
 
 
+class TestResetAndLayouts:
+    def test_reset_unknown_name_raises(self, array):
+        with pytest.raises(ProgrammingError, match="no matrix"):
+            array.reset_matrix("ghost")
+
+    def test_layouts_mirror_programmed_matrices(self, array, rng):
+        la = array.program_matrix("a", rng.integers(0, 256, size=(4, 8)))
+        lb = array.program_matrix("b", rng.integers(0, 256, size=(6, 16)))
+        layouts = array.layouts()
+        assert set(layouts) == {"a", "b"}
+        assert layouts["a"] == la
+        assert layouts["b"] == lb
+
+    def test_reset_removes_layout_and_stats_entry(self, array, rng):
+        array.program_matrix("a", rng.integers(0, 256, size=(4, 8)))
+        array.reset_matrix("a")
+        assert "a" not in array.layouts()
+        assert "a" not in array.stats.matrices
+        with pytest.raises(ProgrammingError, match="no matrix"):
+            array.reset_matrix("a")  # double reset is rejected
+
+    def test_reprogram_same_name_after_reset(self, array, rng):
+        array.program_matrix("a", rng.integers(0, 256, size=(4, 8)))
+        array.reset_matrix("a")
+        replacement = rng.integers(0, 256, size=(6, 8))
+        layout = array.program_matrix("a", replacement)
+        assert array.layouts()["a"] == layout
+        assert layout.n_vectors == 6
+        query = rng.integers(0, 256, size=8)
+        assert np.array_equal(
+            array.query("a", query).values,
+            replacement.astype(np.int64) @ query.astype(np.int64),
+        )
+
+    def test_reset_reprogram_cycle_reuses_crossbars(self, array, rng):
+        matrix = rng.integers(0, 256, size=(4, 8))
+        array.program_matrix("a", matrix)
+        used = array.stats.crossbars_used
+        for _ in range(3):
+            array.reset_matrix("a")
+            array.program_matrix("a", matrix)
+        assert array.stats.crossbars_used == used
+
+
 class TestQueries:
     def test_dot_products_exact(self, array, rng):
         matrix = rng.integers(0, 256, size=(10, 20))
@@ -151,3 +195,37 @@ class TestPlatformValidation:
 
         with pytest.raises(ProgrammingError):
             PIMArray(baseline_platform())
+
+
+class TestBatchQueries:
+    def test_unknown_matrix_rejected(self, array):
+        with pytest.raises(ProgrammingError, match="no matrix"):
+            array.query_batch("ghost", np.zeros((2, 8), dtype=np.int64))
+
+    def test_wrong_query_length_rejected(self, array, rng):
+        array.program_matrix("a", rng.integers(0, 256, size=(4, 8)))
+        with pytest.raises(OperandError, match="length 8"):
+            array.query_batch("a", np.zeros((2, 5), dtype=np.int64))
+
+    def test_single_vector_promoted_to_batch_of_one(self, array, rng):
+        matrix = rng.integers(0, 256, size=(4, 8))
+        array.program_matrix("a", matrix)
+        query = rng.integers(0, 256, size=8)
+        result = array.query_batch("a", query)
+        assert result.values.shape == (1, 4)
+        assert result.timing.n_queries == 1
+        assert np.array_equal(
+            result.values[0], matrix.astype(np.int64) @ query
+        )
+
+    def test_cell_path_matches_fast_path(self, small_pim_platform, rng):
+        fast = PIMArray(small_pim_platform)
+        cells = PIMArray(small_pim_platform, simulate_cells=True)
+        matrix = rng.integers(0, 256, size=(2, 8))
+        queries = rng.integers(0, 256, size=(3, 8))
+        fast.program_matrix("a", matrix)
+        cells.program_matrix("a", matrix)
+        assert np.array_equal(
+            fast.query_batch("a", queries).values,
+            cells.query_batch("a", queries).values,
+        )
