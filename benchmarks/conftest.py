@@ -13,6 +13,7 @@ with d/k/alpha) is the reproduction target, not absolute milliseconds.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -21,6 +22,32 @@ import pytest
 from repro.data.catalog import make_dataset, make_queries
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Set this env var to a directory to record bench-session telemetry:
+#: a Perfetto trace + JSONL metrics snapshot land there after the run.
+TELEMETRY_ENV = "REPRO_TELEMETRY_DIR"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_telemetry():
+    """Session-wide telemetry capture, gated on ``REPRO_TELEMETRY_DIR``.
+
+    Disabled (the zero-overhead null recorder) unless the env var names
+    a directory; bench timings are unaffected by default.
+    """
+    target = os.environ.get(TELEMETRY_ENV)
+    if not target:
+        yield None
+        return
+    from repro.telemetry import telemetry_session
+    from repro.telemetry.export import write_chrome_trace, write_metrics_jsonl
+
+    out_dir = Path(target)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    with telemetry_session() as tele:
+        yield tele
+    write_chrome_trace(tele, out_dir / "bench.trace.json")
+    write_metrics_jsonl(tele, out_dir / "bench.metrics.jsonl")
 
 #: Scaled cardinalities per dataset used across the kNN benches.
 KNN_SIZES = {"ImageNet": 2000, "MSD": 1500, "GIST": 1200, "Trevi": 1500}

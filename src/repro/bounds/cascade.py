@@ -17,6 +17,7 @@ import numpy as np
 from repro.bounds.base import Bound
 from repro.cost.counters import PerfCounters
 from repro.errors import PlanError
+from repro.telemetry import get_recorder
 
 
 @dataclass
@@ -101,17 +102,36 @@ class BoundCascade:
             else np.asarray(indices)
         )
         values = np.empty(0)
+        tele = get_recorder()
         for bound, stats in zip(self.bounds, self.stats):
             if current.size == 0:
                 break
+            span = (
+                tele.begin_span(
+                    f"cascade.{bound.name}", "bound_stage",
+                    candidates=int(current.size),
+                )
+                if tele.enabled
+                else None
+            )
             values = bound.evaluate(query, current)
             if counters is not None:
                 bound.charge(counters, int(current.size))
             keep = ~bound.prunes(values, threshold)
-            stats.evaluated += int(current.size)
-            stats.pruned += int(current.size - keep.sum())
+            evaluated = int(current.size)
+            pruned = int(current.size - keep.sum())
+            stats.evaluated += evaluated
+            stats.pruned += pruned
             current = current[keep]
             values = values[keep]
+            if span is not None:
+                tele.end_span(pruned=pruned)
+                m = tele.metrics
+                m.counter(f"cascade.{bound.name}.evaluated").add(evaluated)
+                m.counter(f"cascade.{bound.name}.pruned").add(pruned)
+                m.gauge(f"cascade.{bound.name}.prune_ratio").set(
+                    pruned / evaluated if evaluated else 0.0
+                )
         return CascadeResult(
             indices=current, values=values, stats=self.stats
         )

@@ -68,6 +68,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "normalised automatically) instead of the synthetic catalog"
         ),
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help=(
+            "record simulated-clock spans and write a Chrome/Perfetto "
+            "trace file (open at https://ui.perfetto.dev)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="record telemetry metrics and write a JSONL snapshot",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,6 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=_positive_int, default=None,
         help="PIM wave batch size (default: the whole query workload; "
         "1 reproduces scalar dispatch)",
+    )
+    knn.add_argument(
+        "--pim", action="store_true",
+        help=(
+            "profile only the PIM-optimized variant (no baseline or "
+            "verification runs, so the trace's pim_dispatch spans sum "
+            "exactly to the reported PIM wave time)"
+        ),
     )
 
     kmeans = sub.add_parser("kmeans", help="accelerate a k-means baseline")
@@ -172,6 +191,8 @@ def _cmd_knn(args, out) -> int:
         queries = queries_from(data, args.queries, seed=args.seed + 1)
     else:
         queries = make_queries(args.dataset, data, n_queries=args.queries)
+    if args.pim:
+        return _cmd_knn_pim(args, data, queries, out)
     accelerator = PIMAccelerator(hardware=_platform(args))
     report = accelerator.accelerate_knn(
         args.algorithm,
@@ -196,6 +217,47 @@ def _cmd_knn(args, out) -> int:
     for note in report.notes:
         print(f"note           : {note}", file=out)
     return 0 if report.results_match else 1
+
+
+def _cmd_knn_pim(args, data, queries, out) -> int:
+    """Profile only the PIM variant (``knn --pim``).
+
+    Nothing besides the profiled workload touches the controller, so
+    the summed ``pim_dispatch`` span durations in a recorded trace
+    equal the reported PIM wave time exactly (programming waves are
+    charged separately under ``pim_program``).
+    """
+    from repro.hardware.controller import PIMController
+    from repro.mining.knn import make_pim_variant
+
+    n, dims = data.shape
+    controller = PIMController(_platform(args))
+    algo = make_pim_variant(
+        args.algorithm + "-PIM",
+        dims,
+        n,
+        measure=args.measure,
+        controller=controller,
+    )
+    algo.fit(data)
+    profile = profile_knn(
+        algo,
+        queries,
+        args.k,
+        batch_size=(
+            args.batch_size if args.batch_size is not None else len(queries)
+        ),
+    )
+    label = args.data_file if args.data_file else args.dataset
+    print(f"dataset        : {label} {data.shape}", file=out)
+    print(f"algorithm      : {profile.name}", file=out)
+    print(f"total time     : {profile.total_time_ms:.3f} ms", file=out)
+    print(f"CPU time       : {profile.cpu_time_ns / 1e6:.3f} ms", file=out)
+    print(f"PIM wave time  : {profile.pim_time_ns / 1e6:.3f} ms", file=out)
+    batching = format_batch_stats(profile.extras)
+    if batching:
+        print(f"batching       : {batching}", file=out)
+    return 0
 
 
 def _cmd_kmeans(args, out) -> int:
@@ -248,10 +310,7 @@ def _cmd_profile(args, out) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None, out=None) -> int:
-    """CLI entry point; returns a process exit code."""
-    out = out if out is not None else sys.stdout
-    args = build_parser().parse_args(argv)
+def _dispatch(args, out) -> int:
     if args.command == "info":
         return _cmd_info(out)
     if args.command == "knn":
@@ -259,6 +318,34 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     if args.command == "kmeans":
         return _cmd_kmeans(args, out)
     return _cmd_profile(args, out)
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out is None and metrics_out is None:
+        return _dispatch(args, out)
+
+    from repro.telemetry import telemetry_session
+    from repro.telemetry.export import (
+        summarize_metrics,
+        write_chrome_trace,
+        write_metrics_jsonl,
+    )
+
+    with telemetry_session() as tele:
+        code = _dispatch(args, out)
+    if trace_out is not None:
+        n_events = write_chrome_trace(tele, trace_out)
+        print(f"trace written  : {trace_out} ({n_events} events)", file=out)
+    if metrics_out is not None:
+        n_lines = write_metrics_jsonl(tele, metrics_out)
+        print(f"metrics written: {metrics_out} ({n_lines} lines)", file=out)
+        print(summarize_metrics(tele), file=out)
+    return code
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ from repro.hardware.controller import PIMController
 from repro.mining.kmeans import PIMAssist, make_kmeans
 from repro.mining.knn import FNNPIMOptimizeKNN, make_baseline, make_pim_variant
 from repro.similarity.quantization import Quantizer
+from repro.telemetry import get_recorder
 
 #: Below this PIM-oracle speedup the framework recommends against PIM
 #: (the paper's Elkan discussion: oracle gain of ~2x is marginal).
@@ -119,10 +120,12 @@ class PIMAccelerator:
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         n, dims = data.shape
         notes: list[str] = []
+        tele = get_recorder()
 
-        baseline = make_baseline(baseline_name, dims, measure=measure)
-        baseline.fit(data)
-        base_profile = profile_knn(baseline, queries, k)
+        with tele.span("phase.profile_baseline", "phase", task="knn"):
+            baseline = make_baseline(baseline_name, dims, measure=measure)
+            baseline.fit(data)
+            base_profile = profile_knn(baseline, queries, k)
         promising = base_profile.oracle_speedup >= MIN_PROMISING_ORACLE_SPEEDUP
         if not promising:
             notes.append(
@@ -130,15 +133,16 @@ class PIMAccelerator:
                 "marginal; offloading may not pay off"
             )
 
-        controller = self._controller()
-        pim_algo = make_pim_variant(
-            baseline_name + "-PIM",
-            dims,
-            n,
-            measure=measure,
-            controller=controller,
-        )
-        pim_algo.fit(data)
+        with tele.span("phase.build_pim", "phase", task="knn"):
+            controller = self._controller()
+            pim_algo = make_pim_variant(
+                baseline_name + "-PIM",
+                dims,
+                n,
+                measure=measure,
+                controller=controller,
+            )
+            pim_algo.fit(data)
         plan: tuple[str, ...] = tuple(b.name for b in pim_algo.bounds)
 
         if optimize_plan:
@@ -148,20 +152,25 @@ class PIMAccelerator:
                     "running the default plan"
                 )
             else:
-                pim_algo, plan, ratio_note = self._optimized_fnn(
-                    pim_algo, baseline, data, queries, k, controller
-                )
+                with tele.span("phase.optimize_plan", "phase", task="knn"):
+                    pim_algo, plan, ratio_note = self._optimized_fnn(
+                        pim_algo, baseline, data, queries, k, controller
+                    )
                 notes.append(ratio_note)
 
-        pim_profile = profile_knn(
-            pim_algo,
-            queries,
-            k,
-            batch_size=batch_size if batch_size is not None else len(queries),
-        )
-        results_match = self._knn_results_match(
-            baseline, pim_algo, queries, k
-        )
+        with tele.span("phase.profile_pim", "phase", task="knn"):
+            pim_profile = profile_knn(
+                pim_algo,
+                queries,
+                k,
+                batch_size=(
+                    batch_size if batch_size is not None else len(queries)
+                ),
+            )
+        with tele.span("phase.verify", "phase", task="knn"):
+            results_match = self._knn_results_match(
+                baseline, pim_algo, queries, k
+            )
         return AccelerationReport(
             baseline=base_profile,
             optimized=pim_profile,
@@ -225,8 +234,10 @@ class PIMAccelerator:
         )
 
         data = np.asarray(data, dtype=np.float64)
-        baseline = StandardOutlierDetector(n_neighbors, n_outliers)
-        base_result = baseline.fit(data).detect()
+        tele = get_recorder()
+        with tele.span("phase.profile_baseline", "phase", task="outlier"):
+            baseline = StandardOutlierDetector(n_neighbors, n_outliers)
+            base_result = baseline.fit(data).detect()
         base_model = CostModel(baseline_platform())
         base_profile = AlgorithmProfile(
             name=baseline.name,
@@ -244,13 +255,14 @@ class PIMAccelerator:
         )
         promising = base_profile.oracle_speedup >= MIN_PROMISING_ORACLE_SPEEDUP
 
-        pim = PIMOutlierDetector(
-            n_neighbors,
-            n_outliers,
-            controller=self._controller(),
-            quantizer=self._quantizer(),
-        )
-        pim_result = pim.fit(data).detect()
+        with tele.span("phase.build_pim", "phase", task="outlier"):
+            pim = PIMOutlierDetector(
+                n_neighbors,
+                n_outliers,
+                controller=self._controller(),
+                quantizer=self._quantizer(),
+            )
+            pim_result = pim.fit(data).detect()
         pim_model = CostModel(pim.controller.hardware)
         pim_profile = AlgorithmProfile(
             name=pim.name,
@@ -293,9 +305,13 @@ class PIMAccelerator:
         notes: list[str] = []
         from repro.mining.kmeans import initial_centers
 
+        tele = get_recorder()
         centers = initial_centers(data, k, seed)
-        baseline = make_kmeans(baseline_name, k, max_iters=max_iters)
-        base_profile = profile_kmeans(baseline, data, centers=centers.copy())
+        with tele.span("phase.profile_baseline", "phase", task="kmeans"):
+            baseline = make_kmeans(baseline_name, k, max_iters=max_iters)
+            base_profile = profile_kmeans(
+                baseline, data, centers=centers.copy()
+            )
         promising = base_profile.oracle_speedup >= MIN_PROMISING_ORACLE_SPEEDUP
         if not promising:
             notes.append(
@@ -304,14 +320,20 @@ class PIMAccelerator:
                 "case)"
             )
 
-        assist = PIMAssist(self._controller(), self._quantizer())
-        pim_algo = make_kmeans(
-            baseline_name + "-PIM", k, max_iters=max_iters, pim_assist=assist
-        )
-        pim_profile = profile_kmeans(pim_algo, data, centers=centers.copy())
-        results_match = abs(
-            pim_profile.extras["inertia"] - base_profile.extras["inertia"]
-        ) <= 1e-6 * max(1.0, base_profile.extras["inertia"])
+        with tele.span("phase.build_pim", "phase", task="kmeans"):
+            assist = PIMAssist(self._controller(), self._quantizer())
+            pim_algo = make_kmeans(
+                baseline_name + "-PIM", k,
+                max_iters=max_iters, pim_assist=assist,
+            )
+        with tele.span("phase.profile_pim", "phase", task="kmeans"):
+            pim_profile = profile_kmeans(
+                pim_algo, data, centers=centers.copy()
+            )
+        with tele.span("phase.verify", "phase", task="kmeans"):
+            results_match = abs(
+                pim_profile.extras["inertia"] - base_profile.extras["inertia"]
+            ) <= 1e-6 * max(1.0, base_profile.extras["inertia"])
         return AccelerationReport(
             baseline=base_profile,
             optimized=pim_profile,

@@ -36,6 +36,7 @@ from repro.cost.transfer import TransferCost, exact_transfer, plan_transfer_bits
 from repro.errors import OperandError, PlanError
 from repro.hardware.controller import PIMController
 from repro.mining.knn.base import KNNAlgorithm
+from repro.telemetry import get_recorder
 
 
 @dataclass(frozen=True)
@@ -319,6 +320,10 @@ class BatchScheduler:
             self._deadlines[group] = self.clock_ns + self.max_delay_ns
         queue.append((vector, ticket))
         self.stats.submitted += 1
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter("scheduler.submitted").add(1)
+            tele.metrics.gauge("scheduler.queue_depth").set(self.pending())
         if len(queue) >= self.max_batch:
             self._flush_group(group, reason="size")
         return ticket
@@ -379,6 +384,13 @@ class BatchScheduler:
         self.stats.flush_reasons[reason] = (
             self.stats.flush_reasons.get(reason, 0) + 1
         )
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter(f"scheduler.flush.{reason}").add(1)
+            tele.metrics.histogram("scheduler.batch_size").observe(
+                len(queue)
+            )
+            tele.metrics.gauge("scheduler.queue_depth").set(self.pending())
         return len(queue)
 
 

@@ -26,6 +26,7 @@ from repro.cost.model import ComponentBreakdown, CostModel, combined_time_ns
 from repro.hardware.config import HardwareConfig, baseline_platform
 from repro.mining.kmeans.base import KMeansAlgorithm
 from repro.mining.knn.base import KNNAlgorithm
+from repro.telemetry import get_recorder
 
 
 @dataclass
@@ -65,10 +66,15 @@ class AlgorithmProfile:
 
     @property
     def oracle_speedup(self) -> float:
-        """T_total / T_PIM-oracle — the ideal gain of Eq. 2."""
+        """T_total / T_PIM-oracle — the ideal gain of Eq. 2.
+
+        Uses :attr:`total_time_ns` (CPU + PIM), matching the docstring:
+        for baselines the two coincide (``pim_time_ns == 0``), but a
+        profile of a PIM variant must count its wave time too.
+        """
         if self.pim_oracle_ns <= 0:
             return float("inf")
-        return self.cpu_time_ns / self.pim_oracle_ns
+        return self.total_time_ns / self.pim_oracle_ns
 
 
 def _profile_from_counters(
@@ -119,6 +125,20 @@ def profile_knn(
             controller.pim.stats.batched_queries,
             controller.pim.stats.batch_saved_ns,
         )
+    if hardware is None:
+        hardware = (
+            controller.hardware if controller is not None
+            else baseline_platform()
+        )
+    tele = get_recorder()
+    profile_span = (
+        tele.begin_span(
+            "profile.knn", "algorithm",
+            algorithm=algorithm.name, n_queries=int(len(queries)), k=k,
+        )
+        if tele.enabled
+        else None
+    )
     merged = PerfCounters()
     pim_time = 0.0
     exact = 0
@@ -132,15 +152,16 @@ def profile_knn(
             results.extend(
                 algorithm.query_batch(queries[start : start + batch_size], k)
             )
-    for result in results:
+    model = CostModel(hardware) if profile_span is not None else None
+    for i, result in enumerate(results):
         merged = merged.merged_with(result.counters)
         pim_time += result.pim_time_ns
         exact += result.exact_computations
-    if hardware is None:
-        hardware = (
-            controller.hardware if controller is not None
-            else baseline_platform()
-        )
+        if model is not None:
+            # replay each query's Quartz CPU time onto the simulated
+            # clock (the waves advanced it during execution above)
+            with tele.span("cpu.query", "cpu", index=i):
+                tele.advance(model.total_time_ns(result.counters))
     profile = _profile_from_counters(
         algorithm.name,
         merged,
@@ -152,7 +173,30 @@ def profile_knn(
     profile.extras["n_queries"] = float(len(queries))
     if stats_before is not None:
         _record_batch_extras(profile, algorithm, controller, stats_before)
+    if profile_span is not None:
+        tele.end_span(
+            cpu_time_ns=profile.cpu_time_ns, pim_time_ns=profile.pim_time_ns
+        )
+        _record_profile_metrics(tele, profile)
     return profile
+
+
+def _record_profile_metrics(tele, profile: AlgorithmProfile) -> None:
+    """Fig. 5/6 buckets of one profile -> telemetry gauges.
+
+    Span sums reconcile with these: the ``pim_dispatch`` spans of the
+    profiled run add up to ``profiler.pim_time_ns`` and the ``cpu``
+    spans to ``profiler.cpu_time_ns``.
+    """
+    m = tele.metrics
+    prefix = f"profiler.{profile.name}"
+    m.gauge(f"{prefix}.cpu_time_ns").set(profile.cpu_time_ns)
+    m.gauge(f"{prefix}.pim_time_ns").set(profile.pim_time_ns)
+    m.gauge(f"{prefix}.pim_oracle_ns").set(profile.pim_oracle_ns)
+    for component, fraction in profile.component_fractions().items():
+        m.gauge(f"{prefix}.component.{component}").set(fraction)
+    for function, time_ns in profile.function_times_ns.items():
+        m.gauge(f"{prefix}.function.{function}_ns").set(time_ns)
 
 
 def _record_batch_extras(
@@ -194,12 +238,27 @@ def profile_kmeans(
     batches_before = (
         assist.controller.pim.stats.batches if assist is not None else 0
     )
-    result = algorithm.fit(data, centers=centers, seed=seed)
     if hardware is None:
         hardware = (
             assist.controller.hardware if assist is not None
             else baseline_platform()
         )
+    tele = get_recorder()
+    profile_span = (
+        tele.begin_span(
+            "profile.kmeans", "algorithm",
+            algorithm=algorithm.name, n_points=int(np.asarray(data).shape[0]),
+            n_clusters=algorithm.n_clusters,
+        )
+        if tele.enabled
+        else None
+    )
+    result = algorithm.fit(data, centers=centers, seed=seed)
+    if profile_span is not None:
+        # replay the whole run's Quartz CPU time onto the simulated
+        # clock (the waves advanced it during fit above)
+        with tele.span("cpu.fit", "cpu", iterations=result.n_iterations):
+            tele.advance(CostModel(hardware).total_time_ns(result.counters))
     profile = _profile_from_counters(
         algorithm.name,
         result.counters,
@@ -217,4 +276,9 @@ def profile_kmeans(
         batches = stats.batches - batches_before
         profile.extras["pim_batches"] = float(batches)
         profile.extras["pim_waves_per_batch"] = stats.waves_per_batch
+    if profile_span is not None:
+        tele.end_span(
+            cpu_time_ns=profile.cpu_time_ns, pim_time_ns=profile.pim_time_ns
+        )
+        _record_profile_metrics(tele, profile)
     return profile

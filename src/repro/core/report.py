@@ -17,7 +17,10 @@ def format_table(
 ) -> str:
     """A fixed-width text table.
 
-    Cells are stringified; floats get 4 significant digits.
+    Cells are stringified; floats get 4 significant digits. Ragged rows
+    are tolerated: rows shorter than the widest row (or the header) are
+    padded with empty cells, and rows longer than the header get
+    unnamed columns rather than raising.
     """
 
     def cell(value: object) -> str:
@@ -26,15 +29,22 @@ def format_table(
         return str(value)
 
     str_rows = [[cell(v) for v in row] for row in rows]
+    n_cols = max(
+        [len(headers)] + [len(r) for r in str_rows]
+    ) if headers or str_rows else 0
+    padded_headers = list(headers) + [""] * (n_cols - len(headers))
+    str_rows = [r + [""] * (n_cols - len(r)) for r in str_rows]
     widths = [
-        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
-        for i, h in enumerate(headers)
+        max(
+            len(padded_headers[i]), *(len(r[i]) for r in str_rows)
+        ) if str_rows else len(padded_headers[i])
+        for i in range(n_cols)
     ]
     lines = []
     if title:
         lines.append(title)
     lines.append(
-        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+        "  ".join(h.ljust(w) for h, w in zip(padded_headers, widths))
     )
     lines.append("  ".join("-" * w for w in widths))
     for row in str_rows:
@@ -75,6 +85,32 @@ def format_batch_stats(extras: dict[str, float]) -> str:
             f"saved={extras['pim_batch_saved_ns'] / 1e6:.3f} ms"
         )
     return "  ".join(parts)
+
+
+def format_metrics(summaries: dict[str, dict[str, object]]) -> str:
+    """A metric-per-row table from instrument summaries.
+
+    ``summaries`` maps metric name -> summary dict (as produced by the
+    telemetry instruments' ``summary()`` plus a ``type`` key). Columns
+    are the union of all summary keys, so counters (``value``) and
+    histograms (``count``/``sum``/``mean``/...) share one table; cells
+    a metric does not report stay blank — this is the ragged-row case
+    :func:`format_table` now supports.
+    """
+    if not summaries:
+        return ""
+    keys: list[str] = []
+    for summary in summaries.values():
+        for key in summary:
+            if key != "type" and key not in keys:
+                keys.append(key)
+    headers = ["metric", "type"] + keys
+    rows = [
+        [name, str(summary.get("type", ""))]
+        + [summary.get(key, "") for key in keys]
+        for name, summary in summaries.items()
+    ]
+    return format_table(headers, rows)
 
 
 def speedup(baseline_ns: float, optimized_ns: float) -> float:

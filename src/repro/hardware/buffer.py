@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.errors import CapacityError
 from repro.hardware.config import MemoryConfig
+from repro.telemetry import get_recorder
 
 
 class BufferArray:
@@ -59,6 +60,12 @@ class BufferArray:
         self._blocks.append(block)
         self._occupied_bytes += nbytes
         self.total_bytes_written += nbytes
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter("buffer.bytes_written").add(nbytes)
+            tele.metrics.gauge("buffer.occupied_bytes").set(
+                self._occupied_bytes
+            )
 
     def pop(self) -> np.ndarray:
         """Remove and return the oldest buffered block."""
@@ -67,6 +74,12 @@ class BufferArray:
         block = self._blocks.pop(0)
         self._occupied_bytes -= block.nbytes
         self.total_bytes_read += block.nbytes
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter("buffer.bytes_read").add(block.nbytes)
+            tele.metrics.gauge("buffer.occupied_bytes").set(
+                self._occupied_bytes
+            )
         return block
 
     def drain(self) -> list[np.ndarray]:

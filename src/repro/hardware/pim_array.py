@@ -37,6 +37,7 @@ from repro.hardware.timing import (
     programming_time_ns,
     wave_timing,
 )
+from repro.telemetry import get_recorder
 
 
 @dataclass(frozen=True)
@@ -190,9 +191,20 @@ class PIMArray:
         )
         self.stats.crossbars_used = used
         self.stats.matrices[name] = layout
-        self.stats.programming_time_ns += programming_time_ns(
-            layout, self.config
-        )
+        program_ns = programming_time_ns(layout, self.config)
+        self.stats.programming_time_ns += program_ns
+        tele = get_recorder()
+        if tele.enabled:
+            with tele.span(
+                "pim.program", "pim_program",
+                matrix=name, vectors=n_vectors, dims=dims,
+                crossbars=layout.n_crossbars,
+            ):
+                tele.advance(program_ns)
+            tele.metrics.counter("pim.programmed_crossbars").add(
+                layout.n_crossbars
+            )
+            tele.metrics.gauge("pim.crossbars_used").set(used)
         return layout
 
     def _program_cells(
@@ -232,6 +244,12 @@ class PIMArray:
         self.stats.crossbars_used -= record.layout.n_crossbars
         del self.stats.matrices[name]
         self._free_crossbar_ids.extend(record.crossbar_ids)
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter("pim.matrix_resets").add(1)
+            tele.metrics.gauge("pim.crossbars_used").set(
+                self.stats.crossbars_used
+            )
         if record.crossbars is not None:
             for column in record.crossbars:
                 for xbar in column:
@@ -277,6 +295,17 @@ class PIMArray:
         self.stats.waves += 1
         self.stats.pim_time_ns += timing.total_ns
         self.stats.results_produced += int(values.shape[0])
+        tele = get_recorder()
+        if tele.enabled:
+            with tele.span(
+                "pim.wave", "pim_dispatch",
+                matrix=name, queries=1, results=int(values.shape[0]),
+            ):
+                tele.advance(timing.total_ns)
+            self._record_wave_metrics(
+                tele, waves=1, cycles=timing.input_cycles,
+                results=int(values.shape[0]),
+            )
         return PIMQueryResult(values=values, timing=timing)
 
     def query_many(
@@ -317,6 +346,18 @@ class PIMArray:
         self.stats.waves += n_queries
         self.stats.pim_time_ns += timing.total_ns * n_queries
         self.stats.results_produced += int(values.size)
+        tele = get_recorder()
+        if tele.enabled:
+            with tele.span(
+                "pim.wave_train", "pim_dispatch",
+                matrix=name, queries=n_queries, results=int(values.size),
+            ):
+                tele.advance(timing.total_ns * n_queries)
+            self._record_wave_metrics(
+                tele, waves=n_queries,
+                cycles=timing.input_cycles * n_queries,
+                results=int(values.size),
+            )
         return PIMQueryResult(values=values, timing=timing)
 
     def query_batch(
@@ -366,10 +407,47 @@ class PIMArray:
         self.stats.waves += n_queries
         self.stats.batches += 1
         self.stats.batched_queries += n_queries
+        saved_ns = n_queries * single.total_ns - timing.total_ns
         self.stats.pim_time_ns += timing.total_ns
-        self.stats.batch_saved_ns += n_queries * single.total_ns - timing.total_ns
+        self.stats.batch_saved_ns += saved_ns
         self.stats.results_produced += int(values.size)
+        tele = get_recorder()
+        if tele.enabled:
+            with tele.span(
+                "pim.batch_wave", "pim_dispatch",
+                matrix=name, queries=n_queries, results=int(values.size),
+                saved_ns=saved_ns,
+            ):
+                tele.advance(timing.total_ns)
+            self._record_wave_metrics(
+                tele, waves=n_queries,
+                cycles=timing.per_query_cycles * n_queries,
+                results=int(values.size),
+            )
+            tele.metrics.counter("pim.batch_flushes").add(1)
+            tele.metrics.counter("pim.batch_saved_ns").add(max(saved_ns, 0.0))
+            tele.metrics.histogram("pim.batch_size").observe(n_queries)
         return PIMBatchResult(values=values, timing=timing)
+
+    @staticmethod
+    def _record_wave_metrics(
+        tele, waves: int, cycles: int, results: int
+    ) -> None:
+        """Wave counters shared by the three dispatch styles.
+
+        ``cycles`` are the DAC input cycles charged, i.e. the bit-slice
+        passes through the analog array; every pass converts each
+        result column once, so ADC conversions are ``results_per_wave x
+        cycles_per_wave`` summed over the dispatch.
+        """
+        m = tele.metrics
+        m.counter("pim.waves").add(waves)
+        m.counter("pim.bit_slice_passes").add(cycles)
+        if waves:
+            m.counter("pim.adc_conversions").add(
+                results / waves * cycles
+            )
+        m.counter("pim.results_produced").add(results)
 
     def _query_cells(
         self, record: _ProgrammedMatrix, vector: np.ndarray, bits: int

@@ -34,6 +34,7 @@ from repro.hardware.mapper import plan_layout
 from repro.hardware.memory import MemoryArray
 from repro.hardware.pim_array import PIMArray
 from repro.hardware.timing import programming_time_ns, wave_timing
+from repro.telemetry import get_recorder
 
 POLICIES = ("round_robin", "pinned")
 
@@ -127,18 +128,39 @@ class ChunkedDotProductEngine:
     def _make_resident(self, chunk_id: int) -> None:
         if self._resident == chunk_id:
             return
+        swapped_out = self._resident
+        chunk = self._chunks[chunk_id]
+        tele = get_recorder()
+        span = (
+            tele.begin_span(
+                "pim.reprogram", "pim_reprogram",
+                chunk=chunk_id, evicted=swapped_out, policy=self.policy,
+            )
+            if tele.enabled
+            else None
+        )
         if self._resident is not None:
             self.pim.reset_matrix("chunk")
-        chunk = self._chunks[chunk_id]
+        # program_matrix advances the simulated clock by the crossbar
+        # write time itself (nested pim.program span); only the memory
+        # array read feeding the programming is charged here.
         self.pim.program_matrix("chunk", chunk)
         layout = plan_layout(
             chunk.shape[0], chunk.shape[1], self.pim.config
         )
         self.stats.reprogrammings += 1
+        read_ns = self.memory.read_time_ns(chunk.nbytes)
         self.stats.programming_time_ns += programming_time_ns(
             layout, self.pim.config
-        ) + self.memory.read_time_ns(chunk.nbytes)
+        ) + read_ns
         self._resident = chunk_id
+        if span is not None:
+            tele.advance(read_ns)
+            tele.end_span()
+            tele.metrics.counter("reprogram.events").add(1)
+            if swapped_out is not None:
+                tele.metrics.counter("reprogram.evictions").add(1)
+            tele.metrics.gauge("reprogram.resident_chunk").set(chunk_id)
 
     def dot_products_all(self, query: np.ndarray) -> np.ndarray:
         """Dot products of ``query`` with every vector of the dataset.

@@ -27,6 +27,7 @@ import numpy as np
 from repro.cost.counters import OTHER, PerfCounters
 from repro.errors import ConfigurationError, OperandError
 from repro.mining.knn.base import OPERAND_BYTES
+from repro.telemetry import get_recorder
 
 #: Counter bucket for Elkan/Drake/Yinyang bound maintenance.
 BOUND_UPDATE = "bound_update"
@@ -253,14 +254,33 @@ class KMeansAlgorithm(abc.ABC):
         per_iter_exact: list[int] = []
         per_iter_counters: list[PerfCounters] = []
         total_counters = self._counters  # setup events recorded so far
+        tele = get_recorder()
         for _ in range(self.max_iters):
             exact_before = self._exact
             self._counters = PerfCounters()  # this iteration's bucket
+            iter_span = (
+                tele.begin_span(
+                    "kmeans.iteration", "iteration",
+                    algorithm=self.name, iteration=iterations,
+                )
+                if tele.enabled
+                else None
+            )
             if self.pim is not None:
                 self.pim.begin_iteration(centers)
             new_assignments = self._assign(centers)
             iterations += 1
-            per_iter_exact.append(self._exact - exact_before)
+            iter_exact = self._exact - exact_before
+            per_iter_exact.append(iter_exact)
+            if iter_span is not None:
+                tele.end_span(exact_distances=iter_exact)
+                tele.metrics.counter("kmeans.iterations").add(1)
+                tele.metrics.counter("kmeans.exact_distances").add(
+                    iter_exact
+                )
+                tele.metrics.gauge("prune.ratio").set(
+                    1.0 - iter_exact / (data.shape[0] * self.n_clusters)
+                )
             if np.array_equal(new_assignments, assignments):
                 assignments = new_assignments
                 converged = True

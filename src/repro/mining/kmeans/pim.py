@@ -20,6 +20,7 @@ from repro.cost.counters import PerfCounters
 from repro.errors import OperandError
 from repro.hardware.controller import PIMController
 from repro.similarity.quantization import Quantizer
+from repro.telemetry import get_recorder
 
 
 class PIMAssist:
@@ -56,7 +57,16 @@ class PIMAssist:
         """
         if not self._prepared:
             raise OperandError("PIMAssist.prepare() must run before use")
-        self._lb = np.sqrt(self.bound.evaluate_matrix(centers))
+        tele = get_recorder()
+        if tele.enabled:
+            with tele.span(
+                "kmeans.center_wave", "query_batch",
+                centers=int(np.atleast_2d(centers).shape[0]),
+            ):
+                self._lb = np.sqrt(self.bound.evaluate_matrix(centers))
+            tele.metrics.counter("kmeans.center_waves").add(1)
+        else:
+            self._lb = np.sqrt(self.bound.evaluate_matrix(centers))
 
     def batch_stats(self) -> tuple[int, float]:
         """(batches dispatched, mean waves per batch) on this controller."""

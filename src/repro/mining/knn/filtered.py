@@ -26,6 +26,7 @@ from repro.mining.knn.base import (
     _Heap,
     validate_query,
 )
+from repro.telemetry import get_recorder
 
 
 class FilteredKNN(KNNAlgorithm):
@@ -87,6 +88,12 @@ class FilteredKNN(KNNAlgorithm):
         """
         q = validate_query(q, self.dims)
         counters = PerfCounters()
+        tele = get_recorder()
+        query_span = (
+            tele.begin_span("knn.query", "query", algorithm=self.name, k=k)
+            if tele.enabled
+            else None
+        )
         pim_before = (
             self.controller.pim.stats.pim_time_ns if self.controller else 0.0
         )
@@ -130,6 +137,19 @@ class FilteredKNN(KNNAlgorithm):
             self.controller.pim.stats.pim_time_ns if self.controller else 0.0
         )
         stage_evals[self.measure] = exact
+        if query_span is not None:
+            tele.end_span(exact=exact)
+            m = tele.metrics
+            m.counter("knn.queries").add(1)
+            m.counter("knn.exact_computations").add(exact)
+            for bound in self.bounds:
+                m.counter(f"knn.stage.{bound.name}.evaluated").add(
+                    stage_evals[bound.name]
+                )
+            # fraction of the dataset the bound ladder pruned away
+            # before the exact measure — the per-query survival series
+            m.gauge("prune.ratio").set(1.0 - exact / self.n_objects)
+            m.histogram("prune.survivors").observe(exact)
         return self._finalize(
             heap,
             counters,
@@ -150,6 +170,16 @@ class FilteredKNN(KNNAlgorithm):
         """
         queries = np.atleast_2d(np.asarray(queries))
         primable = [b for b in self.bounds if hasattr(b, "prime_queries")]
+        tele = get_recorder()
+        prime_span = (
+            tele.begin_span(
+                "knn.prime", "query_batch",
+                algorithm=self.name, queries=int(queries.shape[0]),
+                bounds=len(primable),
+            )
+            if tele.enabled and primable
+            else None
+        )
         pim_before = (
             self.controller.pim.stats.pim_time_ns if self.controller else 0.0
         )
@@ -160,6 +190,8 @@ class FilteredKNN(KNNAlgorithm):
             if self.controller
             else 0.0
         )
+        if prime_span is not None:
+            tele.end_span(prime_ns=prime_ns)
         results = [self.query(q, k) for q in queries]
         # the per-query loops hit the primed caches, so their own pim
         # windows are ~0; spread the batch wave time evenly instead

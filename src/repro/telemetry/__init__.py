@@ -1,0 +1,71 @@
+"""Structured telemetry for the simulated PIM stack.
+
+A dependency-free observability subsystem with three pieces:
+
+* a **span tracer** keyed to the *simulated* clock (Quartz CPU ns +
+  PIM wave ns) with nested spans for
+  algorithm -> query -> bound stage -> PIM dispatch -> wave;
+* a **metrics registry** (counters, gauges, histograms) threaded
+  through the hot layers (waves, batches, buffer occupancy, scheduler
+  flushes, prune ratios);
+* **exporters**: Chrome trace-event files for Perfetto /
+  ``chrome://tracing`` and JSON-lines metrics snapshots, plus a schema
+  validator CI runs against smoke workloads.
+
+Telemetry is off by default — the active recorder is
+:data:`NULL_RECORDER` and every instrumentation site guards with
+``if tele.enabled:``, so disabled runs allocate nothing on the wave hot
+path. Enable it for a scope with :func:`telemetry_session`::
+
+    from repro.telemetry import telemetry_session, write_chrome_trace
+
+    with telemetry_session() as tele:
+        accelerator.accelerate_knn("FNN", data, queries, k=10)
+    write_chrome_trace(tele, "run.trace.json")
+
+or pass ``--trace-out`` / ``--metrics-out`` to the CLI.
+"""
+
+from repro.telemetry.export import (
+    chrome_trace_events,
+    metrics_jsonl_lines,
+    summarize_metrics,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    SimulatedClock,
+    Span,
+    TelemetryRecorder,
+    get_recorder,
+    set_recorder,
+    telemetry_session,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "SimulatedClock",
+    "Span",
+    "TelemetryRecorder",
+    "chrome_trace_events",
+    "get_recorder",
+    "metrics_jsonl_lines",
+    "set_recorder",
+    "summarize_metrics",
+    "telemetry_session",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+]

@@ -1,0 +1,172 @@
+"""Trace and metrics exporters (Perfetto + JSON-lines).
+
+Two on-disk formats, both dependency-free:
+
+* :func:`write_chrome_trace` — the Chrome trace-event format
+  (``{"traceEvents": [...]}``), loadable in Perfetto or
+  ``chrome://tracing``. Span timestamps/durations are emitted in the
+  microseconds the format mandates, but every event also carries the
+  exact simulated nanoseconds in ``args`` (``start_ns``/``dur_ns``) so
+  tooling never loses sub-microsecond precision. Counter/gauge series
+  ride along as ``ph: "C"`` counter events.
+* :func:`write_metrics_jsonl` — one JSON object per line: a ``sample``
+  line per metric update (simulated timestamp + value) followed by one
+  ``summary`` line per instrument.
+
+:func:`summarize_metrics` renders the human-readable table the CLI
+prints, reusing :func:`repro.core.report.format_metrics`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.recorder import NullRecorder, TelemetryRecorder
+
+#: Metadata stamped into every trace file.
+TRACE_PROCESS_NAME = "repro-simulated-pim"
+
+
+def chrome_trace_events(
+    recorder: "TelemetryRecorder | NullRecorder",
+) -> list[dict]:
+    """The recorder's spans and metric series as trace-event dicts."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": TRACE_PROCESS_NAME},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": "simulated-clock"},
+        },
+    ]
+    # finished_spans() is completion-ordered (children before parents);
+    # emit start-ordered, longest-first, so file order is monotonic and
+    # Perfetto nests enclosing spans naturally.
+    ordered = sorted(
+        (s for s in recorder.finished_spans() if s.end_ns is not None),
+        key=lambda s: (s.start_ns, -s.duration_ns, s.depth),
+    )
+    for span in ordered:
+        args = dict(span.args)
+        args["start_ns"] = span.start_ns
+        args["dur_ns"] = span.duration_ns
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "default",
+                "ph": "X",
+                "ts": span.start_ns / 1e3,  # trace format wants us
+                "dur": span.duration_ns / 1e3,
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    for instrument in recorder.metrics:
+        if instrument.kind == "histogram":
+            continue  # distributions have no counter-track rendering
+        for ts_ns, value in instrument.samples:
+            events.append(
+                {
+                    "name": instrument.name,
+                    "cat": "metric",
+                    "ph": "C",
+                    "ts": ts_ns / 1e3,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {"value": value},
+                }
+            )
+    return events
+
+
+def write_chrome_trace(
+    recorder: "TelemetryRecorder | NullRecorder", path_or_file
+) -> int:
+    """Write the Chrome/Perfetto trace file; returns the event count."""
+    payload = {
+        "traceEvents": chrome_trace_events(recorder),
+        "displayTimeUnit": "ns",
+        "otherData": {"clock": "simulated (Quartz CPU ns + PIM wave ns)"},
+    }
+    _dump(payload, path_or_file)
+    return len(payload["traceEvents"])
+
+
+def metrics_jsonl_lines(
+    recorder: "TelemetryRecorder | NullRecorder",
+) -> list[str]:
+    """The recorder's metrics as JSONL lines (samples then summaries)."""
+    lines: list[str] = []
+    for instrument in recorder.metrics:
+        for ts_ns, value in instrument.samples:
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "sample",
+                        "metric": instrument.name,
+                        "type": instrument.kind,
+                        "ts_ns": ts_ns,
+                        "value": value,
+                    },
+                    sort_keys=True,
+                )
+            )
+    for instrument in recorder.metrics:
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "summary",
+                    "metric": instrument.name,
+                    "type": instrument.kind,
+                    **instrument.summary(),
+                },
+                sort_keys=True,
+            )
+        )
+    return lines
+
+
+def write_metrics_jsonl(
+    recorder: "TelemetryRecorder | NullRecorder", path_or_file
+) -> int:
+    """Write the JSONL metrics snapshot; returns the line count."""
+    lines = metrics_jsonl_lines(recorder)
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(text)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return len(lines)
+
+
+def summarize_metrics(recorder: "TelemetryRecorder | NullRecorder") -> str:
+    """One fixed-width table over all instruments (CLI/bench output)."""
+    from repro.core.report import format_metrics
+
+    summaries = {
+        instrument.name: dict(
+            type=instrument.kind, **instrument.summary()
+        )
+        for instrument in recorder.metrics
+    }
+    return format_metrics(summaries)
+
+
+def _dump(payload: dict, path_or_file) -> None:
+    if hasattr(path_or_file, "write"):
+        json.dump(payload, path_or_file)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)

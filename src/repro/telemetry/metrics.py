@@ -1,0 +1,163 @@
+"""Metric instruments keyed to the simulated clock.
+
+Three instrument kinds cover everything the PIM stack reports:
+
+* :class:`Counter` — monotonically increasing totals (waves fired,
+  batches flushed, bytes moved);
+* :class:`Gauge` — last-value measurements (buffer occupancy, queue
+  depth, per-query prune ratios);
+* :class:`Histogram` — distributions (batch sizes, candidate survival).
+
+Every update appends a ``(ts_ns, value)`` sample stamped with the
+*simulated* clock (Quartz CPU ns + PIM wave ns), so exported series show
+where inside a run an event happened, not when the host executed it.
+Instruments live in a :class:`MetricsRegistry`; names are dotted paths
+(``pim.waves``, ``scheduler.flush.size``) created on first use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+
+class Instrument:
+    """Base of every metric instrument."""
+
+    kind: str = "instrument"
+
+    def __init__(self, name: str, clock: Callable[[], float]) -> None:
+        self.name = name
+        self._clock = clock
+        #: ``(ts_ns, value)`` pairs in update order (simulated time).
+        self.samples: list[tuple[float, float]] = []
+
+    def _record(self, value: float) -> None:
+        self.samples.append((self._clock(), value))
+
+    def summary(self) -> dict[str, float]:
+        """Exporter-facing scalar summary of this instrument."""
+        raise NotImplementedError
+
+
+class Counter(Instrument):
+    """A monotonically increasing total; samples hold cumulative values."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, clock: Callable[[], float]) -> None:
+        super().__init__(name, clock)
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increase the counter (negative increments are a logic error)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+        self._record(self.value)
+
+    def summary(self) -> dict[str, float]:
+        return {"value": self.value}
+
+
+class Gauge(Instrument):
+    """A last-value measurement; samples hold the set values."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, clock: Callable[[], float]) -> None:
+        super().__init__(name, clock)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self._record(self.value)
+
+    def summary(self) -> dict[str, float]:
+        return {"value": self.value}
+
+
+class Histogram(Instrument):
+    """A distribution; samples hold individual observations."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, clock: Callable[[], float]) -> None:
+        super().__init__(name, clock)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self._record(value)
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0 before the first one)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0.0, "sum": 0.0, "mean": 0.0}
+        return {
+            "count": float(self.count),
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Name -> instrument map with create-on-first-use accessors.
+
+    Asking for an existing name with a different instrument kind is a
+    ``TypeError`` — one name means one series.
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._instruments: dict[str, Instrument] = {}
+
+    def _get(self, name: str, cls: type) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, self._clock)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} is a {instrument.kind}, not a "
+                f"{cls.kind}"  # type: ignore[attr-defined]
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter of this name (created on first use)."""
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge of this name (created on first use)."""
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram of this name (created on first use)."""
+        return self._get(name, Histogram)  # type: ignore[return-value]
+
+    def __iter__(self) -> Iterator[Instrument]:
+        """Instruments in creation order."""
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def get(self, name: str) -> Instrument | None:
+        """The instrument of this name, or None."""
+        return self._instruments.get(name)

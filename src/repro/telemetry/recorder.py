@@ -1,0 +1,293 @@
+"""Span tracer on the simulated clock, plus the active-recorder runtime.
+
+The tracer answers *where inside a run* simulated time goes. Its clock
+is not wall time: instrumented code advances it explicitly — the PIM
+array by each wave's NVSim latency, the profiler by each query's Quartz
+CPU time — so span timestamps land on the same axis the paper's figures
+use. Spans nest (algorithm -> query -> bound stage -> PIM dispatch ->
+wave) through an explicit stack; closing a span records it for export.
+
+Zero overhead by default: the module-level active recorder starts as
+:data:`NULL_RECORDER`, whose ``enabled`` flag is ``False``. Hot paths
+guard instrumentation with ``if tele.enabled:`` so a disabled run
+allocates no spans, no samples, nothing — tier-1 timings and golden
+regressions are untouched (asserted by
+``tests/telemetry/test_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class SimulatedClock:
+    """A monotonic simulated-time source (nanoseconds).
+
+    Time only moves when instrumented code :meth:`advance`\\ s it; the
+    recorder stamps spans and metric samples with :attr:`now`.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+
+    def advance(self, ns: float) -> float:
+        """Move the clock forward; returns the new time."""
+        if ns < 0:
+            raise ValueError("simulated time only moves forward")
+        self.now += ns
+        return self.now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@dataclass
+class Span:
+    """One named interval on the simulated clock."""
+
+    name: str
+    category: str
+    start_ns: float
+    end_ns: float | None = None
+    depth: int = 0
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> float:
+        """Span length (0 while still open)."""
+        if self.end_ns is None:
+            return 0.0
+        return self.end_ns - self.start_ns
+
+
+class TelemetryRecorder:
+    """Active recorder: span stack + metrics registry on one clock."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.clock = SimulatedClock()
+        self.metrics = MetricsRegistry(clock=self.clock)
+        #: Finished spans in completion order.
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now_ns(self) -> float:
+        """Current simulated time."""
+        return self.clock.now
+
+    def advance(self, ns: float) -> float:
+        """Advance the simulated clock (see :class:`SimulatedClock`)."""
+        return self.clock.advance(ns)
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def begin_span(self, name: str, category: str = "", **args) -> Span:
+        """Open a nested span at the current simulated time."""
+        span = Span(
+            name=name,
+            category=category,
+            start_ns=self.clock.now,
+            depth=len(self._stack),
+            args=args,
+        )
+        self._stack.append(span)
+        return span
+
+    def end_span(self, **args) -> Span:
+        """Close the innermost open span at the current simulated time."""
+        if not self._stack:
+            raise RuntimeError("end_span() with no open span")
+        span = self._stack.pop()
+        span.end_ns = self.clock.now
+        if args:
+            span.args.update(args)
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, category: str = "", **args) -> Iterator[Span]:
+        """Context manager pairing :meth:`begin_span`/:meth:`end_span`."""
+        opened = self.begin_span(name, category, **args)
+        try:
+            yield opened
+        finally:
+            self.end_span()
+
+    @property
+    def open_spans(self) -> int:
+        """Depth of the current span stack."""
+        return len(self._stack)
+
+    def finished_spans(self, category: str | None = None) -> list[Span]:
+        """Completed spans, optionally filtered by category."""
+        if category is None:
+            return list(self.spans)
+        return [s for s in self.spans if s.category == category]
+
+    def span_time_ns(self, category: str) -> float:
+        """Summed duration of all finished spans in one category."""
+        return sum(s.duration_ns for s in self.spans if s.category == category)
+
+
+class _NullSpan:
+    """The no-op span/context-manager the null recorder hands out."""
+
+    __slots__ = ()
+    name = ""
+    category = ""
+    start_ns = 0.0
+    end_ns = 0.0
+    duration_ns = 0.0
+    depth = 0
+    args: dict = {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+class _NullInstrument:
+    """Accepts every instrument method and does nothing."""
+
+    __slots__ = ()
+    kind = "null"
+    name = ""
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    samples: list = []
+
+    def add(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def summary(self) -> dict[str, float]:
+        return {}
+
+
+class _NullMetrics:
+    """Registry stand-in that always returns the shared null instrument."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
+
+    def __iter__(self):
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Disabled recorder: every operation is a shared-object no-op.
+
+    Hot paths should still guard with ``if tele.enabled:`` so the
+    disabled path performs zero allocations; the null methods exist so
+    *cold* call sites (exporters, summaries) need no branching.
+    """
+
+    enabled = False
+    spans: list = []
+    now_ns = 0.0
+    open_spans = 0
+
+    def __init__(self) -> None:
+        self.metrics = _NULL_METRICS
+
+    def advance(self, ns: float) -> float:
+        return 0.0
+
+    def begin_span(self, name: str, category: str = "", **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def end_span(self, **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def span(self, name: str, category: str = "", **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def finished_spans(self, category: str | None = None) -> list:
+        return []
+
+    def span_time_ns(self, category: str) -> float:
+        return 0.0
+
+
+_NULL_METRICS = _NullMetrics()
+
+#: The process-wide disabled recorder (the default active recorder).
+NULL_RECORDER = NullRecorder()
+
+_active: TelemetryRecorder | NullRecorder = NULL_RECORDER
+
+
+def get_recorder() -> TelemetryRecorder | NullRecorder:
+    """The recorder instrumentation sites report to."""
+    return _active
+
+
+def set_recorder(
+    recorder: TelemetryRecorder | NullRecorder | None,
+) -> TelemetryRecorder | NullRecorder:
+    """Install the active recorder (``None`` restores the null one).
+
+    Returns the previously active recorder so callers can restore it.
+    """
+    global _active
+    previous = _active
+    _active = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def telemetry_session(
+    recorder: TelemetryRecorder | None = None,
+) -> Iterator[TelemetryRecorder]:
+    """Scope a recorder as active; always restores the previous one.
+
+    >>> with telemetry_session() as tele:
+    ...     run_workload()
+    >>> write_chrome_trace(tele, "run.trace.json")
+    """
+    active = recorder if recorder is not None else TelemetryRecorder()
+    previous = set_recorder(active)
+    try:
+        yield active
+    finally:
+        set_recorder(previous)

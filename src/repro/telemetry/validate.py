@@ -1,0 +1,155 @@
+"""Schema validation for emitted telemetry files.
+
+``python -m repro.telemetry.validate run.trace.json run.metrics.jsonl``
+checks that
+
+* the trace file is a Chrome-trace-event object whose events carry the
+  required keys, non-negative microsecond timestamps/durations and the
+  exact-nanosecond ``args`` mirrors the exporter promises;
+* span (``ph == "X"``) event start times are monotonically
+  non-decreasing in file order (the simulated clock never runs
+  backwards);
+* every metrics line is valid JSON with the sample/summary keys, and
+  each metric's sample timestamps are monotonically non-decreasing.
+
+CI runs this against a smoke workload so a malformed exporter fails the
+build before anyone loads a broken trace into Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Sequence
+
+SPAN_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args")
+SAMPLE_KEYS = ("kind", "metric", "type", "ts_ns", "value")
+SUMMARY_KEYS = ("kind", "metric", "type")
+
+
+class ValidationError(ValueError):
+    """A telemetry file violated the exporter schema."""
+
+
+def validate_trace(path: str) -> int:
+    """Validate a Chrome trace file; returns the span-event count."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValidationError(f"{path}: missing traceEvents")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValidationError(f"{path}: traceEvents is not a list")
+    spans = 0
+    last_ts = float("-inf")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict) or "ph" not in event:
+            raise ValidationError(f"{path}: event {i} has no phase")
+        if event["ph"] == "X":
+            for key in SPAN_KEYS:
+                if key not in event:
+                    raise ValidationError(
+                        f"{path}: span event {i} missing {key!r}"
+                    )
+            if event["ts"] < 0 or event["dur"] < 0:
+                raise ValidationError(
+                    f"{path}: span event {i} has negative time"
+                )
+            if event["ts"] < last_ts:
+                raise ValidationError(
+                    f"{path}: span event {i} starts before its "
+                    f"predecessor ({event['ts']} < {last_ts} us)"
+                )
+            last_ts = event["ts"]
+            args = event["args"]
+            if "start_ns" not in args or "dur_ns" not in args:
+                raise ValidationError(
+                    f"{path}: span event {i} lacks exact-ns args"
+                )
+            spans += 1
+        elif event["ph"] == "C":
+            if "ts" not in event or event["ts"] < 0:
+                raise ValidationError(
+                    f"{path}: counter event {i} has a bad timestamp"
+                )
+    if spans == 0:
+        raise ValidationError(f"{path}: no span events")
+    return spans
+
+
+def validate_metrics(path: str) -> int:
+    """Validate a metrics JSONL file; returns the line count."""
+    last_ts: dict[str, float] = {}
+    lines = 0
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(
+                    f"{path}:{lineno}: invalid JSON ({exc})"
+                ) from exc
+            kind = record.get("kind")
+            if kind == "sample":
+                for key in SAMPLE_KEYS:
+                    if key not in record:
+                        raise ValidationError(
+                            f"{path}:{lineno}: sample missing {key!r}"
+                        )
+                metric = record["metric"]
+                ts = float(record["ts_ns"])
+                if ts < 0:
+                    raise ValidationError(
+                        f"{path}:{lineno}: negative timestamp"
+                    )
+                if ts < last_ts.get(metric, float("-inf")):
+                    raise ValidationError(
+                        f"{path}:{lineno}: {metric!r} timestamps not "
+                        "monotonic"
+                    )
+                last_ts[metric] = ts
+            elif kind == "summary":
+                for key in SUMMARY_KEYS:
+                    if key not in record:
+                        raise ValidationError(
+                            f"{path}:{lineno}: summary missing {key!r}"
+                        )
+            else:
+                raise ValidationError(
+                    f"{path}:{lineno}: unknown kind {kind!r}"
+                )
+            lines += 1
+    if lines == 0:
+        raise ValidationError(f"{path}: no metric records")
+    return lines
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: validate a trace file and/or a metrics file."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print(
+            "usage: python -m repro.telemetry.validate "
+            "[trace.json] [metrics.jsonl]",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        for path in argv:
+            if path.endswith(".jsonl"):
+                count = validate_metrics(path)
+                print(f"{path}: OK ({count} metric records)")
+            else:
+                count = validate_trace(path)
+                print(f"{path}: OK ({count} span events)")
+    except ValidationError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -104,3 +104,39 @@ class TestProfileKMeans:
         )
         assert pim.total_time_ns < base.total_time_ns
         assert pim.extras["inertia"] == pytest.approx(base.extras["inertia"])
+
+
+class TestOracleSpeedup:
+    def _profile(self, cpu_ns: float, pim_ns: float, oracle_ns: float):
+        from repro.core.profiler import AlgorithmProfile
+        from repro.cost.counters import PerfCounters
+        from repro.cost.model import ComponentBreakdown
+
+        return AlgorithmProfile(
+            name="synthetic",
+            counters=PerfCounters(),
+            components=ComponentBreakdown(cpu_ns, 0.0, 0.0, 0.0, 0.0),
+            function_times_ns={},
+            cpu_time_ns=cpu_ns,
+            pim_time_ns=pim_ns,
+            offloadable=(),
+            pim_oracle_ns=oracle_ns,
+        )
+
+    def test_counts_pim_wave_time(self):
+        # regression: the docstring promises T_total / T_PIM-oracle, so
+        # a PIM variant's wave time must be part of the numerator
+        profile = self._profile(cpu_ns=100.0, pim_ns=50.0, oracle_ns=30.0)
+        assert profile.oracle_speedup == pytest.approx(
+            profile.total_time_ns / 30.0
+        )
+        assert profile.oracle_speedup == pytest.approx(5.0)
+
+    def test_baseline_unchanged(self):
+        # for baselines (pim_time_ns == 0) total and CPU time coincide
+        profile = self._profile(cpu_ns=100.0, pim_ns=0.0, oracle_ns=25.0)
+        assert profile.oracle_speedup == pytest.approx(4.0)
+
+    def test_zero_oracle_is_infinite(self):
+        profile = self._profile(cpu_ns=100.0, pim_ns=0.0, oracle_ns=0.0)
+        assert profile.oracle_speedup == float("inf")

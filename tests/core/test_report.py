@@ -45,3 +45,53 @@ class TestNumbers:
 
     def test_format_speedup(self):
         assert format_speedup(100.0, 10.0) == "10.0x"
+
+
+class TestRaggedRows:
+    def test_short_rows_are_padded(self):
+        from repro.core.report import format_table
+
+        text = format_table(
+            ["a", "b", "c"], [["x"], ["y", 2.0], ["z", 3.0, "full"]]
+        )
+        lines = text.splitlines()
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "full" in text
+
+    def test_rows_wider_than_headers(self):
+        from repro.core.report import format_table
+
+        text = format_table(["only"], [["v", "extra", 42]])
+        assert "extra" in text and "42" in text
+
+    def test_no_headers_at_all(self):
+        from repro.core.report import format_table
+
+        assert "x" in format_table([], [["x"]])
+
+
+class TestFormatMetrics:
+    def test_union_of_summary_keys(self):
+        from repro.core.report import format_metrics
+
+        table = format_metrics(
+            {
+                "pim.waves": {"type": "counter", "value": 12.0},
+                "prune.survivors": {
+                    "type": "histogram",
+                    "count": 3.0,
+                    "mean": 4.0,
+                },
+            }
+        )
+        lines = table.splitlines()
+        header = lines[0]
+        for key in ("metric", "type", "value", "count", "mean"):
+            assert key in header
+        assert "pim.waves" in table and "counter" in table
+        assert "histogram" in table
+
+    def test_empty_registry(self):
+        from repro.core.report import format_metrics
+
+        assert format_metrics({}) == ""

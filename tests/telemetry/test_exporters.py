@@ -1,0 +1,160 @@
+"""Unit tests for the trace/metrics exporters and their validator."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    TelemetryRecorder,
+    chrome_trace_events,
+    metrics_jsonl_lines,
+    summarize_metrics,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from repro.telemetry.validate import (
+    ValidationError,
+    main,
+    validate_metrics,
+    validate_trace,
+)
+
+
+@pytest.fixture
+def recorder() -> TelemetryRecorder:
+    """A recorder with nested spans and one of each instrument kind."""
+    tele = TelemetryRecorder()
+    with tele.span("algorithm", "phase", task="knn"):
+        tele.advance(10.0)
+        with tele.span("wave", "pim_dispatch", queries=2):
+            tele.advance(181.92)
+            tele.metrics.counter("pim.waves").add(2)
+        tele.metrics.gauge("prune.ratio").set(0.9)
+        tele.metrics.histogram("prune.survivors").observe(4)
+        tele.advance(5.0)
+    return tele
+
+
+class TestChromeTrace:
+    def test_metadata_then_sorted_spans(self, recorder):
+        events = chrome_trace_events(recorder)
+        assert [e["ph"] for e in events[:2]] == ["M", "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        # parent (algorithm) starts first even though it finished last
+        assert [e["name"] for e in spans] == ["algorithm", "wave"]
+        starts = [e["ts"] for e in spans]
+        assert starts == sorted(starts)
+
+    def test_exact_nanoseconds_in_args(self, recorder):
+        wave = next(
+            e for e in chrome_trace_events(recorder) if e["name"] == "wave"
+        )
+        assert wave["cat"] == "pim_dispatch"
+        assert wave["args"]["start_ns"] == 10.0
+        assert wave["args"]["dur_ns"] == 181.92
+        assert wave["args"]["queries"] == 2
+        assert wave["ts"] == pytest.approx(0.010)
+        assert wave["dur"] == pytest.approx(0.18192)
+
+    def test_counter_and_gauge_series_histograms_skipped(self, recorder):
+        counters = [
+            e for e in chrome_trace_events(recorder) if e["ph"] == "C"
+        ]
+        names = {e["name"] for e in counters}
+        assert names == {"pim.waves", "prune.ratio"}
+
+    def test_written_file_validates(self, tmp_path, recorder):
+        path = tmp_path / "run.trace.json"
+        n_events = write_chrome_trace(recorder, path)
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == n_events
+        assert payload["displayTimeUnit"] == "ns"
+        assert validate_trace(path) > 0
+
+    def test_open_spans_are_not_exported(self):
+        tele = TelemetryRecorder()
+        tele.begin_span("dangling")
+        assert [e for e in chrome_trace_events(tele) if e["ph"] == "X"] == []
+
+
+class TestMetricsJsonl:
+    def test_samples_then_summaries(self, recorder):
+        records = [json.loads(line) for line in metrics_jsonl_lines(recorder)]
+        kinds = [r["kind"] for r in records]
+        assert kinds == sorted(kinds, key=["sample", "summary"].index)
+        samples = [r for r in records if r["kind"] == "sample"]
+        assert {
+            "kind", "metric", "type", "ts_ns", "value"
+        } <= set(samples[0])
+        wave_samples = [
+            r for r in samples if r["metric"] == "pim.waves"
+        ]
+        assert wave_samples[0]["value"] == 2.0
+        assert wave_samples[0]["ts_ns"] == pytest.approx(191.92)
+
+    def test_written_file_validates(self, tmp_path, recorder):
+        path = tmp_path / "run.metrics.jsonl"
+        n_lines = write_metrics_jsonl(recorder, path)
+        assert len(path.read_text().splitlines()) == n_lines
+        assert validate_metrics(path) > 0
+
+    def test_summary_table_lists_every_metric(self, recorder):
+        table = summarize_metrics(recorder)
+        for name in ("pim.waves", "prune.ratio", "prune.survivors"):
+            assert name in table
+
+
+class TestValidator:
+    def test_rejects_missing_trace_events(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"events": []}))
+        with pytest.raises(ValidationError, match="traceEvents"):
+            validate_trace(path)
+
+    def test_rejects_nonmonotonic_span_order(self, tmp_path, recorder):
+        events = chrome_trace_events(recorder)
+        spans = [e for e in events if e["ph"] == "X"]
+        payload = {"traceEvents": list(reversed(spans))}
+        path = tmp_path / "bad.trace.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValidationError, match="starts before"):
+            validate_trace(path)
+
+    def test_rejects_span_missing_exact_ns(self, tmp_path, recorder):
+        events = chrome_trace_events(recorder)
+        for event in events:
+            if event["ph"] == "X":
+                del event["args"]["start_ns"]
+        path = tmp_path / "bad.trace.json"
+        path.write_text(json.dumps({"traceEvents": events}))
+        with pytest.raises(ValidationError):
+            validate_trace(path)
+
+    def test_rejects_unparseable_jsonl(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "sample"\nnot json\n')
+        with pytest.raises(ValidationError):
+            validate_metrics(path)
+
+    def test_rejects_time_travel_samples(self, tmp_path):
+        lines = [
+            json.dumps({"kind": "sample", "metric": "m", "type": "counter",
+                        "ts_ns": 10.0, "value": 1.0}),
+            json.dumps({"kind": "sample", "metric": "m", "type": "counter",
+                        "ts_ns": 5.0, "value": 2.0}),
+        ]
+        path = tmp_path / "bad.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValidationError, match="monotonic"):
+            validate_metrics(path)
+
+    def test_cli_entry_point(self, tmp_path, recorder, capsys):
+        trace = tmp_path / "ok.trace.json"
+        metrics = tmp_path / "ok.metrics.jsonl"
+        write_chrome_trace(recorder, trace)
+        write_metrics_jsonl(recorder, metrics)
+        assert main([str(trace), str(metrics)]) == 0
+        bad = tmp_path / "bad.trace.json"
+        bad.write_text("{}")
+        assert main([str(bad)]) == 1
+        assert main([]) == 2

@@ -1,0 +1,79 @@
+"""Zero-overhead guard: disabled telemetry allocates nothing.
+
+The tentpole contract is that an uninstrumented run is *identical* to
+the pre-telemetry simulator: the active recorder defaults to the null
+singleton and every hot-path site guards with ``if tele.enabled:``, so
+the wave hot path performs no recorder allocations at all. tracemalloc
+proves it — no allocation during a query workload may have a telemetry
+frame anywhere in its stack.
+"""
+
+import os
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.hardware.controller import PIMController
+from repro.mining.knn import make_pim_variant
+from repro.telemetry import NULL_RECORDER, get_recorder, telemetry_session
+from repro.telemetry import recorder as recorder_module
+
+TELEMETRY_DIR = os.path.dirname(os.path.abspath(recorder_module.__file__))
+
+
+@pytest.fixture
+def pim_knn():
+    rng = np.random.default_rng(11)
+    data = rng.random((40, 16))
+    queries = rng.random((3, 16))
+    algo = make_pim_variant(
+        "Standard-PIM", 16, 40, controller=PIMController()
+    )
+    algo.fit(data)
+    return algo, queries
+
+
+def _telemetry_allocations(snapshot):
+    return [
+        trace
+        for trace in snapshot.traces
+        if any(
+            frame.filename.startswith(TELEMETRY_DIR)
+            for frame in trace.traceback
+        )
+    ]
+
+
+class TestDisabledOverhead:
+    def test_active_recorder_defaults_to_the_null_singleton(self):
+        assert get_recorder() is NULL_RECORDER
+
+    def test_wave_hot_path_allocates_no_recorder_objects(self, pim_knn):
+        algo, queries = pim_knn
+        algo.query(queries[0], 3)  # warm caches and lazy imports
+        tracemalloc.start(25)
+        try:
+            for q in queries:
+                algo.query(q, 3)
+            algo.query_batch(queries, 3)
+            snapshot = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        assert _telemetry_allocations(snapshot) == []
+
+    def test_null_recorder_state_is_untouched_by_a_run(self, pim_knn):
+        algo, queries = pim_knn
+        for q in queries:
+            algo.query(q, 3)
+        assert NULL_RECORDER.spans == []
+        assert len(NULL_RECORDER.metrics) == 0
+
+    def test_enabled_run_does_record(self, pim_knn):
+        """Sanity check that the guard above measures the right path."""
+        algo, queries = pim_knn
+        with telemetry_session() as tele:
+            algo.query(queries[0], 3)
+        assert tele.finished_spans("pim_dispatch")
+        assert "pim.waves" in tele.metrics
+        assert tele.metrics.counter("pim.waves").value >= 1

@@ -1,0 +1,181 @@
+"""Unit tests for the simulated-clock recorder and metrics registry."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_RECORDER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRecorder,
+    SimulatedClock,
+    TelemetryRecorder,
+    get_recorder,
+    set_recorder,
+    telemetry_session,
+)
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(10.0)
+        assert clock.advance(2.5) == 12.5
+        assert clock() == 12.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1.0)
+
+
+class TestSpans:
+    def test_span_durations_come_from_the_clock(self):
+        tele = TelemetryRecorder()
+        tele.begin_span("outer", "phase")
+        tele.advance(100.0)
+        tele.begin_span("inner", "wave")
+        tele.advance(40.0)
+        inner = tele.end_span()
+        outer = tele.end_span()
+        assert inner.duration_ns == 40.0
+        assert outer.duration_ns == 140.0
+        assert inner.depth == 1 and outer.depth == 0
+
+    def test_end_span_records_in_completion_order(self):
+        tele = TelemetryRecorder()
+        tele.begin_span("a")
+        tele.begin_span("b")
+        tele.end_span()
+        tele.end_span()
+        assert [s.name for s in tele.spans] == ["b", "a"]
+
+    def test_end_span_merges_args(self):
+        tele = TelemetryRecorder()
+        tele.begin_span("s", "cat", queries=3)
+        span = tele.end_span(results=9)
+        assert span.args == {"queries": 3, "results": 9}
+
+    def test_end_without_open_span_raises(self):
+        with pytest.raises(RuntimeError):
+            TelemetryRecorder().end_span()
+
+    def test_context_manager_closes_on_error(self):
+        tele = TelemetryRecorder()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tele.span("s"):
+                tele.advance(5.0)
+                raise RuntimeError("boom")
+        assert tele.open_spans == 0
+        assert tele.spans[0].duration_ns == 5.0
+
+    def test_category_filter_and_sum(self):
+        tele = TelemetryRecorder()
+        for _ in range(3):
+            with tele.span("wave", "pim_dispatch"):
+                tele.advance(7.0)
+        with tele.span("cpu", "cpu"):
+            tele.advance(100.0)
+        assert len(tele.finished_spans("pim_dispatch")) == 3
+        assert tele.span_time_ns("pim_dispatch") == 21.0
+        assert tele.span_time_ns("cpu") == 100.0
+
+
+class TestMetrics:
+    def test_counter_accumulates_and_samples(self):
+        clock = SimulatedClock()
+        registry = MetricsRegistry(clock=clock)
+        counter = registry.counter("pim.waves")
+        counter.add()
+        clock.advance(50.0)
+        counter.add(2.0)
+        assert counter.value == 3.0
+        assert counter.samples == [(0.0, 1.0), (50.0, 3.0)]
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(clock=SimulatedClock()).counter("c").add(-1.0)
+
+    def test_gauge_overwrites(self):
+        gauge = MetricsRegistry(clock=SimulatedClock()).gauge("g")
+        gauge.set(0.5)
+        gauge.set(0.25)
+        assert gauge.value == 0.25
+        assert [v for _, v in gauge.samples] == [0.5, 0.25]
+
+    def test_histogram_summary(self):
+        hist = MetricsRegistry(clock=SimulatedClock()).histogram("h")
+        for v in (1.0, 3.0, 2.0):
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 1.0 and summary["max"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry(clock=SimulatedClock())
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry(clock=SimulatedClock())
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_registry_container_protocol(self):
+        registry = MetricsRegistry(clock=SimulatedClock())
+        registry.counter("a")
+        registry.gauge("b")
+        assert len(registry) == 2
+        assert "a" in registry and "missing" not in registry
+        assert {i.name for i in registry} == {"a", "b"}
+        assert registry.get("missing") is None
+
+    def test_instrument_kinds(self):
+        registry = MetricsRegistry(clock=SimulatedClock())
+        assert isinstance(registry.counter("c"), Counter)
+        assert isinstance(registry.gauge("g"), Gauge)
+        assert isinstance(registry.histogram("h"), Histogram)
+
+
+class TestActiveRecorder:
+    def test_default_is_the_null_recorder(self):
+        assert get_recorder() is NULL_RECORDER
+        assert get_recorder().enabled is False
+
+    def test_session_installs_and_restores(self):
+        assert get_recorder() is NULL_RECORDER
+        with telemetry_session() as tele:
+            assert get_recorder() is tele
+            assert tele.enabled is True
+        assert get_recorder() is NULL_RECORDER
+
+    def test_session_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with telemetry_session():
+                raise RuntimeError
+        assert get_recorder() is NULL_RECORDER
+
+    def test_set_recorder_returns_previous(self):
+        mine = TelemetryRecorder()
+        previous = set_recorder(mine)
+        try:
+            assert previous is NULL_RECORDER
+            assert get_recorder() is mine
+        finally:
+            set_recorder(previous)
+
+    def test_null_recorder_is_inert(self):
+        null = NullRecorder()
+        with null.span("anything", "cat", extra=1) as span:
+            assert span.duration_ns == 0.0
+        assert null.advance(100.0) == 0.0
+        null.metrics.counter("c").add(5)
+        null.metrics.gauge("g").set(1.0)
+        null.metrics.histogram("h").observe(2.0)
+        assert null.finished_spans() == []
+        assert null.span_time_ns("cat") == 0.0
+        assert len(null.metrics) == 0
