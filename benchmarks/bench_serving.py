@@ -1,0 +1,240 @@
+"""Serving-layer throughput and latency curves across shard counts.
+
+The north-star claim behind ``repro.serving``: partitioning one dataset
+over N independent PIM arrays multiplies serving capacity, because the
+row-proportional parts of a query (bound combine, candidate sort, exact
+refinement, buffer drain) split across shards while only the constant
+wave setup and the tiny k-list merge stay serial. This bench drives the
+same offered load at 1/2/4 shards and reports:
+
+* aggregate simulated throughput under saturation (the capacity curve);
+* p50/p95/p99 latency and shed rate across an offered-load sweep (the
+  latency curve, persisted as JSON for the CI artifact).
+
+Dual mode: a pytest bench (``pytest benchmarks/bench_serving.py``) and a
+standalone CLI (``python benchmarks/bench_serving.py --smoke``) whose
+telemetry flags reuse the shared :mod:`repro.cli` wiring.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.cli import add_telemetry_args, telemetry_scope
+from repro.core.report import format_table
+from repro.serving import (
+    QueryService,
+    ShardManager,
+    SLOTracker,
+    TenantSpec,
+    WorkloadDriver,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Dataset geometry: large enough that row-proportional work dominates
+#: the constant per-wave setup (the regime the scaling claim targets).
+N_ROWS = 4096
+DIMS = 64
+K = 10
+MAX_BATCH = 8
+SHARD_COUNTS = (1, 2, 4)
+#: Offered load points, as multiples of the measured 1-shard capacity.
+LOAD_FRACTIONS = (0.5, 1.0, 2.0, 5.0)
+SMOKE_LOAD_FRACTIONS = (1.0, 5.0)
+N_REQUESTS = 160
+SMOKE_REQUESTS = 64
+#: Acceptance floor: 1 -> 4 shard aggregate simulated throughput.
+MIN_SCALING = 2.5
+
+TENANTS = [
+    TenantSpec("batch", workload="near", k=K, weight=1.0),
+    TenantSpec("interactive", workload="uniform", k=K, weight=1.0),
+]
+
+
+def _dataset() -> np.ndarray:
+    return np.random.default_rng(42).random((N_ROWS, DIMS))
+
+
+def _capacity_qps(manager: ShardManager) -> float:
+    """Saturated per-node service rate, probed with one full batch."""
+    probe = np.random.default_rng(7).random((MAX_BATCH, DIMS))
+    _, timing = manager.knn_batch(probe, K)
+    manager.reset_busy()
+    return MAX_BATCH * 1e9 / timing.service_ns
+
+
+def _run_point(
+    manager: ShardManager, rate_qps: float, n_requests: int
+) -> dict:
+    """Serve one offered-load point; returns the reduced SLO numbers."""
+    manager.reset_busy()
+    driver = WorkloadDriver(_dataset(), TENANTS, seed=1234)
+    requests = driver.open_loop(rate_qps, n_requests, arrival="poisson")
+    service = QueryService(
+        manager,
+        TENANTS,
+        max_batch=MAX_BATCH,
+        queue_capacity=32,
+        policy="reject",
+        tracker=SLOTracker(),
+    )
+    service.run(requests)
+    summary = service.summary()
+    return {
+        "rate_qps": rate_qps,
+        "offered": summary["offered"],
+        "completed": summary["completed"],
+        "shed_rate": summary["shed_rate"],
+        "throughput_qps": summary["throughput_qps"],
+        "p50_ns": summary["p50_ns"],
+        "p95_ns": summary["p95_ns"],
+        "p99_ns": summary["p99_ns"],
+        "max_shard_utilization": max(
+            summary.get("shard_utilization", [0.0])
+        ),
+    }
+
+
+def run_sweep(smoke: bool = False) -> dict:
+    """The full experiment: load sweep per shard count + scaling check."""
+    fractions = SMOKE_LOAD_FRACTIONS if smoke else LOAD_FRACTIONS
+    n_requests = SMOKE_REQUESTS if smoke else N_REQUESTS
+    data = _dataset()
+    managers = {
+        shards: ShardManager(data, n_shards=shards)
+        for shards in SHARD_COUNTS
+    }
+    base_capacity = _capacity_qps(managers[1])
+    series = []
+    saturated = {}
+    for shards, manager in managers.items():
+        points = [
+            _run_point(manager, fraction * base_capacity, n_requests)
+            for fraction in fractions
+        ]
+        series.append({"shards": shards, "points": points})
+        saturated[shards] = points[-1]["throughput_qps"]
+    return {
+        "meta": {
+            "n_rows": N_ROWS,
+            "dims": DIMS,
+            "k": K,
+            "max_batch": MAX_BATCH,
+            "n_requests": n_requests,
+            "base_capacity_qps": base_capacity,
+            "load_fractions": list(fractions),
+            "smoke": smoke,
+        },
+        "series": series,
+        "scaling": {
+            "throughput_1_shard_qps": saturated[1],
+            "throughput_4_shards_qps": saturated[4],
+            "ratio_4_over_1": saturated[4] / saturated[1],
+            "min_required": MIN_SCALING,
+        },
+    }
+
+
+def format_report(result: dict) -> str:
+    rows = []
+    for entry in result["series"]:
+        for point in entry["points"]:
+            rows.append(
+                [
+                    entry["shards"],
+                    f"{point['rate_qps']:,.0f}",
+                    f"{point['throughput_qps']:,.0f}",
+                    f"{point['shed_rate']:.1%}",
+                    f"{point['p50_ns'] / 1e3:.1f}",
+                    f"{point['p99_ns'] / 1e3:.1f}",
+                    f"{point['max_shard_utilization']:.0%}",
+                ]
+            )
+    scaling = result["scaling"]
+    return format_table(
+        [
+            "shards",
+            "offered qps",
+            "throughput qps",
+            "shed",
+            "p50 (us)",
+            "p99 (us)",
+            "util",
+        ],
+        rows,
+        title=(
+            "Serving scaling: "
+            f"{result['meta']['n_rows']}x{result['meta']['dims']} over "
+            "1/2/4 shards — saturated throughput ratio "
+            f"{scaling['ratio_4_over_1']:.2f}x "
+            f"(floor {scaling['min_required']}x)"
+        ),
+    )
+
+
+def save_curve(result: dict, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# pytest mode
+# ----------------------------------------------------------------------
+def test_serving_throughput_scaling(benchmark, save_results):
+    result = run_sweep(smoke=True)
+    save_results("serving_scaling", format_report(result))
+    save_curve(result, RESULTS_DIR / "serving_latency_curve.json")
+    scaling = result["scaling"]
+    assert scaling["ratio_4_over_1"] >= MIN_SCALING
+    # saturation really saturates: the overloaded point sheds traffic
+    overloaded = result["series"][0]["points"][-1]
+    assert overloaded["shed_rate"] > 0.0
+
+    manager = ShardManager(_dataset(), n_shards=4)
+    queries = np.random.default_rng(3).random((MAX_BATCH, DIMS))
+    benchmark.pedantic(
+        lambda: manager.knn_batch(queries, K), rounds=3, iterations=1
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI mode (used by the CI serving job)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serving-layer throughput/latency-curve bench"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced sweep (CI-sized); same assertions",
+    )
+    parser.add_argument(
+        "--out", default=str(RESULTS_DIR / "serving_latency_curve.json"),
+        metavar="FILE", help="latency-curve JSON artifact path",
+    )
+    add_telemetry_args(parser)
+    args = parser.parse_args(argv)
+    with telemetry_scope(args):
+        result = run_sweep(smoke=args.smoke)
+    print(format_report(result))
+    save_curve(result, Path(args.out))
+    print(f"latency curve  : {args.out}")
+    ratio = result["scaling"]["ratio_4_over_1"]
+    if ratio < MIN_SCALING:
+        print(
+            f"FAIL: 1->4 shard scaling {ratio:.2f}x < {MIN_SCALING}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

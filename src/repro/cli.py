@@ -6,7 +6,9 @@ Runs the paper's pipeline from a shell without writing code:
 * ``knn`` — accelerate a kNN baseline on a catalog dataset;
 * ``kmeans`` — accelerate a k-means baseline;
 * ``profile`` — Section IV profiling of a baseline (components,
-  functions, PIM-oracle).
+  functions, PIM-oracle);
+* ``serve`` — sharded multi-array query serving with admission control
+  and SLO tracking (the ``repro.serving`` subsystem).
 
 Examples::
 
@@ -14,13 +16,15 @@ Examples::
     python -m repro knn --dataset MSD --algorithm FNN --k 10 --optimize-plan
     python -m repro kmeans --dataset Year --algorithm Drake --k 64
     python -m repro profile --dataset MSD --algorithm Standard --task knn
+    python -m repro serve --dataset MSD --shards 4 --requests 200
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from contextlib import contextmanager
+from typing import Iterator, Sequence
 
 from repro.core.framework import PIMAccelerator
 from repro.core.profiler import profile_kmeans, profile_knn
@@ -68,6 +72,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "normalised automatically) instead of the synthetic catalog"
         ),
     )
+    add_telemetry_args(parser)
+
+
+def add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--trace-out``/``--metrics-out`` options.
+
+    Pair with :func:`telemetry_scope`; benchmarks reuse both so every
+    entry point exposes identical telemetry wiring.
+    """
     parser.add_argument(
         "--trace-out", default=None, metavar="FILE",
         help=(
@@ -79,6 +92,39 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--metrics-out", default=None, metavar="FILE",
         help="record telemetry metrics and write a JSONL snapshot",
     )
+
+
+@contextmanager
+def telemetry_scope(args: argparse.Namespace, out=None) -> Iterator:
+    """Run a block under telemetry when the shared flags ask for it.
+
+    Yields the active recorder (or ``None`` when neither flag is set)
+    and writes the requested trace/metrics files on exit — the wiring
+    previously duplicated by every subcommand.
+    """
+    out = out if out is not None else sys.stdout
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out is None and metrics_out is None:
+        yield None
+        return
+
+    from repro.telemetry import telemetry_session
+    from repro.telemetry.export import (
+        summarize_metrics,
+        write_chrome_trace,
+        write_metrics_jsonl,
+    )
+
+    with telemetry_session() as tele:
+        yield tele
+    if trace_out is not None:
+        n_events = write_chrome_trace(tele, trace_out)
+        print(f"trace written  : {trace_out} ({n_events} events)", file=out)
+    if metrics_out is not None:
+        n_lines = write_metrics_jsonl(tele, metrics_out)
+        print(f"metrics written: {metrics_out} ({n_lines} lines)", file=out)
+        print(summarize_metrics(tele), file=out)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -137,6 +183,53 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--task", default="knn", choices=("knn", "kmeans"))
     profile.add_argument("--algorithm", default="Standard")
     profile.add_argument("--k", type=int, default=10)
+
+    serve = sub.add_parser(
+        "serve", help="sharded multi-array query serving (repro.serving)"
+    )
+    _add_common(serve)
+    serve.add_argument(
+        "--shards", type=_positive_int, default=4,
+        help="PIM arrays the dataset is partitioned across",
+    )
+    serve.add_argument(
+        "--placement", default="range", choices=("range", "hash")
+    )
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument(
+        "--requests", type=_positive_int, default=200,
+        help="open-loop arrivals to serve",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=None, metavar="QPS",
+        help=(
+            "offered load in simulated queries/second (default: sized "
+            "to ~80%% of the measured single-node capacity)"
+        ),
+    )
+    serve.add_argument(
+        "--arrival", default="poisson", choices=("poisson", "bursty")
+    )
+    serve.add_argument(
+        "--max-batch", type=_positive_int, default=8,
+        help="requests per dispatched PIM batch wave",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=_positive_int, default=64
+    )
+    serve.add_argument(
+        "--policy", default="reject",
+        choices=("reject", "drop_oldest", "degrade"),
+        help="backpressure when the admission queue is full",
+    )
+    serve.add_argument(
+        "--deadline-us", type=float, default=None,
+        help="per-request deadline (simulated us); late requests shed",
+    )
+    serve.add_argument(
+        "--tenants", type=_positive_int, default=2,
+        help="tenants in the mix (workload kinds rotate per tenant)",
+    )
     return parser
 
 
@@ -310,6 +403,120 @@ def _cmd_profile(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from repro.data.workloads import KINDS, make_workload
+    from repro.serving import (
+        QueryService,
+        ShardManager,
+        TenantSpec,
+        WorkloadDriver,
+    )
+
+    data = _load_data(args)
+    manager = ShardManager(
+        data,
+        n_shards=args.shards,
+        placement=args.placement,
+        hardware=_platform(args),
+        seed=args.seed,
+    )
+    tenants = [
+        TenantSpec(
+            name=f"tenant{i}",
+            workload=KINDS[i % len(KINDS)],
+            k=args.k,
+        )
+        for i in range(args.tenants)
+    ]
+    rate = args.rate
+    if rate is None:
+        # probe one full batch to size the offered load at ~80% of the
+        # node's capacity, then discard the probe's busy time
+        probe = make_workload(
+            data, "near", n_queries=args.max_batch, seed=args.seed + 7
+        )
+        _, timing = manager.knn_batch(probe, args.k)
+        manager.reset_busy()
+        rate = 0.8 * args.max_batch * 1e9 / timing.service_ns
+    driver = WorkloadDriver(data, tenants, seed=args.seed)
+    requests = driver.open_loop(
+        rate, args.requests, arrival=args.arrival
+    )
+    service = QueryService(
+        manager,
+        tenants,
+        max_batch=args.max_batch,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        default_deadline_ns=(
+            args.deadline_us * 1e3 if args.deadline_us is not None else None
+        ),
+    )
+    service.run(requests)
+    summary = service.summary()
+    label = args.data_file if args.data_file else args.dataset
+    print(f"dataset        : {label} {data.shape}", file=out)
+    print(
+        f"shards         : {args.shards} x {args.placement} "
+        f"(rows {manager.shard_sizes()})",
+        file=out,
+    )
+    print(
+        f"offered        : {summary['offered']} requests @ "
+        f"{rate:,.0f} qps ({args.arrival})",
+        file=out,
+    )
+    print(
+        f"completed      : {summary['completed']} "
+        f"({summary['degraded']} degraded)",
+        file=out,
+    )
+    sheds = (
+        " ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(summary["shed_reasons"].items())
+        )
+        or "none"
+    )
+    print(
+        f"shed           : {summary['shed']} "
+        f"({summary['shed_rate']:.1%}; {sheds})",
+        file=out,
+    )
+    print(
+        f"throughput     : {summary['throughput_qps']:,.0f} qps (simulated)",
+        file=out,
+    )
+    print(
+        "latency        : "
+        f"p50 {summary['p50_ns'] / 1e3:.1f} us  "
+        f"p95 {summary['p95_ns'] / 1e3:.1f} us  "
+        f"p99 {summary['p99_ns'] / 1e3:.1f} us",
+        file=out,
+    )
+    utils = " ".join(
+        f"{u:.0%}" for u in summary.get("shard_utilization", [])
+    )
+    print(f"utilization    : {utils}", file=out)
+    rows = [
+        [
+            tenant,
+            f"{pcts['p50_ns'] / 1e3:.1f}",
+            f"{pcts['p95_ns'] / 1e3:.1f}",
+            f"{pcts['p99_ns'] / 1e3:.1f}",
+        ]
+        for tenant, pcts in summary["per_tenant"].items()
+    ]
+    if rows:
+        print(
+            format_table(
+                ["tenant", "p50 (us)", "p95 (us)", "p99 (us)"], rows
+            ),
+            file=out,
+        )
+    return 0
+
+
 def _dispatch(args, out) -> int:
     if args.command == "info":
         return _cmd_info(out)
@@ -317,6 +524,8 @@ def _dispatch(args, out) -> int:
         return _cmd_knn(args, out)
     if args.command == "kmeans":
         return _cmd_kmeans(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
     return _cmd_profile(args, out)
 
 
@@ -324,27 +533,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
-    trace_out = getattr(args, "trace_out", None)
-    metrics_out = getattr(args, "metrics_out", None)
-    if trace_out is None and metrics_out is None:
-        return _dispatch(args, out)
-
-    from repro.telemetry import telemetry_session
-    from repro.telemetry.export import (
-        summarize_metrics,
-        write_chrome_trace,
-        write_metrics_jsonl,
-    )
-
-    with telemetry_session() as tele:
+    with telemetry_scope(args, out):
         code = _dispatch(args, out)
-    if trace_out is not None:
-        n_events = write_chrome_trace(tele, trace_out)
-        print(f"trace written  : {trace_out} ({n_events} events)", file=out)
-    if metrics_out is not None:
-        n_lines = write_metrics_jsonl(tele, metrics_out)
-        print(f"metrics written: {metrics_out} ({n_lines} lines)", file=out)
-        print(summarize_metrics(tele), file=out)
     return code
 
 

@@ -301,6 +301,9 @@ class BatchScheduler:
         self.stats = BatchSchedulerStats()
         self._pending: dict[tuple, list[tuple[np.ndarray, BatchTicket]]] = {}
         self._deadlines: dict[tuple, float] = {}
+        #: First-submission sequence number of each live group; breaks
+        #: deadline ties so replays flush in submit order.
+        self._group_seq: dict[tuple, int] = {}
 
     # ------------------------------------------------------------------
     def submit(
@@ -308,16 +311,31 @@ class BatchScheduler:
         name: str,
         vector: np.ndarray,
         input_bits: int | None = None,
+        deadline_ns: float | None = None,
     ) -> BatchTicket:
-        """Queue one query vector; returns the ticket holding its results."""
+        """Queue one query vector; returns the ticket holding its results.
+
+        ``deadline_ns`` optionally caps *this* request's wait on the
+        simulated clock (absolute time); the owning group's flush
+        deadline is tightened to the earliest request deadline, on top
+        of the scheduler-wide ``max_delay_ns`` ageing rule. Serving-layer
+        callers use it for deadline-aware dispatch.
+        """
         vector = np.asarray(vector)
         if vector.ndim != 1:
             raise OperandError("submit() expects a single 1-D query vector")
+        if deadline_ns is not None and deadline_ns < self.clock_ns:
+            raise PlanError("deadline_ns lies in the simulated past")
         group = (name, input_bits)
         ticket = BatchTicket(self, group)
         queue = self._pending.setdefault(group, [])
-        if not queue and self.max_delay_ns is not None:
-            self._deadlines[group] = self.clock_ns + self.max_delay_ns
+        if not queue:
+            self._group_seq[group] = self.stats.submitted
+            if self.max_delay_ns is not None:
+                self._deadlines[group] = self.clock_ns + self.max_delay_ns
+        if deadline_ns is not None:
+            due = self._deadlines.get(group, float("inf"))
+            self._deadlines[group] = min(due, float(deadline_ns))
         queue.append((vector, ticket))
         self.stats.submitted += 1
         tele = get_recorder()
@@ -331,16 +349,22 @@ class BatchScheduler:
     def advance(self, ns: float) -> int:
         """Advance the simulated clock, flushing groups past deadline.
 
-        Returns the number of groups flushed.
+        Overdue groups flush oldest deadline first (ties broken by
+        submit order), so a replay of the same submission trace fires
+        identical waves in identical order. Returns the number of
+        groups flushed.
         """
         if ns < 0:
             raise PlanError("time only moves forward")
         self.clock_ns += ns
-        overdue = [
-            group
-            for group, due in self._deadlines.items()
-            if due <= self.clock_ns
-        ]
+        overdue = sorted(
+            (
+                group
+                for group, due in self._deadlines.items()
+                if due <= self.clock_ns
+            ),
+            key=lambda g: (self._deadlines[g], self._group_seq.get(g, 0)),
+        )
         for group in overdue:
             self._flush_group(group, reason="deadline")
         return len(overdue)
@@ -348,11 +372,13 @@ class BatchScheduler:
     def flush(self, name: str | None = None) -> int:
         """Flush every pending group (or only those of ``name``).
 
-        Returns the number of queries dispatched.
+        Groups flush in submit order (oldest first). Returns the number
+        of queries dispatched.
         """
-        groups = [
-            g for g in list(self._pending) if name is None or g[0] == name
-        ]
+        groups = sorted(
+            (g for g in self._pending if name is None or g[0] == name),
+            key=lambda g: self._group_seq.get(g, 0),
+        )
         dispatched = 0
         for group in groups:
             dispatched += self._flush_group(group, reason="manual")
@@ -370,6 +396,7 @@ class BatchScheduler:
     def _flush_group(self, group: tuple, reason: str) -> int:
         queue = self._pending.pop(group, [])
         self._deadlines.pop(group, None)
+        self._group_seq.pop(group, None)
         if not queue:
             return 0
         name, input_bits = group

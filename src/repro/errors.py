@@ -44,3 +44,13 @@ class PlanError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset request cannot be fulfilled (unknown name, bad shape)."""
+
+
+class ServingError(ReproError):
+    """The serving layer is misconfigured or violated an invariant
+    (bad placement, unknown tenant, exhausted re-programming budget)."""
+
+
+class AdmissionError(ServingError):
+    """A request was refused at admission (used internally to signal
+    sheds; callers normally observe shed counters, not this exception)."""

@@ -47,6 +47,7 @@ from repro.hardware.noise import (
     compensate_dot_upper,
 )
 from repro.hardware.pim_array import (
+    MatrixBatchState,
     PIMArray,
     PIMBatchResult,
     PIMQueryResult,
@@ -70,6 +71,7 @@ __all__ = [
     "HardwareConfig",
     "Instruction",
     "InstructionTrace",
+    "MatrixBatchState",
     "MemoryConfig",
     "NVM_CHARACTERISTICS",
     "NoiseModel",

@@ -57,6 +57,22 @@ class PIMBatchResult:
 
 
 @dataclass
+class MatrixBatchState:
+    """Per-matrix dispatch accounting (batch traffic of one matrix).
+
+    Scoped to the *currently programmed* matrix of a name: resetting the
+    matrix discards its record, so a later matrix reusing the name (the
+    chunked re-programming engine does this constantly) starts from zero
+    and shard-level aggregation never double counts a stale generation.
+    """
+
+    waves: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    pim_time_ns: float = 0.0
+
+
+@dataclass
 class PIMStats:
     """Cumulative activity counters of a :class:`PIMArray`.
 
@@ -65,6 +81,8 @@ class PIMStats:
     ``batches``/``batched_queries`` record how much of that traffic went
     through the amortized batch path, and ``batch_saved_ns`` the wave
     time the amortization saved versus sequential dispatch.
+    ``per_matrix`` holds the same dispatch counters scoped to each live
+    programmed matrix (cleared by ``reset_matrix``).
     """
 
     waves: int = 0
@@ -76,6 +94,7 @@ class PIMStats:
     batched_queries: int = 0
     batch_saved_ns: float = 0.0
     matrices: dict[str, DatasetLayout] = field(default_factory=dict)
+    per_matrix: dict[str, MatrixBatchState] = field(default_factory=dict)
 
     @property
     def waves_per_batch(self) -> float:
@@ -83,6 +102,67 @@ class PIMStats:
         if self.batches == 0:
             return 0.0
         return self.batched_queries / self.batches
+
+    def matrix_state(self, name: str) -> MatrixBatchState:
+        """The live batch state of one matrix (created on first use)."""
+        state = self.per_matrix.get(name)
+        if state is None:
+            state = MatrixBatchState()
+            self.per_matrix[name] = state
+        return state
+
+    @classmethod
+    def merge(
+        cls,
+        parts: "list[PIMStats] | tuple[PIMStats, ...]",
+        prefixes: list[str] | tuple[str, ...] | None = None,
+    ) -> "PIMStats":
+        """Aggregate the stats of several arrays (e.g. one per shard).
+
+        Scalar counters sum; the ``matrices``/``per_matrix`` maps are
+        united, with each part's keys optionally namespaced by the
+        matching entry of ``prefixes`` (shards that reuse a matrix name,
+        like the chunked engine's ``"chunk"``, need distinct prefixes).
+        An un-prefixed name collision raises :class:`ProgrammingError`
+        rather than silently double counting.
+        """
+        if prefixes is not None and len(prefixes) != len(parts):
+            raise ProgrammingError(
+                "merge() needs exactly one prefix per stats part"
+            )
+        merged = cls()
+        for i, part in enumerate(parts):
+            prefix = prefixes[i] if prefixes is not None else ""
+            merged.waves += part.waves
+            merged.pim_time_ns += part.pim_time_ns
+            merged.programming_time_ns += part.programming_time_ns
+            merged.crossbars_used += part.crossbars_used
+            merged.results_produced += part.results_produced
+            merged.batches += part.batches
+            merged.batched_queries += part.batched_queries
+            merged.batch_saved_ns += part.batch_saved_ns
+            for name, layout in part.matrices.items():
+                key = prefix + name
+                if key in merged.matrices:
+                    raise ProgrammingError(
+                        f"merge() would double count matrix {key!r}; "
+                        "pass distinct prefixes"
+                    )
+                merged.matrices[key] = layout
+            for name, state in part.per_matrix.items():
+                key = prefix + name
+                if key in merged.per_matrix:
+                    raise ProgrammingError(
+                        f"merge() would double count matrix {key!r}; "
+                        "pass distinct prefixes"
+                    )
+                merged.per_matrix[key] = MatrixBatchState(
+                    waves=state.waves,
+                    batches=state.batches,
+                    batched_queries=state.batched_queries,
+                    pim_time_ns=state.pim_time_ns,
+                )
+        return merged
 
 
 class _ProgrammedMatrix:
@@ -236,13 +316,17 @@ class PIMArray:
         """Erase a programmed matrix, freeing its crossbars.
 
         Re-programming afterwards wears the device: the endurance tracker
-        keeps counting against the same crossbar budget.
+        keeps counting against the same crossbar budget. The matrix's
+        per-matrix batch state is dropped too, so a successor matrix
+        reusing the name starts its accounting from zero (aggregating
+        shard stats would otherwise double count stale generations).
         """
         record = self._matrices.pop(name, None)
         if record is None:
             raise ProgrammingError(f"no matrix named {name!r}")
         self.stats.crossbars_used -= record.layout.n_crossbars
         del self.stats.matrices[name]
+        self.stats.per_matrix.pop(name, None)
         self._free_crossbar_ids.extend(record.crossbar_ids)
         tele = get_recorder()
         if tele.enabled:
@@ -295,6 +379,9 @@ class PIMArray:
         self.stats.waves += 1
         self.stats.pim_time_ns += timing.total_ns
         self.stats.results_produced += int(values.shape[0])
+        state = self.stats.matrix_state(name)
+        state.waves += 1
+        state.pim_time_ns += timing.total_ns
         tele = get_recorder()
         if tele.enabled:
             with tele.span(
@@ -346,6 +433,9 @@ class PIMArray:
         self.stats.waves += n_queries
         self.stats.pim_time_ns += timing.total_ns * n_queries
         self.stats.results_produced += int(values.size)
+        state = self.stats.matrix_state(name)
+        state.waves += n_queries
+        state.pim_time_ns += timing.total_ns * n_queries
         tele = get_recorder()
         if tele.enabled:
             with tele.span(
@@ -411,6 +501,11 @@ class PIMArray:
         self.stats.pim_time_ns += timing.total_ns
         self.stats.batch_saved_ns += saved_ns
         self.stats.results_produced += int(values.size)
+        state = self.stats.matrix_state(name)
+        state.waves += n_queries
+        state.batches += 1
+        state.batched_queries += n_queries
+        state.pim_time_ns += timing.total_ns
         tele = get_recorder()
         if tele.enabled:
             with tele.span(

@@ -1,0 +1,46 @@
+"""Sharded multi-array query serving on the simulated PIM substrate.
+
+The production-shaped layer the ROADMAP's north star asks for: a
+:class:`ShardManager` placing one dataset across N independent PIM
+arrays with exact, placement-invariant scatter/gather; a
+:class:`QueryService` event loop with per-tenant admission control,
+bounded queues (reject / drop-oldest / degrade-to-approximate
+backpressure) and deadline-aware batched dispatch; a
+:class:`WorkloadDriver` for open- and closed-loop traffic; and an
+:class:`SLOTracker` reducing the run to p50/p95/p99 latency,
+throughput, shed rate and per-shard utilization via
+:mod:`repro.telemetry`. See DESIGN.md section 8 and
+``examples/serving_tour.py``.
+"""
+
+from repro.serving.driver import WorkloadDriver
+from repro.serving.service import (
+    QueryService,
+    Request,
+    Response,
+    TenantSpec,
+)
+from repro.serving.sharding import (
+    AssignAnswer,
+    GatherTiming,
+    KNNAnswer,
+    ShardManager,
+    ShardPlacement,
+    plan_placement,
+)
+from repro.serving.slo import SLOTracker
+
+__all__ = [
+    "AssignAnswer",
+    "GatherTiming",
+    "KNNAnswer",
+    "QueryService",
+    "Request",
+    "Response",
+    "SLOTracker",
+    "ShardManager",
+    "ShardPlacement",
+    "TenantSpec",
+    "WorkloadDriver",
+    "plan_placement",
+]

@@ -1,0 +1,207 @@
+"""Workload generation for the serving layer: arrivals plus tenants.
+
+:class:`WorkloadDriver` turns the repo's query-difficulty generators
+(:mod:`repro.data.workloads`) into timed request traces:
+
+* **open loop** — arrivals are independent of service: Poisson (i.i.d.
+  exponential gaps) or bursty (geometric bursts of near-simultaneous
+  arrivals separated by exponential gaps, preserving the mean rate).
+  The trace is generated up front from one seeded RNG, so the same
+  driver settings always produce the same offered load — the property
+  every determinism test and the throughput bench relies on.
+* **closed loop** — a fixed population of clients, each submitting its
+  next request one think time after its previous response; arrival
+  times therefore depend on service times, which is the standard model
+  for latency-vs-concurrency curves.
+
+Tenant identity, query class, ``k`` and deadlines all come from the
+:class:`~repro.serving.service.TenantSpec` mix.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.data.workloads import make_workload
+from repro.errors import ServingError
+from repro.serving.service import QueryService, Request, TenantSpec
+
+ARRIVALS = ("poisson", "bursty")
+
+
+class WorkloadDriver:
+    """Generate deterministic request traces against one dataset.
+
+    Parameters
+    ----------
+    data:
+        The served dataset (queries are derived from it so tenants can
+        exercise the member/near/far/uniform/adversarial spectrum).
+    tenants:
+        The tenant mix; ``weight`` sets each tenant's traffic share and
+        ``workload``/``k``/``deadline_ns`` shape its requests.
+    seed:
+        Master seed; all draws flow from one generator.
+    pool_size:
+        Pre-generated queries per tenant, cycled through by the trace.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        tenants: list[TenantSpec],
+        seed: int = 0,
+        pool_size: int = 64,
+    ) -> None:
+        if not tenants:
+            raise ServingError("the tenant mix is empty")
+        self.data = np.asarray(data, dtype=np.float64)
+        self.tenants = list(tenants)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        weights = np.array([t.weight for t in tenants], dtype=np.float64)
+        if weights.min() < 0 or weights.sum() <= 0:
+            raise ServingError("tenant weights must be non-negative")
+        self._weights = weights / weights.sum()
+        self._pools = {
+            t.name: make_workload(
+                self.data, t.workload, n_queries=pool_size,
+                seed=seed + 1000 + i,
+            )
+            for i, t in enumerate(tenants)
+        }
+        self._served = {t.name: 0 for t in tenants}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def _next_request(self, arrival_ns: float) -> Request:
+        pick = int(
+            self._rng.choice(len(self.tenants), p=self._weights)
+        )
+        spec = self.tenants[pick]
+        pool = self._pools[spec.name]
+        cursor = self._served[spec.name]
+        self._served[spec.name] = cursor + 1
+        query = pool[cursor % len(pool)]
+        request = Request(
+            request_id=f"r{self._seq:06d}",
+            tenant=spec.name,
+            query=query,
+            k=spec.k,
+            arrival_ns=arrival_ns,
+            deadline_ns=(
+                arrival_ns + spec.deadline_ns
+                if spec.deadline_ns is not None
+                else None
+            ),
+        )
+        self._seq += 1
+        return request
+
+    def open_loop(
+        self,
+        rate_qps: float,
+        n_requests: int,
+        arrival: str = "poisson",
+        burstiness: float = 4.0,
+    ) -> list[Request]:
+        """An offered-load trace of ``n_requests`` timed arrivals.
+
+        ``rate_qps`` is the *mean* rate in simulated queries/second for
+        both arrival processes; ``burstiness`` is the mean burst size of
+        the bursty process (its gaps stretch by the same factor, so the
+        long-run rate stays ``rate_qps``).
+        """
+        if rate_qps <= 0:
+            raise ServingError("rate_qps must be positive")
+        if n_requests < 1:
+            raise ServingError("n_requests must be >= 1")
+        if arrival not in ARRIVALS:
+            raise ServingError(
+                f"unknown arrival process {arrival!r}; one of {ARRIVALS}"
+            )
+        mean_gap_ns = 1e9 / rate_qps
+        requests: list[Request] = []
+        now = 0.0
+        if arrival == "poisson":
+            for _ in range(n_requests):
+                now += float(self._rng.exponential(mean_gap_ns))
+                requests.append(self._next_request(now))
+            return requests
+        if burstiness < 1.0:
+            raise ServingError("burstiness must be >= 1")
+        while len(requests) < n_requests:
+            now += float(
+                self._rng.exponential(mean_gap_ns * burstiness)
+            )
+            size = int(self._rng.geometric(1.0 / burstiness))
+            size = min(size, n_requests - len(requests))
+            for j in range(size):
+                # members of a burst land back to back (1 us apart)
+                requests.append(self._next_request(now + j * 1_000.0))
+        return requests
+
+    def closed_loop(
+        self,
+        service: QueryService,
+        n_clients: int,
+        n_requests: int,
+        think_ns: float = 1e6,
+    ) -> list:
+        """Drive ``service`` with a closed population of clients.
+
+        Each client keeps one request outstanding: submit, wait for the
+        response, think, repeat. Clients whose ready times coincide are
+        submitted together so the service can batch them. Returns the
+        service's terminal responses.
+        """
+        if n_clients < 1:
+            raise ServingError("n_clients must be >= 1")
+        if n_requests < 1:
+            raise ServingError("n_requests must be >= 1")
+        if think_ns < 0:
+            raise ServingError("think_ns must be >= 0")
+        # stagger starts so the opening volley is not one giant batch
+        ready = [
+            (c * (think_ns / max(n_clients, 1)), c)
+            for c in range(n_clients)
+        ]
+        heapq.heapify(ready)
+        submitted = 0
+        done = 0
+        responses_seen = 0
+        while done < n_requests:
+            if submitted < n_requests and ready:
+                t, client = heapq.heappop(ready)
+                arrival = max(t, service.now_ns)
+                ids = [self._submit_closed(service, arrival)]
+                submitted += 1
+                # co-submit every client ready by the same instant
+                while (
+                    submitted < n_requests
+                    and ready
+                    and ready[0][0] <= service.now_ns
+                ):
+                    t2, _ = heapq.heappop(ready)
+                    ids.append(
+                        self._submit_closed(
+                            service, max(t2, service.now_ns)
+                        )
+                    )
+                    submitted += 1
+            service.drain()
+            new = service.responses[responses_seen:]
+            responses_seen = len(service.responses)
+            for response in new:
+                done += 1
+                heapq.heappush(
+                    ready, (response.completion_ns + think_ns, 0)
+                )
+        return service.responses
+
+    def _submit_closed(self, service: QueryService, arrival: float) -> str:
+        request = self._next_request(arrival)
+        service.submit(request)
+        return request.request_id

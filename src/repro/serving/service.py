@@ -1,0 +1,401 @@
+"""Deterministic discrete-event query serving over a :class:`ShardManager`.
+
+:class:`QueryService` models one serving node on the simulated clock:
+requests arrive (open loop from a :class:`~repro.serving.driver.WorkloadDriver`,
+or interactively via :meth:`submit`), pass per-tenant token-bucket
+admission, wait in a bounded queue, and are dispatched deadline-first in
+batches that ride one amortized PIM wave per shard. Time comes entirely
+from the simulator — NVSim wave latency plus Quartz CPU time — so two
+runs of the same request trace produce bit-identical responses.
+
+Backpressure policies when the queue is full:
+
+* ``reject``      — shed the arriving request;
+* ``drop_oldest`` — shed the oldest queued request, admit the new one;
+* ``degrade``     — admit the request flagged for approximate service
+  (lower-bound scores only, no exact refinement), trading accuracy for
+  a much cheaper dispatch instead of shedding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.serving.sharding import KNNAnswer, ShardManager
+from repro.serving.slo import SLOTracker
+from repro.telemetry import get_recorder
+
+QUEUE_POLICIES = ("reject", "drop_oldest", "degrade")
+
+REQUEST_KINDS = ("knn", "assign")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Admission/SLO contract of one tenant.
+
+    ``rate_qps``/``burst`` parameterize the token bucket (``None`` rate
+    admits everything); ``deadline_ns`` is the relative per-request
+    deadline stamped at arrival when the request carries none;
+    ``workload`` names the :mod:`repro.data.workloads` query class the
+    driver draws for this tenant.
+    """
+
+    name: str
+    rate_qps: float | None = None
+    burst: int = 8
+    deadline_ns: float | None = None
+    workload: str = "near"
+    k: int = 10
+    weight: float = 1.0
+
+
+@dataclass
+class Request:
+    """One query in flight through the service."""
+
+    request_id: str
+    tenant: str
+    query: np.ndarray
+    k: int = 10
+    kind: str = "knn"
+    arrival_ns: float = 0.0
+    deadline_ns: float | None = None
+    degraded: bool = False
+    admit_seq: int = -1
+
+
+@dataclass
+class Response:
+    """Terminal record of one request: an answer or a shed."""
+
+    request_id: str
+    tenant: str
+    kind: str
+    ok: bool
+    arrival_ns: float
+    completion_ns: float
+    shed_reason: str | None = None
+    dispatch_ns: float | None = None
+    indices: np.ndarray | None = None
+    scores: np.ndarray | None = None
+    approximate: bool = False
+    batch_size: int = 0
+
+    @property
+    def latency_ns(self) -> float:
+        """Arrival-to-completion simulated latency."""
+        return self.completion_ns - self.arrival_ns
+
+
+class _TokenBucket:
+    """Per-tenant admission: ``rate_qps`` tokens/s, ``burst`` capacity."""
+
+    def __init__(self, rate_qps: float, burst: int) -> None:
+        if rate_qps <= 0:
+            raise ServingError("admission rate must be positive")
+        if burst < 1:
+            raise ServingError("burst must be >= 1")
+        self.rate_per_ns = rate_qps / 1e9
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.last_ns = 0.0
+
+    def try_take(self, now_ns: float) -> bool:
+        self.tokens = min(
+            self.burst, self.tokens + (now_ns - self.last_ns) * self.rate_per_ns
+        )
+        self.last_ns = now_ns
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class QueryService:
+    """Single-node serving loop: admission, bounded queue, EDF batches.
+
+    Parameters
+    ----------
+    manager:
+        The sharded store answering the queries.
+    tenants:
+        Known tenants; when given, unknown tenants are refused with
+        :class:`~repro.errors.ServingError` and per-tenant admission
+        applies. ``None`` leaves admission open.
+    max_batch:
+        Most requests one dispatch may carry (one batched wave/shard).
+    batch_window_ns:
+        How long an under-full batch may wait for company once the
+        server is free; 0 dispatches immediately (work-conserving).
+    queue_capacity:
+        Bound on the admitted-but-undispatched queue.
+    policy:
+        Overflow behaviour: ``reject``, ``drop_oldest`` or ``degrade``.
+    default_deadline_ns:
+        Relative deadline stamped on requests that carry none (and whose
+        tenant specifies none); ``None`` disables deadline shedding.
+    """
+
+    def __init__(
+        self,
+        manager: ShardManager,
+        tenants: list[TenantSpec] | None = None,
+        *,
+        max_batch: int = 8,
+        batch_window_ns: float = 0.0,
+        queue_capacity: int = 64,
+        policy: str = "reject",
+        default_deadline_ns: float | None = None,
+        tracker: SLOTracker | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ServingError("max_batch must be >= 1")
+        if batch_window_ns < 0:
+            raise ServingError("batch_window_ns must be >= 0")
+        if queue_capacity < 1:
+            raise ServingError("queue_capacity must be >= 1")
+        if policy not in QUEUE_POLICIES:
+            raise ServingError(
+                f"unknown policy {policy!r}; one of {QUEUE_POLICIES}"
+            )
+        self.manager = manager
+        self.max_batch = max_batch
+        self.batch_window_ns = float(batch_window_ns)
+        self.queue_capacity = queue_capacity
+        self.policy = policy
+        self.default_deadline_ns = default_deadline_ns
+        self.tracker = tracker if tracker is not None else SLOTracker()
+        self.tenants: dict[str, TenantSpec] | None = (
+            {t.name: t for t in tenants} if tenants is not None else None
+        )
+        self._buckets: dict[str, _TokenBucket] = {}
+        if self.tenants:
+            for spec in self.tenants.values():
+                if spec.rate_qps is not None:
+                    self._buckets[spec.name] = _TokenBucket(
+                        spec.rate_qps, spec.burst
+                    )
+        self.now_ns = 0.0
+        self.server_free_ns = 0.0
+        self._queue: list[Request] = []
+        self._admitted = 0
+        self.responses: list[Response] = []
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Feed one arrival; arrivals must be in non-decreasing time."""
+        if request.arrival_ns < self.now_ns:
+            raise ServingError(
+                "arrivals must be submitted in simulated-time order"
+            )
+        if request.kind not in REQUEST_KINDS:
+            raise ServingError(
+                f"unknown request kind {request.kind!r}; "
+                f"one of {REQUEST_KINDS}"
+            )
+        self._dispatch_until(request.arrival_ns)
+        self.now_ns = max(self.now_ns, request.arrival_ns)
+        self._admit(request)
+
+    def run(self, requests) -> list[Response]:
+        """Serve a whole request trace; returns terminal responses.
+
+        Responses come back in completion order (sheds at their shed
+        time) — the order is part of the deterministic contract.
+        """
+        ordered = sorted(
+            requests, key=lambda r: (r.arrival_ns, r.request_id)
+        )
+        for request in ordered:
+            self.submit(request)
+        return self.drain()
+
+    def drain(self) -> list[Response]:
+        """Dispatch everything still queued; returns all responses."""
+        while self._queue:
+            self._dispatch(self._next_dispatch_ns(more_arrivals=False))
+        return self.responses
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _admit(self, request: Request) -> None:
+        spec = None
+        if self.tenants is not None:
+            spec = self.tenants.get(request.tenant)
+            if spec is None:
+                raise ServingError(f"unknown tenant {request.tenant!r}")
+        if request.deadline_ns is None:
+            relative = (
+                spec.deadline_ns
+                if spec is not None and spec.deadline_ns is not None
+                else self.default_deadline_ns
+            )
+            if relative is not None:
+                request.deadline_ns = request.arrival_ns + relative
+        bucket = self._buckets.get(request.tenant)
+        if bucket is not None and not bucket.try_take(self.now_ns):
+            self._shed(request, "admission")
+            return
+        if len(self._queue) >= self.queue_capacity:
+            if self.policy == "reject":
+                self._shed(request, "queue_full")
+                return
+            if self.policy == "drop_oldest":
+                oldest = min(
+                    self._queue,
+                    key=lambda r: (r.arrival_ns, r.admit_seq),
+                )
+                self._queue.remove(oldest)
+                self._shed(oldest, "queue_full")
+            else:  # degrade: admit beyond capacity, serve approximately
+                request.degraded = True
+        request.admit_seq = self._admitted
+        self._admitted += 1
+        self._queue.append(request)
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter("serving.admitted").add(1)
+            tele.metrics.gauge("serving.queue_depth").set(len(self._queue))
+
+    def _shed(self, request: Request, reason: str) -> None:
+        response = Response(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            kind=request.kind,
+            ok=False,
+            arrival_ns=request.arrival_ns,
+            completion_ns=self.now_ns,
+            shed_reason=reason,
+        )
+        self.responses.append(response)
+        self.tracker.observe(response)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _next_dispatch_ns(self, more_arrivals: bool) -> float:
+        head = self._queue[0]
+        ready = head.arrival_ns
+        if (
+            more_arrivals
+            and len(self._queue) < self.max_batch
+            and self.batch_window_ns > 0
+        ):
+            ready += self.batch_window_ns
+        return max(ready, self.server_free_ns, self.now_ns)
+
+    def _dispatch_until(self, t_ns: float) -> None:
+        while self._queue:
+            t_dispatch = self._next_dispatch_ns(more_arrivals=True)
+            if t_dispatch > t_ns:
+                break
+            self._dispatch(t_dispatch)
+
+    def _dispatch(self, t_dispatch: float) -> None:
+        self.now_ns = max(self.now_ns, t_dispatch)
+        # earliest-deadline-first, FIFO among equals — deterministic
+        self._queue.sort(
+            key=lambda r: (
+                r.deadline_ns if r.deadline_ns is not None else float("inf"),
+                r.admit_seq,
+            )
+        )
+        batch = self._queue[: self.max_batch]
+        del self._queue[: len(batch)]
+        live: list[Request] = []
+        for request in batch:
+            if (
+                request.deadline_ns is not None
+                and request.deadline_ns < self.now_ns
+            ):
+                self._shed(request, "deadline")
+            else:
+                live.append(request)
+        if not live:
+            return
+        tele = get_recorder()
+        with tele.span(
+            "serving.dispatch", "serving",
+            requests=len(live), t_dispatch_ns=self.now_ns,
+        ):
+            service_ns = self._serve(live)
+        self.server_free_ns = self.now_ns + service_ns
+        if tele.enabled:
+            tele.metrics.histogram("serving.batch_size").observe(len(live))
+            tele.metrics.gauge("serving.queue_depth").set(len(self._queue))
+
+    def _serve(self, batch: list[Request]) -> float:
+        """Answer one dispatched batch; returns its service time."""
+        knn = [r for r in batch if r.kind == "knn"]
+        assists = [r for r in batch if r.kind == "assign"]
+        service_ns = 0.0
+        if knn:
+            answers, timing = self.manager.knn_batch(
+                np.stack([r.query for r in knn]),
+                [r.k for r in knn],
+                [r.degraded for r in knn],
+            )
+            service_ns += timing.service_ns
+            for request, answer in zip(knn, answers):
+                self._complete(request, answer, len(batch), service_ns)
+        for request in assists:
+            answer, timing = self.manager.assign(request.query)
+            service_ns += timing.service_ns
+            self._complete_assign(request, answer, len(batch), service_ns)
+        return service_ns
+
+    def _complete(
+        self,
+        request: Request,
+        answer: KNNAnswer,
+        batch_size: int,
+        service_ns: float,
+    ) -> None:
+        response = Response(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            kind=request.kind,
+            ok=True,
+            arrival_ns=request.arrival_ns,
+            dispatch_ns=self.now_ns,
+            completion_ns=self.now_ns + service_ns,
+            indices=answer.indices,
+            scores=answer.scores,
+            approximate=answer.approximate,
+            batch_size=batch_size,
+        )
+        self.responses.append(response)
+        self.tracker.observe(response)
+
+    def _complete_assign(
+        self, request: Request, answer, batch_size: int, service_ns: float
+    ) -> None:
+        response = Response(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            kind=request.kind,
+            ok=True,
+            arrival_ns=request.arrival_ns,
+            dispatch_ns=self.now_ns,
+            completion_ns=self.now_ns + service_ns,
+            indices=answer.assignments,
+            scores=answer.distances,
+            batch_size=batch_size,
+        )
+        self.responses.append(response)
+        self.tracker.observe(response)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """SLO summary over everything served so far."""
+        return self.tracker.summary(
+            horizon_ns=max(self.server_free_ns, self.now_ns),
+            shard_busy_ns=self.manager.shard_busy_ns(),
+        )

@@ -1,0 +1,635 @@
+"""Dataset placement across PIM shards and exact scatter/gather.
+
+A *shard* is one PIM memory module (its own :class:`~repro.hardware.pim_array.PIMArray`)
+holding a subset of the dataset rows. :class:`ShardManager` owns the
+placement and answers queries by scattering the quantized query to every
+shard, letting each shard filter-and-refine its local rows, and merging
+the per-shard top-k lists — the SimplePIM-style thin software layer that
+turns N independent arrays into one logical store.
+
+Exactness and placement invariance
+----------------------------------
+Merged results must be *bit-identical* for every placement of the same
+dataset, so every numeric step is defined per global row:
+
+* one **global quantizer** is fitted on the full dataset and shared by
+  all shards — a per-shard fit would make the PIM lower bounds depend on
+  which rows share a shard;
+* shard-local work visits candidates in ``(lower bound, global index)``
+  order and maintains the k best by the canonical ``(score, global
+  index)`` lexicographic order, so duplicate distances always resolve to
+  the lowest global index no matter which shard refined them;
+* pruning is strict (``lb > threshold``), so boundary ties are always
+  refined rather than dropped.
+
+Exact scores are squared Euclidean distances in the quantizer's
+normalised space — the space Theorem 1's bound provably lower-bounds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cost.counters import PerfCounters
+from repro.cost.model import CostModel
+from repro.errors import ServingError
+from repro.hardware.config import HardwareConfig, pim_platform
+from repro.hardware.controller import PIMController
+from repro.hardware.pim_array import PIMStats
+from repro.hardware.reprogramming import ChunkedDotProductEngine
+from repro.similarity.quantization import Quantizer
+from repro.telemetry import get_recorder
+
+PLACEMENT_KINDS = ("range", "hash")
+
+#: Knuth's multiplicative constant; spreads consecutive indices evenly.
+_HASH_MULTIPLIER = 2654435761
+
+
+@dataclass(frozen=True)
+class ShardPlacement:
+    """Which shard each global dataset row lives on.
+
+    ``assignments[i]`` is the shard id of global row ``i``; shard ids
+    must lie in ``[0, n_shards)``. Empty shards are allowed (they simply
+    contribute no candidates), which keeps arbitrary explicit placements
+    — the property tests exercise them — legal.
+    """
+
+    n_shards: int
+    assignments: np.ndarray
+    kind: str = "explicit"
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ServingError("a placement needs at least one shard")
+        assignments = np.asarray(self.assignments, dtype=np.int64)
+        if assignments.ndim != 1:
+            raise ServingError("assignments must be a 1-D shard-id vector")
+        if assignments.size and (
+            assignments.min() < 0 or assignments.max() >= self.n_shards
+        ):
+            raise ServingError(
+                f"shard ids must lie in [0, {self.n_shards})"
+            )
+        object.__setattr__(self, "assignments", assignments)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of placed dataset rows."""
+        return int(self.assignments.size)
+
+    def rows_of(self, shard_id: int) -> np.ndarray:
+        """Global row indices living on one shard (ascending)."""
+        return np.flatnonzero(self.assignments == shard_id)
+
+
+def plan_placement(
+    n: int, n_shards: int, kind: str = "range", seed: int = 0
+) -> ShardPlacement:
+    """A deterministic placement of ``n`` rows over ``n_shards`` shards.
+
+    ``range`` slices the dataset into contiguous blocks of near-equal
+    size (the first ``n % n_shards`` shards get one extra row);
+    ``hash`` scatters rows by a seeded multiplicative hash of the global
+    index, decorrelating placement from dataset order.
+    """
+    if n < 1:
+        raise ServingError("cannot place an empty dataset")
+    if n_shards < 1:
+        raise ServingError("need at least one shard")
+    if kind not in PLACEMENT_KINDS:
+        raise ServingError(
+            f"unknown placement {kind!r}; expected one of {PLACEMENT_KINDS}"
+        )
+    if kind == "range":
+        base, extra = divmod(n, n_shards)
+        sizes = [base + (1 if s < extra else 0) for s in range(n_shards)]
+        assignments = np.repeat(np.arange(n_shards, dtype=np.int64), sizes)
+    else:
+        idx = np.arange(n, dtype=np.uint64) + np.uint64(seed)
+        hashed = (idx * np.uint64(_HASH_MULTIPLIER)) % np.uint64(2**32)
+        assignments = (hashed % np.uint64(n_shards)).astype(np.int64)
+    return ShardPlacement(
+        n_shards=n_shards, assignments=assignments, kind=kind
+    )
+
+
+@dataclass(frozen=True)
+class KNNAnswer:
+    """Merged top-k of one query in canonical ``(score, index)`` order."""
+
+    indices: np.ndarray
+    scores: np.ndarray
+    refined: int
+    pruned: int
+    approximate: bool = False
+
+
+@dataclass(frozen=True)
+class AssignAnswer:
+    """k-means-assist result: nearest center per global dataset row."""
+
+    assignments: np.ndarray
+    distances: np.ndarray
+    refined: int
+    pruned: int
+
+
+@dataclass
+class GatherTiming:
+    """Simulated-time breakdown of one scatter/gather dispatch.
+
+    Shards run in parallel (each is an independent memory module), so
+    the dispatch occupies the service for ``max`` over shards of PIM
+    wave time plus shard-local CPU time, serialized with the
+    coordinator's merge.
+    """
+
+    per_shard_pim_ns: list = field(default_factory=list)
+    per_shard_cpu_ns: list = field(default_factory=list)
+    merge_cpu_ns: float = 0.0
+
+    @property
+    def service_ns(self) -> float:
+        """End-to-end occupancy of the dispatch."""
+        spans = [
+            p + c
+            for p, c in zip(self.per_shard_pim_ns, self.per_shard_cpu_ns)
+        ]
+        return (max(spans) if spans else 0.0) + self.merge_cpu_ns
+
+
+class _Shard:
+    """One PIM module: a row subset, its side data, and its engine."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        global_indices: np.ndarray,
+        integers: np.ndarray,
+        phi: np.ndarray,
+        floats: np.ndarray,
+        hardware: HardwareConfig,
+        chunked: bool,
+        reprogram_budget: int | None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.global_indices = global_indices
+        self.integers = integers
+        self.phi = phi
+        self.floats = floats
+        self.name = f"shard{shard_id}"
+        self.busy_ns = 0.0
+        self.reprogram_budget = reprogram_budget
+        self.engine: ChunkedDotProductEngine | None = None
+        self.controller: PIMController | None = None
+        if self.n_rows == 0:
+            return
+        if chunked:
+            self.engine = ChunkedDotProductEngine(hardware)
+            self.engine.load(integers)
+        else:
+            self.controller = PIMController(hardware)
+            self.controller.program(
+                self.name, integers, side_data_bytes=phi.nbytes
+            )
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.global_indices.size)
+
+    @property
+    def pim_stats(self) -> PIMStats:
+        """This shard's array-level stats (empty for an empty shard)."""
+        if self.controller is not None:
+            return self.controller.pim.stats
+        if self.engine is not None:
+            return self.engine.pim.stats
+        return PIMStats()
+
+    def dot_products(self, queries_int: np.ndarray) -> tuple[np.ndarray, float]:
+        """``(B, n_rows)`` integer dot products and their PIM time."""
+        if self.n_rows == 0:
+            return np.zeros((queries_int.shape[0], 0), dtype=np.int64), 0.0
+        if self.controller is not None:
+            result = self.controller.dot_products_batch(
+                self.name, queries_int
+            )
+            return result.values, result.timing.total_ns
+        assert self.engine is not None
+        before = self.engine.stats.total_time_ns
+        rows = [self.engine.dot_products_all(q) for q in queries_int]
+        if (
+            self.reprogram_budget is not None
+            and self.engine.stats.reprogrammings > self.reprogram_budget
+        ):
+            raise ServingError(
+                f"shard {self.shard_id} exceeded its re-programming "
+                f"budget ({self.engine.stats.reprogrammings} > "
+                f"{self.reprogram_budget} crossbar writes)"
+            )
+        return np.stack(rows), self.engine.stats.total_time_ns - before
+
+
+class _CanonicalHeap:
+    """The k smallest candidates by ``(score, global index)`` lex order.
+
+    Unlike the mining layer's heap (which keeps the first-seen among
+    equal scores, a visit-order artifact), ties always resolve to the
+    lowest global index — the property that makes merged shard results
+    placement-invariant.
+    """
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._heap: list[tuple[float, int]] = []  # (-score, -index)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def threshold(self) -> float:
+        """Current k-th best score (+inf while not yet full)."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def offer(self, score: float, index: int) -> bool:
+        """Insert if ``(score, index)`` beats the current worst member."""
+        entry = (-score, -index)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def sorted_items(self) -> list[tuple[float, int]]:
+        """Members as ``(score, index)``, canonical order."""
+        return sorted((-s, -i) for s, i in self._heap)
+
+
+def _merge_heaps(heaps: list[_CanonicalHeap], k: int) -> _CanonicalHeap:
+    """Global top-k from per-shard top-k lists (canonical order)."""
+    merged = _CanonicalHeap(k)
+    for heap in heaps:
+        for score, index in heap.sorted_items():
+            merged.offer(score, index)
+    return merged
+
+
+class ShardManager:
+    """Partition a dataset over N PIM shards; serve exact queries.
+
+    Parameters
+    ----------
+    data:
+        The float dataset, ``(n, dims)``. Normalisation statistics and
+        the quantizer are global, shared by every shard.
+    n_shards:
+        Shard count when ``placement`` is a kind string.
+    placement:
+        ``"range"``, ``"hash"``, or an explicit :class:`ShardPlacement`.
+    hardware:
+        Per-shard platform (each shard instantiates its own array).
+    quantizer:
+        Global quantizer; defaults to the paper's alpha, fitted here.
+    chunked:
+        Route shards through :class:`ChunkedDotProductEngine` (for
+        shards larger than one array) instead of resident programming.
+    reprogram_budget:
+        With ``chunked``, the per-shard cap on cumulative crossbar
+        re-programmings before :class:`~repro.errors.ServingError`.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        n_shards: int = 1,
+        placement: str | ShardPlacement = "range",
+        *,
+        hardware: HardwareConfig | None = None,
+        quantizer: Quantizer | None = None,
+        chunked: bool = False,
+        reprogram_budget: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] < 1:
+            raise ServingError(
+                "ShardManager expects a non-empty (n, dims) dataset"
+            )
+        self.hardware = hardware if hardware is not None else pim_platform()
+        if isinstance(placement, ShardPlacement):
+            if placement.n_rows != data.shape[0]:
+                raise ServingError(
+                    "placement covers "
+                    f"{placement.n_rows} rows, dataset has {data.shape[0]}"
+                )
+            self.placement = placement
+        else:
+            self.placement = plan_placement(
+                data.shape[0], n_shards, kind=placement, seed=seed
+            )
+        self.n_shards = self.placement.n_shards
+        self.dims = int(data.shape[1])
+        self.n_rows = int(data.shape[0])
+        self.quantizer = (
+            quantizer if quantizer is not None else Quantizer()
+        )
+        if not self.quantizer.is_fitted:
+            self.quantizer.fit(data)
+        self.cost_model = CostModel(self.hardware)
+        qv = self.quantizer.quantize(data)
+        normalized = self.quantizer.normalize(data)
+        phi = (qv.scaled**2).sum(axis=1) - 2.0 * qv.integers.sum(axis=1)
+        self.shards: list[_Shard] = []
+        for s in range(self.n_shards):
+            rows = self.placement.rows_of(s)
+            self.shards.append(
+                _Shard(
+                    s,
+                    rows,
+                    qv.integers[rows],
+                    phi[rows],
+                    normalized[rows],
+                    self.hardware,
+                    chunked,
+                    reprogram_budget,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # CPU accounting (Quartz model, one bucket per stage)
+    # ------------------------------------------------------------------
+    def _cpu_ns(self, **events) -> float:
+        counters = PerfCounters()
+        counters.record("serving", calls=1, **events)
+        return self.cost_model.total_time_ns(counters)
+
+    def _shard_cpu_ns(self, n_local: int, queries: int, refined: int) -> float:
+        """Shard-local host work: bound combine, sort, refine, heap."""
+        n_visited = n_local * queries  # worst case; refined <= visited
+        return self._cpu_ns(
+            # lb = (phi_p + phi_q - 2 dots - 2d) / alpha^2, clip
+            flops=5.0 * n_visited,
+            bytes_cached=16.0 * n_visited,
+            # lexsort by (lb, index) + candidate scan / heap maintenance
+            branches=1.5 * n_visited * max(np.log2(max(n_local, 2)), 1.0)
+            + 2.0 * n_visited,
+            # exact refinement of the surviving candidates
+            long_ops=0.0,
+        ) + self._cpu_ns(
+            flops=3.0 * self.dims * refined,
+            bytes_from_memory=4.0 * self.dims * refined,
+        )
+
+    def _merge_cpu_ns(self, candidates: int) -> float:
+        """Coordinator gather: merge the per-shard k-lists."""
+        if candidates <= 0:
+            return 0.0
+        return self._cpu_ns(
+            flops=candidates,
+            branches=2.0 * candidates * max(np.log2(max(candidates, 2)), 1.0),
+            bytes_cached=16.0 * candidates,
+        )
+
+    # ------------------------------------------------------------------
+    # kNN scatter/gather
+    # ------------------------------------------------------------------
+    def _prepare_queries(
+        self, queries: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.dims:
+            raise ServingError(
+                f"queries must have {self.dims} dimensions"
+            )
+        qv = self.quantizer.quantize(queries)
+        normalized = self.quantizer.normalize(queries)
+        phi_q = (qv.scaled**2).sum(axis=1) - 2.0 * qv.integers.sum(axis=1)
+        return qv.integers, normalized, phi_q
+
+    def _shard_topk(
+        self,
+        shard: _Shard,
+        dots: np.ndarray,
+        phi_q: float,
+        q_norm: np.ndarray,
+        k: int,
+        approximate: bool,
+    ) -> tuple[_CanonicalHeap, int, int]:
+        """Local top-k of one query on one shard (canonical order)."""
+        heap = _CanonicalHeap(k)
+        if shard.n_rows == 0:
+            return heap, 0, 0
+        alpha2 = self.quantizer.alpha**2
+        lb = (shard.phi + phi_q - 2.0 * dots - 2.0 * self.dims) / alpha2
+        np.maximum(lb, 0.0, out=lb)
+        if approximate:
+            # degrade-to-approximate: the lower bound IS the score
+            order = np.lexsort((shard.global_indices, lb))[:k]
+            for j in order:
+                heap.offer(float(lb[j]), int(shard.global_indices[j]))
+            return heap, 0, shard.n_rows - int(order.size)
+        order = np.lexsort((shard.global_indices, lb))
+        refined = 0
+        for j in order:
+            if lb[j] > heap.threshold:
+                break  # visit order is ascending lb: the rest prune too
+            row = shard.floats[j]
+            diff = row - q_norm
+            score = float(diff @ diff)
+            heap.offer(score, int(shard.global_indices[j]))
+            refined += 1
+        return heap, refined, shard.n_rows - refined
+
+    def knn_batch(
+        self,
+        queries: np.ndarray,
+        ks,
+        approximate=None,
+    ) -> tuple[list[KNNAnswer], GatherTiming]:
+        """Exact (or per-query degraded) kNN for a batch of queries.
+
+        ``ks`` is an int or a per-query sequence; ``approximate``
+        likewise a bool or per-query flags. All queries ride one batched
+        wave per shard, so the batch amortizes pipeline setup exactly as
+        the mining layer's :class:`~repro.core.planner.BatchScheduler`
+        flushes do.
+        """
+        q_int, q_norm, phi_q = self._prepare_queries(queries)
+        batch = q_int.shape[0]
+        k_list = (
+            [int(ks)] * batch if np.isscalar(ks) else [int(k) for k in ks]
+        )
+        if len(k_list) != batch:
+            raise ServingError("ks must match the query batch")
+        if any(k < 1 for k in k_list):
+            raise ServingError("k must be >= 1")
+        approx_list = (
+            [bool(approximate)] * batch
+            if approximate is None or isinstance(approximate, bool)
+            else [bool(a) for a in approximate]
+        )
+        if len(approx_list) != batch:
+            raise ServingError("approximate flags must match the batch")
+        timing = GatherTiming()
+        tele = get_recorder()
+        per_query_heaps: list[list[_CanonicalHeap]] = [[] for _ in range(batch)]
+        refined_total = [0] * batch
+        pruned_total = [0] * batch
+        for shard in self.shards:
+            with tele.span(
+                "serving.scatter", "serving",
+                shard=shard.shard_id, rows=shard.n_rows, queries=batch,
+            ):
+                dots, pim_ns = shard.dot_products(q_int)
+                refined_here = 0
+                for b in range(batch):
+                    heap, refined, pruned = self._shard_topk(
+                        shard,
+                        dots[b],
+                        float(phi_q[b]),
+                        q_norm[b],
+                        min(k_list[b], max(self.n_rows, 1)),
+                        approx_list[b],
+                    )
+                    per_query_heaps[b].append(heap)
+                    refined_total[b] += refined
+                    pruned_total[b] += pruned
+                    refined_here += refined
+                cpu_ns = self._shard_cpu_ns(
+                    shard.n_rows, batch, refined_here
+                )
+                tele.advance(cpu_ns)
+            timing.per_shard_pim_ns.append(pim_ns)
+            timing.per_shard_cpu_ns.append(cpu_ns)
+            shard.busy_ns += pim_ns + cpu_ns
+        answers: list[KNNAnswer] = []
+        merge_candidates = 0
+        for b in range(batch):
+            merged = _merge_heaps(per_query_heaps[b], k_list[b])
+            merge_candidates += sum(len(h) for h in per_query_heaps[b])
+            items = merged.sorted_items()
+            answers.append(
+                KNNAnswer(
+                    indices=np.array([i for _, i in items], dtype=np.int64),
+                    scores=np.array([s for s, _ in items], dtype=np.float64),
+                    refined=refined_total[b],
+                    pruned=pruned_total[b],
+                    approximate=approx_list[b],
+                )
+            )
+        with tele.span(
+            "serving.gather", "serving",
+            queries=batch, candidates=merge_candidates,
+        ):
+            timing.merge_cpu_ns = self._merge_cpu_ns(merge_candidates)
+            tele.advance(timing.merge_cpu_ns)
+        if tele.enabled:
+            tele.metrics.counter("serving.queries").add(batch)
+            tele.metrics.counter("serving.refined").add(sum(refined_total))
+            tele.metrics.counter("serving.pruned").add(sum(pruned_total))
+        return answers, timing
+
+    def knn(self, query: np.ndarray, k: int) -> KNNAnswer:
+        """Exact kNN of a single query (see :meth:`knn_batch`)."""
+        answers, _ = self.knn_batch(np.atleast_2d(query), k)
+        return answers[0]
+
+    # ------------------------------------------------------------------
+    # k-means assist
+    # ------------------------------------------------------------------
+    def assign(self, centers: np.ndarray) -> tuple[AssignAnswer, GatherTiming]:
+        """Nearest center of every dataset row (k-means assist).
+
+        Exact, with the canonical lowest-center-index tie-break: centers
+        are considered in index order and only a strictly smaller
+        distance replaces the incumbent.
+        """
+        c_int, c_norm, phi_c = self._prepare_queries(centers)
+        n_centers = c_int.shape[0]
+        assignments = np.empty(self.n_rows, dtype=np.int64)
+        distances = np.empty(self.n_rows, dtype=np.float64)
+        timing = GatherTiming()
+        tele = get_recorder()
+        alpha2 = self.quantizer.alpha**2
+        refined_all = 0
+        pruned_all = 0
+        for shard in self.shards:
+            with tele.span(
+                "serving.assist", "serving",
+                shard=shard.shard_id, rows=shard.n_rows, centers=n_centers,
+            ):
+                dots, pim_ns = shard.dot_products(c_int)
+                refined = 0
+                for j in range(shard.n_rows):
+                    lb = (
+                        shard.phi[j] + phi_c - 2.0 * dots[:, j]
+                        - 2.0 * self.dims
+                    ) / alpha2
+                    np.maximum(lb, 0.0, out=lb)
+                    best_d = np.inf
+                    best_c = 0
+                    row = shard.floats[j]
+                    for c in range(n_centers):
+                        if lb[c] > best_d:
+                            continue
+                        diff = row - c_norm[c]
+                        d = float(diff @ diff)
+                        refined += 1
+                        if d < best_d:
+                            best_d = d
+                            best_c = c
+                    gi = shard.global_indices[j]
+                    assignments[gi] = best_c
+                    distances[gi] = best_d
+                cpu_ns = self._shard_cpu_ns(
+                    shard.n_rows, n_centers, refined
+                )
+                tele.advance(cpu_ns)
+            timing.per_shard_pim_ns.append(pim_ns)
+            timing.per_shard_cpu_ns.append(cpu_ns)
+            shard.busy_ns += pim_ns + cpu_ns
+            refined_all += refined
+            pruned_all += shard.n_rows * n_centers - refined
+        if tele.enabled:
+            tele.metrics.counter("serving.assist_rows").add(self.n_rows)
+        return (
+            AssignAnswer(
+                assignments=assignments,
+                distances=distances,
+                refined=refined_all,
+                pruned=pruned_all,
+            ),
+            timing,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def shard_sizes(self) -> list[int]:
+        """Rows per shard, by shard id."""
+        return [shard.n_rows for shard in self.shards]
+
+    def shard_busy_ns(self) -> list[float]:
+        """Cumulative simulated busy time per shard."""
+        return [shard.busy_ns for shard in self.shards]
+
+    def reset_busy(self) -> None:
+        """Zero the per-shard busy accounting (e.g. after a probe)."""
+        for shard in self.shards:
+            shard.busy_ns = 0.0
+
+    def merged_stats(self) -> PIMStats:
+        """Aggregate array stats over every shard, namespaced per shard."""
+        return PIMStats.merge(
+            [shard.pim_stats for shard in self.shards],
+            prefixes=[f"shard{s}." for s in range(self.n_shards)],
+        )

@@ -1,0 +1,153 @@
+"""SLO accounting for the serving layer: latency, throughput, sheds.
+
+:class:`SLOTracker` observes every terminal :class:`~repro.serving.service.Response`
+(completions and sheds), keeps per-tenant latency series, and reduces
+them to the numbers an operator watches: p50/p95/p99 latency, aggregate
+throughput, shed rate by reason, and — via the shard busy times the
+:class:`~repro.serving.sharding.ShardManager` accumulates — per-shard
+utilization. Everything is on the simulated clock, so summaries are
+deterministic and comparable across runs.
+
+Observations stream into :mod:`repro.telemetry` when a recorder is
+active (latency histogram, completion/shed counters); :meth:`summary`
+additionally publishes the reduced percentiles as gauges so a metrics
+snapshot carries the headline numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry import get_recorder
+
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class SLOTracker:
+    """Streaming collector of terminal responses."""
+
+    def __init__(self) -> None:
+        self.latencies_ns: list[float] = []
+        self.per_tenant: dict[str, list[float]] = {}
+        self.completed = 0
+        self.degraded = 0
+        self.shed = 0
+        self.shed_reasons: dict[str, int] = {}
+        self.first_arrival_ns: float | None = None
+        self.last_completion_ns = 0.0
+
+    # ------------------------------------------------------------------
+    def observe(self, response) -> None:
+        """Record one terminal response (completion or shed)."""
+        tele = get_recorder()
+        if self.first_arrival_ns is None:
+            self.first_arrival_ns = response.arrival_ns
+        else:
+            self.first_arrival_ns = min(
+                self.first_arrival_ns, response.arrival_ns
+            )
+        if not response.ok:
+            self.shed += 1
+            reason = response.shed_reason or "unknown"
+            self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+            if tele.enabled:
+                tele.metrics.counter(f"serving.shed.{reason}").add(1)
+            return
+        self.completed += 1
+        if response.approximate:
+            self.degraded += 1
+        latency = response.latency_ns
+        self.latencies_ns.append(latency)
+        self.per_tenant.setdefault(response.tenant, []).append(latency)
+        self.last_completion_ns = max(
+            self.last_completion_ns, response.completion_ns
+        )
+        if tele.enabled:
+            tele.metrics.counter("serving.completed").add(1)
+            tele.metrics.histogram("serving.latency_ns").observe(latency)
+            if response.approximate:
+                tele.metrics.counter("serving.degraded").add(1)
+
+    # ------------------------------------------------------------------
+    @property
+    def offered(self) -> int:
+        """Total terminal responses observed (completions + sheds)."""
+        return self.completed + self.shed
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests shed (0 when nothing offered)."""
+        if self.offered == 0:
+            return 0.0
+        return self.shed / self.offered
+
+    def percentiles(self, series=None) -> dict[str, float]:
+        """p50/p95/p99 of a latency series (ns); zeros when empty."""
+        values = self.latencies_ns if series is None else series
+        if not values:
+            return {f"p{int(p)}_ns": 0.0 for p in PERCENTILES}
+        arr = np.asarray(values, dtype=np.float64)
+        return {
+            f"p{int(p)}_ns": float(np.percentile(arr, p))
+            for p in PERCENTILES
+        }
+
+    def throughput_qps(self, horizon_ns: float | None = None) -> float:
+        """Completions per simulated second over the run horizon."""
+        if self.completed == 0:
+            return 0.0
+        start = self.first_arrival_ns or 0.0
+        end = (
+            horizon_ns if horizon_ns is not None else self.last_completion_ns
+        )
+        span = end - start
+        if span <= 0:
+            return 0.0
+        return float(self.completed / (span / 1e9))
+
+    def summary(
+        self,
+        horizon_ns: float | None = None,
+        shard_busy_ns=None,
+    ) -> dict:
+        """The operator dashboard as one dict (also pushed as gauges)."""
+        pcts = self.percentiles()
+        result = {
+            "offered": self.offered,
+            "completed": self.completed,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "shed_reasons": dict(self.shed_reasons),
+            "throughput_qps": self.throughput_qps(horizon_ns),
+            **pcts,
+            "per_tenant": {
+                tenant: self.percentiles(series)
+                for tenant, series in sorted(self.per_tenant.items())
+            },
+        }
+        if shard_busy_ns is not None:
+            start = self.first_arrival_ns or 0.0
+            end = (
+                horizon_ns
+                if horizon_ns is not None
+                else self.last_completion_ns
+            )
+            span = max(end - start, 0.0)
+            result["shard_utilization"] = [
+                float(busy / span) if span > 0 else 0.0
+                for busy in shard_busy_ns
+            ]
+        tele = get_recorder()
+        if tele.enabled:
+            for key in ("p50_ns", "p95_ns", "p99_ns"):
+                tele.metrics.gauge(f"serving.{key[:-3]}_latency_ns").set(
+                    result[key]
+                )
+            tele.metrics.gauge("serving.throughput_qps").set(
+                result["throughput_qps"]
+            )
+            tele.metrics.gauge("serving.shed_rate").set(result["shed_rate"])
+            for s, util in enumerate(result.get("shard_utilization", [])):
+                tele.metrics.gauge(f"serving.shard{s}.utilization").set(util)
+        return result

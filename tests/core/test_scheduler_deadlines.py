@@ -1,0 +1,122 @@
+"""Regression tests: BatchScheduler deadline flushing is deterministic.
+
+The serving layer leans on three scheduler behaviours that a naive
+implementation gets wrong:
+
+* ``advance`` past several overdue groups must flush them oldest
+  deadline first, with submit order breaking ties — dict iteration
+  order would make replays diverge;
+* a per-request ``deadline_ns`` must *tighten* (never loosen) the
+  owning group's flush deadline;
+* a deadline in the simulated past is a programming error, not a
+  silently-immediate flush.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import BatchScheduler
+from repro.errors import PlanError
+from repro.hardware.controller import PIMController
+
+N_MATRICES = 4
+
+
+@pytest.fixture
+def controller():
+    controller = PIMController()
+    for i in range(N_MATRICES):
+        controller.pim.program_matrix(
+            f"m{i}", np.full((2, 8), i + 1, dtype=np.int64)
+        )
+    return controller
+
+
+def flush_order(scheduler):
+    """Matrix names in the order their flush recorded a wave."""
+    return [
+        name
+        for name, state in scheduler.controller.pim.stats.per_matrix.items()
+        if state.waves > 0
+    ]
+
+
+class TestOverdueFlushOrder:
+    def test_oldest_deadline_flushes_first(self, controller):
+        scheduler = BatchScheduler(controller, max_batch=32)
+        # submit in one order, set deadlines in the reverse order
+        scheduler.submit("m0", np.ones(8, dtype=np.int64), deadline_ns=300.0)
+        scheduler.submit("m1", np.ones(8, dtype=np.int64), deadline_ns=200.0)
+        scheduler.submit("m2", np.ones(8, dtype=np.int64), deadline_ns=100.0)
+        assert scheduler.advance(1000.0) == 3
+        assert flush_order(scheduler) == ["m2", "m1", "m0"]
+
+    def test_deadline_ties_break_by_submit_order(self, controller):
+        scheduler = BatchScheduler(controller, max_batch=32)
+        for name in ("m2", "m0", "m3", "m1"):
+            scheduler.submit(
+                name, np.ones(8, dtype=np.int64), deadline_ns=50.0
+            )
+        assert scheduler.advance(50.0) == 4
+        assert flush_order(scheduler) == ["m2", "m0", "m3", "m1"]
+
+    def test_replay_flushes_identically(self, controller):
+        def run():
+            ctl = PIMController()
+            for i in range(N_MATRICES):
+                ctl.pim.program_matrix(
+                    f"m{i}", np.full((2, 8), i + 1, dtype=np.int64)
+                )
+            scheduler = BatchScheduler(ctl, max_batch=32, max_delay_ns=80.0)
+            for i, name in enumerate(("m1", "m3", "m0", "m2")):
+                scheduler.submit(
+                    name,
+                    np.full(8, i, dtype=np.int64),
+                    deadline_ns=40.0 if name in ("m3", "m0") else None,
+                )
+            scheduler.advance(500.0)
+            return flush_order(scheduler)
+
+        assert run() == run()
+        assert run()[:2] == ["m3", "m0"]  # tightened pair fires first
+
+
+class TestRequestDeadlines:
+    def test_request_deadline_tightens_the_group(self, controller):
+        scheduler = BatchScheduler(
+            controller, max_batch=32, max_delay_ns=1000.0
+        )
+        scheduler.submit("m0", np.ones(8, dtype=np.int64))
+        ticket = scheduler.submit(
+            "m0", np.ones(8, dtype=np.int64), deadline_ns=100.0
+        )
+        assert scheduler.advance(100.0) == 1  # well before the 1000ns age
+        assert ticket.done
+
+    def test_later_looser_deadline_does_not_loosen(self, controller):
+        scheduler = BatchScheduler(controller, max_batch=32)
+        scheduler.submit(
+            "m0", np.ones(8, dtype=np.int64), deadline_ns=100.0
+        )
+        scheduler.submit(
+            "m0", np.ones(8, dtype=np.int64), deadline_ns=5000.0
+        )
+        assert scheduler.advance(100.0) == 1
+
+    def test_past_deadline_is_rejected(self, controller):
+        scheduler = BatchScheduler(controller, max_batch=32)
+        scheduler.advance(500.0)
+        with pytest.raises(PlanError, match="past"):
+            scheduler.submit(
+                "m0", np.ones(8, dtype=np.int64), deadline_ns=100.0
+            )
+
+    def test_values_survive_deadline_flush(self, controller):
+        scheduler = BatchScheduler(controller, max_batch=32)
+        vec = np.arange(8, dtype=np.int64)
+        ticket = scheduler.submit("m1", vec, deadline_ns=10.0)
+        scheduler.advance(10.0)
+        np.testing.assert_array_equal(
+            ticket.values, np.full((2, 8), 2, dtype=np.int64) @ vec
+        )
+        assert scheduler.stats.flush_reasons == {"deadline": 1}

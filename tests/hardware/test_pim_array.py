@@ -229,3 +229,61 @@ class TestBatchQueries:
             fast.query_batch("a", queries).values,
             cells.query_batch("a", queries).values,
         )
+
+
+class TestStatsMergeAndPerMatrix:
+    """Shard-style aggregation of array stats (serving layer contract)."""
+
+    def _queried(self, platform, name, n_queries, rng):
+        array = PIMArray(platform)
+        array.program_matrix(name, rng.integers(0, 256, size=(4, 8)))
+        for _ in range(n_queries):
+            array.query(name, rng.integers(0, 256, size=8))
+        return array
+
+    def test_scalars_sum_and_matrices_union(self, small_pim_platform, rng):
+        from repro.hardware.pim_array import PIMStats
+
+        a = self._queried(small_pim_platform, "a", 2, rng)
+        b = self._queried(small_pim_platform, "b", 3, rng)
+        merged = PIMStats.merge([a.stats, b.stats])
+        assert merged.waves == 5
+        assert merged.pim_time_ns == (
+            a.stats.pim_time_ns + b.stats.pim_time_ns
+        )
+        assert set(merged.matrices) == {"a", "b"}
+        assert merged.per_matrix["a"].waves == 2
+        assert merged.per_matrix["b"].waves == 3
+
+    def test_prefixes_namespace_colliding_names(
+        self, small_pim_platform, rng
+    ):
+        from repro.hardware.pim_array import PIMStats
+
+        parts = [
+            self._queried(small_pim_platform, "chunk", 1, rng).stats
+            for _ in range(2)
+        ]
+        with pytest.raises(ProgrammingError, match="double count"):
+            PIMStats.merge(parts)
+        merged = PIMStats.merge(parts, prefixes=["s0.", "s1."])
+        assert set(merged.matrices) == {"s0.chunk", "s1.chunk"}
+        with pytest.raises(ProgrammingError, match="prefix"):
+            PIMStats.merge(parts, prefixes=["only-one."])
+
+    def test_reset_matrix_clears_stale_batch_state(
+        self, small_pim_platform, rng
+    ):
+        array = self._queried(small_pim_platform, "a", 2, rng)
+        assert array.stats.per_matrix["a"].waves == 2
+        array.reset_matrix("a")
+        assert "a" not in array.stats.per_matrix
+        # a successor reusing the name starts its accounting from zero
+        array.program_matrix("a", rng.integers(0, 256, size=(4, 8)))
+        array.query("a", rng.integers(0, 256, size=8))
+        assert array.stats.per_matrix["a"].waves == 1
+
+    def test_matrix_state_created_on_first_use(self, array):
+        state = array.stats.matrix_state("lazy")
+        assert state.waves == 0
+        assert array.stats.matrix_state("lazy") is state

@@ -1,0 +1,170 @@
+"""Unit tests for workload generation and SLO accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    QueryService,
+    Response,
+    ShardManager,
+    SLOTracker,
+    TenantSpec,
+    WorkloadDriver,
+)
+
+TENANTS = [
+    TenantSpec("a", workload="near", k=5, weight=1.0),
+    TenantSpec("b", workload="uniform", k=3, weight=3.0),
+]
+
+
+@pytest.fixture
+def data(rng):
+    return rng.random((50, 6))
+
+
+class TestOpenLoop:
+    def test_trace_is_deterministic(self, data):
+        t1 = WorkloadDriver(data, TENANTS, seed=11).open_loop(1e5, 40)
+        t2 = WorkloadDriver(data, TENANTS, seed=11).open_loop(1e5, 40)
+        assert [r.request_id for r in t1] == [r.request_id for r in t2]
+        assert [r.arrival_ns for r in t1] == [r.arrival_ns for r in t2]
+        assert all(
+            np.array_equal(x.query, y.query) for x, y in zip(t1, t2)
+        )
+
+    def test_seed_changes_the_trace(self, data):
+        t1 = WorkloadDriver(data, TENANTS, seed=1).open_loop(1e5, 40)
+        t2 = WorkloadDriver(data, TENANTS, seed=2).open_loop(1e5, 40)
+        assert [r.arrival_ns for r in t1] != [r.arrival_ns for r in t2]
+
+    def test_poisson_hits_the_mean_rate(self, data):
+        driver = WorkloadDriver(data, TENANTS, seed=3)
+        trace = driver.open_loop(rate_qps=1e6, n_requests=400)
+        assert len(trace) == 400
+        arrivals = [r.arrival_ns for r in trace]
+        assert arrivals == sorted(arrivals)
+        mean_gap = arrivals[-1] / len(arrivals)
+        assert 1e3 * 0.7 < mean_gap < 1e3 * 1.3  # 1e6 qps -> 1000 ns
+
+    def test_weights_skew_the_tenant_mix(self, data):
+        trace = WorkloadDriver(data, TENANTS, seed=4).open_loop(1e5, 300)
+        counts = {t.name: 0 for t in TENANTS}
+        for r in trace:
+            counts[r.tenant] += 1
+        assert counts["b"] > counts["a"]  # weight 3 vs 1
+
+    def test_bursty_produces_back_to_back_arrivals(self, data):
+        driver = WorkloadDriver(data, TENANTS, seed=5)
+        trace = driver.open_loop(
+            rate_qps=1e4, n_requests=100, arrival="bursty", burstiness=5.0
+        )
+        gaps = np.diff([r.arrival_ns for r in trace])
+        # burst members are exactly 1 us apart; mean gap is 1e5 ns
+        assert (gaps == 1_000.0).sum() > 10
+
+    def test_deadlines_come_from_the_tenant_spec(self, data):
+        tenants = [TenantSpec("d", deadline_ns=5e5)]
+        trace = WorkloadDriver(data, tenants, seed=6).open_loop(1e5, 10)
+        for r in trace:
+            assert r.deadline_ns == r.arrival_ns + 5e5
+
+    def test_rejects_bad_arguments(self, data):
+        driver = WorkloadDriver(data, TENANTS)
+        with pytest.raises(ServingError):
+            driver.open_loop(0.0, 10)
+        with pytest.raises(ServingError):
+            driver.open_loop(1e5, 0)
+        with pytest.raises(ServingError):
+            driver.open_loop(1e5, 10, arrival="fractal")
+        with pytest.raises(ServingError):
+            driver.open_loop(1e5, 10, arrival="bursty", burstiness=0.5)
+        with pytest.raises(ServingError):
+            WorkloadDriver(data, [])
+
+
+class TestClosedLoop:
+    def test_serves_exactly_n_requests(self, data):
+        manager = ShardManager(data, n_shards=2)
+        service = QueryService(manager, TENANTS, tracker=SLOTracker())
+        driver = WorkloadDriver(data, TENANTS, seed=9)
+        responses = driver.closed_loop(
+            service, n_clients=4, n_requests=24, think_ns=1e5
+        )
+        assert len(responses) == 24
+        assert service.tracker.completed == 24
+
+    def test_arrivals_respect_think_time(self, data):
+        manager = ShardManager(data)
+        service = QueryService(manager, TENANTS, tracker=SLOTracker())
+        driver = WorkloadDriver(data, TENANTS, seed=10)
+        driver.closed_loop(service, n_clients=1, n_requests=5,
+                           think_ns=1e6)
+        oks = [r for r in service.responses if r.ok]
+        for prev, nxt in zip(oks, oks[1:]):
+            assert nxt.arrival_ns >= prev.completion_ns + 1e6
+
+
+def respond(i, *, ok=True, tenant="a", arrival=0.0, latency=1000.0,
+            reason=None, approximate=False):
+    return Response(
+        request_id=f"r{i}",
+        tenant=tenant,
+        kind="knn",
+        ok=ok,
+        arrival_ns=arrival,
+        completion_ns=arrival + latency,
+        shed_reason=reason,
+        approximate=approximate,
+    )
+
+
+class TestSLOTracker:
+    def test_counts_completions_and_sheds(self):
+        tracker = SLOTracker()
+        tracker.observe(respond(0, latency=100.0))
+        tracker.observe(respond(1, ok=False, reason="queue_full"))
+        tracker.observe(respond(2, ok=False, reason="deadline"))
+        tracker.observe(respond(3, approximate=True))
+        assert tracker.offered == 4
+        assert tracker.completed == 2
+        assert tracker.degraded == 1
+        assert tracker.shed == 2
+        assert tracker.shed_rate == 0.5
+        assert tracker.shed_reasons == {"queue_full": 1, "deadline": 1}
+
+    def test_percentiles_are_ordered(self):
+        tracker = SLOTracker()
+        for i in range(100):
+            tracker.observe(respond(i, latency=float(i + 1)))
+        pcts = tracker.percentiles()
+        assert pcts["p50_ns"] <= pcts["p95_ns"] <= pcts["p99_ns"]
+        assert pcts["p99_ns"] <= 100.0
+
+    def test_empty_tracker_is_all_zeros(self):
+        tracker = SLOTracker()
+        assert tracker.shed_rate == 0.0
+        assert tracker.throughput_qps() == 0.0
+        assert tracker.percentiles()["p99_ns"] == 0.0
+
+    def test_throughput_over_horizon(self):
+        tracker = SLOTracker()
+        for i in range(10):
+            tracker.observe(respond(i, arrival=i * 100.0))
+        # 10 completions over a 1000 ns horizon = 1e7 qps
+        assert tracker.throughput_qps(horizon_ns=1000.0) == 1e7
+
+    def test_summary_is_json_clean(self):
+        import json
+
+        tracker = SLOTracker()
+        tracker.observe(respond(0, tenant="a"))
+        tracker.observe(respond(1, tenant="b"))
+        summary = tracker.summary(
+            horizon_ns=5000.0, shard_busy_ns=[100.0, 300.0]
+        )
+        encoded = json.dumps(summary)  # no numpy scalars anywhere
+        assert json.loads(encoded)["completed"] == 2
+        assert summary["shard_utilization"] == [0.02, 0.06]
+        assert set(summary["per_tenant"]) == {"a", "b"}
