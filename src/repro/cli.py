@@ -230,6 +230,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--tenants", type=_positive_int, default=2,
         help="tenants in the mix (workload kinds rotate per tenant)",
     )
+    serve.add_argument(
+        "--replication", type=_positive_int, default=1,
+        help="replicas per data chunk (>=2 survives a shard death)",
+    )
+    serve.add_argument(
+        "--chaos", action="store_true",
+        help=(
+            "inject a seeded chaos fault plan (one shard killed "
+            "mid-run, one corrupting waves) and report recovery"
+        ),
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=0, metavar="SEED",
+        help="seed of the chaos fault plan (with --chaos)",
+    )
     return parser
 
 
@@ -413,13 +428,6 @@ def _cmd_serve(args, out) -> int:
     )
 
     data = _load_data(args)
-    manager = ShardManager(
-        data,
-        n_shards=args.shards,
-        placement=args.placement,
-        hardware=_platform(args),
-        seed=args.seed,
-    )
     tenants = [
         TenantSpec(
             name=f"tenant{i}",
@@ -430,14 +438,39 @@ def _cmd_serve(args, out) -> int:
     ]
     rate = args.rate
     if rate is None:
-        # probe one full batch to size the offered load at ~80% of the
-        # node's capacity, then discard the probe's busy time
+        # probe one full batch on a throwaway clean manager to size the
+        # offered load at ~80% of the node's capacity
+        probe_manager = ShardManager(
+            data,
+            n_shards=args.shards,
+            placement=args.placement,
+            hardware=_platform(args),
+            seed=args.seed,
+        )
         probe = make_workload(
             data, "near", n_queries=args.max_batch, seed=args.seed + 7
         )
-        _, timing = manager.knn_batch(probe, args.k)
-        manager.reset_busy()
+        _, timing = probe_manager.knn_batch(probe, args.k)
         rate = 0.8 * args.max_batch * 1e9 / timing.service_ns
+    fault_plan = None
+    if args.chaos:
+        from repro.faults import FaultPlan
+
+        # horizon = expected run length, so the kill lands mid-run
+        fault_plan = FaultPlan.chaos(
+            args.shards,
+            horizon_ns=args.requests / rate * 1e9,
+            seed=args.fault_seed,
+        )
+    manager = ShardManager(
+        data,
+        n_shards=args.shards,
+        placement=args.placement,
+        hardware=_platform(args),
+        seed=args.seed,
+        replication=args.replication,
+        fault_plan=fault_plan,
+    )
     driver = WorkloadDriver(data, tenants, seed=args.seed)
     requests = driver.open_loop(
         rate, args.requests, arrival=args.arrival
@@ -498,6 +531,31 @@ def _cmd_serve(args, out) -> int:
         f"{u:.0%}" for u in summary.get("shard_utilization", [])
     )
     print(f"utilization    : {utils}", file=out)
+    if fault_plan is not None:
+        rec = summary["recovery"]
+        print(
+            f"chaos plan     : {fault_plan.describe()}",
+            file=out,
+        )
+        print(
+            f"availability   : {summary['availability']:.2%} "
+            f"(retry rate {summary['retry_rate']:.2%}, "
+            f"mttr {summary['mttr_ns'] / 1e6:.2f} ms)",
+            file=out,
+        )
+        print(
+            "recovery       : "
+            f"crashes={rec['crashes']} timeouts={rec['timeouts']} "
+            f"corrupt={rec['corrupt_detected']} "
+            f"failovers={rec['failovers']} retries={rec['retries']} "
+            f"degraded_chunks={rec['degraded_chunks']}",
+            file=out,
+        )
+        dead = manager.health.dead_shards
+        print(
+            f"dead shards    : {dead if dead else 'none'}",
+            file=out,
+        )
     rows = [
         [
             tenant,

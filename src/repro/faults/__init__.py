@@ -1,0 +1,62 @@
+"""Deterministic fault injection for the simulated PIM stack.
+
+The paper's pitch is *exactness on unreliable analog hardware*; this
+package exercises the other half of unreliability — hardware that fails
+mid-run. It provides:
+
+* :class:`FaultPlan` / :class:`FaultEvent` — a seedable schedule of
+  fault events on the simulated clock (stuck cell regions, transient
+  wave corruption, latency spikes, crossbar death, shard crash/hang/
+  slowdown);
+* injectors wrapping the existing simulators —
+  :class:`FaultyCrossbar` (cell-level stuck-at for the
+  ``simulate_cells`` path), :class:`FaultyPIMArray` (array-level faults,
+  composable with :class:`~repro.hardware.noise.NoisyPIMArray` and the
+  :class:`~repro.hardware.endurance.EnduranceTracker`), and
+  :class:`FaultyShardEngine` (shard-level crash/hang/slow verdicts the
+  serving layer consults per dispatch);
+* residue/checksum integrity helpers (:mod:`repro.faults.integrity`)
+  that flag corrupted waves without trusting analog values — one extra
+  non-negative integer column per crossbar, paper-consistent.
+
+Every injected fault is deterministic (seeded from the plan) and
+visible in telemetry (``fault.*`` spans and ``faults.*`` counters), so
+recovered runs are reproducible and auditable. The recovery machinery
+that consumes these faults lives in :mod:`repro.serving`.
+"""
+
+from repro.faults.integrity import (
+    append_checksum_row,
+    checksum_row,
+    verify_wave_residues,
+)
+from repro.faults.injectors import (
+    DEFAULT_CORRUPT_MAGNITUDE,
+    FaultyCrossbar,
+    FaultyPIMArray,
+    FaultyShardEngine,
+    ShardVerdict,
+)
+from repro.faults.plan import (
+    ARRAY_FAULT_KINDS,
+    FAULT_KINDS,
+    SHARD_FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+)
+
+__all__ = [
+    "ARRAY_FAULT_KINDS",
+    "DEFAULT_CORRUPT_MAGNITUDE",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyCrossbar",
+    "FaultyPIMArray",
+    "FaultyShardEngine",
+    "SHARD_FAULT_KINDS",
+    "ShardVerdict",
+    "append_checksum_row",
+    "checksum_row",
+    "verify_wave_residues",
+]

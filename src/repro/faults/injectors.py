@@ -1,0 +1,363 @@
+"""Fault injectors wrapping the existing hardware simulators.
+
+Three injection points, all driven by one :class:`~repro.faults.plan.FaultPlan`:
+
+* :class:`FaultyCrossbar` — a :class:`~repro.hardware.crossbar.Crossbar`
+  with physically stuck cells (the ``simulate_cells`` bit-slice path);
+* :class:`FaultyPIMArray` — a composition wrapper around any array
+  (:class:`~repro.hardware.pim_array.PIMArray` or
+  :class:`~repro.hardware.noise.NoisyPIMArray` — faults compose with
+  analog noise) that injects array-level faults per wave: stuck-cell
+  regions, transient wave corruption, latency spikes, crossbar death;
+* :class:`FaultyShardEngine` — a per-shard oracle the serving layer asks
+  before each dispatch, returning a :class:`ShardVerdict`
+  (ok / crash / hang / slow).
+
+Every injector keeps its own *fault clock* on the simulated timeline;
+hosts that know the dispatch time call :meth:`FaultyPIMArray.advance_to`,
+standalone users let the clock auto-advance by each wave's latency.
+All injections are seeded from the plan (reruns are byte-identical) and
+emitted to telemetry as ``fault.*`` spans and ``faults.injected.*``
+counters so every injected fault is visible in traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CrossbarDeadError
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.hardware import bitslice
+from repro.hardware.crossbar import Crossbar
+from repro.hardware.pim_array import PIMBatchResult, PIMQueryResult
+from repro.telemetry import get_recorder
+
+#: Default additive corruption of a ``wave_corrupt`` fault. Chosen prime
+#: and not divisible by any power of two, so the induced residue error is
+#: never 0 mod 2**operand_bits — the checksum column detects it with
+#: certainty (see :mod:`repro.faults.integrity`).
+DEFAULT_CORRUPT_MAGNITUDE = 1_000_003
+
+
+class _InflatedTiming:
+    """Timing proxy that scales ``total_ns`` by a straggler factor.
+
+    The underlying :class:`~repro.hardware.timing.WaveTiming` dataclasses
+    are frozen, so latency spikes are modelled by delegation: every
+    attribute of the real timing is visible unchanged except ``total_ns``
+    (and the derived ``amortized_ns_per_query``), which stretch by
+    ``factor``.
+    """
+
+    def __init__(self, inner, factor: float) -> None:
+        self._inner = inner
+        self._factor = float(factor)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    @property
+    def total_ns(self) -> float:
+        return self._inner.total_ns * self._factor
+
+    @property
+    def amortized_ns_per_query(self) -> float:
+        return self.total_ns / self._inner.n_queries
+
+
+class FaultyCrossbar(Crossbar):
+    """A crossbar with a fixed, seeded population of stuck cells.
+
+    Models manufacture-time stuck-at defects at the physical bit-slice
+    level: a seeded fraction of the cell grid is pinned to 0 (stuck-at-0)
+    or to the cell's full-scale value (stuck-at-1). The defect map is a
+    property of the device, so it survives re-programming — every
+    :meth:`program` call re-applies it via the ``_apply_cell_faults``
+    hook.
+    """
+
+    def __init__(
+        self,
+        config=None,
+        crossbar_id: int = 0,
+        endurance_tracker=None,
+        *,
+        stuck_fraction: float = 0.0,
+        stuck_to: int = 0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(config, crossbar_id, endurance_tracker)
+        if not 0.0 <= stuck_fraction <= 1.0:
+            raise ValueError("stuck_fraction must be in [0, 1]")
+        if stuck_to not in (0, 1):
+            raise ValueError("stuck_to must be 0 or 1")
+        rng = np.random.default_rng((seed << 16) ^ crossbar_id)
+        self._stuck_mask = rng.random(self._cells.shape) < stuck_fraction
+        self._stuck_value = np.uint8(
+            0 if stuck_to == 0 else (1 << self.config.cell_bits) - 1
+        )
+
+    @property
+    def stuck_cells(self) -> int:
+        """Number of defective cells on this crossbar."""
+        return int(self._stuck_mask.sum())
+
+    def _apply_cell_faults(self) -> None:
+        self._cells[self._stuck_mask] = self._stuck_value
+
+
+class FaultyPIMArray:
+    """Array-level fault injection by composition.
+
+    Wraps any PIM array (exact or noisy) and applies the plan's faults
+    for ``target`` to each wave. Everything not overridden — programming,
+    stats, endurance, layouts — delegates to the wrapped array, so the
+    injector is a drop-in anywhere a ``PIMArray`` is expected.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped array. Faults apply *after* the inner array computed
+        its (possibly noisy) values, mirroring physical layering: read
+        faults corrupt whatever the analog pipeline produced.
+    plan:
+        The fault schedule.
+    target:
+        This array's victim label in the plan (serving uses
+        ``"shard<i>"``; standalone arrays conventionally ``"array"``).
+    auto_advance:
+        Advance the fault clock by each wave's latency. Hosts that track
+        simulated time themselves (the serving layer) disable this and
+        call :meth:`advance_to` before dispatching.
+    """
+
+    def __init__(
+        self,
+        inner,
+        plan: FaultPlan,
+        target: str = "array",
+        *,
+        auto_advance: bool = True,
+    ) -> None:
+        self._inner = inner
+        self.plan = plan
+        self.target = target
+        self.auto_advance = auto_advance
+        self.now_ns = 0.0
+        self.injected: dict[str, int] = {}
+        self._event_rngs: dict[int, np.random.Generator] = {}
+        self._stuck_cache: dict[tuple[str, int], tuple] = {}
+
+    # Everything not fault-related is the wrapped array's business.
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    @property
+    def inner(self):
+        """The wrapped array."""
+        return self._inner
+
+    def advance_to(self, t_ns: float) -> None:
+        """Move the fault clock forward to simulated time ``t_ns``."""
+        self.now_ns = max(self.now_ns, float(t_ns))
+
+    # ------------------------------------------------------------------
+    def _rng_for_event(self, event: FaultEvent) -> np.random.Generator:
+        """Persistent per-event RNG stream (draws stay aligned per wave)."""
+        key = id(event)
+        rng = self._event_rngs.get(key)
+        if rng is None:
+            rng = self.plan.rng_for(
+                self.target, f"{event.kind}@{event.t_ns}"
+            )
+            self._event_rngs[key] = rng
+        return rng
+
+    def _note(self, kind: str, **attrs) -> None:
+        """Count an injection and surface it in telemetry."""
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter(f"faults.injected.{kind}").add(1)
+            with tele.span(
+                f"fault.{kind}", "fault_injection",
+                target=self.target, **attrs,
+            ):
+                pass  # zero-duration marker on the trace timeline
+
+    def _check_dead(self) -> None:
+        dead = self.plan.active(self.target, "crossbar_dead", self.now_ns)
+        if dead:
+            self._note("crossbar_dead")
+            raise CrossbarDeadError(
+                f"{self.target} is dead (crossbar failure at "
+                f"t={dead[0].t_ns:.0f}ns)",
+                unit=self.target,
+                timestamp_ns=self.now_ns,
+                fault_t_ns=dead[0].t_ns,
+            )
+
+    # ------------------------------------------------------------------
+    def _stuck_rows(self, name: str, event: FaultEvent):
+        """Corrupted replacement rows for a stuck-cells event.
+
+        The defect positions are seeded once per (matrix, event) and the
+        affected rows' stuck copies cached, so only those vectors' dot
+        products are ever recomputed.
+        """
+        key = (name, id(event))
+        cached = self._stuck_cache.get(key)
+        if cached is not None:
+            return cached
+        matrix = self._inner.matrix_of(name)
+        n_vectors, dims = matrix.shape
+        fraction = float(event.params.get("fraction", 0.01))
+        stuck_to = int(event.params.get("stuck_to", 0))
+        stuck_value = (
+            0 if stuck_to == 0 else (1 << self._inner.config.operand_bits) - 1
+        )
+        count = max(1, int(round(fraction * n_vectors * dims)))
+        rng = self.plan.rng_for(
+            self.target, f"stuck@{event.t_ns}:{name}"
+        )
+        vec_idx = rng.integers(0, n_vectors, size=count)
+        dim_idx = rng.integers(0, dims, size=count)
+        affected = np.unique(vec_idx)
+        local = {int(v): i for i, v in enumerate(affected)}
+        rows = matrix[affected].copy()
+        rows[[local[int(v)] for v in vec_idx], dim_idx] = stuck_value
+        self._stuck_cache[key] = (affected, rows)
+        return affected, rows
+
+    def _apply_stuck(
+        self, name: str, queries: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        events = [
+            e
+            for e in self.plan.active(self.target, "stuck_cells", self.now_ns)
+            if e.params.get("matrix") in (None, name)
+        ]
+        if not events:
+            return values
+        values = values.copy()
+        bits = self._inner.config.accumulator_bits
+        for event in events:
+            affected, rows = self._stuck_rows(name, event)
+            dots = queries.astype(np.int64) @ rows.T
+            dots = bitslice.truncate_result(dots, bits)
+            values[..., affected] = dots
+            self._note("stuck_cells", matrix=name, vectors=len(affected))
+        return values
+
+    def _apply_corruption(self, values: np.ndarray) -> np.ndarray:
+        events = self.plan.active(self.target, "wave_corrupt", self.now_ns)
+        if not events:
+            return values
+        out = np.atleast_2d(values).copy()
+        hit = False
+        for event in events:
+            rng = self._rng_for_event(event)
+            probability = float(event.params.get("probability", 1.0))
+            magnitude = int(
+                event.params.get("magnitude", DEFAULT_CORRUPT_MAGNITUDE)
+            )
+            for row in out:
+                if rng.random() < probability:
+                    col = int(rng.integers(0, row.shape[0]))
+                    row[col] += magnitude
+                    hit = True
+                    self._note("wave_corrupt", column=col)
+        if not hit:
+            return values
+        return out.reshape(values.shape)
+
+    def _apply_latency(self, timing):
+        events = self.plan.active(self.target, "latency_spike", self.now_ns)
+        if not events:
+            return timing
+        factor = 1.0
+        for event in events:
+            factor *= float(event.params.get("factor", 10.0))
+        self._note("latency_spike", factor=factor)
+        return _InflatedTiming(timing, factor)
+
+    # ------------------------------------------------------------------
+    def _wave(self, method: str, name, vectors, input_bits):
+        self._check_dead()
+        result = getattr(self._inner, method)(
+            name, vectors, input_bits=input_bits
+        )
+        queries = np.atleast_2d(np.asarray(vectors))
+        values = self._apply_stuck(name, queries, result.values)
+        values = self._apply_corruption(values)
+        timing = self._apply_latency(result.timing)
+        if self.auto_advance:
+            self.now_ns += timing.total_ns
+        return values, timing
+
+    def query(self, name, vector, input_bits=None) -> PIMQueryResult:
+        values, timing = self._wave("query", name, vector, input_bits)
+        return PIMQueryResult(values=values, timing=timing)
+
+    def query_many(self, name, vectors, input_bits=None) -> PIMQueryResult:
+        values, timing = self._wave("query_many", name, vectors, input_bits)
+        return PIMQueryResult(values=values, timing=timing)
+
+    def query_batch(self, name, vectors, input_bits=None) -> PIMBatchResult:
+        values, timing = self._wave("query_batch", name, vectors, input_bits)
+        return PIMBatchResult(values=values, timing=timing)
+
+
+@dataclass(frozen=True)
+class ShardVerdict:
+    """What the fault plan says about one shard at one instant.
+
+    ``status`` is ``"ok"``, ``"crash"``, ``"hang"`` or ``"slow"``;
+    ``factor`` is the service-time multiplier (1.0 unless slow);
+    ``event`` is the triggering fault, if any.
+    """
+
+    status: str
+    factor: float = 1.0
+    event: FaultEvent | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class FaultyShardEngine:
+    """Per-shard fault oracle the serving layer consults each dispatch.
+
+    Crash dominates hang dominates slow: a crashed shard fails fast
+    regardless of other active faults, a hung one never answers (the
+    serving watchdog's problem), a slow one answers late by the product
+    of the active slowdown factors.
+    """
+
+    def __init__(self, plan: FaultPlan, target: str) -> None:
+        self.plan = plan
+        self.target = target
+
+    def outcome(self, now_ns: float) -> ShardVerdict:
+        """The shard's verdict at simulated time ``now_ns``."""
+        crashes = self.plan.active(self.target, "shard_crash", now_ns)
+        if crashes:
+            return ShardVerdict(status="crash", event=crashes[0])
+        hangs = self.plan.active(self.target, "shard_hang", now_ns)
+        if hangs:
+            return ShardVerdict(status="hang", event=hangs[0])
+        slows = self.plan.active(self.target, "slow_shard", now_ns)
+        if slows:
+            factor = 1.0
+            for event in slows:
+                factor *= float(event.params.get("factor", 10.0))
+            return ShardVerdict(status="slow", factor=factor, event=slows[0])
+        return ShardVerdict(status="ok")
+
+    def crash_time(self) -> float | None:
+        """Earliest scheduled crash of this shard (None if never)."""
+        crashes = self.plan.events_for(self.target, "shard_crash")
+        return crashes[0].t_ns if crashes else None

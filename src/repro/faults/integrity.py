@@ -1,0 +1,93 @@
+"""Residue-checksum integrity for PIM dot-product waves (ABFT-style).
+
+The trick is one extra *vector* per programmed matrix: the checksum row
+
+``c = (sum of all data rows) mod 2**operand_bits``
+
+is itself a valid non-negative ``operand_bits``-wide operand, so it is
+programmed like any other vector — one more column group per crossbar,
+paper-consistent, no analog trust required. Any query wave then returns
+``n + 1`` dot products and must satisfy the residue invariant::
+
+    sum_i (v_i . q)  ==  c . q      (mod 2**operand_bits)
+
+because ``c . q = ((sum_i v_i) mod M) . q == sum_i (v_i . q)  (mod M)``.
+The invariant survives the accumulator truncation (the array keeps the
+least-significant 64 bits and ``M = 2**operand_bits`` divides ``2**64``),
+so verification is a pure host-side modular sum of values it already has.
+
+A fault that perturbs wave values passes undetected only if its induced
+error happens to cancel mod ``M`` — probability ``1/M`` for a uniformly
+random corruption — which is why the wave-corruption injector's default
+offset is chosen to *never* be ``0 mod M``: injected corruption of that
+kind is detected with certainty.
+
+Only exact arrays can be verified this way: under ``NoisyPIMArray`` every
+wave carries analog error and the exact residue check would flag all of
+them. The serving layer (which uses exact arrays) programs the checksum
+row by default; noisy experiments keep it off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OperandError
+
+
+def checksum_row(matrix: np.ndarray, operand_bits: int) -> np.ndarray:
+    """The residue checksum vector of ``matrix``: column sums mod ``2**b``.
+
+    The result is a valid PIM operand (non-negative, ``< 2**operand_bits``)
+    of the same dimensionality as the data rows.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise OperandError("checksum_row() expects a 2-D (vectors x dims) matrix")
+    if operand_bits < 1 or operand_bits > 63:
+        raise OperandError("operand_bits must be in [1, 63]")
+    modulus = np.uint64(1) << np.uint64(operand_bits)
+    # uint64 arithmetic wraps mod 2**64, of which 2**operand_bits is a
+    # divisor, so the running sum stays residue-correct at any n_vectors.
+    total = matrix.astype(np.uint64).sum(axis=0, dtype=np.uint64)
+    return (total % modulus).astype(np.int64)
+
+
+def append_checksum_row(matrix: np.ndarray, operand_bits: int) -> np.ndarray:
+    """``matrix`` with its checksum row appended as the last vector."""
+    matrix = np.asarray(matrix)
+    return np.vstack([matrix, checksum_row(matrix, operand_bits)[None, :]])
+
+
+def verify_wave_residues(values: np.ndarray, operand_bits: int) -> np.ndarray:
+    """Check the residue invariant of checksum-protected wave values.
+
+    Parameters
+    ----------
+    values:
+        Wave results of shape ``(..., n + 1)`` where the last column is
+        the checksum row's dot product (the layout
+        :func:`append_checksum_row` produces).
+    operand_bits:
+        The modulus width the checksum row was built with.
+
+    Returns
+    -------
+    np.ndarray
+        Boolean array of shape ``(...)`` — ``True`` where the wave's
+        residues agree (wave plausibly clean), ``False`` where corruption
+        is proven.
+    """
+    values = np.asarray(values)
+    if values.shape[-1] < 2:
+        raise OperandError(
+            "verify_wave_residues() needs at least one data column "
+            "plus the checksum column"
+        )
+    modulus = np.uint64(1) << np.uint64(operand_bits)
+    # View through uint64: two's-complement reinterpretation is exactly
+    # reduction mod 2**64, which preserves residues mod 2**operand_bits.
+    as_u64 = values.astype(np.int64).view(np.uint64).reshape(values.shape)
+    data = as_u64[..., :-1] % modulus
+    check = as_u64[..., -1] % modulus
+    return (data.sum(axis=-1, dtype=np.uint64) % modulus) == check

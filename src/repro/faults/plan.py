@@ -1,0 +1,233 @@
+"""Fault plans: deterministic, seedable schedules of fault events.
+
+A :class:`FaultPlan` is the single source of truth for *what goes wrong
+when* in a run: an immutable, time-sorted list of :class:`FaultEvent`\\ s
+on the simulated clock plus one master seed from which every injector
+derives its RNG stream. Two runs with the same plan (and the same
+workload) inject byte-identical faults — the property every recovery
+test and the chaos bench relies on.
+
+Fault kinds
+-----------
+Array-level (enforced by :class:`~repro.faults.injectors.FaultyPIMArray`):
+
+* ``stuck_cells``    — a seeded region of a programmed matrix reads as a
+  stuck value (``params``: ``fraction``, ``stuck_to`` 0/1, optional
+  ``matrix`` name); permanent unless a duration is given.
+* ``wave_corrupt``   — while active, each wave is corrupted with
+  probability ``params["probability"]`` (a seeded offset is added to a
+  seeded subset of result values; the default offset is guaranteed to
+  flip the residue check).
+* ``latency_spike``  — wave latency multiplied by ``params["factor"]``
+  while active (stragglers).
+* ``crossbar_dead``  — the array stops answering: every wave raises
+  :class:`~repro.errors.CrossbarDeadError` from ``t_ns`` on.
+
+Shard-level (consulted by :class:`~repro.faults.injectors.FaultyShardEngine`):
+
+* ``shard_crash``    — dispatches fail fast from ``t_ns`` on (permanent).
+* ``shard_hang``     — dispatches never complete while active; the
+  serving watchdog converts this into a per-dispatch timeout.
+* ``slow_shard``     — shard service time multiplied by
+  ``params["factor"]`` while active.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+ARRAY_FAULT_KINDS = (
+    "stuck_cells",
+    "wave_corrupt",
+    "latency_spike",
+    "crossbar_dead",
+)
+SHARD_FAULT_KINDS = ("shard_crash", "shard_hang", "slow_shard")
+FAULT_KINDS = ARRAY_FAULT_KINDS + SHARD_FAULT_KINDS
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault on the simulated clock.
+
+    ``duration_ns=None`` means permanent (active from ``t_ns`` forever);
+    transient faults are active on ``[t_ns, t_ns + duration_ns)``.
+    ``target`` names the victim — ``"shard3"`` for serving shards, any
+    label (conventionally ``"array"``) for standalone arrays.
+    """
+
+    t_ns: float
+    kind: str
+    target: str
+    duration_ns: float | None = None
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}"
+            )
+        if self.t_ns < 0:
+            raise ConfigurationError("fault times must be >= 0")
+        if self.duration_ns is not None and self.duration_ns <= 0:
+            raise ConfigurationError(
+                "fault duration must be positive (None = permanent)"
+            )
+
+    def active_at(self, t_ns: float) -> bool:
+        """Whether the fault is in effect at simulated time ``t_ns``."""
+        if t_ns < self.t_ns:
+            return False
+        if self.duration_ns is None:
+            return True
+        return t_ns < self.t_ns + self.duration_ns
+
+    def describe(self) -> dict:
+        """JSON-friendly record for fault-timeline artifacts."""
+        return {
+            "t_ns": self.t_ns,
+            "kind": self.kind,
+            "target": self.target,
+            "duration_ns": self.duration_ns,
+            "params": dict(self.params),
+        }
+
+
+class FaultPlan:
+    """An immutable, seeded schedule of :class:`FaultEvent` s.
+
+    Parameters
+    ----------
+    events:
+        The fault schedule; stored sorted by ``(t_ns, target, kind)``.
+    seed:
+        Master seed. Injectors derive independent, reproducible RNG
+        streams with :meth:`rng_for`, so adding one injector never
+        perturbs another's draws.
+    """
+
+    def __init__(self, events=(), seed: int = 0) -> None:
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.t_ns, e.target, e.kind))
+        )
+        self.seed = int(seed)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def events_for(
+        self, target: str, kind: str | None = None
+    ) -> tuple[FaultEvent, ...]:
+        """All events aimed at ``target`` (optionally of one kind)."""
+        return tuple(
+            e
+            for e in self.events
+            if e.target == target and (kind is None or e.kind == kind)
+        )
+
+    def active(
+        self, target: str, kind: str, t_ns: float
+    ) -> tuple[FaultEvent, ...]:
+        """Events of ``kind`` on ``target`` in effect at ``t_ns``."""
+        return tuple(
+            e
+            for e in self.events
+            if e.target == target and e.kind == kind and e.active_at(t_ns)
+        )
+
+    def targets(self) -> tuple[str, ...]:
+        """Distinct victim labels, sorted."""
+        return tuple(sorted({e.target for e in self.events}))
+
+    def rng_for(self, target: str, salt: str = "") -> np.random.Generator:
+        """A reproducible RNG stream for one injector.
+
+        The stream is keyed by ``(seed, target, salt)`` through a stable
+        CRC32, so the same plan always hands the same draws to the same
+        injector regardless of construction order.
+        """
+        key = zlib.crc32(f"{target}|{salt}".encode("utf-8"))
+        return np.random.default_rng((self.seed << 32) ^ key)
+
+    def describe(self) -> list[dict]:
+        """JSON-friendly schedule (for the fault-timeline artifact)."""
+        return [e.describe() for e in self.events]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def chaos(
+        cls,
+        n_shards: int,
+        horizon_ns: float,
+        seed: int = 0,
+        *,
+        kill_shards: int = 1,
+        corrupt_shards: int = 1,
+        corrupt_probability: float = 0.15,
+        slow_shards: int = 0,
+        slow_factor: float = 8.0,
+    ) -> "FaultPlan":
+        """A seeded chaos schedule over ``n_shards`` serving shards.
+
+        Kills ``kill_shards`` distinct shards mid-run (uniformly in the
+        middle half of the horizon), makes ``corrupt_shards`` others
+        corrupt waves with ``corrupt_probability`` for the whole run,
+        and optionally slows ``slow_shards`` more by ``slow_factor``
+        for the middle third. Victims are distinct while shard count
+        allows, so a chunk with 2 replicas never loses both to this
+        generator.
+        """
+        if n_shards < 1:
+            raise ConfigurationError("need at least one shard")
+        horizon_ns = float(horizon_ns)
+        if horizon_ns <= 0:
+            raise ConfigurationError("horizon must be positive")
+        rng = np.random.default_rng(seed)
+        wanted = kill_shards + corrupt_shards + slow_shards
+        victims = list(
+            rng.permutation(n_shards)[: min(wanted, n_shards)]
+        )
+        events: list[FaultEvent] = []
+        for _ in range(kill_shards):
+            if not victims:
+                break
+            shard = int(victims.pop(0))
+            t = float(rng.uniform(0.25, 0.75) * horizon_ns)
+            events.append(
+                FaultEvent(t_ns=t, kind="shard_crash", target=f"shard{shard}")
+            )
+        for _ in range(corrupt_shards):
+            if not victims:
+                break
+            shard = int(victims.pop(0))
+            events.append(
+                FaultEvent(
+                    t_ns=0.0,
+                    kind="wave_corrupt",
+                    target=f"shard{shard}",
+                    duration_ns=horizon_ns,
+                    params={"probability": corrupt_probability},
+                )
+            )
+        for _ in range(slow_shards):
+            if not victims:
+                break
+            shard = int(victims.pop(0))
+            events.append(
+                FaultEvent(
+                    t_ns=horizon_ns / 3.0,
+                    kind="slow_shard",
+                    target=f"shard{shard}",
+                    duration_ns=horizon_ns / 3.0,
+                    params={"factor": slow_factor},
+                )
+            )
+        return cls(events, seed=seed)

@@ -135,6 +135,15 @@ class Crossbar:
         self._programmed = True
         if self._endurance is not None:
             self._endurance.record_write(self.crossbar_id)
+        self._apply_cell_faults()
+
+    def _apply_cell_faults(self) -> None:
+        """Hook invoked after programming; the base crossbar is fault-free.
+
+        :class:`~repro.faults.injectors.FaultyCrossbar` overrides this to
+        pin a seeded subset of cells to a stuck value, modelling
+        stuck-at-0/1 ReRAM defects at the physical bit-slice level.
+        """
 
     def reset(self) -> None:
         """Erase the crossbar (counts as one write cycle)."""

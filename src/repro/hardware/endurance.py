@@ -37,12 +37,23 @@ class EnduranceTracker:
         ------
         EnduranceExceededError
             If the cumulative writes exceed the configured endurance.
+            The exception carries the worn unit id, its write count, the
+            rated endurance and the simulated timestamp as structured
+            context (see :class:`~repro.errors.FaultError`), so the
+            serving layer can shed with a reason code instead of
+            crashing and operators can pinpoint the worn crossbar.
         """
         total = self.writes.get(unit_id, 0) + count
         if total > self.endurance:
+            from repro.telemetry import get_recorder
+
             raise EnduranceExceededError(
                 f"unit {unit_id} written {total} times "
-                f"(endurance {self.endurance:.3g})"
+                f"(endurance {self.endurance:.3g})",
+                unit=unit_id,
+                timestamp_ns=get_recorder().now_ns,
+                writes=total,
+                endurance=self.endurance,
             )
         self.writes[unit_id] = total
 

@@ -19,6 +19,16 @@ quantitative:
 The noise-accuracy bench contrasts (a) trusting noisy analog values as
 distances — accuracy degrades — with (b) the paper's bound-and-refine
 under the same noise with compensation — results stay exact.
+
+Composability with fault injection: a
+:class:`~repro.faults.injectors.FaultyPIMArray` wraps *any* array with
+query/query_many/query_batch — including a :class:`NoisyPIMArray` — so
+analog noise and injected faults (stuck cells, corrupted waves,
+latency spikes, crossbar death) stack. Note that residue verification
+(:mod:`repro.faults.integrity`) assumes the exact digital path; under
+analog noise every wave would flag, so serving-level ``verify`` must
+stay off for noisy arrays and corruption is handled by compensation
+bounds instead.
 """
 
 from __future__ import annotations

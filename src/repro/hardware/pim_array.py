@@ -343,6 +343,17 @@ class PIMArray:
         """Layouts of all programmed matrices."""
         return {name: rec.layout for name, rec in self._matrices.items()}
 
+    def matrix_of(self, name: str) -> np.ndarray:
+        """The integer matrix currently programmed under ``name``.
+
+        Read-only view for diagnostics and fault injectors; mutating the
+        returned array is undefined behaviour.
+        """
+        record = self._matrices.get(name)
+        if record is None:
+            raise ProgrammingError(f"no matrix named {name!r}")
+        return record.matrix
+
     # ------------------------------------------------------------------
     # querying (online stage)
     # ------------------------------------------------------------------

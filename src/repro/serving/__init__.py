@@ -11,9 +11,21 @@ backpressure) and deadline-aware batched dispatch; a
 throughput, shed rate and per-shard utilization via
 :mod:`repro.telemetry`. See DESIGN.md section 8 and
 ``examples/serving_tour.py``.
+
+The layer also survives hardware faults: k-replica placement
+(``replication=`` on :class:`ShardManager`), a
+:class:`~repro.serving.health.RecoveryPolicy` of timeouts, bounded
+retries with capped exponential backoff, replica failover and hedged
+re-dispatch, a per-shard circuit breaker
+(:class:`~repro.serving.health.ShardHealthTracker`), and — last resort
+— host-side exact recompute of an unavailable chunk. Combined with the
+fault injectors in :mod:`repro.faults`, a seeded chaos run stays
+bit-identical to a fault-free one on every completed response. See
+DESIGN.md section 9 and ``examples/faults_tour.py``.
 """
 
 from repro.serving.driver import WorkloadDriver
+from repro.serving.health import RecoveryPolicy, ShardHealthTracker
 from repro.serving.service import (
     QueryService,
     Request,
@@ -35,9 +47,11 @@ __all__ = [
     "GatherTiming",
     "KNNAnswer",
     "QueryService",
+    "RecoveryPolicy",
     "Request",
     "Response",
     "SLOTracker",
+    "ShardHealthTracker",
     "ShardManager",
     "ShardPlacement",
     "TenantSpec",

@@ -25,7 +25,7 @@ import heapq
 import numpy as np
 
 from repro.data.workloads import make_workload
-from repro.errors import ServingError
+from repro.errors import ServingError, WatchdogTimeoutError
 from repro.serving.service import QueryService, Request, TenantSpec
 
 ARRIVALS = ("poisson", "bursty")
@@ -198,6 +198,13 @@ class WorkloadDriver:
                 done += 1
                 heapq.heappush(
                     ready, (response.completion_ns + think_ns, 0)
+                )
+            if not new and submitted >= n_requests:
+                # every request is in but responses stopped coming —
+                # terminate diagnosably instead of spinning forever
+                raise WatchdogTimeoutError(
+                    f"closed loop stalled: {done}/{n_requests} responses "
+                    f"after all submissions (t={service.now_ns:.0f}ns)"
                 )
         return service.responses
 

@@ -1,0 +1,214 @@
+"""Per-shard health tracking: circuit breaker, MTTR, recovery policy.
+
+:class:`RecoveryPolicy` is the knob set governing how the
+:class:`~repro.serving.sharding.ShardManager` reacts to shard faults —
+per-dispatch timeouts, capped exponential backoff, bounded retries,
+optional hedged re-dispatch, and whether a chunk with no live replica
+may fall back to host-side exact recomputation.
+
+:class:`ShardHealthTracker` is the circuit breaker: it watches per-shard
+successes and failures on the simulated clock, opens a shard's circuit
+after ``breaker_threshold`` consecutive failures (dispatch planning then
+routes around it for ``breaker_reset_ns``, after which one half-open
+probe is allowed through), marks crashed shards permanently dead, and
+records down-to-up durations as MTTR samples the
+:class:`~repro.serving.slo.SLOTracker` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServingError
+from repro.telemetry import get_recorder
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the serving layer survives shard faults.
+
+    Attributes
+    ----------
+    max_retries:
+        Failed attempts tolerated per chunk per dispatch beyond the
+        first try; exhausted chunks fall back to degraded recompute.
+    backoff_base_ns / backoff_factor / backoff_cap_ns:
+        Capped exponential backoff between a chunk's attempts
+        (``base * factor**(failures-1)``, never above the cap).
+    dispatch_timeout_ns:
+        Per-attempt watchdog: a wave that would run longer (a hung or
+        pathologically slow shard) is abandoned at this bound and the
+        chunk fails over. ``None`` disables the watchdog — a hung shard
+        then raises :class:`~repro.errors.ShardHungError` instead of
+        silently looping.
+    hedge_after_ns:
+        When set, a wave still running past this bound triggers a hedged
+        duplicate on an idle replica holding the same chunks; whichever
+        finishes first defines the latency (values are identical either
+        way). ``None`` disables hedging.
+    crash_detect_ns:
+        Simulated time to notice a fail-fast crash (connection-refused
+        analogue) before failing over.
+    breaker_threshold / breaker_reset_ns:
+        Consecutive failures that open a shard's circuit, and how long
+        the circuit stays open before a half-open probe.
+    allow_degraded:
+        Permit host-side exact recomputation of a chunk none of whose
+        replicas answered (slow but exact, response flagged degraded).
+        When ``False`` such a chunk raises
+        :class:`~repro.errors.ChunkUnavailableError`.
+    """
+
+    max_retries: int = 3
+    backoff_base_ns: float = 50_000.0
+    backoff_factor: float = 2.0
+    backoff_cap_ns: float = 1_000_000.0
+    dispatch_timeout_ns: float | None = 50_000_000.0
+    hedge_after_ns: float | None = None
+    crash_detect_ns: float = 10_000.0
+    breaker_threshold: int = 3
+    breaker_reset_ns: float = 500_000_000.0
+    allow_degraded: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ServingError("max_retries must be >= 0")
+        if self.backoff_base_ns < 0 or self.backoff_cap_ns < 0:
+            raise ServingError("backoff times must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ServingError("backoff_factor must be >= 1")
+        if self.dispatch_timeout_ns is not None and self.dispatch_timeout_ns <= 0:
+            raise ServingError("dispatch_timeout_ns must be positive or None")
+        if self.hedge_after_ns is not None and self.hedge_after_ns <= 0:
+            raise ServingError("hedge_after_ns must be positive or None")
+        if self.crash_detect_ns < 0:
+            raise ServingError("crash_detect_ns must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ServingError("breaker_threshold must be >= 1")
+
+    def backoff_ns(self, failures: int) -> float:
+        """Backoff before retry number ``failures`` (1-based)."""
+        if failures < 1:
+            return 0.0
+        raw = self.backoff_base_ns * self.backoff_factor ** (failures - 1)
+        return min(raw, self.backoff_cap_ns)
+
+
+class _ShardHealth:
+    """Mutable health record of one shard."""
+
+    __slots__ = (
+        "consecutive_failures",
+        "open_until_ns",
+        "dead",
+        "down_since_ns",
+        "failures",
+        "successes",
+    )
+
+    def __init__(self) -> None:
+        self.consecutive_failures = 0
+        self.open_until_ns: float | None = None
+        self.dead = False
+        self.down_since_ns: float | None = None
+        self.failures = 0
+        self.successes = 0
+
+
+class ShardHealthTracker:
+    """Circuit breaker + MTTR bookkeeping over ``n_shards`` shards."""
+
+    def __init__(
+        self, n_shards: int, policy: RecoveryPolicy | None = None
+    ) -> None:
+        if n_shards < 1:
+            raise ServingError("need at least one shard")
+        self.policy = policy if policy is not None else RecoveryPolicy()
+        self._shards = [_ShardHealth() for _ in range(n_shards)]
+        self._recoveries: list[float] = []
+
+    # ------------------------------------------------------------------
+    def record_success(self, shard_id: int, t_ns: float) -> None:
+        """A dispatch on ``shard_id`` completed cleanly at ``t_ns``."""
+        h = self._shards[shard_id]
+        h.successes += 1
+        if h.down_since_ns is not None:
+            self._recoveries.append(max(t_ns - h.down_since_ns, 0.0))
+            h.down_since_ns = None
+            tele = get_recorder()
+            if tele.enabled:
+                tele.metrics.counter("serving.health.recoveries").add(1)
+        h.consecutive_failures = 0
+        h.open_until_ns = None
+
+    def record_failure(
+        self, shard_id: int, t_ns: float, permanent: bool = False
+    ) -> None:
+        """A dispatch on ``shard_id`` failed at ``t_ns``."""
+        h = self._shards[shard_id]
+        h.failures += 1
+        h.consecutive_failures += 1
+        if h.down_since_ns is None:
+            h.down_since_ns = t_ns
+        if permanent:
+            h.dead = True
+        elif h.consecutive_failures >= self.policy.breaker_threshold:
+            h.open_until_ns = t_ns + self.policy.breaker_reset_ns
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter("serving.health.failures").add(1)
+            if h.open_until_ns is not None:
+                tele.metrics.counter("serving.health.circuit_opens").add(1)
+
+    # ------------------------------------------------------------------
+    def available(self, shard_id: int, t_ns: float) -> bool:
+        """Whether dispatch planning may route to ``shard_id`` at ``t_ns``.
+
+        Dead shards never come back; an open circuit blocks routing until
+        ``breaker_reset_ns`` elapses, after which the shard is half-open
+        (one probe dispatch is allowed through and decides its fate).
+        """
+        h = self._shards[shard_id]
+        if h.dead:
+            return False
+        if h.open_until_ns is not None and t_ns < h.open_until_ns:
+            return False
+        return True
+
+    def alive(self, shard_id: int) -> bool:
+        """Whether ``shard_id`` is not permanently dead."""
+        return not self._shards[shard_id].dead
+
+    @property
+    def dead_shards(self) -> list[int]:
+        """Ids of permanently dead shards."""
+        return [s for s, h in enumerate(self._shards) if h.dead]
+
+    def drain_recoveries(self) -> list[float]:
+        """Down-to-up durations observed since the last drain (MTTR samples)."""
+        out = self._recoveries
+        self._recoveries = []
+        return out
+
+    def snapshot(self, t_ns: float) -> list[dict]:
+        """Per-shard health as JSON-friendly records."""
+        out = []
+        for s, h in enumerate(self._shards):
+            if h.dead:
+                status = "dead"
+            elif h.open_until_ns is not None and t_ns < h.open_until_ns:
+                status = "open"
+            elif h.down_since_ns is not None:
+                status = "suspect"
+            else:
+                status = "up"
+            out.append(
+                {
+                    "shard": s,
+                    "status": status,
+                    "failures": h.failures,
+                    "successes": h.successes,
+                    "consecutive_failures": h.consecutive_failures,
+                }
+            )
+        return out

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ServingError
+from repro.errors import FaultError, ServingError, WatchdogTimeoutError
 from repro.serving.sharding import KNNAnswer, ShardManager
 from repro.serving.slo import SLOTracker
 from repro.telemetry import get_recorder
@@ -83,6 +83,7 @@ class Response:
     indices: np.ndarray | None = None
     scores: np.ndarray | None = None
     approximate: bool = False
+    degraded: bool = False
     batch_size: int = 0
 
     @property
@@ -217,9 +218,20 @@ class QueryService:
         return self.drain()
 
     def drain(self) -> list[Response]:
-        """Dispatch everything still queued; returns all responses."""
+        """Dispatch everything still queued; returns all responses.
+
+        Guarded against non-termination: every dispatch must shrink the
+        queue, so a dispatch that makes no progress (a bug, or a fault
+        path that re-queues) trips the watchdog instead of hanging.
+        """
         while self._queue:
+            depth = len(self._queue)
             self._dispatch(self._next_dispatch_ns(more_arrivals=False))
+            if len(self._queue) >= depth:
+                raise WatchdogTimeoutError(
+                    f"drain made no progress ({depth} requests stuck "
+                    f"at t={self.now_ns:.0f}ns)"
+                )
         return self.responses
 
     # ------------------------------------------------------------------
@@ -326,30 +338,68 @@ class QueryService:
             requests=len(live), t_dispatch_ns=self.now_ns,
         ):
             service_ns = self._serve(live)
+        if not np.isfinite(service_ns):
+            raise WatchdogTimeoutError(
+                f"dispatch at t={self.now_ns:.0f}ns produced a "
+                f"non-finite service time ({service_ns}); a shard hung "
+                "without a dispatch timeout"
+            )
         self.server_free_ns = self.now_ns + service_ns
         if tele.enabled:
             tele.metrics.histogram("serving.batch_size").observe(len(live))
             tele.metrics.gauge("serving.queue_depth").set(len(self._queue))
 
     def _serve(self, batch: list[Request]) -> float:
-        """Answer one dispatched batch; returns its service time."""
+        """Answer one dispatched batch; returns its service time.
+
+        A :class:`~repro.errors.FaultError` the recovery machinery could
+        not absorb (e.g. every replica of a chunk dead with degraded
+        recompute disabled) sheds the affected requests under the
+        fault's reason code instead of crashing the event loop — except
+        ``TimeoutError``-family faults (a hung shard with the watchdog
+        disabled), which are configuration-level and re-raise.
+        """
         knn = [r for r in batch if r.kind == "knn"]
         assists = [r for r in batch if r.kind == "assign"]
         service_ns = 0.0
         if knn:
-            answers, timing = self.manager.knn_batch(
-                np.stack([r.query for r in knn]),
-                [r.k for r in knn],
-                [r.degraded for r in knn],
-            )
-            service_ns += timing.service_ns
-            for request, answer in zip(knn, answers):
-                self._complete(request, answer, len(batch), service_ns)
+            try:
+                answers, timing = self.manager.knn_batch(
+                    np.stack([r.query for r in knn]),
+                    [r.k for r in knn],
+                    [r.degraded for r in knn],
+                    now_ns=self.now_ns,
+                )
+            except FaultError as exc:
+                if isinstance(exc, TimeoutError):
+                    raise
+                for request in knn:
+                    self._shed(request, exc.reason)
+            else:
+                self._account_dispatch(timing)
+                service_ns += timing.service_ns
+                for request, answer in zip(knn, answers):
+                    self._complete(request, answer, len(batch), service_ns)
         for request in assists:
-            answer, timing = self.manager.assign(request.query)
+            try:
+                answer, timing = self.manager.assign(
+                    request.query, now_ns=self.now_ns + service_ns
+                )
+            except FaultError as exc:
+                if isinstance(exc, TimeoutError):
+                    raise
+                self._shed(request, exc.reason)
+                continue
+            self._account_dispatch(timing)
             service_ns += timing.service_ns
             self._complete_assign(request, answer, len(batch), service_ns)
         return service_ns
+
+    def _account_dispatch(self, timing) -> None:
+        """Feed one dispatch's recovery counters and MTTR into the SLOs."""
+        self.tracker.record_dispatch(timing)
+        for sample in self.manager.health.drain_recoveries():
+            self.tracker.record_recovery(sample)
 
     def _complete(
         self,
@@ -369,6 +419,7 @@ class QueryService:
             indices=answer.indices,
             scores=answer.scores,
             approximate=answer.approximate,
+            degraded=answer.degraded,
             batch_size=batch_size,
         )
         self.responses.append(response)
@@ -387,6 +438,7 @@ class QueryService:
             completion_ns=self.now_ns + service_ns,
             indices=answer.assignments,
             scores=answer.distances,
+            degraded=answer.degraded,
             batch_size=batch_size,
         )
         self.responses.append(response)

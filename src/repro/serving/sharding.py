@@ -24,6 +24,23 @@ dataset, so every numeric step is defined per global row:
 
 Exact scores are squared Euclidean distances in the quantizer's
 normalised space — the space Theorem 1's bound provably lower-bounds.
+
+Replication and recovery
+------------------------
+With ``replication=r`` the placement's shard ids are reinterpreted as
+*chunk* ids and chunk ``c`` is programmed onto shards ``(c + j) % N``
+for ``j < r``; each dispatch serves every chunk from exactly one live
+replica, so no row is ever double-counted. Because the quantizer is
+global and ties resolve canonically, *any* choice of live replicas
+yields bit-identical results — failover is invisible in the values.
+When a :class:`~repro.faults.FaultPlan` is attached, dispatches survive
+crashes, hangs, stragglers and corrupted waves via bounded retries with
+capped exponential backoff, per-attempt timeouts, replica failover and
+(last resort) host-side exact recomputation of an unavailable chunk —
+see :class:`~repro.serving.health.RecoveryPolicy`. Wave integrity is
+checked with a residue checksum row (:mod:`repro.faults.integrity`)
+programmed alongside the data, so a corrupted wave is detected and
+never silently used.
 """
 
 from __future__ import annotations
@@ -35,11 +52,20 @@ import numpy as np
 
 from repro.cost.counters import PerfCounters
 from repro.cost.model import CostModel
-from repro.errors import ServingError
+from repro.errors import (
+    ChunkUnavailableError,
+    CrossbarDeadError,
+    ServingError,
+    ShardHungError,
+)
+from repro.faults.injectors import FaultyPIMArray, FaultyShardEngine, ShardVerdict
+from repro.faults.integrity import append_checksum_row, verify_wave_residues
+from repro.faults.plan import FaultPlan
 from repro.hardware.config import HardwareConfig, pim_platform
 from repro.hardware.controller import PIMController
 from repro.hardware.pim_array import PIMStats
 from repro.hardware.reprogramming import ChunkedDotProductEngine
+from repro.serving.health import RecoveryPolicy, ShardHealthTracker
 from repro.similarity.quantization import Quantizer
 from repro.telemetry import get_recorder
 
@@ -127,6 +153,7 @@ class KNNAnswer:
     refined: int
     pruned: int
     approximate: bool = False
+    degraded: bool = False
 
 
 @dataclass(frozen=True)
@@ -137,6 +164,7 @@ class AssignAnswer:
     distances: np.ndarray
     refined: int
     pruned: int
+    degraded: bool = False
 
 
 @dataclass
@@ -144,27 +172,53 @@ class GatherTiming:
     """Simulated-time breakdown of one scatter/gather dispatch.
 
     Shards run in parallel (each is an independent memory module), so
-    the dispatch occupies the service for ``max`` over shards of PIM
-    wave time plus shard-local CPU time, serialized with the
-    coordinator's merge.
+    the dispatch occupies the service for the latest per-shard wave
+    completion (``wave_end_ns``, which under faults includes failed
+    attempts, backoff idle time and failovers serialized per shard),
+    then any degraded host-side recompute, then the coordinator's merge.
+    The recovery counters record what it took to get every chunk served.
     """
 
     per_shard_pim_ns: list = field(default_factory=list)
     per_shard_cpu_ns: list = field(default_factory=list)
     merge_cpu_ns: float = 0.0
+    wave_end_ns: list = field(default_factory=list)
+    degraded_cpu_ns: float = 0.0
+    attempts: int = 0
+    retries: int = 0
+    failovers: int = 0
+    hedges: int = 0
+    timeouts: int = 0
+    corrupt_detected: int = 0
+    crashes: int = 0
+    backoff_ns: float = 0.0
+    degraded_chunks: int = 0
 
     @property
     def service_ns(self) -> float:
         """End-to-end occupancy of the dispatch."""
-        spans = [
-            p + c
-            for p, c in zip(self.per_shard_pim_ns, self.per_shard_cpu_ns)
-        ]
-        return (max(spans) if spans else 0.0) + self.merge_cpu_ns
+        if self.wave_end_ns:
+            tail = max(self.wave_end_ns)
+        else:
+            spans = [
+                p + c
+                for p, c in zip(self.per_shard_pim_ns, self.per_shard_cpu_ns)
+            ]
+            tail = max(spans) if spans else 0.0
+        return tail + self.degraded_cpu_ns + self.merge_cpu_ns
 
 
 class _Shard:
-    """One PIM module: a row subset, its side data, and its engine."""
+    """One PIM module: a row subset, its side data, and its engine.
+
+    With ``verify=True`` the programmed matrix carries one extra
+    checksum row (see :mod:`repro.faults.integrity`), so waves return
+    ``n_rows + 1`` values; callers verify and strip the last column.
+    With a fault plan, the shard's array is wrapped in a
+    :class:`~repro.faults.injectors.FaultyPIMArray` targeting this
+    shard's name and a :class:`~repro.faults.injectors.FaultyShardEngine`
+    answers crash/hang/slow verdicts per dispatch.
+    """
 
     def __init__(
         self,
@@ -176,6 +230,8 @@ class _Shard:
         hardware: HardwareConfig,
         chunked: bool,
         reprogram_budget: int | None,
+        verify: bool = False,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.global_indices = global_indices
@@ -185,18 +241,51 @@ class _Shard:
         self.name = f"shard{shard_id}"
         self.busy_ns = 0.0
         self.reprogram_budget = reprogram_budget
+        self.verify = verify and not chunked
+        self.chunk_slices: dict[int, slice] = {}
         self.engine: ChunkedDotProductEngine | None = None
         self.controller: PIMController | None = None
+        self.faulty: FaultyPIMArray | None = None
+        self.fault_engine: FaultyShardEngine | None = (
+            FaultyShardEngine(fault_plan, self.name)
+            if fault_plan is not None
+            else None
+        )
         if self.n_rows == 0:
+            self.verify = False
             return
         if chunked:
             self.engine = ChunkedDotProductEngine(hardware)
+            if fault_plan is not None:
+                self.faulty = FaultyPIMArray(
+                    self.engine.pim, fault_plan, self.name,
+                    auto_advance=False,
+                )
+                self.engine.pim = self.faulty
             self.engine.load(integers)
         else:
             self.controller = PIMController(hardware)
-            self.controller.program(
-                self.name, integers, side_data_bytes=phi.nbytes
+            if fault_plan is not None:
+                self.faulty = FaultyPIMArray(
+                    self.controller.pim, fault_plan, self.name,
+                    auto_advance=False,
+                )
+                self.controller.pim = self.faulty
+            payload = (
+                append_checksum_row(
+                    integers, hardware.pim.operand_bits
+                )
+                if self.verify
+                else integers
             )
+            self.controller.program(
+                self.name, payload, side_data_bytes=phi.nbytes
+            )
+
+    def advance_clock(self, t_ns: float) -> None:
+        """Move this shard's fault clock to simulated time ``t_ns``."""
+        if self.faulty is not None:
+            self.faulty.advance_to(t_ns)
 
     @property
     def n_rows(self) -> int:
@@ -305,6 +394,23 @@ class ShardManager:
     reprogram_budget:
         With ``chunked``, the per-shard cap on cumulative crossbar
         re-programmings before :class:`~repro.errors.ServingError`.
+    replication:
+        Replicas per data chunk (the placement's shard ids become chunk
+        ids; chunk ``c`` lives on shards ``(c + j) % n_shards`` for
+        ``j < replication``). 1 reproduces unreplicated behaviour
+        bit for bit.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; attaches injectors to
+        every shard and turns on the recovery machinery.
+    recovery:
+        Retry/backoff/timeout/hedging/degradation knobs; defaults to
+        :class:`~repro.serving.health.RecoveryPolicy`.
+    verify:
+        Program a residue checksum row per shard and verify every wave
+        (detection of corrupted waves). Defaults to on exactly when a
+        fault plan is attached and the shard path supports it (resident
+        programming only — the chunked engine re-programs crossbars per
+        chunk and does not carry the checksum row).
     """
 
     def __init__(
@@ -318,6 +424,10 @@ class ShardManager:
         chunked: bool = False,
         reprogram_budget: int | None = None,
         seed: int = 0,
+        replication: int = 1,
+        fault_plan: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
+        verify: bool | None = None,
     ) -> None:
         data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2 or data.shape[0] < 1:
@@ -337,8 +447,30 @@ class ShardManager:
                 data.shape[0], n_shards, kind=placement, seed=seed
             )
         self.n_shards = self.placement.n_shards
+        self.n_chunks = self.placement.n_shards
         self.dims = int(data.shape[1])
         self.n_rows = int(data.shape[0])
+        if not 1 <= replication <= self.n_shards:
+            raise ServingError(
+                f"replication must lie in [1, {self.n_shards}] "
+                f"(got {replication})"
+            )
+        self.replication = int(replication)
+        self.replicas: list[tuple[int, ...]] = [
+            tuple((c + j) % self.n_shards for j in range(self.replication))
+            for c in range(self.n_chunks)
+        ]
+        self.fault_plan = fault_plan
+        self.recovery = recovery if recovery is not None else RecoveryPolicy()
+        self.health = ShardHealthTracker(self.n_shards, self.recovery)
+        if verify is None:
+            verify = fault_plan is not None and not chunked
+        if verify and chunked:
+            raise ServingError(
+                "wave verification needs resident programming; the "
+                "chunked engine does not carry the checksum row"
+            )
+        self.verify = bool(verify)
         self.quantizer = (
             quantizer if quantizer is not None else Quantizer()
         )
@@ -348,21 +480,39 @@ class ShardManager:
         qv = self.quantizer.quantize(data)
         normalized = self.quantizer.normalize(data)
         phi = (qv.scaled**2).sum(axis=1) - 2.0 * qv.integers.sum(axis=1)
+        self.chunk_rows: list[np.ndarray] = [
+            self.placement.rows_of(c) for c in range(self.n_chunks)
+        ]
+        self._clock_ns = 0.0
         self.shards: list[_Shard] = []
         for s in range(self.n_shards):
-            rows = self.placement.rows_of(s)
-            self.shards.append(
-                _Shard(
-                    s,
-                    rows,
-                    qv.integers[rows],
-                    phi[rows],
-                    normalized[rows],
-                    self.hardware,
-                    chunked,
-                    reprogram_budget,
-                )
+            hosted = sorted(
+                c for c in range(self.n_chunks) if s in self.replicas[c]
             )
+            parts = [self.chunk_rows[c] for c in hosted]
+            rows = (
+                np.concatenate(parts)
+                if parts
+                else np.empty(0, dtype=np.int64)
+            )
+            shard = _Shard(
+                s,
+                rows,
+                qv.integers[rows],
+                phi[rows],
+                normalized[rows],
+                self.hardware,
+                chunked,
+                reprogram_budget,
+                verify=self.verify,
+                fault_plan=fault_plan,
+            )
+            offset = 0
+            for c in hosted:
+                size = int(self.chunk_rows[c].size)
+                shard.chunk_slices[c] = slice(offset, offset + size)
+                offset += size
+            self.shards.append(shard)
 
     # ------------------------------------------------------------------
     # CPU accounting (Quartz model, one bucket per stage)
@@ -399,6 +549,20 @@ class ShardManager:
             bytes_cached=16.0 * candidates,
         )
 
+    def _degraded_cpu_ns(self, n_rows: int, queries: int) -> float:
+        """Host-side exact recompute of one unavailable chunk.
+
+        No PIM bounds are available, so every row pays a full exact
+        distance against every query — the slow-but-exact last resort.
+        """
+        if n_rows <= 0:
+            return 0.0
+        return self._cpu_ns(
+            flops=3.0 * self.dims * n_rows * queries,
+            bytes_from_memory=8.0 * self.dims * n_rows,
+            branches=2.0 * n_rows * queries,
+        )
+
     # ------------------------------------------------------------------
     # kNN scatter/gather
     # ------------------------------------------------------------------
@@ -415,6 +579,277 @@ class ShardManager:
         phi_q = (qv.scaled**2).sum(axis=1) - 2.0 * qv.integers.sum(axis=1)
         return qv.integers, normalized, phi_q
 
+    # ------------------------------------------------------------------
+    # fault-tolerant chunk dispatch
+    # ------------------------------------------------------------------
+    def _recovery_marker(self, tele, outcome: str, shard_id: int, n_chunks: int) -> None:
+        """Surface one recovery decision in telemetry (marker span + counter)."""
+        if not tele.enabled:
+            return
+        tele.metrics.counter(f"serving.recovery.{outcome}").add(1)
+        with tele.span(
+            "serving.recovery", "serving",
+            shard=shard_id, outcome=outcome, chunks=n_chunks,
+        ):
+            pass  # zero-duration marker on the trace timeline
+
+    def _serve_chunks(
+        self,
+        q_int: np.ndarray,
+        now_ns: float,
+        process,
+        timing: GatherTiming,
+        span_name: str,
+    ) -> list[int]:
+        """Serve every chunk from exactly one replica, surviving faults.
+
+        ``process(shard, sel, dots)`` does the host-side candidate work
+        for the shard-local rows ``sel`` (``None`` = all rows) whose dot
+        products are ``dots``, and returns the CPU time it cost; it runs
+        once per *successful* wave. The attempt machinery handles crash
+        detection and failover, hang timeouts, straggler stretching,
+        residue verification with bounded retries and capped exponential
+        backoff, circuit breaking, and optional hedged re-dispatch. All
+        timing is serialized per shard and recorded in ``timing``.
+
+        Returns the chunks that could not be served by any replica (the
+        caller recomputes them host-side), or raises
+        :class:`~repro.errors.ChunkUnavailableError` when degradation is
+        disabled, or :class:`~repro.errors.ShardHungError` for a hang
+        with the watchdog disabled.
+        """
+        tele = get_recorder()
+        batch = q_int.shape[0]
+        policy = self.recovery
+        faulted = self.fault_plan is not None
+        bits = self.hardware.pim.operand_bits if self.hardware.pim else 8
+        pending = set(range(self.n_chunks))
+        ptr = {c: 0 for c in pending}
+        fails = {c: 0 for c in pending}
+        ready = {c: 0.0 for c in pending}
+        elapsed = [0.0] * self.n_shards
+        pim_total = [0.0] * self.n_shards
+        cpu_total = [0.0] * self.n_shards
+        degraded: list[int] = []
+
+        def fail_chunks(
+            chunks, end_rel: float, shard_id: int, permanent: bool, failover: bool
+        ) -> None:
+            self.health.record_failure(
+                shard_id, now_ns + end_rel, permanent=permanent
+            )
+            for c in chunks:
+                fails[c] += 1
+                # transient faults retry the same replica once; anything
+                # persistent (or any repeat failure) moves on
+                if failover or permanent or fails[c] >= 2:
+                    ptr[c] += 1
+                    timing.failovers += 1
+                if fails[c] <= policy.max_retries:
+                    timing.retries += 1
+                    delay = policy.backoff_ns(fails[c])
+                    ready[c] = max(ready[c], end_rel + delay)
+                    timing.backoff_ns += delay
+
+        def try_hedge(s, chunks, start_rel, end_rel, cpu_ns):
+            """Duplicate a straggling wave on an idle replica (values
+            are identical either way; only the finish time improves)."""
+            hedge_start = start_rel + policy.hedge_after_ns
+            for s2 in range(self.n_shards):
+                if s2 == s:
+                    continue
+                if not self.health.available(s2, now_ns + hedge_start):
+                    continue
+                alt = self.shards[s2]
+                if any(c not in alt.chunk_slices for c in chunks):
+                    continue
+                alt_start = max(elapsed[s2], hedge_start)
+                alt.advance_clock(now_ns + alt_start)
+                verdict = (
+                    alt.fault_engine.outcome(now_ns + alt_start)
+                    if faulted and alt.fault_engine is not None
+                    else ShardVerdict("ok")
+                )
+                if verdict.status not in ("ok", "slow"):
+                    continue
+                try:
+                    dots2, pim2 = alt.dot_products(q_int)
+                except CrossbarDeadError:
+                    continue
+                pim2 *= verdict.factor
+                if alt.verify and alt.n_rows and not np.all(
+                    verify_wave_residues(dots2, bits)
+                ):
+                    timing.corrupt_detected += 1
+                    continue
+                timing.hedges += 1
+                self._recovery_marker(tele, "hedge", s2, len(chunks))
+                alt_end = alt_start + pim2 + cpu_ns
+                elapsed[s2] = max(elapsed[s2], alt_end)
+                alt.busy_ns += pim2 + cpu_ns
+                pim_total[s2] += pim2
+                cpu_total[s2] += cpu_ns
+                return min(end_rel, alt_end)
+            return end_rel
+
+        while pending:
+            groups: dict[int, list[int]] = {}
+            doomed: list[int] = []
+            for c in sorted(pending):
+                if fails[c] > policy.max_retries:
+                    doomed.append(c)
+                    continue
+                reps = self.replicas[c]
+                chosen = None
+                for step in range(len(reps)):
+                    s = reps[(ptr[c] + step) % len(reps)]
+                    if self.health.available(s, now_ns + ready[c]):
+                        chosen = s
+                        ptr[c] += step
+                        break
+                if chosen is None:
+                    doomed.append(c)
+                else:
+                    groups.setdefault(chosen, []).append(c)
+            for c in doomed:
+                pending.discard(c)
+                if not policy.allow_degraded:
+                    raise ChunkUnavailableError(
+                        f"chunk {c} has no live replica and degraded "
+                        "recompute is disabled",
+                        unit=f"chunk{c}",
+                        timestamp_ns=now_ns,
+                        replicas=list(self.replicas[c]),
+                        failures=fails[c],
+                    )
+                degraded.append(c)
+                timing.degraded_chunks += 1
+                self._recovery_marker(tele, "degraded", self.replicas[c][0], 1)
+            if not groups:
+                break
+            for s in sorted(groups):
+                chunks = groups[s]
+                shard = self.shards[s]
+                start_rel = max(elapsed[s], max(ready[c] for c in chunks))
+                t_start = now_ns + start_rel
+                verdict = (
+                    shard.fault_engine.outcome(t_start)
+                    if faulted and shard.fault_engine is not None
+                    else ShardVerdict("ok")
+                )
+                if verdict.status == "crash":
+                    timing.attempts += 1
+                    timing.crashes += 1
+                    end_rel = start_rel + policy.crash_detect_ns
+                    elapsed[s] = end_rel
+                    self._recovery_marker(tele, "crash", s, len(chunks))
+                    fail_chunks(chunks, end_rel, s, True, True)
+                    continue
+                if verdict.status == "hang":
+                    timing.attempts += 1
+                    if policy.dispatch_timeout_ns is None:
+                        raise ShardHungError(
+                            f"{shard.name} hung and the dispatch "
+                            "watchdog is disabled",
+                            unit=shard.name,
+                            timestamp_ns=t_start,
+                            chunks=list(chunks),
+                        )
+                    timing.timeouts += 1
+                    end_rel = start_rel + policy.dispatch_timeout_ns
+                    elapsed[s] = end_rel
+                    shard.busy_ns += policy.dispatch_timeout_ns
+                    self._recovery_marker(tele, "hang_timeout", s, len(chunks))
+                    fail_chunks(chunks, end_rel, s, False, True)
+                    continue
+                # ok / slow: fire the wave
+                shard.advance_clock(t_start)
+                timing.attempts += 1
+                with tele.span(
+                    span_name, "serving",
+                    shard=s, rows=shard.n_rows, queries=batch,
+                ):
+                    try:
+                        dots, pim_ns = shard.dot_products(q_int)
+                    except CrossbarDeadError:
+                        timing.crashes += 1
+                        end_rel = start_rel + policy.crash_detect_ns
+                        elapsed[s] = end_rel
+                        self._recovery_marker(
+                            tele, "crossbar_dead", s, len(chunks)
+                        )
+                        fail_chunks(chunks, end_rel, s, True, True)
+                        continue
+                    pim_ns *= verdict.factor
+                    if (
+                        faulted
+                        and policy.dispatch_timeout_ns is not None
+                        and pim_ns > policy.dispatch_timeout_ns
+                    ):
+                        timing.timeouts += 1
+                        end_rel = start_rel + policy.dispatch_timeout_ns
+                        elapsed[s] = end_rel
+                        shard.busy_ns += policy.dispatch_timeout_ns
+                        pim_total[s] += policy.dispatch_timeout_ns
+                        self._recovery_marker(tele, "timeout", s, len(chunks))
+                        fail_chunks(chunks, end_rel, s, False, True)
+                        continue
+                    if shard.verify and shard.n_rows:
+                        clean = np.atleast_1d(
+                            verify_wave_residues(dots, bits)
+                        )
+                        if not np.all(clean):
+                            timing.corrupt_detected += int(
+                                clean.size - np.count_nonzero(clean)
+                            )
+                            end_rel = start_rel + pim_ns
+                            elapsed[s] = end_rel
+                            shard.busy_ns += pim_ns
+                            pim_total[s] += pim_ns
+                            self._recovery_marker(
+                                tele, "corrupt", s, len(chunks)
+                            )
+                            # transient: retry the same replica first
+                            fail_chunks(chunks, end_rel, s, False, False)
+                            continue
+                        dots = dots[:, : shard.n_rows]
+                    sel = (
+                        np.concatenate(
+                            [
+                                np.arange(
+                                    shard.chunk_slices[c].start,
+                                    shard.chunk_slices[c].stop,
+                                    dtype=np.int64,
+                                )
+                                for c in chunks
+                            ]
+                        )
+                        if shard.n_rows
+                        else np.empty(0, dtype=np.int64)
+                    )
+                    if sel.size == shard.n_rows:
+                        cpu_ns = process(shard, None, dots)
+                    else:
+                        cpu_ns = process(shard, sel, dots[:, sel])
+                    tele.advance(cpu_ns)
+                end_rel = start_rel + pim_ns + cpu_ns
+                elapsed[s] = end_rel
+                shard.busy_ns += pim_ns + cpu_ns
+                pim_total[s] += pim_ns
+                cpu_total[s] += cpu_ns
+                self.health.record_success(s, now_ns + end_rel)
+                for c in chunks:
+                    pending.discard(c)
+                if (
+                    policy.hedge_after_ns is not None
+                    and pim_ns + cpu_ns > policy.hedge_after_ns
+                ):
+                    end_rel = try_hedge(s, chunks, start_rel, end_rel, cpu_ns)
+                timing.wave_end_ns.append(end_rel)
+        timing.per_shard_pim_ns = pim_total
+        timing.per_shard_cpu_ns = cpu_total
+        return degraded
+
     def _shard_topk(
         self,
         shard: _Shard,
@@ -423,37 +858,86 @@ class ShardManager:
         q_norm: np.ndarray,
         k: int,
         approximate: bool,
+        sel: np.ndarray | None = None,
     ) -> tuple[_CanonicalHeap, int, int]:
-        """Local top-k of one query on one shard (canonical order)."""
+        """Local top-k of one query on one shard (canonical order).
+
+        ``sel`` restricts the work to a subset of the shard's local rows
+        (the chunks this shard serves in the current dispatch, under
+        replication); ``dots`` must already be restricted to match.
+        """
         heap = _CanonicalHeap(k)
-        if shard.n_rows == 0:
+        if sel is None:
+            phi, gidx, floats = shard.phi, shard.global_indices, shard.floats
+        else:
+            phi = shard.phi[sel]
+            gidx = shard.global_indices[sel]
+            floats = shard.floats[sel]
+        n_local = int(gidx.size)
+        if n_local == 0:
             return heap, 0, 0
         alpha2 = self.quantizer.alpha**2
-        lb = (shard.phi + phi_q - 2.0 * dots - 2.0 * self.dims) / alpha2
+        lb = (phi + phi_q - 2.0 * dots - 2.0 * self.dims) / alpha2
         np.maximum(lb, 0.0, out=lb)
         if approximate:
             # degrade-to-approximate: the lower bound IS the score
-            order = np.lexsort((shard.global_indices, lb))[:k]
+            order = np.lexsort((gidx, lb))[:k]
             for j in order:
-                heap.offer(float(lb[j]), int(shard.global_indices[j]))
-            return heap, 0, shard.n_rows - int(order.size)
-        order = np.lexsort((shard.global_indices, lb))
+                heap.offer(float(lb[j]), int(gidx[j]))
+            return heap, 0, n_local - int(order.size)
+        order = np.lexsort((gidx, lb))
         refined = 0
         for j in order:
             if lb[j] > heap.threshold:
                 break  # visit order is ascending lb: the rest prune too
-            row = shard.floats[j]
+            row = floats[j]
             diff = row - q_norm
             score = float(diff @ diff)
-            heap.offer(score, int(shard.global_indices[j]))
+            heap.offer(score, int(gidx[j]))
             refined += 1
-        return heap, refined, shard.n_rows - refined
+        return heap, refined, n_local - refined
+
+    def _degrade_chunk_knn(
+        self,
+        c: int,
+        q_norm: np.ndarray,
+        k_list: list[int],
+        per_query_heaps: list[list[_CanonicalHeap]],
+        refined_total: list[int],
+        timing: GatherTiming,
+    ) -> None:
+        """Host-side exact top-k of one unavailable chunk.
+
+        No PIM bounds exist, so every row of the chunk is refined
+        exactly — the same ``diff @ diff`` expression as the normal
+        refinement path, so merged results stay bit-identical.
+        """
+        rows = self.chunk_rows[c]
+        batch = len(k_list)
+        if rows.size == 0:
+            return
+        host = self.shards[self.replicas[c][0]]
+        sl = host.chunk_slices[c]
+        floats = host.floats[sl]
+        gidx = host.global_indices[sl]
+        for b in range(batch):
+            heap = _CanonicalHeap(min(k_list[b], max(self.n_rows, 1)))
+            for j in range(gidx.size):
+                diff = floats[j] - q_norm[b]
+                heap.offer(float(diff @ diff), int(gidx[j]))
+            per_query_heaps[b].append(heap)
+            refined_total[b] += int(gidx.size)
+        timing.degraded_cpu_ns += self._degraded_cpu_ns(
+            int(rows.size), batch
+        )
 
     def knn_batch(
         self,
         queries: np.ndarray,
         ks,
         approximate=None,
+        *,
+        now_ns: float | None = None,
     ) -> tuple[list[KNNAnswer], GatherTiming]:
         """Exact (or per-query degraded) kNN for a batch of queries.
 
@@ -461,7 +945,9 @@ class ShardManager:
         likewise a bool or per-query flags. All queries ride one batched
         wave per shard, so the batch amortizes pipeline setup exactly as
         the mining layer's :class:`~repro.core.planner.BatchScheduler`
-        flushes do.
+        flushes do. ``now_ns`` anchors the dispatch on the simulated
+        clock (fault windows are time-based); it defaults to this
+        manager's own monotone clock.
         """
         q_int, q_norm, phi_q = self._prepare_queries(queries)
         batch = q_int.shape[0]
@@ -481,38 +967,40 @@ class ShardManager:
             raise ServingError("approximate flags must match the batch")
         timing = GatherTiming()
         tele = get_recorder()
+        t0 = self._clock_ns if now_ns is None else float(now_ns)
         per_query_heaps: list[list[_CanonicalHeap]] = [[] for _ in range(batch)]
         refined_total = [0] * batch
         pruned_total = [0] * batch
-        for shard in self.shards:
-            with tele.span(
-                "serving.scatter", "serving",
-                shard=shard.shard_id, rows=shard.n_rows, queries=batch,
-            ):
-                dots, pim_ns = shard.dot_products(q_int)
-                refined_here = 0
-                for b in range(batch):
-                    heap, refined, pruned = self._shard_topk(
-                        shard,
-                        dots[b],
-                        float(phi_q[b]),
-                        q_norm[b],
-                        min(k_list[b], max(self.n_rows, 1)),
-                        approx_list[b],
-                    )
-                    per_query_heaps[b].append(heap)
-                    refined_total[b] += refined
-                    pruned_total[b] += pruned
-                    refined_here += refined
-                cpu_ns = self._shard_cpu_ns(
-                    shard.n_rows, batch, refined_here
+
+        def process(shard: _Shard, sel, dots) -> float:
+            n_local = shard.n_rows if sel is None else int(sel.size)
+            refined_here = 0
+            for b in range(batch):
+                heap, refined, pruned = self._shard_topk(
+                    shard,
+                    dots[b],
+                    float(phi_q[b]),
+                    q_norm[b],
+                    min(k_list[b], max(self.n_rows, 1)),
+                    approx_list[b],
+                    sel=sel,
                 )
-                tele.advance(cpu_ns)
-            timing.per_shard_pim_ns.append(pim_ns)
-            timing.per_shard_cpu_ns.append(cpu_ns)
-            shard.busy_ns += pim_ns + cpu_ns
+                per_query_heaps[b].append(heap)
+                refined_total[b] += refined
+                pruned_total[b] += pruned
+                refined_here += refined
+            return self._shard_cpu_ns(n_local, batch, refined_here)
+
+        degraded_chunks = self._serve_chunks(
+            q_int, t0, process, timing, "serving.scatter"
+        )
+        for c in degraded_chunks:
+            self._degrade_chunk_knn(
+                c, q_norm, k_list, per_query_heaps, refined_total, timing
+            )
         answers: list[KNNAnswer] = []
         merge_candidates = 0
+        degraded = bool(degraded_chunks)
         for b in range(batch):
             merged = _merge_heaps(per_query_heaps[b], k_list[b])
             merge_candidates += sum(len(h) for h in per_query_heaps[b])
@@ -524,6 +1012,7 @@ class ShardManager:
                     refined=refined_total[b],
                     pruned=pruned_total[b],
                     approximate=approx_list[b],
+                    degraded=degraded,
                 )
             )
         with tele.span(
@@ -536,6 +1025,11 @@ class ShardManager:
             tele.metrics.counter("serving.queries").add(batch)
             tele.metrics.counter("serving.refined").add(sum(refined_total))
             tele.metrics.counter("serving.pruned").add(sum(pruned_total))
+            if timing.degraded_chunks:
+                tele.metrics.counter("serving.degraded_chunks").add(
+                    timing.degraded_chunks
+                )
+        self._clock_ns = max(self._clock_ns, t0 + timing.service_ns)
         return answers, timing
 
     def knn(self, query: np.ndarray, k: int) -> KNNAnswer:
@@ -546,12 +1040,16 @@ class ShardManager:
     # ------------------------------------------------------------------
     # k-means assist
     # ------------------------------------------------------------------
-    def assign(self, centers: np.ndarray) -> tuple[AssignAnswer, GatherTiming]:
+    def assign(
+        self, centers: np.ndarray, *, now_ns: float | None = None
+    ) -> tuple[AssignAnswer, GatherTiming]:
         """Nearest center of every dataset row (k-means assist).
 
         Exact, with the canonical lowest-center-index tie-break: centers
         are considered in index order and only a strictly smaller
-        distance replaces the incumbent.
+        distance replaces the incumbent. A chunk no replica could serve
+        is recomputed host-side with the same expression and tie-break,
+        so assignments stay bit-identical.
         """
         c_int, c_norm, phi_c = self._prepare_queries(centers)
         n_centers = c_int.shape[0]
@@ -559,54 +1057,83 @@ class ShardManager:
         distances = np.empty(self.n_rows, dtype=np.float64)
         timing = GatherTiming()
         tele = get_recorder()
+        t0 = self._clock_ns if now_ns is None else float(now_ns)
         alpha2 = self.quantizer.alpha**2
-        refined_all = 0
-        pruned_all = 0
-        for shard in self.shards:
-            with tele.span(
-                "serving.assist", "serving",
-                shard=shard.shard_id, rows=shard.n_rows, centers=n_centers,
-            ):
-                dots, pim_ns = shard.dot_products(c_int)
-                refined = 0
-                for j in range(shard.n_rows):
-                    lb = (
-                        shard.phi[j] + phi_c - 2.0 * dots[:, j]
-                        - 2.0 * self.dims
-                    ) / alpha2
-                    np.maximum(lb, 0.0, out=lb)
-                    best_d = np.inf
-                    best_c = 0
-                    row = shard.floats[j]
-                    for c in range(n_centers):
-                        if lb[c] > best_d:
-                            continue
-                        diff = row - c_norm[c]
-                        d = float(diff @ diff)
-                        refined += 1
-                        if d < best_d:
-                            best_d = d
-                            best_c = c
-                    gi = shard.global_indices[j]
-                    assignments[gi] = best_c
-                    distances[gi] = best_d
-                cpu_ns = self._shard_cpu_ns(
-                    shard.n_rows, n_centers, refined
-                )
-                tele.advance(cpu_ns)
-            timing.per_shard_pim_ns.append(pim_ns)
-            timing.per_shard_cpu_ns.append(cpu_ns)
-            shard.busy_ns += pim_ns + cpu_ns
-            refined_all += refined
-            pruned_all += shard.n_rows * n_centers - refined
+        stats = {"refined": 0, "visited": 0}
+
+        def process(shard: _Shard, sel, dots) -> float:
+            idx = (
+                np.arange(shard.n_rows, dtype=np.int64) if sel is None else sel
+            )
+            refined = 0
+            for col, j in enumerate(idx):
+                lb = (
+                    shard.phi[j] + phi_c - 2.0 * dots[:, col]
+                    - 2.0 * self.dims
+                ) / alpha2
+                np.maximum(lb, 0.0, out=lb)
+                best_d = np.inf
+                best_c = 0
+                row = shard.floats[j]
+                for c in range(n_centers):
+                    if lb[c] > best_d:
+                        continue
+                    diff = row - c_norm[c]
+                    d = float(diff @ diff)
+                    refined += 1
+                    if d < best_d:
+                        best_d = d
+                        best_c = c
+                gi = shard.global_indices[j]
+                assignments[gi] = best_c
+                distances[gi] = best_d
+            stats["refined"] += refined
+            stats["visited"] += int(idx.size) * n_centers
+            return self._shard_cpu_ns(int(idx.size), n_centers, refined)
+
+        degraded_chunks = self._serve_chunks(
+            c_int, t0, process, timing, "serving.assist"
+        )
+        for c in degraded_chunks:
+            rows = self.chunk_rows[c]
+            if rows.size == 0:
+                continue
+            host = self.shards[self.replicas[c][0]]
+            sl = host.chunk_slices[c]
+            floats = host.floats[sl]
+            gidx = host.global_indices[sl]
+            for j in range(gidx.size):
+                row = floats[j]
+                best_d = np.inf
+                best_c = 0
+                for cc in range(n_centers):
+                    diff = row - c_norm[cc]
+                    d = float(diff @ diff)
+                    if d < best_d:
+                        best_d = d
+                        best_c = cc
+                gi = gidx[j]
+                assignments[gi] = best_c
+                distances[gi] = best_d
+            stats["refined"] += int(gidx.size) * n_centers
+            stats["visited"] += int(gidx.size) * n_centers
+            timing.degraded_cpu_ns += self._degraded_cpu_ns(
+                int(rows.size), n_centers
+            )
         if tele.enabled:
             tele.metrics.counter("serving.assist_rows").add(self.n_rows)
+            if timing.degraded_chunks:
+                tele.metrics.counter("serving.degraded_chunks").add(
+                    timing.degraded_chunks
+                )
+        self._clock_ns = max(self._clock_ns, t0 + timing.service_ns)
         return (
             AssignAnswer(
                 assignments=assignments,
                 distances=distances,
-                refined=refined_all,
-                pruned=pruned_all,
+                refined=stats["refined"],
+                pruned=stats["visited"] - stats["refined"],
+                degraded=bool(degraded_chunks),
             ),
             timing,
         )

@@ -24,17 +24,41 @@ PERCENTILES = (50.0, 95.0, 99.0)
 
 
 class SLOTracker:
-    """Streaming collector of terminal responses."""
+    """Streaming collector of terminal responses.
+
+    Beyond latency/throughput/sheds, it aggregates the robustness
+    signals of a faulted run: ``availability`` (completed fraction of
+    offered), ``retry_rate`` (retries per dispatch attempt),
+    ``mttr_ns`` (mean shard down-to-up time, fed from
+    :meth:`~repro.serving.health.ShardHealthTracker.drain_recoveries`),
+    and the recovery counters each
+    :class:`~repro.serving.sharding.GatherTiming` carries.
+    ``degraded_exact`` counts responses that needed host-side exact
+    recompute of an unavailable chunk — still bit-exact, but slower —
+    as opposed to ``degraded`` which counts approximate (lower-bound
+    only) service.
+    """
 
     def __init__(self) -> None:
         self.latencies_ns: list[float] = []
         self.per_tenant: dict[str, list[float]] = {}
         self.completed = 0
         self.degraded = 0
+        self.degraded_exact = 0
         self.shed = 0
         self.shed_reasons: dict[str, int] = {}
         self.first_arrival_ns: float | None = None
         self.last_completion_ns = 0.0
+        self.dispatches = 0
+        self.attempts = 0
+        self.retries = 0
+        self.failovers = 0
+        self.timeouts = 0
+        self.crashes = 0
+        self.corrupt_detected = 0
+        self.hedges = 0
+        self.degraded_chunks = 0
+        self.mttr_samples: list[float] = []
 
     # ------------------------------------------------------------------
     def observe(self, response) -> None:
@@ -62,11 +86,31 @@ class SLOTracker:
         self.last_completion_ns = max(
             self.last_completion_ns, response.completion_ns
         )
+        if getattr(response, "degraded", False):
+            self.degraded_exact += 1
         if tele.enabled:
             tele.metrics.counter("serving.completed").add(1)
             tele.metrics.histogram("serving.latency_ns").observe(latency)
             if response.approximate:
                 tele.metrics.counter("serving.degraded").add(1)
+            if getattr(response, "degraded", False):
+                tele.metrics.counter("serving.degraded_exact").add(1)
+
+    def record_dispatch(self, timing) -> None:
+        """Fold one dispatch's :class:`GatherTiming` recovery counters in."""
+        self.dispatches += 1
+        self.attempts += timing.attempts
+        self.retries += timing.retries
+        self.failovers += timing.failovers
+        self.timeouts += timing.timeouts
+        self.crashes += timing.crashes
+        self.corrupt_detected += timing.corrupt_detected
+        self.hedges += timing.hedges
+        self.degraded_chunks += timing.degraded_chunks
+
+    def record_recovery(self, duration_ns: float) -> None:
+        """Add one shard down-to-up duration (an MTTR sample)."""
+        self.mttr_samples.append(float(duration_ns))
 
     # ------------------------------------------------------------------
     @property
@@ -80,6 +124,27 @@ class SLOTracker:
         if self.offered == 0:
             return 0.0
         return self.shed / self.offered
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered requests that completed (1.0 when idle)."""
+        if self.offered == 0:
+            return 1.0
+        return self.completed / self.offered
+
+    @property
+    def retry_rate(self) -> float:
+        """Retries per dispatch attempt (0 when nothing dispatched)."""
+        if self.attempts == 0:
+            return 0.0
+        return self.retries / self.attempts
+
+    @property
+    def mttr_ns(self) -> float:
+        """Mean shard down-to-up time over the observed recoveries."""
+        if not self.mttr_samples:
+            return 0.0
+        return float(np.mean(self.mttr_samples))
 
     def percentiles(self, series=None) -> dict[str, float]:
         """p50/p95/p99 of a latency series (ns); zeros when empty."""
@@ -116,10 +181,25 @@ class SLOTracker:
             "offered": self.offered,
             "completed": self.completed,
             "degraded": self.degraded,
+            "degraded_exact": self.degraded_exact,
             "shed": self.shed,
             "shed_rate": self.shed_rate,
+            "availability": self.availability,
+            "retry_rate": self.retry_rate,
+            "mttr_ns": self.mttr_ns,
             "shed_reasons": dict(self.shed_reasons),
             "throughput_qps": self.throughput_qps(horizon_ns),
+            "recovery": {
+                "dispatches": self.dispatches,
+                "attempts": self.attempts,
+                "retries": self.retries,
+                "failovers": self.failovers,
+                "timeouts": self.timeouts,
+                "crashes": self.crashes,
+                "corrupt_detected": self.corrupt_detected,
+                "hedges": self.hedges,
+                "degraded_chunks": self.degraded_chunks,
+            },
             **pcts,
             "per_tenant": {
                 tenant: self.percentiles(series)
@@ -148,6 +228,11 @@ class SLOTracker:
                 result["throughput_qps"]
             )
             tele.metrics.gauge("serving.shed_rate").set(result["shed_rate"])
+            tele.metrics.gauge("serving.availability").set(
+                result["availability"]
+            )
+            tele.metrics.gauge("serving.retry_rate").set(result["retry_rate"])
+            tele.metrics.gauge("serving.mttr_ns").set(result["mttr_ns"])
             for s, util in enumerate(result.get("shard_utilization", [])):
                 tele.metrics.gauge(f"serving.shard{s}.utilization").set(util)
         return result

@@ -1,0 +1,223 @@
+"""Property-based tests: recovery is exact under ARBITRARY fault plans.
+
+The robustness contract, stated adversarially: for any schedule of
+shard-level faults — crashes, hangs, stragglers, corrupted waves, dead
+crossbars, in any combination, against any replication degree — every
+answer a replicated :class:`~repro.serving.ShardManager` completes is
+bit-identical to a fault-free single-array run. Failover, retried
+waves, and even the host-side degraded recompute of a chunk whose
+replicas all died must be invisible in the values.
+
+Data comes from a small grid so duplicate rows (and tied distances) are
+common — the canonical tie-break has to do real work while the fault
+machinery reshuffles which shard refines what. Corruption magnitudes
+are drawn odd, so the injected residue error is never ``0 mod 2**bits``
+and detection is certain (the 1/M blind spot is exercised separately in
+the unit tests).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ChunkUnavailableError
+from repro.faults import FaultEvent, FaultPlan
+from repro.serving import RecoveryPolicy, ShardManager
+from repro.similarity.quantization import Quantizer
+
+#: Coarse value grid -> many exact duplicate coordinates and rows.
+GRID = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+#: Shard-affecting fault kinds the recovery machinery must absorb.
+#: ``stuck_cells`` is excluded on purpose: it is a persistent *value*
+#: fault whose residue detection is probabilistic (the ABFT 1/M blind
+#: spot), so it cannot carry a for-all exactness guarantee.
+KINDS = [
+    "shard_crash",
+    "shard_hang",
+    "slow_shard",
+    "wave_corrupt",
+    "latency_spike",
+    "crossbar_dead",
+]
+
+
+@st.composite
+def gridded_data(draw, max_rows=18):
+    n = draw(st.integers(min_value=4, max_value=max_rows))
+    dims = draw(st.sampled_from([2, 4]))
+    cells = st.sampled_from(GRID)
+    data = np.array(
+        draw(
+            st.lists(
+                st.lists(cells, min_size=dims, max_size=dims),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    query = np.array(draw(st.lists(cells, min_size=dims, max_size=dims)))
+    k = draw(st.integers(min_value=1, max_value=n))
+    return data, query, k
+
+
+@st.composite
+def fault_case(draw):
+    """A dataset, a sharded+replicated layout, and an arbitrary plan."""
+    data, query, k = draw(gridded_data())
+    n_shards = draw(st.integers(min_value=2, max_value=4))
+    replication = draw(st.integers(min_value=1, max_value=n_shards))
+    events = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        kind = draw(st.sampled_from(KINDS))
+        shard = draw(st.integers(min_value=0, max_value=n_shards - 1))
+        t_ns = draw(st.sampled_from([0.0, 5_000.0, 1e5]))
+        duration = draw(st.sampled_from([None, 50_000.0]))
+        params = {}
+        if kind in ("slow_shard", "latency_spike"):
+            params["factor"] = draw(st.sampled_from([2.0, 8.0]))
+        if kind == "wave_corrupt":
+            params["probability"] = draw(st.sampled_from([0.5, 1.0]))
+            params["magnitude"] = draw(
+                st.sampled_from([3, 101, 1_000_003])
+            )
+        events.append(
+            FaultEvent(
+                t_ns=t_ns,
+                kind=kind,
+                target=f"shard{shard}",
+                duration_ns=duration,
+                params=params,
+            )
+        )
+    seed = draw(st.integers(min_value=0, max_value=5))
+    return data, query, k, n_shards, replication, FaultPlan(events, seed)
+
+
+def clean_manager(data):
+    """The fault-free single-array reference over the same data.
+
+    A degenerate all-equal grid dataset breaks min-max normalisation, so
+    the quantizer is told the data is already normalised — every manager
+    in a comparison shares the setting, keeping the equality honest.
+    """
+    return ShardManager(data, 1, quantizer=Quantizer(assume_normalized=True))
+
+
+class TestExactRecovery:
+    @settings(max_examples=20, deadline=None)
+    @given(fault_case())
+    def test_any_fault_plan_yields_bit_identical_topk(self, case):
+        data, query, k, n_shards, replication, plan = case
+        expected = clean_manager(data).knn(query, k)
+        manager = ShardManager(
+            data,
+            n_shards,
+            replication=replication,
+            fault_plan=plan,
+            quantizer=Quantizer(assume_normalized=True),
+        )
+        answer = manager.knn(query, k)
+        assert np.array_equal(answer.indices, expected.indices)
+        assert np.array_equal(answer.scores, expected.scores)
+
+    @settings(max_examples=10, deadline=None)
+    @given(gridded_data(max_rows=12), st.integers(0, 5))
+    def test_assign_is_exact_under_total_crash(self, case, seed):
+        data, query, _ = case
+        centers = np.stack([query, data[0]])
+        expected, _ = clean_manager(data).assign(centers)
+        # every shard dead from t=0: every chunk takes the degraded path
+        plan = FaultPlan(
+            [
+                FaultEvent(t_ns=0.0, kind="shard_crash", target=f"shard{s}")
+                for s in range(3)
+            ],
+            seed=seed,
+        )
+        manager = ShardManager(
+            data,
+            3,
+            fault_plan=plan,
+            quantizer=Quantizer(assume_normalized=True),
+        )
+        answer, timing = manager.assign(centers)
+        assert np.array_equal(answer.assignments, expected.assignments)
+        assert np.array_equal(answer.distances, expected.distances)
+        assert answer.degraded
+        assert timing.degraded_chunks == manager.n_chunks
+
+
+class TestCorruptionIsNeverSilentlyUsed:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        gridded_data(),
+        st.integers(min_value=2, max_value=3),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_all_replicas_corrupt_degrades_but_stays_exact(
+        self, case, n_shards, magnitude_half, seed
+    ):
+        data, query, k = case
+        expected = clean_manager(data).knn(query, k)
+        # every wave of every shard corrupted by an odd (always-detected)
+        # offset: no replica can serve, so exactness must come from
+        # detection + host-side recompute, never from a corrupted wave
+        plan = FaultPlan(
+            [
+                FaultEvent(
+                    t_ns=0.0,
+                    kind="wave_corrupt",
+                    target=f"shard{s}",
+                    params={
+                        "probability": 1.0,
+                        "magnitude": 2 * magnitude_half + 1,
+                    },
+                )
+                for s in range(n_shards)
+            ],
+            seed=seed,
+        )
+        manager = ShardManager(
+            data,
+            n_shards,
+            fault_plan=plan,
+            quantizer=Quantizer(assume_normalized=True),
+        )
+        assert manager.verify
+        answers, timing = manager.knn_batch(np.atleast_2d(query), k)
+        assert np.array_equal(answers[0].indices, expected.indices)
+        assert np.array_equal(answers[0].scores, expected.scores)
+        assert answers[0].degraded
+        assert timing.corrupt_detected >= 1
+        assert timing.degraded_chunks == manager.n_chunks
+
+
+class TestNoLiveReplica:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        gridded_data(max_rows=10),
+        st.integers(min_value=2, max_value=4),
+    )
+    def test_unservable_chunk_raises_when_degradation_disabled(
+        self, case, n_shards
+    ):
+        data, query, k = case
+        plan = FaultPlan(
+            [
+                FaultEvent(t_ns=0.0, kind="shard_crash", target=f"shard{s}")
+                for s in range(n_shards)
+            ]
+        )
+        manager = ShardManager(
+            data,
+            n_shards,
+            replication=n_shards,
+            fault_plan=plan,
+            recovery=RecoveryPolicy(allow_degraded=False),
+            quantizer=Quantizer(assume_normalized=True),
+        )
+        with pytest.raises(ChunkUnavailableError):
+            manager.knn(query, k)
