@@ -245,6 +245,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0, metavar="SEED",
         help="seed of the chaos fault plan (with --chaos)",
     )
+    serve.add_argument(
+        "--repair", action="store_true",
+        help=(
+            "attach the self-healing loop (repro.repair): background "
+            "scrubbing during idle time, spare-crossbar remap of "
+            "confirmed device faults, live re-replication of lost "
+            "chunks, quarantine re-admission"
+        ),
+    )
+    serve.add_argument(
+        "--spares", type=int, default=0, metavar="N",
+        help=(
+            "spare crossbars reserved per shard as the remap pool "
+            "(typically used with --repair)"
+        ),
+    )
+    serve.add_argument(
+        "--scrub-period", type=float, default=50_000.0, metavar="US",
+        help=(
+            "background scrub sweep period in simulated microseconds "
+            "(with --repair); every shard is re-verified once per period"
+        ),
+    )
     return parser
 
 
@@ -418,6 +441,19 @@ def _cmd_profile(args, out) -> int:
     return 0
 
 
+def _format_shard_health(entry: dict) -> str:
+    """One shard's health snapshot as a compact ``shardN=status`` token."""
+    status = entry["status"]
+    detail = ""
+    if status == "dead" and entry["dead_since_ns"] is not None:
+        detail = f"@{entry['dead_since_ns'] / 1e6:.1f}ms"
+    elif status == "quarantine":
+        detail = f"({entry['quarantine_left']} probes left)"
+    elif status == "open" and entry["open_until_ns"] is not None:
+        detail = f"(until {entry['open_until_ns'] / 1e6:.1f}ms)"
+    return f"shard{entry['shard']}={status}{detail}"
+
+
 def _cmd_serve(args, out) -> int:
     from repro.data.workloads import KINDS, make_workload
     from repro.serving import (
@@ -470,7 +506,16 @@ def _cmd_serve(args, out) -> int:
         seed=args.seed,
         replication=args.replication,
         fault_plan=fault_plan,
+        spare_crossbars=args.spares,
     )
+    repair = None
+    if args.repair:
+        from repro.repair import RepairController, RepairPolicy
+
+        repair = RepairController(
+            manager,
+            RepairPolicy(scrub_period_ns=args.scrub_period * 1e3),
+        )
     driver = WorkloadDriver(data, tenants, seed=args.seed)
     requests = driver.open_loop(
         rate, args.requests, arrival=args.arrival
@@ -484,6 +529,7 @@ def _cmd_serve(args, out) -> int:
         default_deadline_ns=(
             args.deadline_us * 1e3 if args.deadline_us is not None else None
         ),
+        repair=repair,
     )
     service.run(requests)
     summary = service.summary()
@@ -554,6 +600,33 @@ def _cmd_serve(args, out) -> int:
         dead = manager.health.dead_shards
         print(
             f"dead shards    : {dead if dead else 'none'}",
+            file=out,
+        )
+    print(
+        "health         : " + " ".join(
+            _format_shard_health(entry) for entry in summary["health"]
+        ),
+        file=out,
+    )
+    if repair is not None:
+        rep = summary["repair"]
+        scrub = rep["scrub"]
+        print(
+            "scrubber       : "
+            f"{scrub['probes']} probes / {scrub['sweeps']} sweeps "
+            f"({' '.join(f'{k}={v}' for k, v in scrub['outcomes'].items())})",
+            file=out,
+        )
+        print(
+            "repair         : "
+            f"detections={rep['detections']} remaps={rep['remaps']} "
+            f"rereplications={rep['rereplications']} "
+            f"({rep['rereplicated_bytes'] / 1024:.0f} KiB copied)",
+            file=out,
+        )
+        print(
+            f"replicas       : {rep['replica_counts']} "
+            f"(spares left {rep['spares_remaining']})",
             file=out,
         )
     rows = [

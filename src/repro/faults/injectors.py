@@ -149,6 +149,7 @@ class FaultyPIMArray:
         self.injected: dict[str, int] = {}
         self._event_rngs: dict[int, np.random.Generator] = {}
         self._stuck_cache: dict[tuple[str, int], tuple] = {}
+        self._repaired: set[int] = set()
 
     # Everything not fault-related is the wrapped array's business.
     def __getattr__(self, name):
@@ -162,6 +163,63 @@ class FaultyPIMArray:
     def advance_to(self, t_ns: float) -> None:
         """Move the fault clock forward to simulated time ``t_ns``."""
         self.now_ns = max(self.now_ns, float(t_ns))
+
+    # ------------------------------------------------------------------
+    # repair API (consumed by repro.repair)
+    # ------------------------------------------------------------------
+    #: Persistent device faults a spare-crossbar remap can clear. The
+    #: transient kinds (wave_corrupt, latency_spike) expire on their own
+    #: and have no physical substrate to swap out.
+    REPAIRABLE_KINDS = ("stuck_cells", "crossbar_dead")
+
+    def _active(self, kind: str) -> list[FaultEvent]:
+        """Plan-active events of ``kind``, minus those already repaired."""
+        return [
+            e
+            for e in self.plan.active(self.target, kind, self.now_ns)
+            if id(e) not in self._repaired
+        ]
+
+    def repairable_events(self, now_ns: float | None = None) -> list[FaultEvent]:
+        """Unrepaired persistent device faults active at ``now_ns``.
+
+        The scrubber calls this after a failed probe to learn *what* to
+        remap; ``now_ns`` defaults to the injector's fault clock.
+        """
+        t = self.now_ns if now_ns is None else float(now_ns)
+        out: list[FaultEvent] = []
+        for kind in self.REPAIRABLE_KINDS:
+            out.extend(
+                e
+                for e in self.plan.active(self.target, kind, t)
+                if id(e) not in self._repaired
+            )
+        return out
+
+    def mark_repaired(self, event: FaultEvent) -> None:
+        """Suppress ``event`` permanently: its physical substrate was
+        remapped onto a spare, so the defect no longer touches waves."""
+        self._repaired.add(id(event))
+        self._stuck_cache = {
+            key: cached
+            for key, cached in self._stuck_cache.items()
+            if key[1] != id(event)
+        }
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter("faults.repaired").add(1)
+
+    def affected_vectors(self, name: str, event: FaultEvent) -> np.ndarray:
+        """Global-in-matrix vector indices a stuck-cells event corrupts.
+
+        The repair layer maps these onto data-crossbar indices to decide
+        which physical crossbars to remap. ``crossbar_dead`` events have
+        no vector footprint (the whole array refuses service).
+        """
+        if event.kind != "stuck_cells":
+            return np.array([], dtype=np.int64)
+        affected, _rows = self._stuck_rows(name, event)
+        return np.asarray(affected, dtype=np.int64)
 
     # ------------------------------------------------------------------
     def _rng_for_event(self, event: FaultEvent) -> np.random.Generator:
@@ -188,7 +246,7 @@ class FaultyPIMArray:
                 pass  # zero-duration marker on the trace timeline
 
     def _check_dead(self) -> None:
-        dead = self.plan.active(self.target, "crossbar_dead", self.now_ns)
+        dead = self._active("crossbar_dead")
         if dead:
             self._note("crossbar_dead")
             raise CrossbarDeadError(
@@ -236,7 +294,7 @@ class FaultyPIMArray:
     ) -> np.ndarray:
         events = [
             e
-            for e in self.plan.active(self.target, "stuck_cells", self.now_ns)
+            for e in self._active("stuck_cells")
             if e.params.get("matrix") in (None, name)
         ]
         if not events:
@@ -252,7 +310,7 @@ class FaultyPIMArray:
         return values
 
     def _apply_corruption(self, values: np.ndarray) -> np.ndarray:
-        events = self.plan.active(self.target, "wave_corrupt", self.now_ns)
+        events = self._active("wave_corrupt")
         if not events:
             return values
         out = np.atleast_2d(values).copy()
@@ -274,7 +332,7 @@ class FaultyPIMArray:
         return out.reshape(values.shape)
 
     def _apply_latency(self, timing):
-        events = self.plan.active(self.target, "latency_spike", self.now_ns)
+        events = self._active("latency_spike")
         if not events:
             return timing
         factor = 1.0

@@ -231,3 +231,68 @@ class FaultPlan:
                 )
             )
         return cls(events, seed=seed)
+
+    @classmethod
+    def sustained(
+        cls,
+        n_shards: int,
+        horizon_ns: float,
+        seed: int = 0,
+        *,
+        stuck_shards: int = 2,
+        stuck_fraction: float = 0.05,
+        stuck_at_ns: float | None = None,
+        kill_shards: int = 1,
+        kill_at_ns: float | None = None,
+    ) -> "FaultPlan":
+        """A sustained *silent*-corruption stream for the repair bench.
+
+        Plants permanent ``stuck_cells`` defects on ``stuck_shards``
+        **consecutive** shards starting from a seeded offset. Under the
+        k-replica ring placement (chunk ``c`` on shards ``(c + j) % n``),
+        consecutive victims cover every replica of at least one chunk
+        whenever ``stuck_shards >= replication``, so a failover-only
+        baseline is forced into degraded host recompute on that chunk
+        until the defects are repaired. ``kill_shards`` of the remaining
+        shards then crash mid-run, exercising live re-replication.
+
+        Unlike :meth:`chaos`, the defects here are silent between
+        queries: nothing fails until a wave (or a scrub probe) actually
+        reads the stuck region.
+        """
+        if n_shards < 1:
+            raise ConfigurationError("need at least one shard")
+        horizon_ns = float(horizon_ns)
+        if horizon_ns <= 0:
+            raise ConfigurationError("horizon must be positive")
+        if stuck_shards > n_shards:
+            raise ConfigurationError(
+                "cannot plant defects on more shards than exist"
+            )
+        rng = np.random.default_rng(seed)
+        stuck_t = (
+            0.1 * horizon_ns if stuck_at_ns is None else float(stuck_at_ns)
+        )
+        kill_t = (
+            0.5 * horizon_ns if kill_at_ns is None else float(kill_at_ns)
+        )
+        start = int(rng.integers(0, n_shards))
+        stuck_set = {(start + i) % n_shards for i in range(stuck_shards)}
+        events: list[FaultEvent] = [
+            FaultEvent(
+                t_ns=stuck_t,
+                kind="stuck_cells",
+                target=f"shard{shard}",
+                params={"fraction": stuck_fraction, "stuck_to": 0},
+            )
+            for shard in sorted(stuck_set)
+        ]
+        survivors = [s for s in range(n_shards) if s not in stuck_set]
+        kill_order = [int(s) for s in rng.permutation(survivors)]
+        for shard in kill_order[:kill_shards]:
+            events.append(
+                FaultEvent(
+                    t_ns=kill_t, kind="shard_crash", target=f"shard{shard}"
+                )
+            )
+        return cls(events, seed=seed)

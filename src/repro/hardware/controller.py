@@ -46,6 +46,7 @@ class PIMController:
         hardware: HardwareConfig | None = None,
         simulate_cells: bool = False,
         noise=None,
+        spare_crossbars: int = 0,
     ) -> None:
         self.hardware = hardware if hardware is not None else pim_platform()
         if noise is not None:
@@ -53,7 +54,11 @@ class PIMController:
 
             self.pim: PIMArray = NoisyPIMArray(self.hardware, noise)
         else:
-            self.pim = PIMArray(self.hardware, simulate_cells=simulate_cells)
+            self.pim = PIMArray(
+                self.hardware,
+                simulate_cells=simulate_cells,
+                spare_crossbars=spare_crossbars,
+            )
         self.noise = noise
         self.memory = MemoryArray(self.hardware.memory, device="reram")
         self._receipts: dict[str, ProgramReceipt] = {}

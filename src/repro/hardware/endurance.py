@@ -42,8 +42,14 @@ class EnduranceTracker:
             context (see :class:`~repro.errors.FaultError`), so the
             serving layer can shed with a reason code instead of
             crashing and operators can pinpoint the worn crossbar.
+
+        The write is recorded *before* the exception is raised: the
+        terminal write did physically happen, so ``wear_fraction`` must
+        be able to reach (and pass) 1.0 and a repeated call must report
+        the advancing count rather than re-raising with a stale one.
         """
         total = self.writes.get(unit_id, 0) + count
+        self.writes[unit_id] = total
         if total > self.endurance:
             from repro.telemetry import get_recorder
 
@@ -55,7 +61,6 @@ class EnduranceTracker:
                 writes=total,
                 endurance=self.endurance,
             )
-        self.writes[unit_id] = total
 
     def write_count(self, unit_id: int) -> int:
         """Cumulative writes recorded for ``unit_id``."""
@@ -78,3 +83,34 @@ class EnduranceTracker:
     def wear_fraction(self, unit_id: int) -> float:
         """Fraction of the endurance budget consumed by ``unit_id``."""
         return self.write_count(unit_id) / self.endurance
+
+    def wear_report(self, top: int | None = None) -> dict:
+        """Structured wear summary shared by the repair layer and benches.
+
+        Returns the rated endurance, aggregate counters and the ``top``
+        most-worn units (all units when ``top`` is ``None``), each with
+        its write count and wear fraction. Ties are broken by unit id so
+        the report is deterministic.
+        """
+        entries = sorted(self.writes.items(), key=lambda kv: (-kv[1], kv[0]))
+        if top is not None:
+            entries = entries[:top]
+        return {
+            "endurance": self.endurance,
+            "units_tracked": len(self.writes),
+            "total_writes": self.total_writes,
+            "max_writes": self.max_writes,
+            "max_wear_fraction": (
+                self.max_writes / self.endurance if self.endurance else 0.0
+            ),
+            "hottest": [
+                {
+                    "unit": unit,
+                    "writes": count,
+                    "wear_fraction": (
+                        count / self.endurance if self.endurance else 0.0
+                    ),
+                }
+                for unit, count in entries
+            ],
+        }

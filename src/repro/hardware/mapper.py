@@ -119,6 +119,25 @@ def fits(n_vectors: int, dims: int, config: PIMArrayConfig) -> bool:
     return total_crossbars(n_vectors, dims, config) <= config.num_crossbars
 
 
+def reserve_spares(config: PIMArrayConfig, spare_crossbars: int) -> int:
+    """Validate a spare-crossbar reservation; returns the usable pool size.
+
+    The repair layer withholds ``spare_crossbars`` crossbars from data
+    placement so a stuck or dead crossbar can be remapped onto a fresh
+    one without evicting a dataset. The reservation must leave at least
+    one crossbar for data.
+    """
+    if spare_crossbars < 0:
+        raise ConfigurationError("spare_crossbars must be non-negative")
+    usable = config.num_crossbars - spare_crossbars
+    if usable <= 0:
+        raise CapacityError(
+            f"reserving {spare_crossbars} spares leaves no data crossbars "
+            f"(array has {config.num_crossbars})"
+        )
+    return usable
+
+
 def max_dimensionality(
     n_vectors: int,
     upper: int,

@@ -29,7 +29,12 @@ from repro.hardware.buffer import BufferArray
 from repro.hardware.config import HardwareConfig, PIMArrayConfig, pim_platform
 from repro.hardware.crossbar import Crossbar
 from repro.hardware.endurance import EnduranceTracker
-from repro.hardware.mapper import DatasetLayout, plan_layout, vectors_per_crossbar
+from repro.hardware.mapper import (
+    DatasetLayout,
+    plan_layout,
+    reserve_spares,
+    vectors_per_crossbar,
+)
 from repro.hardware.timing import (
     BatchWaveTiming,
     WaveTiming,
@@ -93,6 +98,7 @@ class PIMStats:
     batches: int = 0
     batched_queries: int = 0
     batch_saved_ns: float = 0.0
+    remaps: int = 0
     matrices: dict[str, DatasetLayout] = field(default_factory=dict)
     per_matrix: dict[str, MatrixBatchState] = field(default_factory=dict)
 
@@ -141,6 +147,7 @@ class PIMStats:
             merged.batches += part.batches
             merged.batched_queries += part.batched_queries
             merged.batch_saved_ns += part.batch_saved_ns
+            merged.remaps += part.remaps
             for name, layout in part.matrices.items():
                 key = prefix + name
                 if key in merged.matrices:
@@ -192,12 +199,18 @@ class PIMArray:
     simulate_cells:
         Route every wave through per-crossbar bit-sliced computation.
         Exact but slow; intended for small-geometry verification.
+    spare_crossbars:
+        Crossbars withheld from data placement as a repair pool. A
+        stuck/dead crossbar can be remapped onto the least-worn spare
+        (see :meth:`remap_crossbar`); the capacity available to
+        :meth:`program_matrix` shrinks by the reservation.
     """
 
     def __init__(
         self,
         hardware: HardwareConfig | None = None,
         simulate_cells: bool = False,
+        spare_crossbars: int = 0,
     ) -> None:
         self.hardware = hardware if hardware is not None else pim_platform()
         if self.hardware.pim is None:
@@ -210,6 +223,14 @@ class PIMArray:
         self._matrices: dict[str, _ProgrammedMatrix] = {}
         self._next_crossbar_id = 0
         self._free_crossbar_ids: list[int] = []
+        self.spare_crossbars = int(spare_crossbars)
+        self.data_capacity = reserve_spares(self.config, self.spare_crossbars)
+        # spares take the first physical ids so data/spare sets are
+        # disjoint and deterministic across runs
+        self._spare_ids: list[int] = list(range(self.spare_crossbars))
+        self._next_crossbar_id = self.spare_crossbars
+        self.remap_table: dict[int, int] = {}
+        self._retired_ids: set[int] = set()
 
     # ------------------------------------------------------------------
     # programming (offline stage)
@@ -245,10 +266,15 @@ class PIMArray:
         n_vectors, dims = matrix.shape
         layout = plan_layout(n_vectors, dims, self.config)
         used = self.stats.crossbars_used + layout.n_crossbars
-        if used > self.config.num_crossbars:
+        if used > self.data_capacity:
+            detail = (
+                f" ({self.spare_crossbars} reserved as spares)"
+                if self.spare_crossbars
+                else ""
+            )
             raise CapacityError(
                 f"programming {name!r} would use {used} crossbars, "
-                f"array has {self.config.num_crossbars}"
+                f"array has {self.data_capacity}{detail}"
             )
         crossbars = (
             self._program_cells(matrix, layout) if self.simulate_cells else None
@@ -353,6 +379,93 @@ class PIMArray:
         if record is None:
             raise ProgrammingError(f"no matrix named {name!r}")
         return record.matrix
+
+    # ------------------------------------------------------------------
+    # spare pool + remap table (repair layer)
+    # ------------------------------------------------------------------
+    @property
+    def spares_remaining(self) -> int:
+        """Spare crossbars still available for remapping."""
+        return len(self._spare_ids)
+
+    def crossbar_ids_of(self, name: str) -> list[int]:
+        """Physical crossbar ids currently backing matrix ``name``."""
+        record = self._matrices.get(name)
+        if record is None:
+            raise ProgrammingError(f"no matrix named {name!r}")
+        return list(record.crossbar_ids)
+
+    def remap_crossbar(self, old_id: int) -> tuple[int, float]:
+        """Remap one flagged crossbar onto the least-worn spare.
+
+        The owning matrix's placement is rewritten in place (values are
+        unchanged — the logical matrix is simply reprogrammed onto the
+        spare), the spare is charged one endurance write plus the
+        per-crossbar reprogramming latency, and ``old_id`` is retired
+        permanently: it never re-enters the free list.
+
+        Returns
+        -------
+        tuple
+            ``(spare_id, reprogram_ns)``.
+
+        Raises
+        ------
+        CapacityError
+            When the spare pool is exhausted.
+        ProgrammingError
+            When ``old_id`` backs no programmed matrix.
+        """
+        owner = None
+        for name, record in self._matrices.items():
+            if old_id in record.crossbar_ids:
+                owner = (name, record)
+                break
+        if owner is None:
+            raise ProgrammingError(
+                f"crossbar {old_id} backs no programmed matrix"
+            )
+        if not self._spare_ids:
+            raise CapacityError(
+                f"spare pool exhausted remapping crossbar {old_id}"
+            )
+        name, record = owner
+        spare = min(
+            self._spare_ids,
+            key=lambda u: (self.endurance.write_count(u), u),
+        )
+        self._spare_ids.remove(spare)
+        self.endurance.record_write(spare)
+        record.crossbar_ids[record.crossbar_ids.index(old_id)] = spare
+        self.remap_table[old_id] = spare
+        self._retired_ids.add(old_id)
+        from repro.hardware.reprogramming import crossbar_reprogram_ns
+
+        reprogram_ns = crossbar_reprogram_ns(record.layout, self.config)
+        self.stats.programming_time_ns += reprogram_ns
+        self.stats.remaps += 1
+        tele = get_recorder()
+        if tele.enabled:
+            with tele.span(
+                "pim.remap", "pim_program",
+                matrix=name, old_crossbar=old_id, spare=spare,
+            ):
+                tele.advance(reprogram_ns)
+            tele.metrics.counter("pim.remaps").add(1)
+            tele.metrics.gauge("pim.spares_remaining").set(
+                len(self._spare_ids)
+            )
+        return spare, reprogram_ns
+
+    def remap_crossbars(self, old_ids: list[int]) -> tuple[list[int], float]:
+        """Remap several crossbars; returns the spares and total latency."""
+        spares: list[int] = []
+        total_ns = 0.0
+        for old_id in old_ids:
+            spare, ns = self.remap_crossbar(old_id)
+            spares.append(spare)
+            total_ns += ns
+        return spares, total_ns
 
     # ------------------------------------------------------------------
     # querying (online stage)

@@ -29,14 +29,27 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import CapacityError, ConfigurationError, OperandError
-from repro.hardware.config import HardwareConfig, pim_platform
-from repro.hardware.mapper import plan_layout
+from repro.hardware.config import HardwareConfig, PIMArrayConfig, pim_platform
+from repro.hardware.mapper import DatasetLayout, plan_layout
 from repro.hardware.memory import MemoryArray
 from repro.hardware.pim_array import PIMArray
 from repro.hardware.timing import programming_time_ns, wave_timing
 from repro.telemetry import get_recorder
 
 POLICIES = ("round_robin", "pinned")
+
+
+def crossbar_reprogram_ns(
+    layout: DatasetLayout, config: PIMArrayConfig
+) -> float:
+    """Latency of rewriting ONE crossbar of a programmed layout.
+
+    Programming a layout writes all of its crossbars concurrently-ish in
+    the timing model, so the per-crossbar remap cost is the layout's
+    programming time spread over its crossbar count. The repair layer
+    charges this when a stuck or dead crossbar is remapped onto a spare.
+    """
+    return programming_time_ns(layout, config) / max(layout.n_crossbars, 1)
 
 
 @dataclass

@@ -1,0 +1,22 @@
+"""Self-healing serving: scrubbing, spare-crossbar remap, re-replication.
+
+The repair layer closes the loop PR-4 left open. Fault *tolerance*
+(retries, failover, degraded recompute) keeps answers exact while a
+fault is live; *repair* makes the fault go away: a background scrubber
+re-verifies residue checksums during idle simulated time, confirmed
+device faults are remapped onto each shard's spare-crossbar pool, lost
+replicas are re-created under a bandwidth budget, and repaired shards
+re-enter rotation through quarantine. All of it runs on the simulated
+clock, interleaved with EDF dispatch — two runs of the same plan heal
+identically, byte for byte.
+"""
+
+from repro.repair.controller import RepairController
+from repro.repair.policy import RepairPolicy
+from repro.repair.scrubber import BackgroundScrubber
+
+__all__ = [
+    "BackgroundScrubber",
+    "RepairController",
+    "RepairPolicy",
+]

@@ -1,0 +1,423 @@
+"""The self-healing loop: detect, remap, re-replicate, re-admit.
+
+:class:`RepairController` owns the
+:class:`~repro.repair.scrubber.BackgroundScrubber` and turns its probe
+outcomes into repairs, entirely within idle windows of the simulated
+clock handed over by :meth:`advance`:
+
+* a **corrupt** probe raises suspicion; ``probe_confirmations``
+  consecutive failures confirm a *persistent* defect (a single hit could
+  be a transient ``wave_corrupt``), at which point the controller asks
+  the shard's :class:`~repro.faults.injectors.FaultyPIMArray` which
+  device faults are live and remaps the affected data crossbars onto
+  the shard's spare pool (wear-leveled, charged real reprogramming
+  latency), then quarantines the shard via
+  :meth:`~repro.serving.health.ShardHealthTracker.mark_repaired`;
+* a **dead_array** probe is conclusive on its own — hard failures need
+  no confirmation;
+* a **crash** verdict marks the shard permanently dead, and any chunk
+  below its target replica count is queued for **re-replication**: the
+  chunk's bytes are copied from a surviving replica under the
+  ``repair_bandwidth_bytes_per_s`` budget (split across idle windows),
+  then the target shard's matrix is reprogrammed, checksum row included;
+* when the spare pool is exhausted, a stuck shard is left to the
+  per-query detection path and a dead one is declared unrepairable
+  (permanently failed), falling through to re-replication.
+
+Every decision lands in the event timeline (:meth:`drain_events`) the
+:class:`~repro.serving.slo.SLOTracker` folds into the SLO report, and
+:meth:`heal` finishes outstanding redundancy restoration after the last
+request drains.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import (
+    CapacityError,
+    ChunkUnavailableError,
+    ServingError,
+    WatchdogTimeoutError,
+)
+from repro.repair.policy import RepairPolicy
+from repro.repair.scrubber import BackgroundScrubber
+from repro.telemetry import get_recorder
+
+
+@dataclass
+class _Transfer:
+    """One in-flight re-replication: copy phase, then program phase."""
+
+    chunk: int
+    target: int
+    started_ns: float
+    bytes: int
+    remaining_ns: float
+    phase: str = "copy"
+    record: dict | None = None
+
+
+class RepairController:
+    """Drives scrubbing, spare-crossbar remap and live re-replication.
+
+    The controller keeps its own monotone clock (``now_ns``): a probe
+    that slightly overruns the handed-over window simply pushes the next
+    window's start, so repair work never runs concurrently with itself.
+    """
+
+    def __init__(self, manager, policy: RepairPolicy | None = None) -> None:
+        self.manager = manager
+        self.policy = policy if policy is not None else RepairPolicy()
+        self.scrubber = BackgroundScrubber(manager, self.policy)
+        self.now_ns = 0.0
+        self.busy_ns = 0.0
+        self.detections = 0
+        self.remaps = 0
+        self.remap_ns = 0.0
+        self.rereplications = 0
+        self.rereplicated_bytes = 0
+        self.events: list[dict] = []
+        self._pending: list[_Transfer] = []
+        self._suspicion: dict[int, int] = {}
+        self._unrepairable: set[int] = set()
+        self._dead_handled: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # idle-window scheduling
+    # ------------------------------------------------------------------
+    def advance(self, start_ns: float, end_ns: float) -> float:
+        """Spend the idle window ``[start_ns, end_ns)`` on repair work.
+
+        Redundancy restoration outranks scrubbing: queued re-replication
+        transfers progress first (under the bandwidth budget), then due
+        scrub probes fire. Returns the simulated time consumed.
+        """
+        t = max(float(start_ns), self.now_ns)
+        end = float(end_ns)
+        if end <= t:
+            return 0.0
+        t0 = t
+        self._enqueue_missing(t)
+        while t < end:
+            if self._pending:
+                t = self._transfer_step(t, end)
+                continue
+            due = self.scrubber.due_ns()
+            if due >= end:
+                break
+            t = max(t, due)
+            t += self._scrub_once(t)
+        self.now_ns = max(self.now_ns, t)
+        used = max(t - t0, 0.0)
+        self.busy_ns += used
+        return used
+
+    def heal(self, now_ns: float, max_steps: int = 100_000) -> float:
+        """Finish all outstanding re-replication after the run drains.
+
+        Ignores scrub pacing — this is the end-of-run "restore every
+        chunk to its target replica count" pass. Returns the simulated
+        time at which the last transfer completed.
+        """
+        t = max(float(now_ns), self.now_ns)
+        for _ in range(max_steps):
+            self._enqueue_missing(t)
+            if not self._pending:
+                break
+            t = self._transfer_step(t, math.inf)
+        else:
+            raise WatchdogTimeoutError(
+                f"heal() made no progress after {max_steps} steps "
+                f"({len(self._pending)} transfers stuck)"
+            )
+        self.now_ns = max(self.now_ns, t)
+        return self.now_ns
+
+    # ------------------------------------------------------------------
+    # scrub outcomes -> repair decisions
+    # ------------------------------------------------------------------
+    def _scrub_once(self, t_ns: float) -> float:
+        probe = self.scrubber.probe(t_ns)
+        s = probe["shard"]
+        outcome = probe["outcome"]
+        cost = float(probe["cost_ns"])
+        t_done = t_ns + cost
+        health = self.manager.health
+        if outcome in ("clean", "skip"):
+            self._suspicion[s] = 0
+            self.scrubber.advance(t_done)
+        elif outcome == "crash":
+            health.record_failure(s, t_done, permanent=True)
+            self._suspicion[s] = 0
+            self._event(t_done, "shard_dead", shard=s, via="scrub")
+            self.scrubber.advance(t_done)
+            self._enqueue_missing(t_done)
+        elif outcome == "hang":
+            health.record_failure(s, t_done)
+            self.scrubber.advance(t_done)
+        else:  # corrupt / dead_array
+            self._suspicion[s] = self._suspicion.get(s, 0) + 1
+            # a hard CrossbarDeadError is conclusive on its own; a bad
+            # residue could be a transient wave_corrupt and needs the
+            # policy's consecutive confirmations
+            needed = (
+                1
+                if outcome == "dead_array"
+                else self.policy.probe_confirmations
+            )
+            if self._suspicion[s] >= needed:
+                self._suspicion[s] = 0
+                cost += self._repair_shard(s, t_done)
+                self.scrubber.advance(t_ns + cost)
+            else:
+                self.scrubber.hold()
+        return cost
+
+    def _repair_shard(self, s: int, t_ns: float) -> float:
+        """Remap a confirmed-bad shard's faulty crossbars onto spares."""
+        shard = self.manager.shards[s]
+        health = self.manager.health
+        faulty = shard.faulty
+        events = (
+            [
+                e
+                for e in faulty.repairable_events(t_ns)
+                if id(e) not in self._unrepairable
+            ]
+            if faulty is not None
+            else []
+        )
+        self.detections += 1
+        self._event(
+            t_ns, "detect", shard=s,
+            faults=[e.describe() for e in events],
+        )
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter("repair.detections").add(1)
+        if not events:
+            # transient (wave_corrupt) or nothing the plan owns up to:
+            # the per-query retry path absorbs it, nothing to remap
+            return 0.0
+        # open the outage window now so the MTTR sample measures
+        # detection -> re-admission, probation included
+        health.record_failure(s, t_ns)
+        repaired = 0
+        spent_ns = 0.0
+        dead_beyond_repair = False
+        for event in events:
+            old_ids = self._crossbars_of(shard, event)
+            try:
+                # pre-check the pool so a mid-loop exhaustion can't eat
+                # spares without actually clearing the fault
+                if shard.controller.pim.spares_remaining < len(old_ids):
+                    raise CapacityError(
+                        f"{shard.name}: {len(old_ids)} crossbars to remap, "
+                        f"{shard.controller.pim.spares_remaining} spares left"
+                    )
+                spares, ns = shard.faulty.remap_crossbars(old_ids)
+            except CapacityError:
+                self._unrepairable.add(id(event))
+                self._event(
+                    t_ns + spent_ns, "spares_exhausted",
+                    shard=s, fault=event.describe(),
+                )
+                if event.kind == "crossbar_dead":
+                    dead_beyond_repair = True
+                continue
+            shard.faulty.mark_repaired(event)
+            repaired += 1
+            spent_ns += ns
+            self.remaps += len(old_ids)
+            self.remap_ns += ns
+            self._event(
+                t_ns + spent_ns, "remap",
+                shard=s, crossbars=old_ids, spares=spares,
+                reprogram_ns=ns, fault=event.describe(),
+            )
+        if dead_beyond_repair:
+            # the array cannot answer and no spare can bring it back:
+            # declare the shard dead and let re-replication take over
+            health.record_failure(s, t_ns + spent_ns, permanent=True)
+            self._event(
+                t_ns + spent_ns, "shard_dead", shard=s, via="spares_exhausted"
+            )
+            self._enqueue_missing(t_ns + spent_ns)
+        elif repaired:
+            probes = self.policy.quarantine_probes
+            health.mark_repaired(s, t_ns + spent_ns, probes)
+            self._event(
+                t_ns + spent_ns, "quarantine",
+                shard=s,
+                probes=(
+                    probes
+                    if probes is not None
+                    else self.manager.recovery.quarantine_probes
+                ),
+            )
+        return spent_ns
+
+    @staticmethod
+    def _crossbars_of(shard, event) -> list[int]:
+        """Physical crossbar ids a repairable fault touches.
+
+        Data crossbars are group-major: vector group ``g`` (of
+        ``vectors_per_crossbar`` vectors) occupies the ``g``-th run of
+        ``stack = ceil(dims/rows)`` consecutive ids of the matrix's
+        allocation; gather crossbars occupy the tail. A ``stuck_cells``
+        event maps through its affected vectors to whole groups; a
+        ``crossbar_dead`` event has no vector footprint — remapping the
+        first data crossbar models swapping the failed device.
+        """
+        pim = shard.controller.pim
+        name = shard.name
+        ids = pim.crossbar_ids_of(name)
+        layout = pim.layouts()[name]
+        if event.kind != "stuck_cells":
+            return ids[:1]
+        vectors = shard.faulty.affected_vectors(name, event)
+        vpc = layout.vectors_per_crossbar
+        n_groups = math.ceil(layout.n_vectors / vpc)
+        stack = max(layout.n_data_crossbars // max(n_groups, 1), 1)
+        groups = sorted({int(v) // vpc for v in vectors})
+        out: list[int] = []
+        for g in groups:
+            out.extend(ids[g * stack : (g + 1) * stack])
+        return out or ids[:1]
+
+    # ------------------------------------------------------------------
+    # live re-replication
+    # ------------------------------------------------------------------
+    def _target_replication(self) -> int:
+        if self.policy.target_replication is not None:
+            return self.policy.target_replication
+        return self.manager.replication
+
+    def _enqueue_missing(self, t_ns: float) -> int:
+        """Queue a transfer for every chunk below its replica target."""
+        manager = self.manager
+        if manager.chunked:
+            return 0  # chunked shards reprogram per chunk; no remap substrate
+        health = manager.health
+        alive = [s for s in range(manager.n_shards) if health.alive(s)]
+        target_k = min(self._target_replication(), len(alive))
+        inflight: dict[int, int] = {}
+        targeted: set[tuple[int, int]] = set()
+        for tr in self._pending:
+            inflight[tr.chunk] = inflight.get(tr.chunk, 0) + 1
+            targeted.add((tr.chunk, tr.target))
+        queued = 0
+        for c in range(manager.n_chunks):
+            live = manager.live_replicas(c)
+            if not live:
+                # no surviving copy anywhere: degraded recompute is the
+                # only recourse; note it once so the timeline shows why
+                if c not in self._dead_handled:
+                    self._dead_handled.add(c)
+                    self._event(t_ns, "unrecoverable", chunk=c)
+                continue
+            deficit = target_k - len(live) - inflight.get(c, 0)
+            while deficit > 0:
+                candidates = [
+                    s
+                    for s in alive
+                    if c not in manager.shards[s].chunk_slices
+                    and (c, s) not in targeted
+                ]
+                if not candidates:
+                    break
+                tgt = min(
+                    candidates, key=lambda s: (manager.shards[s].n_rows, s)
+                )
+                size = manager.chunk_bytes(c)
+                self._pending.append(
+                    _Transfer(
+                        chunk=c,
+                        target=tgt,
+                        started_ns=t_ns,
+                        bytes=size,
+                        remaining_ns=size * self.policy.copy_ns_per_byte,
+                    )
+                )
+                targeted.add((c, tgt))
+                inflight[c] = inflight.get(c, 0) + 1
+                deficit -= 1
+                queued += 1
+                self._event(
+                    t_ns, "rereplicate_start",
+                    chunk=c, target=tgt, bytes=size,
+                )
+        return queued
+
+    def _transfer_step(self, t_ns: float, end_ns: float) -> float:
+        """Progress the head transfer; returns the new simulated time."""
+        tr = self._pending[0]
+        step = min(tr.remaining_ns, end_ns - t_ns)
+        tr.remaining_ns -= step
+        t_ns += step
+        if tr.remaining_ns > 1e-9:
+            return t_ns  # window exhausted mid-phase; resume next window
+        if tr.phase == "copy":
+            try:
+                record = self.manager.add_replica(tr.chunk, tr.target)
+            except (ChunkUnavailableError, ServingError) as exc:
+                self._pending.pop(0)
+                self._event(
+                    t_ns, "rereplicate_failed",
+                    chunk=tr.chunk, target=tr.target, reason=str(exc),
+                )
+                return t_ns
+            tr.record = record
+            tr.phase = "program"
+            tr.remaining_ns = float(record["program_ns"])
+            return t_ns
+        # program phase finished: the replica is live
+        self._pending.pop(0)
+        self.rereplications += 1
+        self.rereplicated_bytes += tr.bytes
+        record = dict(tr.record or {})
+        record.update(duration_ns=t_ns - tr.started_ns)
+        self._event(t_ns, "rereplicate_done", **record)
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter("repair.rereplications").add(1)
+            tele.metrics.counter("repair.rereplicated_bytes").add(tr.bytes)
+        return t_ns
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def _event(self, t_ns: float, kind: str, **attrs) -> None:
+        self.events.append({"t_ns": float(t_ns), "kind": kind, **attrs})
+
+    def drain_events(self) -> list[dict]:
+        """Timeline events recorded since the last drain."""
+        out = self.events
+        self.events = []
+        return out
+
+    def report(self) -> dict:
+        """The repair loop's own dashboard (folded into SLO summaries)."""
+        manager = self.manager
+        spares = [
+            (
+                shard.controller.pim.spares_remaining
+                if shard.controller is not None
+                else 0
+            )
+            for shard in manager.shards
+        ]
+        return {
+            "scrub": self.scrubber.report(),
+            "detections": self.detections,
+            "remaps": self.remaps,
+            "remap_ns": self.remap_ns,
+            "rereplications": self.rereplications,
+            "rereplicated_bytes": self.rereplicated_bytes,
+            "pending_transfers": len(self._pending),
+            "spares_remaining": spares,
+            "replica_counts": manager.replica_counts(),
+            "busy_ns": self.busy_ns,
+        }

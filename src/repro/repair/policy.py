@@ -1,0 +1,70 @@
+"""Repair-loop knobs: scrub pacing, confirmation, bandwidth budget.
+
+:class:`RepairPolicy` is to :mod:`repro.repair` what
+:class:`~repro.serving.health.RecoveryPolicy` is to per-dispatch
+recovery — the single frozen bundle of operator knobs. Repair work is
+background work: it runs only inside idle windows of the simulated
+clock (between EDF dispatches in
+:class:`~repro.serving.service.QueryService`), paced by
+``scrub_period_ns`` and throttled by ``repair_bandwidth_bytes_per_s``,
+so restoring redundancy never steals foreground service time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServingError
+
+
+@dataclass(frozen=True)
+class RepairPolicy:
+    """How the self-healing loop paces and budgets its work.
+
+    Attributes
+    ----------
+    scrub_period_ns:
+        Target period of one full background sweep: every live shard is
+        probed (one verification wave re-checking the residue checksum)
+        once per period, spread evenly across it. Detection latency of a
+        silent fault is therefore at most one period of idle time.
+    probe_confirmations:
+        Consecutive failed probes that confirm a *persistent* fault.
+        One corrupt probe could be a transient ``wave_corrupt`` hit; a
+        second probe immediately after distinguishes a stuck region
+        (fails again) from a transient (passes).
+    repair_bandwidth_bytes_per_s:
+        Budget for re-replication copy traffic on the simulated clock.
+        A chunk of ``B`` bytes occupies ``B / bandwidth`` seconds of
+        idle time, split across however many idle windows it takes.
+    target_replication:
+        Live replicas per chunk the controller restores toward.
+        ``None`` means the manager's configured ``replication``.
+    quarantine_probes:
+        Clean probe dispatches a repaired shard must serve before full
+        re-admission. ``None`` defers to the manager's
+        :class:`~repro.serving.health.RecoveryPolicy`.
+    """
+
+    scrub_period_ns: float = 50_000_000.0
+    probe_confirmations: int = 2
+    repair_bandwidth_bytes_per_s: float = 1e9
+    target_replication: int | None = None
+    quarantine_probes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.scrub_period_ns <= 0:
+            raise ServingError("scrub_period_ns must be positive")
+        if self.probe_confirmations < 1:
+            raise ServingError("probe_confirmations must be >= 1")
+        if self.repair_bandwidth_bytes_per_s <= 0:
+            raise ServingError("repair bandwidth must be positive")
+        if self.target_replication is not None and self.target_replication < 1:
+            raise ServingError("target_replication must be >= 1 or None")
+        if self.quarantine_probes is not None and self.quarantine_probes < 0:
+            raise ServingError("quarantine_probes must be >= 0 or None")
+
+    @property
+    def copy_ns_per_byte(self) -> float:
+        """Idle-time cost of copying one byte of replica payload."""
+        return 1e9 / self.repair_bandwidth_bytes_per_s

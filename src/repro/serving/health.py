@@ -52,6 +52,11 @@ class RecoveryPolicy:
     breaker_threshold / breaker_reset_ns:
         Consecutive failures that open a shard's circuit, and how long
         the circuit stays open before a half-open probe.
+    quarantine_probes:
+        Clean probe dispatches a *repaired* shard must serve before it
+        re-enters full rotation (see
+        :meth:`ShardHealthTracker.mark_repaired`). While quarantined the
+        shard takes one probe at a time, like a half-open circuit.
     allow_degraded:
         Permit host-side exact recomputation of a chunk none of whose
         replicas answered (slow but exact, response flagged degraded).
@@ -68,6 +73,7 @@ class RecoveryPolicy:
     crash_detect_ns: float = 10_000.0
     breaker_threshold: int = 3
     breaker_reset_ns: float = 500_000_000.0
+    quarantine_probes: int = 3
     allow_degraded: bool = True
 
     def __post_init__(self) -> None:
@@ -85,6 +91,8 @@ class RecoveryPolicy:
             raise ServingError("crash_detect_ns must be >= 0")
         if self.breaker_threshold < 1:
             raise ServingError("breaker_threshold must be >= 1")
+        if self.quarantine_probes < 0:
+            raise ServingError("quarantine_probes must be >= 0")
 
     def backoff_ns(self, failures: int) -> float:
         """Backoff before retry number ``failures`` (1-based)."""
@@ -101,18 +109,28 @@ class _ShardHealth:
         "consecutive_failures",
         "open_until_ns",
         "dead",
+        "dead_since_ns",
         "down_since_ns",
         "failures",
         "successes",
+        "probe_in_flight",
+        "quarantine_probes",
+        "quarantine_left",
+        "quarantined_since_ns",
     )
 
     def __init__(self) -> None:
         self.consecutive_failures = 0
         self.open_until_ns: float | None = None
         self.dead = False
+        self.dead_since_ns: float | None = None
         self.down_since_ns: float | None = None
         self.failures = 0
         self.successes = 0
+        self.probe_in_flight = False
+        self.quarantine_probes = 0
+        self.quarantine_left = 0
+        self.quarantined_since_ns: float | None = None
 
 
 class ShardHealthTracker:
@@ -132,13 +150,22 @@ class ShardHealthTracker:
         """A dispatch on ``shard_id`` completed cleanly at ``t_ns``."""
         h = self._shards[shard_id]
         h.successes += 1
+        h.probe_in_flight = False
+        h.consecutive_failures = 0
+        if h.quarantine_left > 0:
+            h.quarantine_left -= 1
+            if h.quarantine_left > 0:
+                return  # still probationary: more clean probes needed
+            h.quarantined_since_ns = None
+            tele = get_recorder()
+            if tele.enabled:
+                tele.metrics.counter("serving.health.readmissions").add(1)
         if h.down_since_ns is not None:
             self._recoveries.append(max(t_ns - h.down_since_ns, 0.0))
             h.down_since_ns = None
             tele = get_recorder()
             if tele.enabled:
                 tele.metrics.counter("serving.health.recoveries").add(1)
-        h.consecutive_failures = 0
         h.open_until_ns = None
 
     def record_failure(
@@ -148,10 +175,18 @@ class ShardHealthTracker:
         h = self._shards[shard_id]
         h.failures += 1
         h.consecutive_failures += 1
+        h.probe_in_flight = False
         if h.down_since_ns is None:
             h.down_since_ns = t_ns
         if permanent:
             h.dead = True
+            if h.dead_since_ns is None:
+                h.dead_since_ns = t_ns
+        elif h.quarantine_left > 0:
+            # a failed probe during probation is conclusive: restart the
+            # probation from scratch behind a fresh open window
+            h.quarantine_left = h.quarantine_probes
+            h.open_until_ns = t_ns + self.policy.breaker_reset_ns
         elif h.consecutive_failures >= self.policy.breaker_threshold:
             h.open_until_ns = t_ns + self.policy.breaker_reset_ns
         tele = get_recorder()
@@ -160,20 +195,94 @@ class ShardHealthTracker:
             if h.open_until_ns is not None:
                 tele.metrics.counter("serving.health.circuit_opens").add(1)
 
+    def mark_repaired(
+        self, shard_id: int, t_ns: float, probes: int | None = None
+    ) -> None:
+        """A repaired shard re-enters rotation via quarantine.
+
+        The repair layer calls this after a spare-crossbar remap or a
+        completed re-replication: the shard is revived (even from
+        ``dead``) but must first serve ``probes`` clean dispatches —
+        one at a time, gated by the probe token — before it is fully
+        re-admitted. Its MTTR sample completes at *re-admission*, not at
+        the repair itself, so the recorded outage covers the probation.
+        """
+        h = self._shards[shard_id]
+        n = self.policy.quarantine_probes if probes is None else int(probes)
+        if n < 0:
+            raise ServingError("quarantine probes must be >= 0")
+        h.dead = False
+        h.dead_since_ns = None
+        h.consecutive_failures = 0
+        h.open_until_ns = None
+        h.probe_in_flight = False
+        h.quarantine_probes = n
+        h.quarantine_left = n
+        h.quarantined_since_ns = t_ns if n > 0 else None
+        if h.down_since_ns is None:
+            h.down_since_ns = t_ns
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter("serving.health.repairs").add(1)
+        if n == 0:  # immediate re-admission requested
+            self._recoveries.append(max(t_ns - h.down_since_ns, 0.0))
+            h.down_since_ns = None
+
     # ------------------------------------------------------------------
     def available(self, shard_id: int, t_ns: float) -> bool:
         """Whether dispatch planning may route to ``shard_id`` at ``t_ns``.
 
-        Dead shards never come back; an open circuit blocks routing until
-        ``breaker_reset_ns`` elapses, after which the shard is half-open
-        (one probe dispatch is allowed through and decides its fate).
+        Dead shards never come back on their own; an open circuit blocks
+        routing until ``breaker_reset_ns`` elapses, after which the shard
+        is half-open: exactly one probe dispatch may route (claimed with
+        :meth:`begin_probe`) and decides its fate. While that probe is in
+        flight every other caller sees the shard as unavailable — the
+        probe token closes the thundering-herd window where all callers
+        piled onto a barely-recovered shard the moment the window
+        elapsed. Quarantined (freshly repaired) shards are gated the
+        same way.
         """
         h = self._shards[shard_id]
         if h.dead:
             return False
         if h.open_until_ns is not None and t_ns < h.open_until_ns:
             return False
+        probationary = h.open_until_ns is not None or h.quarantine_left > 0
+        if probationary and h.probe_in_flight:
+            return False
         return True
+
+    def probationary(self, shard_id: int, t_ns: float) -> bool:
+        """Whether ``shard_id`` is half-open or quarantined at ``t_ns``.
+
+        Probationary shards take one probe dispatch at a time; hedging
+        skips them (a hedge is a latency optimisation, not a probe).
+        """
+        h = self._shards[shard_id]
+        if h.dead:
+            return False
+        if h.quarantine_left > 0:
+            return True
+        return h.open_until_ns is not None and t_ns >= h.open_until_ns
+
+    def begin_probe(self, shard_id: int, t_ns: float) -> bool:
+        """Claim the single probe slot of a probationary shard.
+
+        Returns ``True`` when the caller's dispatch is *the* probe —
+        every later caller is refused (and sees ``available() == False``)
+        until the probe's outcome is recorded or the claim released.
+        """
+        h = self._shards[shard_id]
+        if not self.probationary(shard_id, t_ns):
+            return False
+        if h.probe_in_flight:
+            return False
+        h.probe_in_flight = True
+        return True
+
+    def release_probe(self, shard_id: int) -> None:
+        """Release a probe claim whose dispatch was abandoned unrecorded."""
+        self._shards[shard_id].probe_in_flight = False
 
     def alive(self, shard_id: int) -> bool:
         """Whether ``shard_id`` is not permanently dead."""
@@ -191,11 +300,19 @@ class ShardHealthTracker:
         return out
 
     def snapshot(self, t_ns: float) -> list[dict]:
-        """Per-shard health as JSON-friendly records."""
+        """Per-shard health as JSON-friendly records.
+
+        Includes the breaker window (``open_until_ns``) and the
+        dead/down/quarantine timestamps, so operators can read *when* a
+        shard went dark and how far its probation has progressed — not
+        just its instantaneous status.
+        """
         out = []
         for s, h in enumerate(self._shards):
             if h.dead:
                 status = "dead"
+            elif h.quarantine_left > 0:
+                status = "quarantine"
             elif h.open_until_ns is not None and t_ns < h.open_until_ns:
                 status = "open"
             elif h.down_since_ns is not None:
@@ -209,6 +326,12 @@ class ShardHealthTracker:
                     "failures": h.failures,
                     "successes": h.successes,
                     "consecutive_failures": h.consecutive_failures,
+                    "open_until_ns": h.open_until_ns,
+                    "down_since_ns": h.down_since_ns,
+                    "dead_since_ns": h.dead_since_ns,
+                    "quarantined_since_ns": h.quarantined_since_ns,
+                    "quarantine_left": h.quarantine_left,
+                    "probe_in_flight": h.probe_in_flight,
                 }
             )
         return out

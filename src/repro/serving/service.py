@@ -139,6 +139,13 @@ class QueryService:
     default_deadline_ns:
         Relative deadline stamped on requests that carry none (and whose
         tenant specifies none); ``None`` disables deadline shedding.
+    repair:
+        Optional :class:`~repro.repair.controller.RepairController`.
+        When attached, the service hands it every idle window (between
+        the server going free and the next arrival) so scrubbing, spare
+        remaps and re-replication interleave with EDF dispatch without
+        stealing foreground service time; :meth:`drain` finishes with a
+        :meth:`heal` pass restoring every chunk's replica target.
     """
 
     def __init__(
@@ -152,6 +159,7 @@ class QueryService:
         policy: str = "reject",
         default_deadline_ns: float | None = None,
         tracker: SLOTracker | None = None,
+        repair=None,
     ) -> None:
         if max_batch < 1:
             raise ServingError("max_batch must be >= 1")
@@ -170,6 +178,11 @@ class QueryService:
         self.policy = policy
         self.default_deadline_ns = default_deadline_ns
         self.tracker = tracker if tracker is not None else SLOTracker()
+        self.repair = repair
+        if repair is not None and repair.manager is not manager:
+            raise ServingError(
+                "the repair controller must share this service's manager"
+            )
         self.tenants: dict[str, TenantSpec] | None = (
             {t.name: t for t in tenants} if tenants is not None else None
         )
@@ -201,6 +214,7 @@ class QueryService:
                 f"one of {REQUEST_KINDS}"
             )
         self._dispatch_until(request.arrival_ns)
+        self._repair_tick(request.arrival_ns)
         self.now_ns = max(self.now_ns, request.arrival_ns)
         self._admit(request)
 
@@ -232,7 +246,39 @@ class QueryService:
                     f"drain made no progress ({depth} requests stuck "
                     f"at t={self.now_ns:.0f}ns)"
                 )
+        self.heal()
         return self.responses
+
+    # ------------------------------------------------------------------
+    # repair interleaving
+    # ------------------------------------------------------------------
+    def _repair_tick(self, until_ns: float) -> None:
+        """Hand the repair loop the idle window ending at ``until_ns``.
+
+        The window opens when the server goes free and closes at the
+        next arrival; repair work is background work, so it only ever
+        spends time the dispatcher was not going to use.
+        """
+        if self.repair is None:
+            return
+        start = max(self.server_free_ns, self.now_ns)
+        if until_ns <= start:
+            return
+        self.repair.advance(start, until_ns)
+        self._drain_repair()
+
+    def heal(self) -> None:
+        """Finish outstanding repair work (post-drain redundancy pass)."""
+        if self.repair is None:
+            return
+        self.repair.heal(max(self.server_free_ns, self.now_ns))
+        self._drain_repair()
+
+    def _drain_repair(self) -> None:
+        for event in self.repair.drain_events():
+            self.tracker.record_repair(event)
+        for sample in self.manager.health.drain_recoveries():
+            self.tracker.record_recovery(sample)
 
     # ------------------------------------------------------------------
     # admission
@@ -446,8 +492,21 @@ class QueryService:
 
     # ------------------------------------------------------------------
     def summary(self) -> dict:
-        """SLO summary over everything served so far."""
-        return self.tracker.summary(
-            horizon_ns=max(self.server_free_ns, self.now_ns),
+        """SLO summary over everything served so far.
+
+        Includes the per-shard health snapshot (breaker windows,
+        dead/quarantine timestamps) and — when a repair controller is
+        attached — its repair report, so one dict answers both "how did
+        serving go" and "what did the self-healing loop do about it".
+        """
+        horizon = max(self.server_free_ns, self.now_ns)
+        if self.repair is not None:
+            self._drain_repair()
+        result = self.tracker.summary(
+            horizon_ns=horizon,
             shard_busy_ns=self.manager.shard_busy_ns(),
         )
+        result["health"] = self.manager.health.snapshot(horizon)
+        if self.repair is not None:
+            result["repair"] = self.repair.report()
+        return result

@@ -232,6 +232,7 @@ class _Shard:
         reprogram_budget: int | None,
         verify: bool = False,
         fault_plan: FaultPlan | None = None,
+        spare_crossbars: int = 0,
     ) -> None:
         self.shard_id = shard_id
         self.global_indices = global_indices
@@ -240,6 +241,9 @@ class _Shard:
         self.floats = floats
         self.name = f"shard{shard_id}"
         self.busy_ns = 0.0
+        self.hardware = hardware
+        self.fault_plan = fault_plan
+        self.spare_crossbars = spare_crossbars
         self.reprogram_budget = reprogram_budget
         self.verify = verify and not chunked
         self.chunk_slices: dict[int, slice] = {}
@@ -264,7 +268,9 @@ class _Shard:
                 self.engine.pim = self.faulty
             self.engine.load(integers)
         else:
-            self.controller = PIMController(hardware)
+            self.controller = PIMController(
+                hardware, spare_crossbars=spare_crossbars
+            )
             if fault_plan is not None:
                 self.faulty = FaultyPIMArray(
                     self.controller.pim, fault_plan, self.name,
@@ -286,6 +292,45 @@ class _Shard:
         """Move this shard's fault clock to simulated time ``t_ns``."""
         if self.faulty is not None:
             self.faulty.advance_to(t_ns)
+
+    def reprogram(self, verify: bool) -> float:
+        """(Re)program the full matrix after the shard's rows changed.
+
+        Used by live re-replication: a chunk's rows were appended, so
+        the shard's matrix (and checksum row, when verifying) must be
+        rewritten. Creates the controller lazily for a previously-empty
+        shard. Returns the programming receipt time in ns — the caller
+        (the repair controller) charges it against the repair budget.
+        """
+        if self.engine is not None:
+            raise ServingError(
+                "re-replication needs resident programming; the chunked "
+                "engine re-programs per chunk already"
+            )
+        if self.controller is None:
+            self.controller = PIMController(
+                self.hardware, spare_crossbars=self.spare_crossbars
+            )
+            if self.fault_plan is not None:
+                self.faulty = FaultyPIMArray(
+                    self.controller.pim, self.fault_plan, self.name,
+                    auto_advance=False,
+                )
+                self.controller.pim = self.faulty
+            self.verify = verify
+        else:
+            self.controller.pim.reset_matrix(self.name)
+        payload = (
+            append_checksum_row(
+                self.integers, self.hardware.pim.operand_bits
+            )
+            if self.verify
+            else self.integers
+        )
+        receipt = self.controller.program(
+            self.name, payload, side_data_bytes=self.phi.nbytes
+        )
+        return receipt.total_ns
 
     @property
     def n_rows(self) -> int:
@@ -428,6 +473,7 @@ class ShardManager:
         fault_plan: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
         verify: bool | None = None,
+        spare_crossbars: int = 0,
     ) -> None:
         data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2 or data.shape[0] < 1:
@@ -463,6 +509,8 @@ class ShardManager:
         self.fault_plan = fault_plan
         self.recovery = recovery if recovery is not None else RecoveryPolicy()
         self.health = ShardHealthTracker(self.n_shards, self.recovery)
+        self.chunked = bool(chunked)
+        self.spare_crossbars = int(spare_crossbars)
         if verify is None:
             verify = fault_plan is not None and not chunked
         if verify and chunked:
@@ -506,6 +554,7 @@ class ShardManager:
                 reprogram_budget,
                 verify=self.verify,
                 fault_plan=fault_plan,
+                spare_crossbars=self.spare_crossbars,
             )
             offset = 0
             for c in hosted:
@@ -660,6 +709,10 @@ class ShardManager:
                     continue
                 if not self.health.available(s2, now_ns + hedge_start):
                     continue
+                # a hedge is a latency optimisation, not a probe: never
+                # spend a probationary shard's single probe slot on one
+                if self.health.probationary(s2, now_ns + hedge_start):
+                    continue
                 alt = self.shards[s2]
                 if any(c not in alt.chunk_slices for c in chunks):
                     continue
@@ -695,6 +748,9 @@ class ShardManager:
         while pending:
             groups: dict[int, list[int]] = {}
             doomed: list[int] = []
+            # shards whose single probe slot this round's dispatch holds:
+            # chunks joining the same wave ride the probe together
+            probing: set[int] = set()
             for c in sorted(pending):
                 if fails[c] > policy.max_retries:
                     doomed.append(c)
@@ -703,7 +759,20 @@ class ShardManager:
                 chosen = None
                 for step in range(len(reps)):
                     s = reps[(ptr[c] + step) % len(reps)]
-                    if self.health.available(s, now_ns + ready[c]):
+                    t_sel = now_ns + ready[c]
+                    routable = s in probing or self.health.available(s, t_sel)
+                    if (
+                        routable
+                        and s not in probing
+                        and self.health.probationary(s, t_sel)
+                    ):
+                        # half-open/quarantined: exactly one probe wave
+                        # goes through; claiming it makes every other
+                        # caller see the shard as unavailable
+                        routable = self.health.begin_probe(s, t_sel)
+                        if routable:
+                            probing.add(s)
+                    if routable:
                         chosen = s
                         ptr[c] += step
                         break
@@ -1137,6 +1206,124 @@ class ShardManager:
             ),
             timing,
         )
+
+    # ------------------------------------------------------------------
+    # live re-replication (repair layer)
+    # ------------------------------------------------------------------
+    def live_replicas(self, chunk: int) -> list[int]:
+        """Shards currently able to serve ``chunk`` (alive and hosting)."""
+        return [
+            s
+            for s in self.replicas[chunk]
+            if self.health.alive(s) and chunk in self.shards[s].chunk_slices
+        ]
+
+    def replica_counts(self) -> list[int]:
+        """Live replica count per chunk — the quantity repair restores."""
+        return [len(self.live_replicas(c)) for c in range(self.n_chunks)]
+
+    def chunk_bytes(self, chunk: int) -> int:
+        """Payload bytes one replica of ``chunk`` carries (all side data)."""
+        host = self.shards[self.replicas[chunk][0]]
+        sl = host.chunk_slices[chunk]
+        rows = sl.stop - sl.start
+        per_row = (
+            host.global_indices.itemsize
+            + host.integers.shape[1] * host.integers.itemsize
+            + host.phi.itemsize
+            + host.floats.shape[1] * host.floats.itemsize
+        )
+        return int(rows * per_row)
+
+    def add_replica(self, chunk: int, target_shard: int) -> dict:
+        """Copy ``chunk`` onto ``target_shard`` (live re-replication).
+
+        The chunk's rows are copied from any surviving replica (the
+        host-side arrays are always readable — it is the PIM matrix that
+        dies, not the coordinator's copy of the data) and appended to the
+        target, whose matrix is then reset and reprogrammed in full,
+        checksum row included. Because the quantizer is global and ties
+        resolve canonically, the new replica is bit-identical to serve
+        from — the hypothesis suite asserts the copied bytes equal their
+        source.
+
+        Returns a repair record: source/target shards, rows and bytes
+        copied, and the reprogramming time the caller must charge
+        against the repair-bandwidth budget.
+        """
+        if self.chunked:
+            raise ServingError(
+                "re-replication needs resident programming"
+            )
+        if not 0 <= chunk < self.n_chunks:
+            raise ServingError(f"no chunk {chunk}")
+        target = self.shards[target_shard]
+        if chunk in target.chunk_slices:
+            raise ServingError(
+                f"shard {target_shard} already hosts chunk {chunk}"
+            )
+        source = None
+        for s in self.replicas[chunk]:
+            if chunk in self.shards[s].chunk_slices:
+                source = self.shards[s]
+                break
+        if source is None:
+            raise ChunkUnavailableError(
+                f"chunk {chunk} has no surviving copy to re-replicate",
+                unit=f"chunk{chunk}",
+                timestamp_ns=self._clock_ns,
+                replicas=list(self.replicas[chunk]),
+            )
+        sl = source.chunk_slices[chunk]
+        gidx = source.global_indices[sl].copy()
+        ints = source.integers[sl].copy()
+        phi = source.phi[sl].copy()
+        floats = source.floats[sl].copy()
+        old_n = target.n_rows
+        if old_n:
+            target.global_indices = np.concatenate(
+                [target.global_indices, gidx]
+            )
+            target.integers = np.concatenate([target.integers, ints])
+            target.phi = np.concatenate([target.phi, phi])
+            target.floats = np.concatenate([target.floats, floats])
+        else:
+            target.global_indices = gidx
+            target.integers = ints
+            target.phi = phi
+            target.floats = floats
+        target.chunk_slices[chunk] = slice(old_n, old_n + int(gidx.size))
+        program_ns = target.reprogram(self.verify)
+        self.replicas[chunk] = tuple(
+            list(self.replicas[chunk]) + [target_shard]
+        )
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter("serving.rereplications").add(1)
+        return {
+            "chunk": chunk,
+            "source": source.shard_id,
+            "target": target_shard,
+            "rows": int(gidx.size),
+            "bytes": self.chunk_bytes(chunk),
+            "program_ns": float(program_ns),
+        }
+
+    def wear_reports(self, top: int | None = 3) -> list[dict]:
+        """Per-shard endurance wear reports (empty shards report zeros)."""
+        out = []
+        for shard in self.shards:
+            if shard.controller is not None:
+                tracker = shard.controller.pim.endurance
+            elif shard.engine is not None:
+                tracker = shard.engine.pim.endurance
+            else:
+                out.append({"shard": shard.shard_id, "units_tracked": 0})
+                continue
+            report = tracker.wear_report(top=top)
+            report["shard"] = shard.shard_id
+            out.append(report)
+        return out
 
     # ------------------------------------------------------------------
     # introspection

@@ -59,6 +59,8 @@ class SLOTracker:
         self.hedges = 0
         self.degraded_chunks = 0
         self.mttr_samples: list[float] = []
+        self.repair_events: list[dict] = []
+        self.repair_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def observe(self, response) -> None:
@@ -111,6 +113,16 @@ class SLOTracker:
     def record_recovery(self, duration_ns: float) -> None:
         """Add one shard down-to-up duration (an MTTR sample)."""
         self.mttr_samples.append(float(duration_ns))
+
+    def record_repair(self, event: dict) -> None:
+        """Fold one repair-timeline event (scrub detection, spare remap,
+        re-replication, quarantine, ...) into the SLO picture."""
+        self.repair_events.append(dict(event))
+        kind = str(event.get("kind", "unknown"))
+        self.repair_counts[kind] = self.repair_counts.get(kind, 0) + 1
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter(f"serving.repair.{kind}").add(1)
 
     # ------------------------------------------------------------------
     @property
@@ -200,6 +212,7 @@ class SLOTracker:
                 "hedges": self.hedges,
                 "degraded_chunks": self.degraded_chunks,
             },
+            "repair_activity": dict(sorted(self.repair_counts.items())),
             **pcts,
             "per_tenant": {
                 tenant: self.percentiles(series)

@@ -88,3 +88,25 @@ class TestProfileCommand:
         )
         assert code == 0
         assert "ED" in text
+
+
+class TestServeCommand:
+    def test_plain_serve_reports_health(self):
+        code, text = run_cli(
+            "serve", "--dataset", "Year", "--n", "200", "--shards", "2",
+            "--requests", "10",
+        )
+        assert code == 0
+        assert "health         : shard0=up shard1=up" in text
+
+    def test_self_healing_serve_run(self):
+        code, text = run_cli(
+            "serve", "--dataset", "Year", "--n", "240", "--shards", "4",
+            "--replication", "2", "--requests", "20", "--chaos",
+            "--repair", "--spares", "12", "--scrub-period", "200",
+        )
+        assert code == 0
+        assert "health         :" in text
+        assert "scrubber       :" in text
+        assert "repair         :" in text
+        assert "replicas       :" in text

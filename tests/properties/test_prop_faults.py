@@ -221,3 +221,102 @@ class TestNoLiveReplica:
         )
         with pytest.raises(ChunkUnavailableError):
             manager.knn(query, k)
+
+
+class TestRepairLoopStaysExact:
+    """PR-5: healing between queries never changes an answer byte.
+
+    The repair loop runs adversarially interleaved with queries: scrub
+    probes fire, shards get declared dead, crossbars remap onto spares,
+    chunks re-replicate — and every k-NN answer along the way (and after
+    the final heal) must still be bit-identical to the fault-free
+    single-array reference.
+    """
+
+    @settings(max_examples=15, deadline=None)
+    @given(fault_case())
+    def test_answers_with_repair_enabled_are_bit_identical(self, case):
+        from repro.repair import RepairController, RepairPolicy
+
+        data, query, k, n_shards, replication, plan = case
+        expected = clean_manager(data).knn(query, k)
+        manager = ShardManager(
+            data,
+            n_shards,
+            replication=replication,
+            fault_plan=plan,
+            spare_crossbars=8,
+            quantizer=Quantizer(assume_normalized=True),
+        )
+        ctrl = RepairController(
+            manager, RepairPolicy(scrub_period_ns=50_000.0)
+        )
+        for start in (0.0, 1e5, 2e5, 1e6):
+            ctrl.advance(start, start + 50_000.0)
+            answer = manager.knn(query, k)
+            assert np.array_equal(answer.indices, expected.indices)
+            assert np.array_equal(answer.scores, expected.scores)
+        ctrl.heal(2e6)
+        answer = manager.knn(query, k)
+        assert np.array_equal(answer.indices, expected.indices)
+        assert np.array_equal(answer.scores, expected.scores)
+
+
+class TestRereplicationCopiesExactBytes:
+    """PR-5: a re-replicated chunk is byte-identical to its source."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        gridded_data(max_rows=16),
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_restored_replicas_equal_their_source(
+        self, case, n_shards, seed
+    ):
+        from repro.repair import RepairController, RepairPolicy
+
+        data, query, k = case
+        plan = FaultPlan(
+            [FaultEvent(t_ns=0.0, kind="shard_crash", target="shard0")],
+            seed=seed,
+        )
+        replication = min(2, n_shards)
+        manager = ShardManager(
+            data,
+            n_shards,
+            replication=replication,
+            fault_plan=plan,
+            quantizer=Quantizer(assume_normalized=True),
+        )
+        ctrl = RepairController(
+            manager, RepairPolicy(scrub_period_ns=10_000.0)
+        )
+        ctrl.advance(0.0, 1e6)
+        ctrl.heal(1e6)
+        alive = [
+            s for s in range(n_shards) if manager.health.alive(s)
+        ]
+        target_k = min(replication, len(alive))
+        for c, count in enumerate(manager.replica_counts()):
+            assert count >= target_k
+        for event in ctrl.drain_events():
+            if event["kind"] != "rereplicate_done":
+                continue
+            source = manager.shards[event["source"]]
+            target = manager.shards[event["target"]]
+            sl_s = source.chunk_slices[event["chunk"]]
+            sl_t = target.chunk_slices[event["chunk"]]
+            assert np.array_equal(
+                source.integers[sl_s], target.integers[sl_t]
+            )
+            assert np.array_equal(
+                source.global_indices[sl_s],
+                target.global_indices[sl_t],
+            )
+            assert np.array_equal(source.floats[sl_s], target.floats[sl_t])
+            assert np.array_equal(source.phi[sl_s], target.phi[sl_t])
+        expected = clean_manager(data).knn(query, k)
+        answer = manager.knn(query, k)
+        assert np.array_equal(answer.indices, expected.indices)
+        assert np.array_equal(answer.scores, expected.scores)
