@@ -201,12 +201,10 @@ class RepairController:
             # transient (wave_corrupt) or nothing the plan owns up to:
             # the per-query retry path absorbs it, nothing to remap
             return 0.0
-        # open the outage window now so the MTTR sample measures
-        # detection -> re-admission, probation included
-        health.record_failure(s, t_ns)
         repaired = 0
         spent_ns = 0.0
         dead_beyond_repair = False
+        window_open = False
         for event in events:
             old_ids = self._crossbars_of(shard, event)
             try:
@@ -217,6 +215,15 @@ class RepairController:
                         f"{shard.name}: {len(old_ids)} crossbars to remap, "
                         f"{shard.controller.pim.spares_remaining} spares left"
                     )
+                # the remap is going ahead: open the outage window now
+                # so the MTTR sample measures detection -> re-admission
+                # (probation included) — opening it for a repair that
+                # never runs (spares exhausted on a stuck shard) would
+                # let the next routine success record a spurious
+                # recovery sample
+                if not window_open:
+                    health.record_failure(s, t_ns)
+                    window_open = True
                 spares, ns = shard.faulty.remap_crossbars(old_ids)
             except CapacityError:
                 self._unrepairable.add(id(event))
@@ -319,12 +326,19 @@ class RepairController:
                     self._event(t_ns, "unrecoverable", chunk=c)
                 continue
             deficit = target_k - len(live) - inflight.get(c, 0)
+            rows = int(manager.chunk_rows[c].size)
             while deficit > 0:
+                # a target must be able to fit the appended chunk — its
+                # array shrank by the spare reservation, so the smallest
+                # shard is not automatically a legal host (concurrent
+                # in-flight transfers are re-checked at program time by
+                # add_replica's own pre-check)
                 candidates = [
                     s
                     for s in alive
                     if c not in manager.shards[s].chunk_slices
                     and (c, s) not in targeted
+                    and manager.shards[s].can_host(rows, manager.verify)
                 ]
                 if not candidates:
                     break
@@ -362,7 +376,7 @@ class RepairController:
         if tr.phase == "copy":
             try:
                 record = self.manager.add_replica(tr.chunk, tr.target)
-            except (ChunkUnavailableError, ServingError) as exc:
+            except (CapacityError, ChunkUnavailableError, ServingError) as exc:
                 self._pending.pop(0)
                 self._event(
                     t_ns, "rereplicate_failed",

@@ -53,8 +53,10 @@ import numpy as np
 from repro.cost.counters import PerfCounters
 from repro.cost.model import CostModel
 from repro.errors import (
+    CapacityError,
     ChunkUnavailableError,
     CrossbarDeadError,
+    ReproError,
     ServingError,
     ShardHungError,
 )
@@ -63,6 +65,7 @@ from repro.faults.integrity import append_checksum_row, verify_wave_residues
 from repro.faults.plan import FaultPlan
 from repro.hardware.config import HardwareConfig, pim_platform
 from repro.hardware.controller import PIMController
+from repro.hardware.mapper import total_crossbars
 from repro.hardware.pim_array import PIMStats
 from repro.hardware.reprogramming import ChunkedDotProductEngine
 from repro.serving.health import RecoveryPolicy, ShardHealthTracker
@@ -318,7 +321,9 @@ class _Shard:
                 )
                 self.controller.pim = self.faulty
             self.verify = verify
-        else:
+        elif self.name in self.controller.pim.layouts():
+            # absent when a failed reprogram already erased the matrix
+            # (the rollback path re-programs from scratch)
             self.controller.pim.reset_matrix(self.name)
         payload = (
             append_checksum_row(
@@ -331,6 +336,29 @@ class _Shard:
             self.name, payload, side_data_bytes=self.phi.nbytes
         )
         return receipt.total_ns
+
+    def can_host(self, extra_rows: int, verify: bool) -> bool:
+        """Whether the matrix rewritten with ``extra_rows`` more vectors fits.
+
+        The capacity check live re-replication runs *before* mutating
+        this shard: the combined payload (checksum row included) must
+        fit the array net of the spare-crossbar reservation and of any
+        other matrix it hosts. ``verify`` is only consulted when the
+        shard has never been programmed (its own flag is authoritative
+        otherwise).
+        """
+        config = self.hardware.pim
+        v = self.verify if self.controller is not None else verify
+        n = self.n_rows + int(extra_rows) + (1 if v else 0)
+        needed = total_crossbars(n, self.integers.shape[1], config)
+        if self.controller is None:
+            return needed <= config.num_crossbars - self.spare_crossbars
+        pim = self.controller.pim
+        free = pim.data_capacity - pim.stats.crossbars_used
+        mine = pim.layouts().get(self.name)
+        if mine is not None:
+            free += mine.n_crossbars
+        return needed <= free
 
     @property
     def n_rows(self) -> int:
@@ -652,6 +680,34 @@ class ShardManager:
     ) -> list[int]:
         """Serve every chunk from exactly one replica, surviving faults.
 
+        Thin wrapper around :meth:`_serve_chunks_impl` that releases any
+        probe token claimed but left unresolved when the dispatch aborts
+        (degradation disabled, or a hang with the watchdog off) — an
+        abandoned claim would otherwise wedge the probationary shard out
+        of rotation forever. Releasing a token whose outcome was already
+        recorded is a no-op.
+        """
+        claimed: set[int] = set()
+        try:
+            return self._serve_chunks_impl(
+                q_int, now_ns, process, timing, span_name, claimed
+            )
+        except BaseException:
+            for s in claimed:
+                self.health.release_probe(s)
+            raise
+
+    def _serve_chunks_impl(
+        self,
+        q_int: np.ndarray,
+        now_ns: float,
+        process,
+        timing: GatherTiming,
+        span_name: str,
+        claimed: set[int],
+    ) -> list[int]:
+        """Serve every chunk from exactly one replica, surviving faults.
+
         ``process(shard, sel, dots)`` does the host-side candidate work
         for the shard-local rows ``sel`` (``None`` = all rows) whose dot
         products are ``dots``, and returns the CPU time it cost; it runs
@@ -772,6 +828,7 @@ class ShardManager:
                         routable = self.health.begin_probe(s, t_sel)
                         if routable:
                             probing.add(s)
+                            claimed.add(s)
                     if routable:
                         chosen = s
                         ptr[c] += step
@@ -1275,6 +1332,16 @@ class ShardManager:
                 replicas=list(self.replicas[chunk]),
             )
         sl = source.chunk_slices[chunk]
+        new_rows = int(sl.stop - sl.start)
+        if not target.can_host(new_rows, self.verify):
+            # refuse up front: appending rows and then failing to
+            # reprogram would destroy the replicas the target already
+            # hosts, turning a repair into an outage
+            raise CapacityError(
+                f"shard {target_shard} cannot host chunk {chunk}: "
+                f"{target.n_rows} + {new_rows} rows exceed its array "
+                "(spare reservation included)"
+            )
         gidx = source.global_indices[sl].copy()
         ints = source.integers[sl].copy()
         phi = source.phi[sl].copy()
@@ -1293,7 +1360,20 @@ class ShardManager:
             target.phi = phi
             target.floats = floats
         target.chunk_slices[chunk] = slice(old_n, old_n + int(gidx.size))
-        program_ns = target.reprogram(self.verify)
+        try:
+            program_ns = target.reprogram(self.verify)
+        except ReproError:
+            # belt and braces behind the capacity pre-check: a failed
+            # reprogram must leave the target serving what it served
+            # before, so undo the append and restore the old matrix
+            del target.chunk_slices[chunk]
+            target.global_indices = target.global_indices[:old_n]
+            target.integers = target.integers[:old_n]
+            target.phi = target.phi[:old_n]
+            target.floats = target.floats[:old_n]
+            if old_n:
+                target.reprogram(self.verify)
+            raise
         self.replicas[chunk] = tuple(
             list(self.replicas[chunk]) + [target_shard]
         )

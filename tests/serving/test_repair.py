@@ -8,12 +8,22 @@ the repaired shard re-enters rotation only through quarantine — all of
 it without ever changing an answer byte.
 """
 
+import math
+
 import numpy as np
 import pytest
 
-from repro.errors import ServingError, WatchdogTimeoutError
+from repro.errors import (
+    CapacityError,
+    ChunkUnavailableError,
+    ServingError,
+    WatchdogTimeoutError,
+)
 from repro.faults import FaultEvent, FaultPlan
+from repro.hardware.config import pim_platform
+from repro.hardware.mapper import total_crossbars
 from repro.repair import BackgroundScrubber, RepairController, RepairPolicy
+from repro.repair.controller import _Transfer
 from repro.serving import (
     QueryService,
     RecoveryPolicy,
@@ -385,6 +395,19 @@ class TestRereplication:
         assert len(unrecoverable) == 1  # noted once, not per window
         assert ctrl.rereplications == 0
 
+    def test_exhausted_stuck_repair_leaves_no_outage_window(self, data):
+        # spares gone + stuck cells: nothing is repaired, so no outage
+        # window may be opened — otherwise the next routine success
+        # would mint a spurious MTTR sample
+        manager = build(data, [stuck(0)], spares=0)
+        ctrl = RepairController(manager, RepairPolicy(scrub_period_ns=1e6))
+        ctrl.advance(0.0, 1e6)
+        assert "spares_exhausted" in kinds_of(ctrl.drain_events())
+        health = manager.health
+        assert health.snapshot(1e6)[0]["down_since_ns"] is None
+        health.record_success(0, 2e6)
+        assert health.drain_recoveries() == []
+
     def test_heal_gives_up_when_no_target_can_host(self, data):
         # 2 shards, one dead: the survivor already hosts every chunk,
         # so heal() must terminate with nothing queued (not spin)
@@ -395,6 +418,101 @@ class TestRereplication:
         ctrl.advance(0.0, 1e7)
         ctrl.heal(1e7)
         assert ctrl.report()["pending_transfers"] == 0
+
+
+def tight_platform(fit_rows, no_fit_rows, dims):
+    """A platform whose array fits ``fit_rows`` vectors but not
+    ``no_fit_rows`` — one crossbar short of the larger matrix."""
+    ref = pim_platform().pim
+    per_xbar_bytes = ref.crossbar.capacity_bits // 8
+    assert total_crossbars(fit_rows, dims, ref) < total_crossbars(
+        no_fit_rows, dims, ref
+    )
+    return pim_platform(
+        pim_capacity_bytes=(total_crossbars(no_fit_rows, dims, ref) - 1)
+        * per_xbar_bytes
+    )
+
+
+class TestRereplicationCapacity:
+    """Re-replication must never overfill (or destroy) a target shard."""
+
+    def test_add_replica_refuses_an_overfull_target_without_damage(
+        self, data
+    ):
+        # 2 shards of 120 rows each; the array fits one chunk, not two
+        hw = tight_platform(120, 240, DIMS)
+        manager = ShardManager(data, 2, hardware=hw)
+        expected = manager.knn(data[0], 10)
+        with pytest.raises(CapacityError):
+            manager.add_replica(0, 1)
+        # the pre-check must refuse before touching shard 1: its healthy
+        # replica of chunk 1 keeps serving, bit-identically
+        target = manager.shards[1]
+        assert 0 not in target.chunk_slices
+        assert target.n_rows == 120
+        assert 1 not in manager.replicas[0]
+        got = manager.knn(data[0], 10)
+        assert np.array_equal(got.indices, expected.indices)
+        assert np.array_equal(got.scores, expected.scores)
+
+    def test_controller_skips_targets_that_cannot_fit(self, data):
+        # 3 shards, replication 2: each hosts 160 rows (+1 checksum
+        # row); no array can take a third chunk (241 rows). When shard
+        # 1 dies the controller must leave the deficit unfilled instead
+        # of crashing the serving loop with CapacityError
+        hw = tight_platform(161, 241, DIMS)
+        manager = ShardManager(
+            data,
+            3,
+            hardware=hw,
+            replication=2,
+            fault_plan=FaultPlan([crash(1, t=0.0)], seed=3),
+        )
+        ctrl = RepairController(manager, RepairPolicy(scrub_period_ns=1e6))
+        ctrl.advance(0.0, 1e9)
+        ctrl.heal(1e9)
+        assert ctrl.rereplications == 0
+        assert ctrl.report()["pending_transfers"] == 0
+        assert min(manager.replica_counts()) == 1
+
+    def test_stale_transfer_to_an_overfull_target_is_absorbed(self, data):
+        # backstop behind the candidate filter: a queued transfer whose
+        # target can no longer fit fails softly with a timeline event
+        hw = tight_platform(120, 240, DIMS)
+        manager = ShardManager(data, 2, hardware=hw)
+        ctrl = RepairController(manager)
+        ctrl._pending.append(
+            _Transfer(
+                chunk=0, target=1, started_ns=0.0, bytes=8, remaining_ns=0.0
+            )
+        )
+        ctrl._transfer_step(0.0, math.inf)
+        assert "rereplicate_failed" in kinds_of(ctrl.drain_events())
+        assert ctrl.report()["pending_transfers"] == 0
+        assert manager.shards[1].n_rows == 120  # target untouched
+
+
+class TestProbeTokenReleaseOnAbort:
+    """An aborted dispatch must not wedge a probationary shard."""
+
+    def test_aborted_dispatch_releases_the_probe_claim(self, data):
+        recovery = RecoveryPolicy(
+            breaker_threshold=1,
+            breaker_reset_ns=100.0,
+            allow_degraded=False,
+        )
+        manager = ShardManager(data, 2, recovery=recovery)
+        health = manager.health
+        health.record_failure(0, 0.0)  # half-open once the window elapses
+        health.record_failure(1, 0.0, permanent=True)  # chunk 1 is doomed
+        # chunk 0 claims shard 0's probe token, then chunk 1 aborts the
+        # dispatch because degraded recompute is disabled
+        with pytest.raises(ChunkUnavailableError):
+            manager.knn_batch(data[:1], 5, now_ns=200.0)
+        assert not health.snapshot(200.0)[0]["probe_in_flight"]
+        assert health.available(0, 200.0)
+        assert health.begin_probe(0, 200.0)
 
 
 class TestProbeTokenRegression:
