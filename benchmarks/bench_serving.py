@@ -14,6 +14,12 @@ same offered load at 1/2/4 shards and reports:
 Dual mode: a pytest bench (``pytest benchmarks/bench_serving.py``) and a
 standalone CLI (``python benchmarks/bench_serving.py --smoke``) whose
 telemetry flags reuse the shared :mod:`repro.cli` wiring.
+
+Perf trajectory: the bench also measures the fused scatter/gather
+kernels (block-scored refinement, center-major assist sweep) against
+the per-candidate ``reference=True`` loops — identical answers, counts
+and simulated timings, much less wall-clock — persisted as
+``BENCH_serving.json`` for the CI perf gate (``--smoke`` floor: 3x).
 """
 
 from __future__ import annotations
@@ -21,9 +27,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
+import pytest
 
 from repro.cli import add_telemetry_args, telemetry_scope
 from repro.core.report import format_table
@@ -51,6 +59,9 @@ N_REQUESTS = 160
 SMOKE_REQUESTS = 64
 #: Acceptance floor: 1 -> 4 shard aggregate simulated throughput.
 MIN_SCALING = 2.5
+#: CI acceptance floor for the fused-vs-loop serving wall-clock speedup
+#: on the smoke workload (the full run documents the 10x+ margin).
+MIN_FUSED_SPEEDUP = 3.0
 
 TENANTS = [
     TenantSpec("batch", workload="near", k=K, weight=1.0),
@@ -185,6 +196,145 @@ def save_curve(result: dict, path: Path) -> None:
 
 
 # ----------------------------------------------------------------------
+# perf trajectory: fused scatter/gather vs per-candidate loops
+# ----------------------------------------------------------------------
+def measure_fused_trajectory(smoke: bool = False, repeats: int = 3) -> dict:
+    """Fused vs reference serving: wall-clock + exactness in one record.
+
+    Drives one kNN batch and one k-means assist through a fused and a
+    ``reference=True`` manager over the same dataset. Answers, refined
+    counts and simulated service times must be identical; the wall
+    clock is the only thing fusion is allowed to change.
+    """
+    rng = np.random.default_rng(777)
+    n, dims = (1500, 32) if smoke else (4096, 64)
+    n_centers = 12 if smoke else 48
+    data = rng.random((n, dims))
+    queries = rng.random((MAX_BATCH, dims))
+    centers = rng.random((n_centers, dims))
+    fused = ShardManager(data, n_shards=4)
+    loop = ShardManager(data, n_shards=4, reference=True)
+
+    af, tf = fused.knn_batch(queries, K)
+    ar, tr = loop.knn_batch(queries, K)
+    bf, btf = fused.assign(centers)
+    br, btr = loop.assign(centers)
+    bit_identical = (
+        all(
+            np.array_equal(x.indices, y.indices)
+            and np.array_equal(x.scores, y.scores)
+            and x.refined == y.refined
+            for x, y in zip(af, ar)
+        )
+        and np.array_equal(bf.assignments, br.assignments)
+        and np.array_equal(bf.distances, br.distances)
+        and bf.refined == br.refined
+    )
+    simulated_identical = bool(
+        tf.service_ns == tr.service_ns and btf.service_ns == btr.service_ns
+    )
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        fused.knn_batch(queries, K)
+    t1 = time.perf_counter()
+    for _ in range(repeats):
+        fused.assign(centers)
+    t2 = time.perf_counter()
+    fused_knn_s = (t1 - t0) / repeats
+    fused_assign_s = (t2 - t1) / repeats
+    fused_s = fused_knn_s + fused_assign_s
+    t0 = time.perf_counter()
+    loop.knn_batch(queries, K)
+    t1 = time.perf_counter()
+    loop.assign(centers)
+    t2 = time.perf_counter()
+    loop_knn_s = t1 - t0
+    loop_assign_s = t2 - t1
+    loop_s = loop_knn_s + loop_assign_s
+    return {
+        "bench": "serving",
+        "kernel": "sharded_knn_batch_plus_assign",
+        "smoke": smoke,
+        "workload": {
+            "n_rows": n,
+            "dims": dims,
+            "batch": MAX_BATCH,
+            "k": K,
+            "n_centers": n_centers,
+            "n_shards": 4,
+        },
+        "wall_clock": {
+            "fused_s": fused_s,
+            "reference_s": loop_s,
+            "speedup": loop_s / fused_s,
+            "per_kernel": {
+                "knn_speedup": loop_knn_s / fused_knn_s,
+                "assign_speedup": loop_assign_s / fused_assign_s,
+            },
+        },
+        "simulated": {
+            "knn_service_ns": float(tf.service_ns),
+            "assign_service_ns": float(btf.service_ns),
+            "identical": simulated_identical,
+        },
+        "bit_identical": bool(bit_identical),
+        "min_speedup": MIN_FUSED_SPEEDUP,
+    }
+
+
+def save_bench_json(result: dict, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result, indent=2) + "\n")
+
+
+def test_serving_fused_perf_trajectory(benchmark, save_results):
+    """Fused serving kernels: big wall-clock win, zero observable drift."""
+    result = measure_fused_trajectory(smoke=True)
+    save_bench_json(result, RESULTS_DIR / "BENCH_serving.json")
+    wall = result["wall_clock"]
+    save_results(
+        "serving_fused_trajectory",
+        format_table(
+            ["kernel", "fused (ms)", "loop (ms)", "speedup", "bits equal"],
+            [[
+                result["kernel"],
+                f"{wall['fused_s'] * 1e3:.2f}",
+                f"{wall['reference_s'] * 1e3:.2f}",
+                f"{wall['speedup']:.1f}x",
+                result["bit_identical"],
+            ]],
+            title="Perf trajectory: fused serving kernels vs loop reference",
+        ),
+    )
+    assert result["bit_identical"]
+    assert result["simulated"]["identical"]
+    assert wall["speedup"] >= MIN_FUSED_SPEEDUP
+
+    manager = ShardManager(_dataset(), n_shards=4)
+    queries = np.random.default_rng(3).random((MAX_BATCH, DIMS))
+    benchmark.pedantic(
+        lambda: manager.knn_batch(queries, K), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.slow
+def test_serving_fused_perf_trajectory_full():
+    """Tier 2: full-scale serving workload behind the recorded JSON.
+
+    The per-kernel record matters here: the assign sweep is the
+    loop-bound path (~8x fused), while kNN wall-clock is dominated by
+    the shared wave + bound machinery on both sides, so the combined
+    ratio understates the kernel win.
+    """
+    result = measure_fused_trajectory(smoke=False)
+    save_bench_json(result, RESULTS_DIR / "BENCH_serving.json")
+    assert result["bit_identical"]
+    assert result["simulated"]["identical"]
+    assert result["wall_clock"]["speedup"] >= MIN_FUSED_SPEEDUP
+
+
+# ----------------------------------------------------------------------
 # pytest mode
 # ----------------------------------------------------------------------
 def test_serving_throughput_scaling(benchmark, save_results):
@@ -219,6 +369,10 @@ def main(argv=None) -> int:
         "--out", default=str(RESULTS_DIR / "serving_latency_curve.json"),
         metavar="FILE", help="latency-curve JSON artifact path",
     )
+    parser.add_argument(
+        "--perf-out", default=str(RESULTS_DIR / "BENCH_serving.json"),
+        metavar="FILE", help="fused-kernel perf-trajectory JSON path",
+    )
     add_telemetry_args(parser)
     args = parser.parse_args(argv)
     with telemetry_scope(args):
@@ -226,10 +380,32 @@ def main(argv=None) -> int:
     print(format_report(result))
     save_curve(result, Path(args.out))
     print(f"latency curve  : {args.out}")
+    perf = measure_fused_trajectory(smoke=args.smoke)
+    save_bench_json(perf, Path(args.perf_out))
+    wall = perf["wall_clock"]
+    print(
+        f"fused serving  : {wall['speedup']:.1f}x vs loop reference "
+        f"(bit_identical={perf['bit_identical']}, "
+        f"simulated_identical={perf['simulated']['identical']}) "
+        f"-> {args.perf_out}"
+    )
     ratio = result["scaling"]["ratio_4_over_1"]
     if ratio < MIN_SCALING:
         print(
             f"FAIL: 1->4 shard scaling {ratio:.2f}x < {MIN_SCALING}x",
+            file=sys.stderr,
+        )
+        return 1
+    if not (perf["bit_identical"] and perf["simulated"]["identical"]):
+        print(
+            "FAIL: fused serving kernels moved bits or nanoseconds",
+            file=sys.stderr,
+        )
+        return 1
+    if wall["speedup"] < MIN_FUSED_SPEEDUP:
+        print(
+            f"FAIL: fused serving speedup {wall['speedup']:.2f}x < "
+            f"{MIN_FUSED_SPEEDUP}x",
             file=sys.stderr,
         )
         return 1

@@ -1,0 +1,31 @@
+"""Root pytest configuration: the slow-tier switch.
+
+Tier 1 is the default: ``python -m pytest -x -q`` runs every test not
+marked ``@pytest.mark.slow`` and must stay fast enough to run on every
+commit. Tests marked ``slow`` (full-scale perf trajectories, large
+workloads) are deselected unless ``--runslow`` is passed; CI runs them
+in a dedicated job rather than on the hot path.
+
+This lives at the repo root (not ``tests/conftest.py``) so the option
+exists for every collection root, including ``pytest benchmarks/``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked @pytest.mark.slow (tier 2)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow tier: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -13,6 +13,13 @@ shift-and-add (S&A) unit:
 where ``P_j`` is the matrix of j-th operand slices and ``Q_k`` the k-th
 input slice. All helpers operate on NumPy integer arrays and are the
 single source of truth used by :class:`repro.hardware.crossbar.Crossbar`.
+
+The public helpers are fully vectorised (broadcast shifts and one
+weight contraction instead of per-slice Python loops); the original
+loop implementations are kept as ``*_reference`` oracles. Both compute
+in 64-bit wrap-around (mod 2**64) arithmetic, which is associative and
+commutative, so the two always agree bit for bit — the fusion property
+suite asserts exactly that.
 """
 
 from __future__ import annotations
@@ -66,6 +73,19 @@ def slice_operands(values: np.ndarray, operand_bits: int, slice_bits: int) -> np
     values = np.asarray(values)
     check_non_negative_integers(values, operand_bits)
     n = num_slices(operand_bits, slice_bits)
+    mask = np.uint64((1 << slice_bits) - 1)
+    work = values.astype(np.uint64)
+    shifts = np.arange(n, dtype=np.uint64) * np.uint64(slice_bits)
+    return (work[..., np.newaxis] >> shifts) & mask
+
+
+def slice_operands_reference(
+    values: np.ndarray, operand_bits: int, slice_bits: int
+) -> np.ndarray:
+    """Loop oracle for :func:`slice_operands` (one shift per slice)."""
+    values = np.asarray(values)
+    check_non_negative_integers(values, operand_bits)
+    n = num_slices(operand_bits, slice_bits)
     mask = (1 << slice_bits) - 1
     work = values.astype(np.uint64)
     slices = np.empty(values.shape + (n,), dtype=np.uint64)
@@ -77,14 +97,37 @@ def slice_operands(values: np.ndarray, operand_bits: int, slice_bits: int) -> np
 def reconstruct(slices: np.ndarray, slice_bits: int) -> np.ndarray:
     """Inverse of :func:`slice_operands`: shift-and-add slices back.
 
-    The last axis of ``slices`` is the slice axis.
+    The last axis of ``slices`` is the slice axis. Addition wraps mod
+    2**64, so the vectorised reduction is bit-identical to the
+    sequential loop for any summation order.
     """
+    slices = np.asarray(slices, dtype=np.uint64)
+    n = slices.shape[-1]
+    shifts = np.arange(n, dtype=np.uint64) * np.uint64(slice_bits)
+    return np.asarray((slices << shifts).sum(axis=-1, dtype=np.uint64))
+
+
+def reconstruct_reference(slices: np.ndarray, slice_bits: int) -> np.ndarray:
+    """Loop oracle for :func:`reconstruct`."""
     slices = np.asarray(slices, dtype=np.uint64)
     n = slices.shape[-1]
     total = np.zeros(slices.shape[:-1], dtype=np.uint64)
     for j in range(n):
         total += slices[..., j] << np.uint64(j * slice_bits)
     return total
+
+
+def _shift_weights(
+    n_op: int, n_in: int, operand_slice_bits: int, input_slice_bits: int
+) -> np.ndarray:
+    """``2**(j*h + k*g)`` weight matrix of the S&A unit, mod 2**64."""
+    shifts = (
+        np.arange(n_op, dtype=np.uint64)[:, np.newaxis]
+        * np.uint64(operand_slice_bits)
+        + np.arange(n_in, dtype=np.uint64)[np.newaxis, :]
+        * np.uint64(input_slice_bits)
+    )
+    return np.uint64(1) << shifts
 
 
 def shift_add_partials(
@@ -97,7 +140,30 @@ def shift_add_partials(
     matrix with the k-th input slice vector. The combined exact result is
     ``sum_{j,k} partials[j, k] << (j*h + k*g)`` — exactly what the S&A
     circuit of Fig. 2 produces.
+
+    Implemented as one contraction with the ``2**(j*h+k*g)`` weight
+    matrix: ``x << s == x * 2**s (mod 2**64)``, and mod-2**64 arithmetic
+    is a commutative ring, so this matches the shift-and-accumulate loop
+    bit for bit.
     """
+    partials = np.asarray(partials, dtype=np.int64)
+    if partials.ndim < 2:
+        raise OperandError("partials must have operand- and input-slice axes")
+    n_op, n_in = partials.shape[0], partials.shape[1]
+    weights = _shift_weights(
+        n_op, n_in, operand_slice_bits, input_slice_bits
+    ).reshape(n_op * n_in)
+    flat = partials.astype(np.uint64).reshape((n_op * n_in,) + partials.shape[2:])
+    total = np.tensordot(weights, flat, axes=([0], [0]))
+    # ascontiguousarray promotes 0-d to 1-d; reshape restores the rank
+    out = np.ascontiguousarray(total).view(np.int64)
+    return out.reshape(partials.shape[2:])
+
+
+def shift_add_partials_reference(
+    partials: np.ndarray, operand_slice_bits: int, input_slice_bits: int
+) -> np.ndarray:
+    """Loop oracle for :func:`shift_add_partials` (per-partial shifts)."""
     partials = np.asarray(partials, dtype=np.int64)
     if partials.ndim < 2:
         raise OperandError("partials must have operand- and input-slice axes")

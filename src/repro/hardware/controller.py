@@ -47,6 +47,7 @@ class PIMController:
         simulate_cells: bool = False,
         noise=None,
         spare_crossbars: int = 0,
+        reference: bool = False,
     ) -> None:
         self.hardware = hardware if hardware is not None else pim_platform()
         if noise is not None:
@@ -58,6 +59,7 @@ class PIMController:
                 self.hardware,
                 simulate_cells=simulate_cells,
                 spare_crossbars=spare_crossbars,
+                reference=reference,
             )
         self.noise = noise
         self.memory = MemoryArray(self.hardware.memory, device="reram")

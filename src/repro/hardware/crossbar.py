@@ -158,7 +158,12 @@ class Crossbar:
     # ------------------------------------------------------------------
     # computation
     # ------------------------------------------------------------------
-    def dot_product(self, query: np.ndarray, input_bits: int | None = None) -> WaveResult:
+    def dot_product(
+        self,
+        query: np.ndarray,
+        input_bits: int | None = None,
+        reference: bool = False,
+    ) -> WaveResult:
         """Compute the dot product of ``query`` with every stored vector.
 
         The query is DAC-sliced into ``ceil(b/g)`` input waves; per wave
@@ -172,6 +177,12 @@ class Crossbar:
         input_bits:
             Width of query elements; defaults to the programmed operand
             width.
+        reference:
+            Route through the original one-``einsum``-per-input-slice
+            loop plus the sequential shift-add oracle instead of the
+            fused kernel. Both are exact integer arithmetic mod 2**64,
+            so the results are bit-identical; the loop stays as the
+            independent oracle the fusion property suite checks against.
 
         Returns
         -------
@@ -186,8 +197,6 @@ class Crossbar:
                 f"query must be a vector of length {self._rows_used}"
             )
         bits = input_bits if input_bits is not None else self._operand_bits
-        q_slices = bitslice.slice_operands(query, bits, self.config.dac_bits)
-        n_in = q_slices.shape[-1]
         n_op = bitslice.num_slices(self._operand_bits, self.config.cell_bits)
 
         cells = self._cells[: self._rows_used].astype(np.int64)
@@ -196,14 +205,33 @@ class Crossbar:
         grouped = cells[:, :used_cols].reshape(
             self._rows_used, self._num_vectors, n_op
         )
-        partials = np.empty((n_op, n_in, self._num_vectors), dtype=np.int64)
-        for k in range(n_in):
-            q_k = q_slices[:, k].astype(np.int64)
-            # analog MAC: every column sees the same input wave.
-            partials[:, k, :] = np.einsum("r,rvj->jv", q_k, grouped)
-        values = bitslice.shift_add_partials(
-            partials, self.config.cell_bits, self.config.dac_bits
-        )
+        if reference:
+            q_slices = bitslice.slice_operands_reference(
+                query, bits, self.config.dac_bits
+            )
+            n_in = q_slices.shape[-1]
+            partials = np.empty(
+                (n_op, n_in, self._num_vectors), dtype=np.int64
+            )
+            for k in range(n_in):
+                q_k = q_slices[:, k].astype(np.int64)
+                # analog MAC: every column sees the same input wave.
+                partials[:, k, :] = np.einsum("r,rvj->jv", q_k, grouped)
+            values = bitslice.shift_add_partials_reference(
+                partials, self.config.cell_bits, self.config.dac_bits
+            )
+        else:
+            q_slices = bitslice.slice_operands(
+                query, bits, self.config.dac_bits
+            )
+            n_in = q_slices.shape[-1]
+            # all (operand-slice, input-slice) partials in one contraction
+            partials = np.einsum(
+                "rk,rvj->jkv", q_slices.astype(np.int64), grouped
+            )
+            values = bitslice.shift_add_partials(
+                partials, self.config.cell_bits, self.config.dac_bits
+            )
         return WaveResult(
             values=values,
             cycles=n_in,

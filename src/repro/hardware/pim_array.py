@@ -6,15 +6,24 @@ Hamming distance) are programmed once at the offline stage; at the online
 stage a *wave* evaluates one query vector against every programmed vector
 of a matrix concurrently and deposits the results in the buffer array.
 
-Two execution paths produce identical values:
+Three execution paths produce identical values:
 
 * the default fast path computes the integer matrix-vector product with
   NumPy (the bit-sliced analog pipeline is value-exact, so this is a pure
-  optimisation), while still charging the cycle-accurate wave latency; and
-* ``simulate_cells=True`` shards the matrix over real
+  optimisation), while still charging the cycle-accurate wave latency;
+* ``simulate_cells=True`` runs the *fused* bit-sliced kernel: the
+  operand bit-slice decomposition is precomputed at ``program()`` time
+  (cached per matrix, dropped on reprogram/remap) and every wave is one
+  whole-array tensor contraction over (operand-slice, input-slice)
+  partials — cell-faithful DAC/ADC bit-slicing without Python loops; and
+* ``simulate_cells=True, reference=True`` shards the matrix over real
   :class:`~repro.hardware.crossbar.Crossbar` objects and merges their
-  partial results — slow, but it exercises DAC/ADC bit-slicing cell by
-  cell. The test suite cross-checks both paths on small geometries.
+  partial results per crossbar and per slice — the slow loop oracle the
+  fused kernel is checked against, bit for bit, on small geometries.
+
+All three share the analytical timing model (latency is computed from
+the layout, not from the execution style), so simulated times are
+identical by construction; the fusion golden tests pin them anyway.
 """
 
 from __future__ import annotations
@@ -173,7 +182,14 @@ class PIMStats:
 
 
 class _ProgrammedMatrix:
-    """Internal record of one programmed matrix."""
+    """Internal record of one programmed matrix.
+
+    ``sliced`` caches the operand bit-slice decomposition the fused
+    cell-level kernel contracts against — shape ``(n_vectors, dims,
+    n_operand_slices)``, int64. It is built at program time, rebuilt
+    lazily after :meth:`drop_sliced` (any reprogram/remap event), and
+    absent entirely on the fast and reference paths.
+    """
 
     def __init__(
         self,
@@ -186,6 +202,11 @@ class _ProgrammedMatrix:
         self.layout = layout
         self.crossbars = crossbars  # only in simulate_cells mode
         self.crossbar_ids = crossbar_ids or []
+        self.sliced: np.ndarray | None = None
+
+    def drop_sliced(self) -> None:
+        """Invalidate the cached bit-slice decomposition."""
+        self.sliced = None
 
 
 class PIMArray:
@@ -197,8 +218,13 @@ class PIMArray:
         Platform description; must contain a PIM array. Defaults to the
         paper's Table 5 platform.
     simulate_cells:
-        Route every wave through per-crossbar bit-sliced computation.
-        Exact but slow; intended for small-geometry verification.
+        Route every wave through cell-faithful bit-sliced computation
+        (the fused whole-array kernel by default).
+    reference:
+        With ``simulate_cells``, use the original per-crossbar/per-slice
+        loop oracle instead of the fused kernel. Bit-identical values,
+        orders of magnitude slower; intended for small-geometry
+        verification and as the perf-trajectory baseline.
     spare_crossbars:
         Crossbars withheld from data placement as a repair pool. A
         stuck/dead crossbar can be remapped onto the least-worn spare
@@ -211,12 +237,19 @@ class PIMArray:
         hardware: HardwareConfig | None = None,
         simulate_cells: bool = False,
         spare_crossbars: int = 0,
+        reference: bool = False,
     ) -> None:
         self.hardware = hardware if hardware is not None else pim_platform()
         if self.hardware.pim is None:
             raise ProgrammingError("hardware platform has no PIM array")
+        if reference and not simulate_cells:
+            raise ProgrammingError(
+                "reference=True is the loop oracle of the cell-level "
+                "path; it requires simulate_cells=True"
+            )
         self.config: PIMArrayConfig = self.hardware.pim
         self.simulate_cells = simulate_cells
+        self.reference = reference
         self.buffer = BufferArray(self.hardware.memory)
         self.endurance = EnduranceTracker(self.config.crossbar.endurance)
         self.stats = PIMStats()
@@ -276,11 +309,14 @@ class PIMArray:
                 f"programming {name!r} would use {used} crossbars, "
                 f"array has {self.data_capacity}{detail}"
             )
-        crossbars = (
-            self._program_cells(matrix, layout) if self.simulate_cells else None
-        )
+        crossbars: list[list[Crossbar]] | None = None
         crossbar_ids: list[int] = []
-        if not self.simulate_cells:
+        if self.simulate_cells:
+            crossbars = self._program_cells(matrix, layout)
+            crossbar_ids = [
+                xbar.crossbar_id for column in crossbars for xbar in column
+            ]
+        else:
             # charge endurance at layout granularity (one write per
             # crossbar), reusing freed physical crossbars so repeated
             # re-programming accumulates wear on the same cells
@@ -292,9 +328,12 @@ class PIMArray:
                     self._next_crossbar_id += 1
                 self.endurance.record_write(unit)
                 crossbar_ids.append(unit)
-        self._matrices[name] = _ProgrammedMatrix(
+        record = _ProgrammedMatrix(
             matrix.astype(np.int64), layout, crossbars, crossbar_ids
         )
+        if self.simulate_cells and not self.reference:
+            record.sliced = self._decompose(record.matrix)
+        self._matrices[name] = record
         self.stats.crossbars_used = used
         self.stats.matrices[name] = layout
         program_ns = programming_time_ns(layout, self.config)
@@ -353,7 +392,11 @@ class PIMArray:
         self.stats.crossbars_used -= record.layout.n_crossbars
         del self.stats.matrices[name]
         self.stats.per_matrix.pop(name, None)
-        self._free_crossbar_ids.extend(record.crossbar_ids)
+        record.drop_sliced()
+        if record.crossbars is None:
+            # cell-mode crossbar objects are not recycled; only the
+            # fast path returns physical ids to the free pool
+            self._free_crossbar_ids.extend(record.crossbar_ids)
         tele = get_recorder()
         if tele.enabled:
             tele.metrics.counter("pim.matrix_resets").add(1)
@@ -437,6 +480,15 @@ class PIMArray:
         self._spare_ids.remove(spare)
         self.endurance.record_write(spare)
         record.crossbar_ids[record.crossbar_ids.index(old_id)] = spare
+        # the logical values are reprogrammed onto the spare: any cached
+        # bit-slice decomposition is rebuilt from scratch on next query
+        # (defensively — stale cell state must never outlive a remap)
+        record.drop_sliced()
+        if record.crossbars is not None:
+            for column in record.crossbars:
+                for xbar in column:
+                    if xbar.crossbar_id == old_id:
+                        xbar.crossbar_id = spare
         self.remap_table[old_id] = spare
         self._retired_ids.add(old_id)
         from repro.hardware.reprogramming import crossbar_reprogram_ns
@@ -490,7 +542,7 @@ class PIMArray:
                 f"query must be a vector of length {record.layout.dims}"
             )
         if record.crossbars is not None:
-            values = self._query_cells(record, vector, bits)
+            values = self._cell_values(record, vector[np.newaxis, :], bits)[0]
         else:
             values = record.matrix @ vector.astype(np.int64)
         values = bitslice.truncate_result(values, self.config.accumulator_bits)
@@ -544,9 +596,7 @@ class PIMArray:
                 f"queries must have length {record.layout.dims}"
             )
         if record.crossbars is not None:
-            values = np.vstack(
-                [self._query_cells(record, v, bits) for v in vectors]
-            )
+            values = self._cell_values(record, vectors, bits)
         else:
             values = vectors.astype(np.int64) @ record.matrix.T
         values = bitslice.truncate_result(values, self.config.accumulator_bits)
@@ -600,9 +650,7 @@ class PIMArray:
                 f"queries must have length {record.layout.dims}"
             )
         if record.crossbars is not None:
-            values = np.vstack(
-                [self._query_cells(record, v, bits) for v in vectors]
-            )
+            values = self._cell_values(record, vectors, bits)
         else:
             values = vectors.astype(np.int64) @ record.matrix.T
         values = bitslice.truncate_result(values, self.config.accumulator_bits)
@@ -668,17 +716,78 @@ class PIMArray:
             )
         m.counter("pim.results_produced").add(results)
 
+    def _decompose(self, matrix: np.ndarray) -> np.ndarray:
+        """Operand bit-slice tensor of ``matrix`` for the fused kernel.
+
+        Shape ``(n_vectors, dims, n_operand_slices)``; slice ``j`` holds
+        bits ``[j*h, (j+1)*h)`` of each operand — exactly the cell
+        contents :meth:`_program_cells` writes, reassembled whole-array.
+        """
+        return bitslice.slice_operands(
+            matrix, self.config.operand_bits, self.config.crossbar.cell_bits
+        ).astype(np.int64)
+
+    def _cell_values(
+        self, record: _ProgrammedMatrix, vectors: np.ndarray, bits: int
+    ) -> np.ndarray:
+        """Cell-level values of a ``(B, dims)`` query block.
+
+        Fused kernel by default; ``reference=True`` replays the
+        per-crossbar loop oracle row by row. Both are exact integer
+        arithmetic mod 2**64 over the same (operand-slice, input-slice)
+        partials, so the results are bit-identical — the fusion property
+        suite holds this line.
+        """
+        if self.reference:
+            return np.vstack(
+                [self._query_cells(record, v, bits) for v in vectors]
+            )
+        return self._query_fused(record, vectors, bits)
+
+    def _query_fused(
+        self, record: _ProgrammedMatrix, vectors: np.ndarray, bits: int
+    ) -> np.ndarray:
+        """Whole-array bit-sliced wave: one contraction, one shift-add.
+
+        The crossbar loop computes, per crossbar/input slice/operand
+        slice, ``partials[j, k] = sum_r Q_k[r] * cell_j[r, v]`` and
+        shift-adds ``partials[j, k] << (j*h + k*g)``. Mod-2**64 integer
+        arithmetic is a commutative ring, and the DAC slices recombine
+        exactly (``sum_k Q_k * 2**(k*g) == q``), so the per-input-slice
+        axis folds away algebraically: contracting the *unsliced* query
+        against each cached operand-slice plane and shift-adding over
+        operand slices alone is bit-identical to the loop — at a
+        fraction of the multiplies. The property suite pins the
+        equivalence against the crossbar oracle.
+        """
+        sliced = record.sliced
+        if sliced is None:  # dropped by a reprogram/remap — rebuild
+            sliced = record.sliced = self._decompose(record.matrix)
+        queries = np.atleast_2d(vectors).astype(np.int64)  # (B, dims)
+        # contract the shared dims axis: -> (B, n_vectors, n_op)
+        planes = np.tensordot(queries, sliced, axes=([1], [1]))
+        # operand-slice shift-add; the input-slice axis is a singleton
+        # because the DAC slices were recombined before the contraction
+        partials = planes.transpose(2, 0, 1)[:, np.newaxis]
+        return bitslice.shift_add_partials(
+            partials,
+            self.config.crossbar.cell_bits,
+            self.config.crossbar.dac_bits,
+        )
+
     def _query_cells(
         self, record: _ProgrammedMatrix, vector: np.ndarray, bits: int
     ) -> np.ndarray:
-        """Per-crossbar bit-sliced evaluation (simulate mode)."""
+        """Per-crossbar bit-sliced evaluation (the loop oracle)."""
         rows = self.config.crossbar.rows
         outputs: list[np.ndarray] = []
         for column in record.crossbars or []:
             partial_sum: np.ndarray | None = None
             for i, xbar in enumerate(column):
                 segment = vector[i * rows : i * rows + xbar._rows_used]
-                wave = xbar.dot_product(segment, input_bits=bits)
+                wave = xbar.dot_product(
+                    segment, input_bits=bits, reference=True
+                )
                 partial_sum = (
                     wave.values
                     if partial_sum is None

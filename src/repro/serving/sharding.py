@@ -78,6 +78,23 @@ PLACEMENT_KINDS = ("range", "hash")
 _HASH_MULTIPLIER = 2654435761
 
 
+def exact_sq_distances(rows: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Canonical exact scoring kernel: squared Euclidean per row.
+
+    Every exact-scoring path — shard refinement, degraded host-side
+    recompute, the k-means assist, the loop-reference oracles and the
+    test oracles — must route through this one expression. The einsum
+    reduces each row independently, so a row's score does not depend on
+    which other rows ride in the same call; scoring rows one at a time,
+    in blocks, or all at once yields bit-identical floats. That row
+    independence is what lets the fused batch paths match the
+    sequential reference paths bit for bit (a plain ``diff @ diff``
+    BLAS dot does *not* guarantee this across batch shapes).
+    """
+    diff = np.atleast_2d(rows) - query
+    return np.einsum("ij,ij->i", diff, diff)
+
+
 @dataclass(frozen=True)
 class ShardPlacement:
     """Which shard each global dataset row lives on.
@@ -484,6 +501,14 @@ class ShardManager:
         fault plan is attached and the shard path supports it (resident
         programming only — the chunked engine re-programs crossbars per
         chunk and does not carry the checksum row).
+    reference:
+        Route the host-side candidate scan, refinement and k-means
+        assist through the original one-candidate-at-a-time loops
+        instead of the fused block kernels. Both call
+        :func:`exact_sq_distances` per row, so answers, refined/pruned
+        counts and simulated timings are bit-identical — the loops stay
+        as the independent oracle the fusion property suite checks
+        against.
     """
 
     def __init__(
@@ -502,6 +527,7 @@ class ShardManager:
         recovery: RecoveryPolicy | None = None,
         verify: bool | None = None,
         spare_crossbars: int = 0,
+        reference: bool = False,
     ) -> None:
         data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2 or data.shape[0] < 1:
@@ -538,6 +564,7 @@ class ShardManager:
         self.recovery = recovery if recovery is not None else RecoveryPolicy()
         self.health = ShardHealthTracker(self.n_shards, self.recovery)
         self.chunked = bool(chunked)
+        self.reference = bool(reference)
         self.spare_crossbars = int(spare_crossbars)
         if verify is None:
             verify = fault_plan is not None and not chunked
@@ -1013,14 +1040,37 @@ class ShardManager:
             return heap, 0, n_local - int(order.size)
         order = np.lexsort((gidx, lb))
         refined = 0
-        for j in order:
-            if lb[j] > heap.threshold:
-                break  # visit order is ascending lb: the rest prune too
-            row = floats[j]
-            diff = row - q_norm
-            score = float(diff @ diff)
-            heap.offer(score, int(gidx[j]))
-            refined += 1
+        if self.reference:
+            for j in order:
+                if lb[j] > heap.threshold:
+                    break  # ascending lb: the rest prune too
+                score = float(exact_sq_distances(floats[j], q_norm)[0])
+                heap.offer(score, int(gidx[j]))
+                refined += 1
+            return heap, refined, n_local - refined
+        # Fused: score candidates in doubling blocks ahead of the scan.
+        # The kernel's row independence makes block scores bit-identical
+        # to one-at-a-time scores, and the scan still checks the live
+        # heap threshold per candidate, so the refined/pruned counts —
+        # which feed the simulated CPU time — match the loop exactly.
+        pos = 0
+        block = max(k, 64)
+        while pos < order.size:
+            chunk = order[pos : pos + block]
+            if lb[chunk[0]] > heap.threshold:
+                break  # ascending lb: the rest prune too
+            scores = exact_sq_distances(floats[chunk], q_norm)
+            stopped = False
+            for t, j in enumerate(chunk):
+                if lb[j] > heap.threshold:
+                    stopped = True
+                    break
+                heap.offer(float(scores[t]), int(gidx[j]))
+                refined += 1
+            if stopped:
+                break
+            pos += block
+            block *= 2
         return heap, refined, n_local - refined
 
     def _degrade_chunk_knn(
@@ -1035,8 +1085,9 @@ class ShardManager:
         """Host-side exact top-k of one unavailable chunk.
 
         No PIM bounds exist, so every row of the chunk is refined
-        exactly — the same ``diff @ diff`` expression as the normal
-        refinement path, so merged results stay bit-identical.
+        exactly — through :func:`exact_sq_distances`, the same kernel
+        as the normal refinement path, so merged results stay
+        bit-identical.
         """
         rows = self.chunk_rows[c]
         batch = len(k_list)
@@ -1048,9 +1099,16 @@ class ShardManager:
         gidx = host.global_indices[sl]
         for b in range(batch):
             heap = _CanonicalHeap(min(k_list[b], max(self.n_rows, 1)))
-            for j in range(gidx.size):
-                diff = floats[j] - q_norm[b]
-                heap.offer(float(diff @ diff), int(gidx[j]))
+            if self.reference:
+                for j in range(gidx.size):
+                    score = float(
+                        exact_sq_distances(floats[j], q_norm[b])[0]
+                    )
+                    heap.offer(score, int(gidx[j]))
+            else:
+                scores = exact_sq_distances(floats, q_norm[b])
+                for j in range(gidx.size):
+                    heap.offer(float(scores[j]), int(gidx[j]))
             per_query_heaps[b].append(heap)
             refined_total[b] += int(gidx.size)
         timing.degraded_cpu_ns += self._degraded_cpu_ns(
@@ -1192,30 +1250,66 @@ class ShardManager:
                 np.arange(shard.n_rows, dtype=np.int64) if sel is None else sel
             )
             refined = 0
-            for col, j in enumerate(idx):
+            if self.reference:
+                for col, j in enumerate(idx):
+                    lb = (
+                        shard.phi[j] + phi_c - 2.0 * dots[:, col]
+                        - 2.0 * self.dims
+                    ) / alpha2
+                    np.maximum(lb, 0.0, out=lb)
+                    best_d = np.inf
+                    best_c = 0
+                    row = shard.floats[j]
+                    for c in range(n_centers):
+                        if lb[c] > best_d:
+                            continue
+                        d = float(exact_sq_distances(row, c_norm[c])[0])
+                        refined += 1
+                        if d < best_d:
+                            best_d = d
+                            best_c = c
+                    gi = shard.global_indices[j]
+                    assignments[gi] = best_c
+                    distances[gi] = best_d
+                stats["refined"] += refined
+                stats["visited"] += int(idx.size) * n_centers
+                return self._shard_cpu_ns(int(idx.size), n_centers, refined)
+            # Fused: sweep centers in index order across all rows at
+            # once. Each row's prune test (``lb > best_d``) and strict
+            # ``d < best_d`` update depend only on that row's own state,
+            # so the center-major sweep replays the per-row loop's
+            # decisions exactly — same refined count, same canonical
+            # lowest-center-index tie-break, same distance bits (row
+            # independence of the kernel). Only the surviving rows are
+            # gathered and scored per center: the lb pruning is heavy
+            # enough that scoring whole row blocks costs more than the
+            # per-center gathers save.
+            n_here = int(idx.size)
+            if n_here:
                 lb = (
-                    shard.phi[j] + phi_c - 2.0 * dots[:, col]
-                    - 2.0 * self.dims
+                    shard.phi[idx][:, np.newaxis] + phi_c[np.newaxis, :]
+                    - 2.0 * dots.T - 2.0 * self.dims
                 ) / alpha2
                 np.maximum(lb, 0.0, out=lb)
-                best_d = np.inf
-                best_c = 0
-                row = shard.floats[j]
+                rows = shard.floats[idx]
+                best_d = np.full(n_here, np.inf)
+                best_c = np.zeros(n_here, dtype=np.int64)
                 for c in range(n_centers):
-                    if lb[c] > best_d:
+                    hit = np.flatnonzero(lb[:, c] <= best_d)
+                    if hit.size == 0:
                         continue
-                    diff = row - c_norm[c]
-                    d = float(diff @ diff)
-                    refined += 1
-                    if d < best_d:
-                        best_d = d
-                        best_c = c
-                gi = shard.global_indices[j]
+                    d = exact_sq_distances(rows[hit], c_norm[c])
+                    refined += int(hit.size)
+                    closer = d < best_d[hit]
+                    upd = hit[closer]
+                    best_d[upd] = d[closer]
+                    best_c[upd] = c
+                gi = shard.global_indices[idx]
                 assignments[gi] = best_c
                 distances[gi] = best_d
             stats["refined"] += refined
-            stats["visited"] += int(idx.size) * n_centers
-            return self._shard_cpu_ns(int(idx.size), n_centers, refined)
+            stats["visited"] += n_here * n_centers
+            return self._shard_cpu_ns(n_here, n_centers, refined)
 
         degraded_chunks = self._serve_chunks(
             c_int, t0, process, timing, "serving.assist"
@@ -1228,19 +1322,33 @@ class ShardManager:
             sl = host.chunk_slices[c]
             floats = host.floats[sl]
             gidx = host.global_indices[sl]
-            for j in range(gidx.size):
-                row = floats[j]
-                best_d = np.inf
-                best_c = 0
-                for cc in range(n_centers):
-                    diff = row - c_norm[cc]
-                    d = float(diff @ diff)
-                    if d < best_d:
-                        best_d = d
-                        best_c = cc
-                gi = gidx[j]
-                assignments[gi] = best_c
-                distances[gi] = best_d
+            if self.reference:
+                for j in range(gidx.size):
+                    best_d = np.inf
+                    best_c = 0
+                    for cc in range(n_centers):
+                        d = float(
+                            exact_sq_distances(floats[j], c_norm[cc])[0]
+                        )
+                        if d < best_d:
+                            best_d = d
+                            best_c = cc
+                    gi = gidx[j]
+                    assignments[gi] = best_c
+                    distances[gi] = best_d
+            else:
+                # all rows x all centers; argmin keeps the first (i.e.
+                # lowest-index) minimum — the strict ``<`` tie-break.
+                dists = np.stack(
+                    [
+                        exact_sq_distances(floats, c_norm[cc])
+                        for cc in range(n_centers)
+                    ],
+                    axis=1,
+                )
+                best = dists.argmin(axis=1)
+                assignments[gidx] = best
+                distances[gidx] = dists[np.arange(gidx.size), best]
             stats["refined"] += int(gidx.size) * n_centers
             stats["visited"] += int(gidx.size) * n_centers
             timing.degraded_cpu_ns += self._degraded_cpu_ns(

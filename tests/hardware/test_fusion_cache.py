@@ -1,0 +1,138 @@
+"""Regression tests: the fused kernel's bit-slice cache never goes stale.
+
+The fused cell-level path contracts queries against a decomposition
+cached at ``program_matrix`` time. Every event that changes what the
+crossbars physically hold — reset + reprogram under the same name, a
+spare-pool remap of one crossbar, bulk remaps — must drop that cache so
+the next wave rebuilds it from the live matrix. A stale cache would
+silently serve the *previous* matrix's bits: exactly the class of bug
+these tests pin.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware.config import (
+    CrossbarConfig,
+    HardwareConfig,
+    PIMArrayConfig,
+)
+from repro.hardware.pim_array import PIMArray
+
+
+@pytest.fixture()
+def platform():
+    return HardwareConfig(
+        pim=PIMArrayConfig(
+            crossbar=CrossbarConfig(
+                rows=8, cols=8, cell_bits=2, dac_bits=2,
+                read_latency_ns=10.0,
+            ),
+            capacity_bytes=1 << 20,
+            operand_bits=8,
+            accumulator_bits=64,
+        )
+    )
+
+
+@pytest.fixture()
+def matrix():
+    return (np.arange(9 * 14, dtype=np.int64).reshape(9, 14) * 13) % 251
+
+
+@pytest.fixture()
+def query():
+    return (np.arange(14, dtype=np.int64) * 7) % 256
+
+
+class TestDecompositionCache:
+    def test_fused_mode_caches_at_program_time(self, platform, matrix):
+        array = PIMArray(platform, simulate_cells=True)
+        array.program_matrix("m", matrix)
+        record = array._matrices["m"]
+        assert record.sliced is not None
+        assert record.sliced.shape == matrix.shape + (4,)  # ceil(8/2)
+
+    def test_fast_and_reference_modes_do_not_cache(self, platform, matrix):
+        for array in (
+            PIMArray(platform),
+            PIMArray(platform, simulate_cells=True, reference=True),
+        ):
+            array.program_matrix("m", matrix)
+            assert array._matrices["m"].sliced is None
+
+    def test_reprogram_same_name_serves_fresh_values(
+        self, platform, matrix, query
+    ):
+        array = PIMArray(platform, simulate_cells=True)
+        array.program_matrix("m", matrix)
+        stale = array.query("m", query).values
+        successor = (matrix + 1) % 251
+        array.reset_matrix("m")
+        array.program_matrix("m", successor)
+        fresh = array.query("m", query).values
+        assert not np.array_equal(fresh, stale)
+        oracle = PIMArray(platform)
+        oracle.program_matrix("m", successor)
+        assert np.array_equal(fresh, oracle.query("m", query).values)
+
+    def test_remap_drops_cache_and_retargets_cells(
+        self, platform, matrix, query
+    ):
+        array = PIMArray(platform, simulate_cells=True, spare_crossbars=2)
+        array.program_matrix("m", matrix)
+        expected = array.query("m", query).values
+        record = array._matrices["m"]
+        assert record.sliced is not None
+        victim = record.crossbar_ids[0]
+        spare, reprogram_ns = array.remap_crossbar(victim)
+        assert reprogram_ns > 0
+        assert record.sliced is None  # cache invalidated by the remap
+        # the cell-mode crossbar object now answers to the spare id
+        remapped = [
+            xbar.crossbar_id
+            for column in record.crossbars
+            for xbar in column
+        ]
+        assert spare in remapped and victim not in remapped
+        # values rebuilt from the live matrix: bit-identical to before
+        assert np.array_equal(array.query("m", query).values, expected)
+        assert record.sliced is not None  # lazily rebuilt by the wave
+
+    def test_bulk_remap_preserves_values(self, platform, matrix, query):
+        array = PIMArray(platform, simulate_cells=True, spare_crossbars=4)
+        array.program_matrix("m", matrix)
+        expected = array.query("m", query).values
+        victims = array.crossbar_ids_of("m")[:2]
+        spares, _ = array.remap_crossbars(victims)
+        assert len(spares) == 2
+        assert array.spares_remaining == 2
+        assert np.array_equal(array.query("m", query).values, expected)
+
+    def test_remap_invalidates_reference_path_too(
+        self, platform, matrix, query
+    ):
+        # the loop oracle reads live crossbar objects, so a remap (which
+        # only renames ids) must not perturb its values either
+        array = PIMArray(
+            platform, simulate_cells=True, reference=True, spare_crossbars=2
+        )
+        array.program_matrix("m", matrix)
+        expected = array.query("m", query).values
+        array.remap_crossbar(array.crossbar_ids_of("m")[0])
+        assert np.array_equal(array.query("m", query).values, expected)
+
+    def test_batch_after_reprogram_matches_fast_path(self, platform, matrix):
+        queries = (np.arange(3 * 14, dtype=np.int64).reshape(3, 14) * 5) % 256
+        array = PIMArray(platform, simulate_cells=True)
+        array.program_matrix("m", matrix)
+        array.query_batch("m", queries)
+        successor = (matrix * 3) % 256
+        array.reset_matrix("m")
+        array.program_matrix("m", successor)
+        oracle = PIMArray(platform)
+        oracle.program_matrix("m", successor)
+        assert np.array_equal(
+            array.query_batch("m", queries).values,
+            oracle.query_batch("m", queries).values,
+        )

@@ -1,0 +1,402 @@
+"""Property-based tests: fused kernels equal the loop oracles bit for bit.
+
+The fused whole-array kernels (vectorised bit-slicing, one-contraction
+crossbar waves, cached-decomposition PIM waves, block-scored serving
+refinement) must be *bit-identical* — values, counts and simulated
+timings — to the sequential loop implementations they replaced, which
+stay available as ``reference`` oracles. Integer paths are exact by
+mod-2**64 ring algebra; float paths share one canonical scoring kernel
+(:func:`repro.serving.sharding.exact_sq_distances`) whose per-row values
+are batch-independent. These properties are the contract that lets the
+simulator run orders of magnitude faster without moving a single bit.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.hardware import bitslice
+from repro.hardware.config import (
+    CrossbarConfig,
+    HardwareConfig,
+    PIMArrayConfig,
+)
+from repro.hardware.crossbar import Crossbar
+from repro.hardware.noise import NoiseModel, NoisyPIMArray
+from repro.hardware.pim_array import PIMArray
+from repro.serving import ShardManager
+
+
+# ----------------------------------------------------------------------
+# bitslice helpers: vectorised vs loop oracle
+# ----------------------------------------------------------------------
+class TestBitsliceFusion:
+    @given(
+        st.integers(min_value=1, max_value=63),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_slice_operands_matches_reference(self, bits, h, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 2**bits, size=(5, 7), dtype=np.int64)
+        fused = bitslice.slice_operands(values, bits, h)
+        loop = bitslice.slice_operands_reference(values, bits, h)
+        assert fused.dtype == loop.dtype
+        assert np.array_equal(fused, loop)
+
+    @given(
+        st.integers(min_value=1, max_value=63),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reconstruct_matches_reference(self, bits, h, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 2**bits, size=11, dtype=np.int64)
+        slices = bitslice.slice_operands(values, bits, h)
+        fused = bitslice.reconstruct(slices, h)
+        loop = bitslice.reconstruct_reference(slices, h)
+        assert np.array_equal(fused, loop)
+        assert np.array_equal(fused.astype(np.int64), values)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shift_add_matches_reference_with_wrap(
+        self, n_op, n_in, h, g, seed
+    ):
+        # partials large enough that high slices shift into (and past)
+        # the sign bit: the wrap-around must match the sequential loop
+        rng = np.random.default_rng(seed)
+        partials = rng.integers(
+            -(2**62), 2**62, size=(n_op, n_in, 3, 4), dtype=np.int64
+        )
+        fused = bitslice.shift_add_partials(partials, h, g)
+        loop = bitslice.shift_add_partials_reference(partials, h, g)
+        assert fused.dtype == loop.dtype == np.int64
+        assert fused.shape == loop.shape
+        assert np.array_equal(fused, loop)
+
+
+# ----------------------------------------------------------------------
+# crossbar wave: fused contraction vs per-input-slice loop
+# ----------------------------------------------------------------------
+@st.composite
+def crossbar_cases(draw):
+    rows = draw(st.integers(min_value=1, max_value=12))
+    cell_bits = draw(st.integers(min_value=1, max_value=4))
+    dac_bits = draw(st.integers(min_value=1, max_value=4))
+    operand_bits = draw(st.integers(min_value=1, max_value=12))
+    slices = -(-operand_bits // cell_bits)
+    cols = draw(st.integers(min_value=slices, max_value=4 * slices))
+    n_vectors = draw(st.integers(min_value=1, max_value=cols // slices))
+    dims = draw(st.integers(min_value=1, max_value=rows))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, 2**operand_bits, size=(n_vectors, dims))
+    query = rng.integers(0, 2**operand_bits, size=dims)
+    config = CrossbarConfig(
+        rows=rows, cols=cols, cell_bits=cell_bits, dac_bits=dac_bits
+    )
+    return config, matrix, query, operand_bits
+
+
+class TestCrossbarFusion:
+    @given(crossbar_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_fused_wave_matches_loop_oracle(self, case):
+        config, matrix, query, bits = case
+        xbar = Crossbar(config)
+        xbar.program(matrix, operand_bits=bits)
+        fused = xbar.dot_product(query, input_bits=bits)
+        loop = xbar.dot_product(query, input_bits=bits, reference=True)
+        assert np.array_equal(fused.values, loop.values)
+        assert fused.cycles == loop.cycles
+        assert fused.adc_conversions == loop.adc_conversions
+
+
+# ----------------------------------------------------------------------
+# PIM array: fused cached-decomposition kernel vs crossbar loop vs fast
+# ----------------------------------------------------------------------
+@st.composite
+def array_cases(draw):
+    """A random small platform plus a matrix spanning >= 1 crossbar."""
+    rows = draw(st.integers(min_value=2, max_value=10))
+    cell_bits = draw(st.integers(min_value=1, max_value=3))
+    dac_bits = draw(st.integers(min_value=1, max_value=3))
+    operand_bits = draw(st.integers(min_value=1, max_value=8))
+    slices = -(-operand_bits // cell_bits)
+    cols = draw(st.integers(min_value=slices, max_value=6 * slices))
+    hardware = HardwareConfig(
+        pim=PIMArrayConfig(
+            crossbar=CrossbarConfig(
+                rows=rows, cols=cols, cell_bits=cell_bits, dac_bits=dac_bits
+            ),
+            capacity_bytes=1 << 22,
+            operand_bits=operand_bits,
+            accumulator_bits=draw(st.sampled_from([32, 64])),
+        )
+    )
+    dims = draw(st.integers(min_value=1, max_value=3 * rows))
+    n_vectors = draw(st.integers(min_value=1, max_value=20))
+    batch = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, 2**operand_bits, size=(n_vectors, dims))
+    queries = rng.integers(0, 2**operand_bits, size=(batch, dims))
+    return hardware, matrix, queries
+
+
+def _triple(hardware, matrix):
+    fused = PIMArray(hardware, simulate_cells=True)
+    loop = PIMArray(hardware, simulate_cells=True, reference=True)
+    fast = PIMArray(hardware)
+    for array in (fused, loop, fast):
+        array.program_matrix("m", matrix)
+    return fused, loop, fast
+
+
+class TestArrayFusion:
+    @given(array_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_query_paths_bit_identical(self, case):
+        hardware, matrix, queries = case
+        fused, loop, fast = _triple(hardware, matrix)
+        results = [a.query("m", queries[0]) for a in (fused, loop, fast)]
+        assert np.array_equal(results[0].values, results[1].values)
+        assert np.array_equal(results[0].values, results[2].values)
+        assert (
+            results[0].timing.total_ns
+            == results[1].timing.total_ns
+            == results[2].timing.total_ns
+        )
+
+    @given(array_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_batch_paths_bit_identical(self, case):
+        hardware, matrix, queries = case
+        fused, loop, fast = _triple(hardware, matrix)
+        many = [a.query_many("m", queries) for a in (fused, loop, fast)]
+        batch = [a.query_batch("m", queries) for a in (fused, loop, fast)]
+        for other in many[1:]:
+            assert np.array_equal(many[0].values, other.values)
+        for other in batch[1:]:
+            assert np.array_equal(batch[0].values, other.values)
+        assert np.array_equal(batch[0].values, many[0].values)
+        assert (
+            batch[0].timing.total_ns
+            == batch[1].timing.total_ns
+            == batch[2].timing.total_ns
+        )
+        # identical simulated time accounting across all three paths
+        assert (
+            fused.stats.pim_time_ns
+            == loop.stats.pim_time_ns
+            == fast.stats.pim_time_ns
+        )
+        assert fused.stats.batch_saved_ns == loop.stats.batch_saved_ns
+
+    @given(array_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_narrow_input_bits_bit_identical(self, case):
+        hardware, matrix, queries = case
+        bits = max(1, hardware.pim.operand_bits // 2)
+        narrow = queries[0] % (1 << bits)
+        fused, loop, fast = _triple(hardware, matrix)
+        results = [
+            a.query("m", narrow, input_bits=bits) for a in (fused, loop, fast)
+        ]
+        assert np.array_equal(results[0].values, results[1].values)
+        assert np.array_equal(results[0].values, results[2].values)
+        assert results[0].timing.total_ns == results[1].timing.total_ns
+
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_hamming_binary_path_bit_identical(self, n_codes, dims, seed):
+        # the Hamming distance path stores binary codes and their
+        # complement: operand_bits=1, 32-bit accumulator
+        hardware = HardwareConfig(
+            pim=PIMArrayConfig(
+                crossbar=CrossbarConfig(
+                    rows=32, cols=32, cell_bits=2, dac_bits=1
+                ),
+                capacity_bytes=1 << 22,
+                operand_bits=1,
+                accumulator_bits=32,
+            )
+        )
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 2, size=(n_codes, dims))
+        query = rng.integers(0, 2, size=dims)
+        fused, loop, fast = _triple(hardware, codes)
+        complement = 1 - codes
+        for array in (fused, loop, fast):
+            array.program_matrix("c", complement)
+        for name in ("m", "c"):
+            results = [a.query(name, query) for a in (fused, loop, fast)]
+            assert np.array_equal(results[0].values, results[1].values)
+            assert np.array_equal(results[0].values, results[2].values)
+            assert results[0].timing.total_ns == results[1].timing.total_ns
+
+
+# ----------------------------------------------------------------------
+# fault and noise hooks survive fusion
+# ----------------------------------------------------------------------
+class TestFusionUnderFaultsAndNoise:
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_wave_corruption_identical_across_paths(self, seed, plan_seed):
+        from repro.faults.injectors import FaultyPIMArray
+
+        hardware = HardwareConfig(
+            pim=PIMArrayConfig(
+                crossbar=CrossbarConfig(
+                    rows=8, cols=8, cell_bits=2, dac_bits=2
+                ),
+                capacity_bytes=1 << 20,
+                operand_bits=8,
+                accumulator_bits=64,
+            )
+        )
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 256, size=(9, 12))
+        query = rng.integers(0, 256, size=12)
+        plan = FaultPlan(
+            [FaultEvent(t_ns=0.0, kind="wave_corrupt", target="array")],
+            seed=plan_seed,
+        )
+        waves = []
+        for reference in (False, True):
+            inner = PIMArray(
+                hardware, simulate_cells=True, reference=reference
+            )
+            faulty = FaultyPIMArray(inner, plan, "array")
+            faulty.program_matrix("m", matrix)
+            waves.append(faulty.query("m", query))
+        # the injector corrupts whatever the pipeline produced; since
+        # both pipelines produce identical bits and the fault RNG is
+        # derived from the plan seed, the corrupted waves match too
+        assert np.array_equal(waves[0].values, waves[1].values)
+        assert waves[0].timing.total_ns == waves[1].timing.total_ns
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_noisy_waves_deterministic_per_seed(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 256, size=(10, 16))
+        query = rng.integers(0, 256, size=16)
+        values = []
+        for _ in range(2):
+            array = NoisyPIMArray(
+                noise=NoiseModel(cell_sigma=0.02, adc_step=1.0, seed=seed)
+            )
+            array.program_matrix("m", matrix)
+            values.append(array.query("m", query).values)
+        assert np.array_equal(values[0], values[1])
+
+
+# ----------------------------------------------------------------------
+# serving scatter/gather: fused block kernels vs per-candidate loops
+# ----------------------------------------------------------------------
+@st.composite
+def serving_cases(draw):
+    n = draw(st.integers(min_value=8, max_value=120))
+    dims = draw(st.integers(min_value=2, max_value=16))
+    n_shards = draw(st.integers(min_value=1, max_value=4))
+    k = draw(st.integers(min_value=1, max_value=10))
+    batch = draw(st.integers(min_value=1, max_value=3))
+    placement = draw(st.sampled_from(["range", "hash"]))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    data = rng.random((n, dims))
+    queries = rng.random((batch, dims))
+    return data, queries, n_shards, k, placement
+
+
+class TestServingFusion:
+    @given(serving_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_knn_batch_matches_reference_loops(self, case):
+        data, queries, n_shards, k, placement = case
+        fused = ShardManager(data, n_shards=n_shards, placement=placement)
+        loop = ShardManager(
+            data, n_shards=n_shards, placement=placement, reference=True
+        )
+        af, tf = fused.knn_batch(queries, k)
+        ar, tr = loop.knn_batch(queries, k)
+        for x, y in zip(af, ar):
+            assert np.array_equal(x.indices, y.indices)
+            assert np.array_equal(x.scores, y.scores)
+            assert x.refined == y.refined
+            assert x.pruned == y.pruned
+        assert tf.service_ns == tr.service_ns
+        assert tf.per_shard_cpu_ns == tr.per_shard_cpu_ns
+        assert tf.merge_cpu_ns == tr.merge_cpu_ns
+
+    @given(serving_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_assign_matches_reference_loops(self, case):
+        data, centers, n_shards, _, placement = case
+        fused = ShardManager(data, n_shards=n_shards, placement=placement)
+        loop = ShardManager(
+            data, n_shards=n_shards, placement=placement, reference=True
+        )
+        bf, tf = fused.assign(centers)
+        br, tr = loop.assign(centers)
+        assert np.array_equal(bf.assignments, br.assignments)
+        assert np.array_equal(bf.distances, br.distances)
+        assert bf.refined == br.refined
+        assert bf.pruned == br.pruned
+        assert tf.service_ns == tr.service_ns
+
+    @given(serving_cases())
+    @settings(max_examples=10, deadline=None)
+    def test_degraded_chunks_match_reference_loops(self, case):
+        # crash every shard permanently: every chunk degrades to the
+        # host-side recompute, exercising the fused degrade kernels
+        data, queries, n_shards, k, placement = case
+        plan = FaultPlan(
+            [
+                FaultEvent(
+                    t_ns=0.0, kind="shard_crash", target=f"shard{s}"
+                )
+                for s in range(n_shards)
+            ]
+        )
+        managers = []
+        for reference in (False, True):
+            managers.append(
+                ShardManager(
+                    data,
+                    n_shards=n_shards,
+                    placement=placement,
+                    fault_plan=plan,
+                    reference=reference,
+                )
+            )
+        af, tf = managers[0].knn_batch(queries, k)
+        ar, tr = managers[1].knn_batch(queries, k)
+        for x, y in zip(af, ar):
+            assert x.degraded and y.degraded
+            assert np.array_equal(x.indices, y.indices)
+            assert np.array_equal(x.scores, y.scores)
+            assert x.refined == y.refined
+        assert tf.service_ns == tr.service_ns
+        bf, _ = managers[0].assign(queries)
+        br, _ = managers[1].assign(queries)
+        assert np.array_equal(bf.assignments, br.assignments)
+        assert np.array_equal(bf.distances, br.distances)

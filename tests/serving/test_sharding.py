@@ -2,8 +2,8 @@
 
 The load-bearing contract: a :class:`ShardManager` answers exactly the
 same kNN / k-means-assist queries as a single array — sharding changes
-timing, never answers. Brute-force references below use the *same*
-per-row arithmetic as the shards (``diff @ diff`` on quantizer-
+timing, never answers. Brute-force references below route through the
+shards' own canonical kernel (:func:`exact_sq_distances` on quantizer-
 normalised vectors) so equality checks are bit-exact, not approximate.
 """
 
@@ -22,7 +22,7 @@ from repro.serving import (
     ShardPlacement,
     plan_placement,
 )
-from repro.serving.sharding import GatherTiming
+from repro.serving.sharding import GatherTiming, exact_sq_distances
 from repro.similarity.quantization import Quantizer
 
 
@@ -30,7 +30,7 @@ def brute_knn(manager: ShardManager, data, query, k):
     """Canonical (score, index) top-k with the shards' own arithmetic."""
     nd = manager.quantizer.normalize(np.asarray(data, dtype=np.float64))
     nq = manager.quantizer.normalize(np.atleast_2d(query))[0]
-    scores = np.array([float((row - nq) @ (row - nq)) for row in nd])
+    scores = exact_sq_distances(nd, nq)
     order = np.lexsort((np.arange(scores.size), scores))[:k]
     return order, scores[order]
 
