@@ -288,6 +288,242 @@ def save_bench_json(result: dict, path: Path) -> None:
     path.write_text(json.dumps(result, indent=2) + "\n")
 
 
+# ----------------------------------------------------------------------
+# observability: trace integrity, burn-rate sanity, tracing overhead
+# ----------------------------------------------------------------------
+#: Smoke-mode ceiling on the end-to-end tracing wall-clock overhead.
+MAX_TRACING_OVERHEAD = 0.10
+#: Acceptance ceiling on |latency - sum(segments)| per request.
+MAX_RESIDUAL_NS = 1.0
+
+
+def _chaos_setup(
+    n_requests: int,
+    *,
+    monitor=None,
+    faults: bool = True,
+    load: float = 1.2,
+):
+    """A chaos+repair serving run, built but not yet run.
+
+    Returns ``(service, requests)`` so callers can time ``service.run``
+    in isolation (the build cost — crossbar programming — is identical
+    with and without telemetry). ``load`` is the offered-rate multiple
+    of the single-node capacity: >1 exercises queueing and shedding,
+    <1 is the healthy regime where no SLO alert may fire.
+    """
+    from repro.faults import FaultPlan
+    from repro.repair import RepairController, RepairPolicy
+
+    data = _dataset()
+    clean = ShardManager(data, n_shards=4)
+    rate = load * _capacity_qps(clean)
+    plan = None
+    repair = None
+    if faults:
+        plan = FaultPlan.chaos(
+            4, horizon_ns=n_requests / rate * 1e9, seed=5
+        )
+    manager = ShardManager(
+        data, n_shards=4, replication=2, fault_plan=plan
+    )
+    if faults:
+        repair = RepairController(manager, RepairPolicy())
+    driver = WorkloadDriver(data, TENANTS, seed=1)
+    requests = driver.open_loop(rate, n_requests, arrival="bursty")
+    service = QueryService(
+        manager,
+        TENANTS,
+        max_batch=MAX_BATCH,
+        queue_capacity=32,
+        policy="reject",
+        repair=repair,
+        monitor=monitor,
+    )
+    return service, requests
+
+
+def measure_observability(smoke: bool = False) -> dict:
+    """End-to-end trace integrity + burn-rate sanity in one record.
+
+    Runs the chaos+repair workload under tracing and checks the ISSUE
+    acceptance gates directly on the export: every admitted request has
+    exactly one parented span tree (roots == terminal responses, zero
+    orphans), the critical-path segments sum to the end-to-end latency
+    within :data:`MAX_RESIDUAL_NS`, the trace/metrics files pass schema
+    validation and the Prometheus snapshot parses. A separate clean
+    run confirms the default burn-rate rules stay silent on a healthy
+    baseline. Violations are returned, not raised — ``main`` turns
+    them into the CI exit code.
+    """
+    from repro.observability import (
+        BurnRateMonitor,
+        orphan_spans,
+        request_breakdowns,
+        request_roots,
+    )
+    from repro.telemetry import telemetry_session
+    from repro.telemetry.export import (
+        chrome_trace_events,
+        parse_prometheus,
+        prometheus_snapshot,
+        write_chrome_trace,
+        write_metrics_jsonl,
+        write_prometheus,
+    )
+    from repro.telemetry.validate import validate_metrics, validate_trace
+
+    n_requests = SMOKE_REQUESTS if smoke else N_REQUESTS
+    violations: list[str] = []
+
+    chaos_monitor = BurnRateMonitor()
+    with telemetry_session() as tele:
+        service, requests = _chaos_setup(
+            n_requests, monitor=chaos_monitor
+        )
+        service.run(requests)
+        summary = service.summary()
+    events = chrome_trace_events(tele)
+    roots = request_roots(events)
+    orphans = orphan_spans(events)
+    breakdowns = request_breakdowns(events)
+    terminal = summary["completed"] + summary["shed"]
+    max_residual = max(
+        (abs(b["residual_ns"]) for b in breakdowns), default=0.0
+    )
+    if len(roots) != terminal:
+        violations.append(
+            f"span roots {len(roots)} != terminal responses {terminal}"
+        )
+    if orphans:
+        violations.append(f"{len(orphans)} orphan spans in export")
+    if max_residual > MAX_RESIDUAL_NS:
+        violations.append(
+            f"segment-sum residual {max_residual:.3g} ns > "
+            f"{MAX_RESIDUAL_NS} ns"
+        )
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    trace_path = RESULTS_DIR / "serving_observability.trace.json"
+    metrics_path = RESULTS_DIR / "serving_observability.metrics.jsonl"
+    prom_path = RESULTS_DIR / "serving_observability.prom"
+    write_chrome_trace(tele, trace_path)
+    write_metrics_jsonl(tele, metrics_path)
+    write_prometheus(tele, prom_path)
+    try:
+        validated_spans = validate_trace(str(trace_path))
+        validated_lines = validate_metrics(str(metrics_path))
+    except ValueError as exc:
+        validated_spans = validated_lines = 0
+        violations.append(f"schema validation failed: {exc}")
+    try:
+        prom_series = len(parse_prometheus(prometheus_snapshot(tele)))
+    except ValueError as exc:
+        prom_series = 0
+        violations.append(f"prometheus snapshot unparseable: {exc}")
+    exemplars = sum(
+        1
+        for line in prom_path.read_text().splitlines()
+        if "# {" in line
+    )
+    if exemplars == 0:
+        violations.append("no exemplar trace_ids on latency histograms")
+
+    healthy_monitor = BurnRateMonitor()
+    service, requests = _chaos_setup(
+        n_requests, monitor=healthy_monitor, faults=False, load=0.6
+    )
+    service.run(requests)
+    if healthy_monitor.alerts:
+        violations.append(
+            f"{len(healthy_monitor.alerts)} burn-rate alerts fired on "
+            "the healthy baseline"
+        )
+
+    return {
+        "bench": "serving_observability",
+        "smoke": smoke,
+        "requests": {
+            "offered": summary["offered"],
+            "completed": summary["completed"],
+            "shed": summary["shed"],
+        },
+        "trace": {
+            "events": len(events),
+            "roots": len(roots),
+            "orphans": len(orphans),
+            "max_residual_ns": max_residual,
+            "validated_spans": validated_spans,
+            "validated_metric_lines": validated_lines,
+            "prom_series": prom_series,
+            "prom_exemplars": exemplars,
+        },
+        "alerts": {
+            "chaos": len(chaos_monitor.alerts),
+            "healthy": len(healthy_monitor.alerts),
+        },
+        "artifacts": {
+            "trace": str(trace_path),
+            "metrics": str(metrics_path),
+            "prometheus": str(prom_path),
+        },
+        "violations": violations,
+    }
+
+
+def measure_tracing_overhead(smoke: bool = False, repeats: int = 3) -> dict:
+    """Wall-clock cost of full tracing vs the NullRecorder fast path.
+
+    Interleaved back-to-back pairs of ``service.run`` on identical
+    chaos+repair workloads; the overhead is the *median* of the
+    per-pair ratios, which is robust to one noisy host sample in a way
+    min-of-N is not. Smoke mode gates the ratio at
+    :data:`MAX_TRACING_OVERHEAD`; the full run records it.
+    """
+    import gc
+    import statistics
+
+    from repro.telemetry import telemetry_session
+
+    n_requests = SMOKE_REQUESTS if smoke else N_REQUESTS
+    plain_s = []
+    traced_s = []
+
+    def _timed(run):
+        # collect garbage left by earlier bench phases, then keep the
+        # collector out of the timed window — cyclic-gc pauses land
+        # disproportionately on the allocation-heavier traced runs
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            run()
+            return time.perf_counter() - t0
+        finally:
+            gc.enable()
+
+    for _ in range(repeats):
+        service, requests = _chaos_setup(n_requests)
+        plain_s.append(_timed(lambda: service.run(requests)))
+        with telemetry_session():
+            service, requests = _chaos_setup(n_requests)
+            traced_s.append(_timed(lambda: service.run(requests)))
+    plain = min(plain_s)
+    traced = min(traced_s)
+    overhead = statistics.median(
+        t / p for p, t in zip(plain_s, traced_s)
+    ) - 1.0
+    return {
+        "bench": "tracing_overhead",
+        "smoke": smoke,
+        "repeats": repeats,
+        "plain_s": plain,
+        "traced_s": traced,
+        "overhead": overhead,
+        "max_overhead": MAX_TRACING_OVERHEAD,
+    }
+
+
 def test_serving_fused_perf_trajectory(benchmark, save_results):
     """Fused serving kernels: big wall-clock win, zero observable drift."""
     result = measure_fused_trajectory(smoke=True)
@@ -337,6 +573,26 @@ def test_serving_fused_perf_trajectory_full():
 # ----------------------------------------------------------------------
 # pytest mode
 # ----------------------------------------------------------------------
+def test_serving_observability_integrity(save_results):
+    """Traced chaos run: full span trees, exact attribution, no alarms."""
+    result = measure_observability(smoke=True)
+    trace = result["trace"]
+    save_results(
+        "serving_observability",
+        format_table(
+            ["roots", "orphans", "max residual (ns)", "alerts (healthy)"],
+            [[
+                trace["roots"],
+                trace["orphans"],
+                f"{trace['max_residual_ns']:.3g}",
+                result["alerts"]["healthy"],
+            ]],
+            title="Observability: traced chaos+repair serving run",
+        ),
+    )
+    assert result["violations"] == []
+
+
 def test_serving_throughput_scaling(benchmark, save_results):
     result = run_sweep(smoke=True)
     save_results("serving_scaling", format_report(result))
@@ -381,6 +637,10 @@ def main(argv=None) -> int:
     save_curve(result, Path(args.out))
     print(f"latency curve  : {args.out}")
     perf = measure_fused_trajectory(smoke=args.smoke)
+    obs = measure_observability(smoke=args.smoke)
+    overhead = measure_tracing_overhead(smoke=args.smoke)
+    perf["observability"] = obs
+    perf["tracing_overhead"] = overhead
     save_bench_json(perf, Path(args.perf_out))
     wall = perf["wall_clock"]
     print(
@@ -388,6 +648,23 @@ def main(argv=None) -> int:
         f"(bit_identical={perf['bit_identical']}, "
         f"simulated_identical={perf['simulated']['identical']}) "
         f"-> {args.perf_out}"
+    )
+    trace = obs["trace"]
+    print(
+        f"observability  : {trace['roots']} span trees / "
+        f"{obs['requests']['offered']} requests, "
+        f"{trace['orphans']} orphans, "
+        f"residual {trace['max_residual_ns']:.2g} ns, "
+        f"{trace['prom_series']} prom series "
+        f"({trace['prom_exemplars']} exemplars), "
+        f"alerts healthy={obs['alerts']['healthy']} "
+        f"chaos={obs['alerts']['chaos']}"
+    )
+    print(
+        f"tracing cost   : {overhead['overhead']:+.1%} wall clock "
+        f"(traced {overhead['traced_s'] * 1e3:.1f} ms vs "
+        f"plain {overhead['plain_s'] * 1e3:.1f} ms; "
+        f"smoke ceiling {MAX_TRACING_OVERHEAD:.0%})"
     )
     ratio = result["scaling"]["ratio_4_over_1"]
     if ratio < MIN_SCALING:
@@ -406,6 +683,17 @@ def main(argv=None) -> int:
         print(
             f"FAIL: fused serving speedup {wall['speedup']:.2f}x < "
             f"{MIN_FUSED_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    if obs["violations"]:
+        for violation in obs["violations"]:
+            print(f"FAIL: observability: {violation}", file=sys.stderr)
+        return 1
+    if args.smoke and overhead["overhead"] > MAX_TRACING_OVERHEAD:
+        print(
+            f"FAIL: tracing overhead {overhead['overhead']:.1%} > "
+            f"{MAX_TRACING_OVERHEAD:.0%}",
             file=sys.stderr,
         )
         return 1

@@ -92,6 +92,13 @@ def add_telemetry_args(parser: argparse.ArgumentParser) -> None:
         "--metrics-out", default=None, metavar="FILE",
         help="record telemetry metrics and write a JSONL snapshot",
     )
+    parser.add_argument(
+        "--prom-out", default=None, metavar="FILE",
+        help=(
+            "record telemetry metrics and write a Prometheus-style "
+            "text snapshot (latency histograms carry exemplar trace ids)"
+        ),
+    )
 
 
 @contextmanager
@@ -105,7 +112,8 @@ def telemetry_scope(args: argparse.Namespace, out=None) -> Iterator:
     out = out if out is not None else sys.stdout
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if trace_out is None and metrics_out is None:
+    prom_out = getattr(args, "prom_out", None)
+    if trace_out is None and metrics_out is None and prom_out is None:
         yield None
         return
 
@@ -114,6 +122,7 @@ def telemetry_scope(args: argparse.Namespace, out=None) -> Iterator:
         summarize_metrics,
         write_chrome_trace,
         write_metrics_jsonl,
+        write_prometheus,
     )
 
     with telemetry_session() as tele:
@@ -125,6 +134,11 @@ def telemetry_scope(args: argparse.Namespace, out=None) -> Iterator:
         n_lines = write_metrics_jsonl(tele, metrics_out)
         print(f"metrics written: {metrics_out} ({n_lines} lines)", file=out)
         print(summarize_metrics(tele), file=out)
+    if prom_out is not None:
+        n_series = write_prometheus(tele, prom_out)
+        print(
+            f"prom written   : {prom_out} ({n_series} series)", file=out
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -266,6 +280,22 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "background scrub sweep period in simulated microseconds "
             "(with --repair); every shard is re-verified once per period"
+        ),
+    )
+    serve.add_argument(
+        "--live-report", nargs="?", const=500.0, default=None,
+        type=float, metavar="US",
+        help=(
+            "print a periodic operational dashboard line every US "
+            "simulated microseconds (default period: 500)"
+        ),
+    )
+    serve.add_argument(
+        "--burn-window-us", type=float, default=500.0, metavar="US",
+        help=(
+            "base window of the SLO burn-rate alert rules in simulated "
+            "microseconds (fast rule: this window @ 14.4x; slow rule: "
+            "6x this window @ 6x)"
         ),
     )
     return parser
@@ -520,6 +550,14 @@ def _cmd_serve(args, out) -> int:
     requests = driver.open_loop(
         rate, args.requests, arrival=args.arrival
     )
+    from repro.observability import BurnRateMonitor, LiveReport
+
+    monitor = BurnRateMonitor(base_window_ns=args.burn_window_us * 1e3)
+    live_report = None
+    if args.live_report is not None:
+        live_report = LiveReport(
+            period_ns=args.live_report * 1e3, out=out
+        )
     service = QueryService(
         manager,
         tenants,
@@ -530,6 +568,8 @@ def _cmd_serve(args, out) -> int:
             args.deadline_us * 1e3 if args.deadline_us is not None else None
         ),
         repair=repair,
+        monitor=monitor,
+        live_report=live_report,
     )
     service.run(requests)
     summary = service.summary()
@@ -629,6 +669,19 @@ def _cmd_serve(args, out) -> int:
             f"(spares left {rep['spares_remaining']})",
             file=out,
         )
+    if monitor.alerts:
+        print("alerts         :", file=out)
+        for alert in monitor.alerts:
+            print(
+                f"  [{alert['severity']}] "
+                f"{alert['objective']}/{alert['rule']} "
+                f"burn={alert['burn_rate']:.1f}x "
+                f"(threshold {alert['threshold']:.1f}x) "
+                f"@ {alert['t_ns'] / 1e6:.2f} ms",
+                file=out,
+            )
+    else:
+        print("alerts         : none", file=out)
     rows = [
         [
             tenant,
@@ -645,6 +698,17 @@ def _cmd_serve(args, out) -> int:
             ),
             file=out,
         )
+    from repro.telemetry import get_recorder
+
+    tele = get_recorder()
+    if tele.enabled:
+        from repro.observability import format_breakdown, slowest_request
+        from repro.telemetry.export import chrome_trace_events
+
+        slow = slowest_request(chrome_trace_events(tele))
+        if slow is not None:
+            print("\nslowest request (critical path):", file=out)
+            print(format_breakdown(slow), file=out)
     return 0
 
 

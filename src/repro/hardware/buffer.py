@@ -82,6 +82,40 @@ class BufferArray:
             )
         return block
 
+    def pulse_rows(self, rows: np.ndarray) -> int:
+        """Synchronously push+pop each row that fits; returns bytes moved.
+
+        Semantically a ``push(row); pop()`` pair per fitting row on an
+        otherwise-empty buffer — occupancy is unchanged throughout — but
+        the byte counters are recorded once for the whole burst instead
+        of per row, which keeps the hot batched-wave drain loop off the
+        telemetry registry. Falls back to the explicit pair when blocks
+        are already buffered (pop order would matter then).
+        """
+        if self._blocks:
+            moved = 0
+            for row in rows:
+                if row.nbytes <= self.free_bytes:
+                    self.push(row)
+                    self.pop()
+                    moved += row.nbytes
+            return moved
+        moved = 0
+        free = self.free_bytes
+        for row in rows:
+            if row.nbytes <= free:
+                moved += row.nbytes
+        self.total_bytes_written += moved
+        self.total_bytes_read += moved
+        if moved:
+            tele = get_recorder()
+            if tele.enabled:
+                m = tele.metrics
+                m.counter("buffer.bytes_written").add(moved)
+                m.counter("buffer.bytes_read").add(moved)
+                m.gauge("buffer.occupied_bytes").set(self._occupied_bytes)
+        return moved
+
     def drain(self) -> list[np.ndarray]:
         """Remove and return every buffered block, oldest first."""
         blocks = []

@@ -563,6 +563,11 @@ class PIMArray:
             with tele.span(
                 "pim.wave", "pim_dispatch",
                 matrix=name, queries=1, results=int(values.shape[0]),
+                input_cycles=timing.input_cycles,
+                gather_cycles=timing.gather_cycles,
+                pipeline_cycles=timing.pipeline_cycles,
+                crossbar_ns=timing.crossbar_ns,
+                buffer_ns=timing.buffer_ns,
             ):
                 tele.advance(timing.total_ns)
             self._record_wave_metrics(
@@ -615,6 +620,11 @@ class PIMArray:
             with tele.span(
                 "pim.wave_train", "pim_dispatch",
                 matrix=name, queries=n_queries, results=int(values.size),
+                input_cycles=timing.input_cycles * n_queries,
+                gather_cycles=timing.gather_cycles * n_queries,
+                pipeline_cycles=timing.pipeline_cycles * n_queries,
+                crossbar_ns=timing.crossbar_ns * n_queries,
+                buffer_ns=timing.buffer_ns * n_queries,
             ):
                 tele.advance(timing.total_ns * n_queries)
             self._record_wave_metrics(
@@ -662,10 +672,7 @@ class PIMArray:
         single = wave_timing(
             record.layout, self.config, self.hardware, input_bits=bits
         )
-        for row in values:
-            if row.nbytes <= self.buffer.free_bytes:
-                self.buffer.push(row)
-                self.buffer.pop()  # the host drains synchronously
+        self.buffer.pulse_rows(values)  # the host drains synchronously
         self.stats.waves += n_queries
         self.stats.batches += 1
         self.stats.batched_queries += n_queries
@@ -680,25 +687,56 @@ class PIMArray:
         state.pim_time_ns += timing.total_ns
         tele = get_recorder()
         if tele.enabled:
-            with tele.span(
+            # begin/end pair instead of the contextmanager: this is the
+            # serving hot path and the generator frame is measurable
+            tele.begin_span(
                 "pim.batch_wave", "pim_dispatch",
                 matrix=name, queries=n_queries, results=int(values.size),
                 saved_ns=saved_ns,
-            ):
-                tele.advance(timing.total_ns)
+                setup_cycles=timing.setup_cycles,
+                per_query_cycles=timing.per_query_cycles,
+                crossbar_ns=timing.crossbar_ns,
+                buffer_ns=timing.buffer_ns,
+            )
+            tele.advance(timing.total_ns)
+            tele.end_span()
             self._record_wave_metrics(
                 tele, waves=n_queries,
                 cycles=timing.per_query_cycles * n_queries,
                 results=int(values.size),
             )
-            tele.metrics.counter("pim.batch_flushes").add(1)
-            tele.metrics.counter("pim.batch_saved_ns").add(max(saved_ns, 0.0))
-            tele.metrics.histogram("pim.batch_size").observe(n_queries)
+            m = self._wave_instruments(tele, batch=True)
+            m["batch_flushes"].add(1)
+            m["batch_saved_ns"].add(max(saved_ns, 0.0))
+            m["batch_size"].observe(n_queries)
         return PIMBatchResult(values=values, timing=timing)
 
-    @staticmethod
+    def _wave_instruments(self, tele, batch: bool = False) -> dict:
+        """Per-array cache of the hot wave instruments.
+
+        Invalidated when the active registry changes (a new telemetry
+        session), so dispatch paths skip the registry lookup per wave.
+        The batch instruments are only created when a batch path asks,
+        preserving the instrument set of scalar-only runs.
+        """
+        m = tele.metrics
+        if m is not getattr(self, "_metrics_src", None):
+            self._metrics_src = m
+            self._metrics_cache = {
+                "waves": m.counter("pim.waves"),
+                "bit_slice_passes": m.counter("pim.bit_slice_passes"),
+                "adc_conversions": m.counter("pim.adc_conversions"),
+                "results_produced": m.counter("pim.results_produced"),
+            }
+        cache = self._metrics_cache
+        if batch and "batch_flushes" not in cache:
+            cache["batch_flushes"] = m.counter("pim.batch_flushes")
+            cache["batch_saved_ns"] = m.counter("pim.batch_saved_ns")
+            cache["batch_size"] = m.histogram("pim.batch_size")
+        return cache
+
     def _record_wave_metrics(
-        tele, waves: int, cycles: int, results: int
+        self, tele, waves: int, cycles: int, results: int
     ) -> None:
         """Wave counters shared by the three dispatch styles.
 
@@ -707,14 +745,12 @@ class PIMArray:
         result column once, so ADC conversions are ``results_per_wave x
         cycles_per_wave`` summed over the dispatch.
         """
-        m = tele.metrics
-        m.counter("pim.waves").add(waves)
-        m.counter("pim.bit_slice_passes").add(cycles)
+        m = self._wave_instruments(tele)
+        m["waves"].add(waves)
+        m["bit_slice_passes"].add(cycles)
         if waves:
-            m.counter("pim.adc_conversions").add(
-                results / waves * cycles
-            )
-        m.counter("pim.results_produced").add(results)
+            m["adc_conversions"].add(results / waves * cycles)
+        m["results_produced"].add(results)
 
     def _decompose(self, matrix: np.ndarray) -> np.ndarray:
         """Operand bit-slice tensor of ``matrix`` for the fused kernel.

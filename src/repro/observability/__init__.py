@@ -1,0 +1,50 @@
+"""Operational observability over the serving stack.
+
+Three pieces layered on :mod:`repro.telemetry`:
+
+* :mod:`repro.observability.burnrate` — Google-SRE-style multi-window
+  burn-rate alerting over the serving error budgets (p99-deadline
+  misses, shed rate, exactness violations), on simulated time;
+* :mod:`repro.observability.critical_path` — analysis of exported
+  request traces: span-tree reconstruction, orphan detection, and
+  per-request latency attribution (queue / dispatch / wave / ADC /
+  gather / retry segments);
+* :mod:`repro.observability.dashboard` — the ``repro serve
+  --live-report`` periodic console dashboard (throughput, p50/p99,
+  budget burn, repair/quarantine state).
+
+Everything here is read-side: attaching a monitor or dashboard never
+changes serving decisions, timings or answers.
+"""
+
+from repro.observability.burnrate import (
+    DEFAULT_OBJECTIVES,
+    BurnRateMonitor,
+    BurnRateRule,
+    SLObjective,
+    default_rules,
+)
+from repro.observability.critical_path import (
+    load_trace,
+    orphan_spans,
+    request_breakdowns,
+    request_roots,
+    slowest_request,
+    format_breakdown,
+)
+from repro.observability.dashboard import LiveReport
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "BurnRateMonitor",
+    "BurnRateRule",
+    "LiveReport",
+    "SLObjective",
+    "default_rules",
+    "format_breakdown",
+    "load_trace",
+    "orphan_spans",
+    "request_breakdowns",
+    "request_roots",
+    "slowest_request",
+]

@@ -1,0 +1,154 @@
+"""Critical-path analysis over exported request traces.
+
+The serving layer emits, per request, a root ``request`` span plus
+chained child segments (queue / coscheduled / retry / wave / host /
+degraded / gather) and per-shard wave spans on the event-loop timeline
+(see :data:`repro.serving.service.SEGMENT_ORDER`). These helpers
+reconstruct and check that structure from the exported Chrome trace:
+
+* :func:`request_roots` / :func:`orphan_spans` — tree integrity (one
+  root per request, every ``parent_id`` resolves inside its trace);
+* :func:`request_breakdowns` — per-request latency attribution with
+  the segment-sum-vs-latency residual, the acceptance check that the
+  decomposition is exact (within 1 simulated ns);
+* :func:`slowest_request` / :func:`format_breakdown` — the "why was
+  *this* query slow?" answer the CLI and examples print.
+
+All functions accept the ``traceEvents`` list (or a recorder via
+:func:`repro.telemetry.chrome_trace_events`), so they work on live
+recorders and on files alike.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def load_trace(path: str) -> list[dict]:
+    """The ``traceEvents`` list of an exported Chrome trace file."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return payload["traceEvents"]
+
+
+def span_events(events: list[dict]) -> list[dict]:
+    """Only the complete-span (``ph == "X"``) events."""
+    return [e for e in events if e.get("ph") == "X"]
+
+
+def request_roots(events: list[dict]) -> list[dict]:
+    """The per-request root spans (category ``request``, no parent)."""
+    return [
+        e
+        for e in span_events(events)
+        if e.get("cat") == "request"
+        and "parent_id" not in e.get("args", {})
+    ]
+
+
+def orphan_spans(events: list[dict]) -> list[dict]:
+    """Spans whose ``parent_id`` resolves to no span in the export."""
+    spans = span_events(events)
+    known = {
+        e["args"]["span_id"] for e in spans if "span_id" in e.get("args", {})
+    }
+    return [
+        e
+        for e in spans
+        if "parent_id" in e.get("args", {})
+        and e["args"]["parent_id"] not in known
+    ]
+
+
+def request_breakdowns(events: list[dict]) -> list[dict]:
+    """Per-request latency attribution from the exported span trees.
+
+    Returns one dict per root request span: identity (request_id,
+    tenant, trace_id), outcome, total ``latency_ns``, the per-segment
+    nanoseconds, the per-shard wave spans, and ``residual_ns`` — the
+    difference between the segment sum and the end-to-end latency
+    (float rounding only; the acceptance gate holds it under 1 ns).
+    """
+    roots = request_roots(events)
+    children: dict[str, list[dict]] = {}
+    for event in span_events(events):
+        parent = event.get("args", {}).get("parent_id")
+        if parent is not None:
+            children.setdefault(parent, []).append(event)
+    out = []
+    for root in roots:
+        args = root["args"]
+        segments: dict[str, float] = {}
+        waves: list[dict] = []
+        for child in children.get(args.get("span_id"), ()):
+            cargs = child.get("args", {})
+            if "segment" in cargs:
+                segments[cargs["segment"]] = cargs["dur_ns"]
+            elif child.get("name") == "request.shard_wave":
+                waves.append(
+                    {
+                        "shard": cargs.get("shard"),
+                        "chunks": cargs.get("chunks"),
+                        "pim_ns": cargs.get("pim_ns"),
+                        "cpu_ns": cargs.get("cpu_ns"),
+                        "hedged": cargs.get("hedged"),
+                        "start_ns": cargs.get("start_ns"),
+                        "dur_ns": cargs.get("dur_ns"),
+                    }
+                )
+        latency = args["dur_ns"]
+        out.append(
+            {
+                "request_id": args.get("request_id"),
+                "tenant": args.get("tenant"),
+                "trace_id": args.get("trace_id"),
+                "ok": args.get("ok"),
+                "shed_reason": args.get("shed_reason"),
+                "critical_shard": args.get("critical_shard"),
+                "latency_ns": latency,
+                "segments": segments,
+                "waves": sorted(
+                    waves, key=lambda w: (w["start_ns"], w["shard"])
+                ),
+                "residual_ns": latency - sum(segments.values()),
+            }
+        )
+    return out
+
+
+def slowest_request(events: list[dict]) -> dict | None:
+    """The breakdown of the highest-latency completed request."""
+    completed = [
+        b for b in request_breakdowns(events) if b.get("ok")
+    ]
+    if not completed:
+        return None
+    return max(completed, key=lambda b: b["latency_ns"])
+
+
+def format_breakdown(breakdown: dict) -> str:
+    """Render one request breakdown as the console block the CLI prints."""
+    lines = [
+        f"request {breakdown['request_id']} "
+        f"(tenant={breakdown['tenant']}, trace={breakdown['trace_id']}): "
+        f"{breakdown['latency_ns'] / 1e3:.2f} us"
+    ]
+    latency = breakdown["latency_ns"] or 1.0
+    for segment, dur in sorted(
+        breakdown["segments"].items(), key=lambda kv: -kv[1]
+    ):
+        share = 100.0 * dur / latency
+        lines.append(
+            f"  {segment[:-3]:<12} {dur / 1e3:9.2f} us  {share:5.1f}%"
+        )
+    for wave in breakdown["waves"]:
+        tag = " (hedged)" if wave.get("hedged") else ""
+        lines.append(
+            f"  wave shard{wave['shard']}: pim={wave['pim_ns'] / 1e3:.2f} us"
+            f" cpu={wave['cpu_ns'] / 1e3:.2f} us{tag}"
+        )
+    if breakdown.get("critical_shard") is not None:
+        lines.append(
+            f"  critical shard: {breakdown['critical_shard']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""The ``repro serve --live-report`` periodic console dashboard.
+
+A :class:`LiveReport` bound to a :class:`~repro.serving.service.QueryService`
+prints one status line per reporting period of *simulated* time as the
+event loop crosses it: throughput, p50/p99 latency, shed rate, error-
+budget burn (when a burn-rate monitor is attached) and the repair /
+quarantine state of the fleet. Because the period is simulated ns, a
+run prints the same dashboard every time — useful both interactively
+and in golden logs.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+class LiveReport:
+    """Periodic operational status lines on simulated time.
+
+    Bind via ``QueryService(..., live_report=LiveReport(...))`` (the
+    service calls :meth:`bind` itself); the service then invokes
+    :meth:`maybe_report` as responses retire. Lines are kept on
+    :attr:`lines` for tests and written to ``out`` (default stdout).
+    """
+
+    def __init__(self, period_ns: float = 500_000.0, out=None) -> None:
+        if period_ns <= 0:
+            raise ValueError("report period must be positive")
+        self.period_ns = float(period_ns)
+        self.out = out
+        self.lines: list[str] = []
+        self._service = None
+        self._next_ns = float(period_ns)
+        self._header_emitted = False
+
+    def bind(self, service) -> None:
+        self._service = service
+
+    # ------------------------------------------------------------------
+    def maybe_report(self, now_ns: float) -> None:
+        """Emit one line if simulated time crossed the next period."""
+        if self._service is None or now_ns < self._next_ns:
+            return
+        while self._next_ns <= now_ns:
+            self._next_ns += self.period_ns
+        self._emit(now_ns)
+
+    def _emit(self, now_ns: float) -> None:
+        service = self._service
+        tracker = service.tracker
+        pcts = tracker.percentiles()
+        statuses: dict[str, int] = {}
+        for shard in service.manager.health.snapshot(now_ns):
+            status = shard.get("status", "up")
+            statuses[status] = statuses.get(status, 0) + 1
+        health = " ".join(
+            f"{status}={count}" for status, count in sorted(statuses.items())
+        )
+        burn = ""
+        if service.monitor is not None:
+            snap = service.monitor.snapshot(now_ns)
+            worst = max(
+                (
+                    w["burn_rate"]
+                    for obj in snap.values()
+                    for w in obj["windows"].values()
+                ),
+                default=0.0,
+            )
+            firing = service.monitor.firing()
+            burn = f" burn={worst:5.1f}x"
+            if firing:
+                burn += " ALERT[" + ",".join(
+                    f"{o}/{r}" for o, r in firing
+                ) + "]"
+        repair = ""
+        if service.repair is not None:
+            counts = tracker.repair_counts
+            active = sum(counts.values())
+            repair = f" repair={active}"
+        line = (
+            f"[t={now_ns / 1e6:8.3f} ms] "
+            f"done={tracker.completed:5d} shed={tracker.shed:4d} "
+            f"qps={tracker.throughput_qps(now_ns):10.0f} "
+            f"p50={pcts['p50_ns'] / 1e3:8.2f} us "
+            f"p99={pcts['p99_ns'] / 1e3:8.2f} us"
+            f"{burn}{repair} | shards: {health}"
+        )
+        if not self._header_emitted:
+            self._header_emitted = True
+            header = (
+                "live report (simulated time, period "
+                f"{self.period_ns / 1e3:.0f} us)"
+            )
+            self.lines.append(header)
+            print(header, file=self.out or sys.stdout)
+        self.lines.append(line)
+        print(line, file=self.out or sys.stdout)

@@ -405,6 +405,26 @@ class RepairController:
     # ------------------------------------------------------------------
     def _event(self, t_ns: float, kind: str, **attrs) -> None:
         self.events.append({"t_ns": float(t_ns), "kind": kind, **attrs})
+        tele = get_recorder()
+        if tele.enabled:
+            # each repair action is its own root span on the repair
+            # track: timeline events are stamped at completion, so the
+            # span covers the action's known duration ending at t_ns
+            duration = attrs.get("duration_ns", attrs.get("reprogram_ns", 0.0))
+            try:
+                duration = max(0.0, float(duration))
+            except (TypeError, ValueError):
+                duration = 0.0
+            start = max(0.0, float(t_ns) - duration)
+            safe = {
+                k: v
+                for k, v in attrs.items()
+                if isinstance(v, (str, int, float, bool, type(None)))
+            }
+            tele.record_span(
+                f"repair.{kind}", "repair", start, float(t_ns),
+                trace_id=tele.mint_id("t"), track="repair", **safe,
+            )
 
     def drain_events(self) -> list[dict]:
         """Timeline events recorded since the last drain."""

@@ -66,6 +66,24 @@ class Request:
     deadline_ns: float | None = None
     degraded: bool = False
     admit_seq: int = -1
+    #: Trace identity minted at admission when telemetry is enabled.
+    ctx: object | None = None
+
+
+#: Critical-path segments in causal order; they partition a request's
+#: arrival-to-completion latency (sums match ``latency_ns`` to float
+#: rounding, well inside 1 simulated ns).
+SEGMENT_ORDER = (
+    "queue_ns",        # admitted, waiting for EDF dispatch
+    "coscheduled_ns",  # batch service time spent before this request's
+                       # own dispatch (assists behind the knn wave)
+    "retry_ns",        # failed attempts/backoff/shard queueing before
+                       # the tail wave fired
+    "wave_ns",         # the tail shard's PIM wave (incl. ADC readout)
+    "host_ns",         # the tail shard's host-side candidate work
+    "degraded_ns",     # host recompute of replica-less chunks
+    "gather_ns",       # coordinator merge
+)
 
 
 @dataclass
@@ -85,6 +103,10 @@ class Response:
     approximate: bool = False
     degraded: bool = False
     batch_size: int = 0
+    #: Trace id (telemetry runs only) linking to the exported tree.
+    trace_id: str | None = None
+    #: Critical-path attribution keyed by :data:`SEGMENT_ORDER`.
+    segments: dict | None = None
 
     @property
     def latency_ns(self) -> float:
@@ -146,6 +168,12 @@ class QueryService:
         remaps and re-replication interleave with EDF dispatch without
         stealing foreground service time; :meth:`drain` finishes with a
         :meth:`heal` pass restoring every chunk's replica target.
+    monitor:
+        Optional :class:`~repro.observability.BurnRateMonitor` fed every
+        terminal response; emits structured SLO alerts on the recorder.
+    live_report:
+        Optional :class:`~repro.observability.LiveReport` printing a
+        periodic console dashboard on simulated time.
     """
 
     def __init__(
@@ -160,6 +188,8 @@ class QueryService:
         default_deadline_ns: float | None = None,
         tracker: SLOTracker | None = None,
         repair=None,
+        monitor=None,
+        live_report=None,
     ) -> None:
         if max_batch < 1:
             raise ServingError("max_batch must be >= 1")
@@ -179,6 +209,12 @@ class QueryService:
         self.default_deadline_ns = default_deadline_ns
         self.tracker = tracker if tracker is not None else SLOTracker()
         self.repair = repair
+        #: Optional :class:`~repro.observability.BurnRateMonitor`.
+        self.monitor = monitor
+        #: Optional :class:`~repro.observability.LiveReport` dashboard.
+        self.live_report = live_report
+        if live_report is not None:
+            live_report.bind(self)
         if repair is not None and repair.manager is not manager:
             raise ServingError(
                 "the repair controller must share this service's manager"
@@ -297,6 +333,13 @@ class QueryService:
             )
             if relative is not None:
                 request.deadline_ns = request.arrival_ns + relative
+        tele = get_recorder()
+        if tele.enabled and request.ctx is None:
+            request.ctx = tele.new_trace(
+                request_id=request.request_id,
+                tenant=request.tenant,
+                deadline_ns=request.deadline_ns,
+            )
         bucket = self._buckets.get(request.tenant)
         if bucket is not None and not bucket.try_take(self.now_ns):
             self._shed(request, "admission")
@@ -317,7 +360,6 @@ class QueryService:
         request.admit_seq = self._admitted
         self._admitted += 1
         self._queue.append(request)
-        tele = get_recorder()
         if tele.enabled:
             tele.metrics.counter("serving.admitted").add(1)
             tele.metrics.gauge("serving.queue_depth").set(len(self._queue))
@@ -332,8 +374,14 @@ class QueryService:
             completion_ns=self.now_ns,
             shed_reason=reason,
         )
+        tele = get_recorder()
+        if tele.enabled and request.ctx is not None:
+            response.trace_id = request.ctx.trace_id
+            response.segments = {"queue_ns": response.latency_ns}
+            self._emit_request_tree(tele, request, response, None)
         self.responses.append(response)
         self.tracker.observe(response)
+        self._observe_terminal(request, response)
 
     # ------------------------------------------------------------------
     # dispatch
@@ -379,11 +427,22 @@ class QueryService:
         if not live:
             return
         tele = get_recorder()
-        with tele.span(
-            "serving.dispatch", "serving",
-            requests=len(live), t_dispatch_ns=self.now_ns,
-        ):
-            service_ns = self._serve(live)
+        # the dispatch and everything under it (scatter, waves, recovery
+        # markers, gather) joins the first live request's trace; the
+        # other requests' trees reference the same work via their
+        # synthesized per-shard wave spans
+        ctx = None
+        if tele.enabled:
+            for request in live:
+                if request.ctx is not None:
+                    ctx = request.ctx
+                    break
+        with tele.trace(ctx):
+            with tele.span(
+                "serving.dispatch", "serving",
+                requests=len(live), t_dispatch_ns=self.now_ns,
+            ):
+                service_ns = self._serve(live)
         if not np.isfinite(service_ns):
             raise WatchdogTimeoutError(
                 f"dispatch at t={self.now_ns:.0f}ns produced a "
@@ -423,10 +482,15 @@ class QueryService:
                     self._shed(request, exc.reason)
             else:
                 self._account_dispatch(timing)
+                before_ns = service_ns
                 service_ns += timing.service_ns
                 for request, answer in zip(knn, answers):
-                    self._complete(request, answer, len(batch), service_ns)
+                    self._complete(
+                        request, answer, len(batch), service_ns,
+                        timing, before_ns,
+                    )
         for request in assists:
+            before_ns = service_ns
             try:
                 answer, timing = self.manager.assign(
                     request.query, now_ns=self.now_ns + service_ns
@@ -438,7 +502,9 @@ class QueryService:
                 continue
             self._account_dispatch(timing)
             service_ns += timing.service_ns
-            self._complete_assign(request, answer, len(batch), service_ns)
+            self._complete_assign(
+                request, answer, len(batch), service_ns, timing, before_ns
+            )
         return service_ns
 
     def _account_dispatch(self, timing) -> None:
@@ -453,6 +519,8 @@ class QueryService:
         answer: KNNAnswer,
         batch_size: int,
         service_ns: float,
+        timing,
+        before_ns: float,
     ) -> None:
         response = Response(
             request_id=request.request_id,
@@ -468,11 +536,16 @@ class QueryService:
             degraded=answer.degraded,
             batch_size=batch_size,
         )
-        self.responses.append(response)
-        self.tracker.observe(response)
+        self._finalize(request, response, timing, before_ns)
 
     def _complete_assign(
-        self, request: Request, answer, batch_size: int, service_ns: float
+        self,
+        request: Request,
+        answer,
+        batch_size: int,
+        service_ns: float,
+        timing,
+        before_ns: float,
     ) -> None:
         response = Response(
             request_id=request.request_id,
@@ -487,8 +560,93 @@ class QueryService:
             degraded=answer.degraded,
             batch_size=batch_size,
         )
+        self._finalize(request, response, timing, before_ns)
+
+    def _finalize(
+        self, request: Request, response: Response, timing, before_ns: float
+    ) -> None:
+        """Attach trace data, record the response, feed the monitors."""
+        tele = get_recorder()
+        if tele.enabled and request.ctx is not None:
+            path = timing.critical_path()
+            response.trace_id = request.ctx.trace_id
+            response.segments = {
+                "queue_ns": response.dispatch_ns - response.arrival_ns,
+                "coscheduled_ns": before_ns,
+                "retry_ns": path["retry_ns"],
+                "wave_ns": path["wave_ns"],
+                "host_ns": path["host_ns"],
+                "degraded_ns": path["degraded_ns"],
+                "gather_ns": path["gather_ns"],
+            }
+            self._emit_request_tree(
+                tele, request, response, timing, critical_shard=path["shard"]
+            )
         self.responses.append(response)
         self.tracker.observe(response)
+        self._observe_terminal(request, response)
+
+    def _emit_request_tree(
+        self, tele, request: Request, response: Response, timing,
+        critical_shard=None,
+    ) -> None:
+        """Emit the request's span tree on the event-loop timeline.
+
+        One root span covers arrival -> completion; each non-empty
+        critical-path segment is a child chained end-to-start under it;
+        every successful wave of the dispatch appears as a per-shard
+        child on its actual interval (so retry/failover/hedge winners
+        and the gather are all visible per request). The shared live
+        dispatch spans (scatter, pim waves, recovery markers) join the
+        batch's first request via the installed trace context.
+        """
+        ctx = request.ctx
+        tele.record_span(
+            "request", "request",
+            response.arrival_ns, response.completion_ns,
+            trace_id=ctx.trace_id, span_id=ctx.span_id, track="requests",
+            request_id=request.request_id,
+            tenant=request.tenant,
+            kind=request.kind,
+            ok=response.ok,
+            shed_reason=response.shed_reason,
+            deadline_ns=request.deadline_ns,
+            batch_size=response.batch_size,
+            critical_shard=critical_shard,
+        )
+        t = response.arrival_ns
+        for key in SEGMENT_ORDER:
+            dur = (response.segments or {}).get(key, 0.0)
+            if dur <= 0:
+                continue
+            tele.record_span(
+                "request." + key[:-3], "request", t, t + dur,
+                trace_id=ctx.trace_id, parent_id=ctx.span_id,
+                track="requests", depth=1, segment=key,
+            )
+            t += dur
+        if timing is not None and response.dispatch_ns is not None:
+            base = response.dispatch_ns + (
+                (response.segments or {}).get("coscheduled_ns", 0.0)
+            )
+            for comp in timing.wave_components:
+                tele.record_span(
+                    "request.shard_wave", "request",
+                    base + comp["start_ns"], base + comp["end_ns"],
+                    trace_id=ctx.trace_id, parent_id=ctx.span_id,
+                    track="requests", depth=1,
+                    shard=comp["shard"], chunks=comp["chunks"],
+                    pim_ns=comp["pim_ns"], cpu_ns=comp["cpu_ns"],
+                    hedged=comp["hedged"],
+                )
+
+    def _observe_terminal(self, request: Request, response: Response) -> None:
+        if self.monitor is not None:
+            self.monitor.observe(response, deadline_ns=request.deadline_ns)
+        if self.live_report is not None:
+            self.live_report.maybe_report(
+                max(self.now_ns, response.completion_ns)
+            )
 
     # ------------------------------------------------------------------
     def summary(self) -> dict:
@@ -509,4 +667,7 @@ class QueryService:
         result["health"] = self.manager.health.snapshot(horizon)
         if self.repair is not None:
             result["repair"] = self.repair.report()
+        if self.monitor is not None:
+            result["alerts"] = [dict(a) for a in self.monitor.alerts]
+            result["burn"] = self.monitor.snapshot(horizon)
         return result

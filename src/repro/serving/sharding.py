@@ -203,6 +203,11 @@ class GatherTiming:
     per_shard_cpu_ns: list = field(default_factory=list)
     merge_cpu_ns: float = 0.0
     wave_end_ns: list = field(default_factory=list)
+    #: One dict per ``wave_end_ns`` entry: the winning wave's shard,
+    #: dispatch-relative start (everything before it — failed attempts,
+    #: backoff, queueing behind the shard — is retry/wait time), and its
+    #: pim/cpu split, so the critical path decomposes exactly.
+    wave_components: list = field(default_factory=list)
     degraded_cpu_ns: float = 0.0
     attempts: int = 0
     retries: int = 0
@@ -226,6 +231,50 @@ class GatherTiming:
             ]
             tail = max(spans) if spans else 0.0
         return tail + self.degraded_cpu_ns + self.merge_cpu_ns
+
+    def critical_path(self) -> dict:
+        """Attribute :attr:`service_ns` to its latency segments.
+
+        Follows the same tail-wave logic as :attr:`service_ns`, so
+        ``retry_ns + wave_ns + host_ns + degraded_ns + gather_ns`` sums
+        back to the dispatch occupancy (to float rounding, well inside
+        1 simulated ns).
+        """
+        path = {
+            "retry_ns": 0.0,
+            "wave_ns": 0.0,
+            "host_ns": 0.0,
+            "degraded_ns": self.degraded_cpu_ns,
+            "gather_ns": self.merge_cpu_ns,
+            "shard": None,
+        }
+        if self.wave_end_ns:
+            i = max(
+                range(len(self.wave_end_ns)),
+                key=lambda j: self.wave_end_ns[j],
+            )
+            tail = self.wave_end_ns[i]
+            if i < len(self.wave_components):
+                comp = self.wave_components[i]
+                path["wave_ns"] = comp["pim_ns"]
+                path["host_ns"] = comp["cpu_ns"]
+                path["retry_ns"] = max(
+                    0.0, tail - comp["pim_ns"] - comp["cpu_ns"]
+                )
+                path["shard"] = comp["shard"]
+            else:
+                path["retry_ns"] = tail
+        else:
+            spans = [
+                p + c
+                for p, c in zip(self.per_shard_pim_ns, self.per_shard_cpu_ns)
+            ]
+            if spans:
+                i = max(range(len(spans)), key=lambda j: spans[j])
+                path["wave_ns"] = self.per_shard_pim_ns[i]
+                path["host_ns"] = self.per_shard_cpu_ns[i]
+                path["shard"] = i
+        return path
 
 
 class _Shard:
@@ -785,7 +834,11 @@ class ShardManager:
 
         def try_hedge(s, chunks, start_rel, end_rel, cpu_ns):
             """Duplicate a straggling wave on an idle replica (values
-            are identical either way; only the finish time improves)."""
+            are identical either way; only the finish time improves).
+
+            Returns ``(end_rel, component)`` where ``component``
+            describes the hedge wave when it won the race, else None.
+            """
             hedge_start = start_rel + policy.hedge_after_ns
             for s2 in range(self.n_shards):
                 if s2 == s:
@@ -825,8 +878,18 @@ class ShardManager:
                 alt.busy_ns += pim2 + cpu_ns
                 pim_total[s2] += pim2
                 cpu_total[s2] += cpu_ns
-                return min(end_rel, alt_end)
-            return end_rel
+                if alt_end < end_rel:
+                    return alt_end, {
+                        "shard": s2,
+                        "chunks": len(chunks),
+                        "start_ns": alt_start,
+                        "pim_ns": pim2,
+                        "cpu_ns": cpu_ns,
+                        "end_ns": alt_end,
+                        "hedged": True,
+                    }
+                return end_rel, None
+            return end_rel, None
 
         while pending:
             groups: dict[int, list[int]] = {}
@@ -993,12 +1056,26 @@ class ShardManager:
                 self.health.record_success(s, now_ns + end_rel)
                 for c in chunks:
                     pending.discard(c)
+                comp = {
+                    "shard": s,
+                    "chunks": len(chunks),
+                    "start_ns": start_rel,
+                    "pim_ns": pim_ns,
+                    "cpu_ns": cpu_ns,
+                    "end_ns": end_rel,
+                    "hedged": False,
+                }
                 if (
                     policy.hedge_after_ns is not None
                     and pim_ns + cpu_ns > policy.hedge_after_ns
                 ):
-                    end_rel = try_hedge(s, chunks, start_rel, end_rel, cpu_ns)
+                    end_rel, hedge_comp = try_hedge(
+                        s, chunks, start_rel, end_rel, cpu_ns
+                    )
+                    if hedge_comp is not None:
+                        comp = hedge_comp
                 timing.wave_end_ns.append(end_rel)
+                timing.wave_components.append(comp)
         timing.per_shard_pim_ns = pim_total
         timing.per_shard_cpu_ns = cpu_total
         return degraded

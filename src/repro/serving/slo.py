@@ -61,6 +61,9 @@ class SLOTracker:
         self.mttr_samples: list[float] = []
         self.repair_events: list[dict] = []
         self.repair_counts: dict[str, int] = {}
+        # instrument cache, invalidated when the active registry changes
+        self._metrics_src = None
+        self._instruments: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     def observe(self, response) -> None:
@@ -77,7 +80,11 @@ class SLOTracker:
             reason = response.shed_reason or "unknown"
             self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
             if tele.enabled:
-                tele.metrics.counter(f"serving.shed.{reason}").add(1)
+                m = self._metrics(tele)
+                m.counter(f"serving.shed.{reason}").add(1)
+                m.counter(
+                    "serving.shed", labels={"reason": reason}
+                ).add(1)
             return
         self.completed += 1
         if response.approximate:
@@ -91,12 +98,31 @@ class SLOTracker:
         if getattr(response, "degraded", False):
             self.degraded_exact += 1
         if tele.enabled:
-            tele.metrics.counter("serving.completed").add(1)
-            tele.metrics.histogram("serving.latency_ns").observe(latency)
+            # the trace id rides along as an exemplar so the latency
+            # histogram points straight at the slowest request trees
+            exemplar = getattr(response, "trace_id", None)
+            m = self._metrics(tele)
+            self._instruments["completed"].add(1)
+            self._instruments["latency"].observe(latency, exemplar=exemplar)
+            m.histogram(
+                "serving.tenant_latency_ns",
+                labels={"tenant": response.tenant},
+            ).observe(latency, exemplar=exemplar)
             if response.approximate:
-                tele.metrics.counter("serving.degraded").add(1)
+                m.counter("serving.degraded").add(1)
             if getattr(response, "degraded", False):
-                tele.metrics.counter("serving.degraded_exact").add(1)
+                m.counter("serving.degraded_exact").add(1)
+
+    def _metrics(self, tele):
+        """The active registry, with the hot instruments pre-fetched."""
+        m = tele.metrics
+        if m is not self._metrics_src:
+            self._metrics_src = m
+            self._instruments = {
+                "completed": m.counter("serving.completed"),
+                "latency": m.histogram("serving.latency_ns"),
+            }
+        return m
 
     def record_dispatch(self, timing) -> None:
         """Fold one dispatch's :class:`GatherTiming` recovery counters in."""

@@ -26,12 +26,16 @@ path. Enable it for a scope with :func:`telemetry_session`::
 or pass ``--trace-out`` / ``--metrics-out`` to the CLI.
 """
 
+from repro.telemetry.context import TraceContext
 from repro.telemetry.export import (
     chrome_trace_events,
     metrics_jsonl_lines,
+    parse_prometheus,
+    prometheus_snapshot,
     summarize_metrics,
     write_chrome_trace,
     write_metrics_jsonl,
+    write_prometheus,
 )
 from repro.telemetry.metrics import (
     Counter,
@@ -60,12 +64,16 @@ __all__ = [
     "SimulatedClock",
     "Span",
     "TelemetryRecorder",
+    "TraceContext",
     "chrome_trace_events",
     "get_recorder",
     "metrics_jsonl_lines",
+    "parse_prometheus",
+    "prometheus_snapshot",
     "set_recorder",
     "summarize_metrics",
     "telemetry_session",
     "write_chrome_trace",
     "write_metrics_jsonl",
+    "write_prometheus",
 ]

@@ -1,0 +1,41 @@
+"""Trace context: the causal identity a request carries through serving.
+
+A :class:`TraceContext` is minted once per request at admission
+(:meth:`TelemetryRecorder.new_trace`) and rides on the request object
+through EDF dispatch, shard scatter/gather, failover, retries, hedging,
+degraded recompute and repair. Every span recorded while a context is
+installed (``with tele.trace(ctx):``) inherits its ``trace_id`` and is
+parented under the context's ``span_id``, so exporters can reconstruct
+the full causal tree of a request even though the serving event loop
+and the hardware recorder run on different simulated clocks.
+
+Identifiers are deterministic (a per-recorder counter), so traces are
+reproducible run-to-run — there is no wall-clock or RNG input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Immutable trace identity plus request baggage.
+
+    ``trace_id``
+        Identifies the whole causal tree (one per request).
+    ``span_id``
+        The span new children should be parented under — at mint time,
+        the request's root span (emitted when the request terminates).
+    ``baggage``
+        Request-scoped attributes (tenant, request_id, deadline) that
+        propagate with the context and land on the root span's args.
+    """
+
+    trace_id: str
+    span_id: str
+    baggage: dict = field(default_factory=dict)
+
+    def child(self, span_id: str) -> "TraceContext":
+        """The same trace re-rooted under a different parent span."""
+        return TraceContext(self.trace_id, span_id, self.baggage)

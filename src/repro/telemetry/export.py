@@ -28,6 +28,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Metadata stamped into every trace file.
 TRACE_PROCESS_NAME = "repro-simulated-pim"
 
+#: Span ``track`` -> Chrome trace thread id. The hardware recorder clock
+#: and the serving event-loop clock are different simulated timelines,
+#: so their spans render on separate tracks.
+TRACK_TIDS = {"sim": 1, "requests": 2, "repair": 3}
+
+_TRACK_NAMES = {
+    "sim": "simulated-clock",
+    "requests": "requests (event-loop clock)",
+    "repair": "repair (event-loop clock)",
+}
+
 
 def chrome_trace_events(
     recorder: "TelemetryRecorder | NullRecorder",
@@ -56,10 +67,26 @@ def chrome_trace_events(
         (s for s in recorder.finished_spans() if s.end_ns is not None),
         key=lambda s: (s.start_ns, -s.duration_ns, s.depth),
     )
+    tracks = {getattr(s, "track", "sim") for s in ordered}
+    for track in sorted(tracks - {"sim"}):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": TRACK_TIDS.get(track, 9),
+                "args": {"name": _TRACK_NAMES.get(track, track)},
+            }
+        )
     for span in ordered:
         args = dict(span.args)
         args["start_ns"] = span.start_ns
         args["dur_ns"] = span.duration_ns
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
         events.append(
             {
                 "name": span.name,
@@ -68,7 +95,7 @@ def chrome_trace_events(
                 "ts": span.start_ns / 1e3,  # trace format wants us
                 "dur": span.duration_ns / 1e3,
                 "pid": 1,
-                "tid": 1,
+                "tid": TRACK_TIDS.get(getattr(span, "track", "sim"), 9),
                 "args": args,
             }
         )
@@ -78,7 +105,7 @@ def chrome_trace_events(
         for ts_ns, value in instrument.samples:
             events.append(
                 {
-                    "name": instrument.name,
+                    "name": instrument.display_name,
                     "cat": "metric",
                     "ph": "C",
                     "ts": ts_ns / 1e3,
@@ -87,6 +114,19 @@ def chrome_trace_events(
                     "args": {"value": value},
                 }
             )
+    for record in getattr(recorder, "events", ()):
+        events.append(
+            {
+                "name": record["name"],
+                "cat": record["category"],
+                "ph": "i",
+                "ts": record["ts_ns"] / 1e3,
+                "pid": 1,
+                "tid": TRACK_TIDS["requests"],
+                "s": "g",
+                "args": {**record["args"], "ts_ns": record["ts_ns"]},
+            }
+        )
     return events
 
 
@@ -106,30 +146,59 @@ def write_chrome_trace(
 def metrics_jsonl_lines(
     recorder: "TelemetryRecorder | NullRecorder",
 ) -> list[str]:
-    """The recorder's metrics as JSONL lines (samples then summaries)."""
+    """The recorder's metrics as JSONL lines (samples then summaries).
+
+    Labeled instruments carry a ``labels`` object; alert events emitted
+    through :meth:`TelemetryRecorder.record_event` ride along as
+    ``kind: "alert"`` lines after the summaries.
+    """
     lines: list[str] = []
     for instrument in recorder.metrics:
+        extra = {"labels": instrument.labels} if instrument.labels else {}
         for ts_ns, value in instrument.samples:
             lines.append(
                 json.dumps(
                     {
                         "kind": "sample",
-                        "metric": instrument.name,
+                        "metric": instrument.display_name,
                         "type": instrument.kind,
                         "ts_ns": ts_ns,
                         "value": value,
+                        **extra,
                     },
                     sort_keys=True,
                 )
             )
     for instrument in recorder.metrics:
+        extra = {"labels": instrument.labels} if instrument.labels else {}
+        exemplars = getattr(instrument, "exemplars", None)
+        if exemplars:
+            extra["exemplars"] = [
+                {"value": v, "ts_ns": ts, "trace_id": tid}
+                for v, ts, tid in sorted(exemplars, reverse=True)
+            ]
         lines.append(
             json.dumps(
                 {
                     "kind": "summary",
-                    "metric": instrument.name,
+                    "metric": instrument.display_name,
                     "type": instrument.kind,
                     **instrument.summary(),
+                    **extra,
+                },
+                sort_keys=True,
+            )
+        )
+    for record in getattr(recorder, "events", ()):
+        if record["category"] != "alert":
+            continue
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "alert",
+                    "name": record["name"],
+                    "ts_ns": record["ts_ns"],
+                    **record["args"],
                 },
                 sort_keys=True,
             )
@@ -151,12 +220,169 @@ def write_metrics_jsonl(
     return len(lines)
 
 
+def _prom_name(name: str) -> str:
+    """A metric name sanitized to the Prometheus grammar."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+def _prom_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{_prom_name(k)}="{v}"' for k, v in sorted(labels.items())
+    )
+    return "{" + rendered + "}"
+
+
+def prometheus_snapshot(
+    recorder: "TelemetryRecorder | NullRecorder",
+) -> str:
+    """The registry as a Prometheus/OpenMetrics text snapshot.
+
+    Counters render as ``_total`` series, gauges as-is, histograms as
+    ``_count``/``_sum``/``_min``/``_max`` summaries. Histogram
+    exemplars (trace_ids attached via ``observe(..., exemplar=)``)
+    follow the ``_count`` line in OpenMetrics exemplar syntax, so a
+    latency spike in a dashboard links straight to its trace.
+    """
+    grouped: dict[str, list] = {}
+    for instrument in recorder.metrics:
+        grouped.setdefault(instrument.name, []).append(instrument)
+    lines: list[str] = []
+    for name, instruments in grouped.items():
+        base = _prom_name(name)
+        kind = instruments[0].kind
+        prom_type = {"counter": "counter", "gauge": "gauge"}.get(
+            kind, "summary"
+        )
+        lines.append(f"# TYPE {base} {prom_type}")
+        for instrument in instruments:
+            labels = _prom_labels(instrument.labels)
+            if kind == "counter":
+                lines.append(f"{base}_total{labels} {instrument.value}")
+            elif kind == "gauge":
+                lines.append(f"{base}{labels} {instrument.value}")
+            else:
+                exemplars = sorted(instrument.exemplars, reverse=True)
+                exemplar = ""
+                if exemplars:
+                    value, ts_ns, trace_id = exemplars[0]
+                    exemplar = (
+                        f' # {{trace_id="{trace_id}"}} {value} {ts_ns}'
+                    )
+                lines.append(
+                    f"{base}_count{labels} {instrument.count}{exemplar}"
+                )
+                lines.append(f"{base}_sum{labels} {instrument.sum}")
+                if instrument.count:
+                    lines.append(f"{base}_min{labels} {instrument.min}")
+                    lines.append(f"{base}_max{labels} {instrument.max}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(
+    recorder: "TelemetryRecorder | NullRecorder", path_or_file
+) -> int:
+    """Write the Prometheus snapshot; returns the series-line count."""
+    text = prometheus_snapshot(recorder)
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(text)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return sum(
+        1 for line in text.splitlines() if line and not line.startswith("#")
+    )
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse a :func:`prometheus_snapshot` back into structured form.
+
+    Returns ``{series_name: {"labels": {...}, "value": float,
+    "exemplar": {...} | None}}``; raises ``ValueError`` on malformed
+    lines so CI can assert the snapshot stays machine-readable.
+    """
+    series: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE comment")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        body, exemplar = line, None
+        if " # " in line:
+            body, _, ex_text = line.partition(" # ")
+            ex_parts = ex_text.split()
+            if len(ex_parts) != 3 or not ex_parts[0].startswith("{"):
+                raise ValueError(f"line {lineno}: malformed exemplar")
+            exemplar = {
+                "labels": _parse_label_block(ex_parts[0], lineno),
+                "value": float(ex_parts[1]),
+                "ts_ns": float(ex_parts[2]),
+            }
+        try:
+            name_part, value_part = body.rsplit(" ", 1)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: no value") from exc
+        labels: dict[str, str] = {}
+        if "{" in name_part:
+            name, _, label_text = name_part.partition("{")
+            labels = _parse_label_block("{" + label_text, lineno)
+            key = name_part
+        else:
+            name = name_part
+            key = name
+        series[key] = {
+            "name": name,
+            "labels": labels,
+            "value": float(value_part),
+            "exemplar": exemplar,
+            "type": types.get(_strip_suffix(name)),
+        }
+    return series
+
+
+def _strip_suffix(name: str) -> str:
+    for suffix in ("_total", "_count", "_sum", "_min", "_max"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def _parse_label_block(text: str, lineno: int) -> dict[str, str]:
+    if not (text.startswith("{") and text.endswith("}")):
+        raise ValueError(f"line {lineno}: malformed label block")
+    inner = text[1:-1]
+    labels: dict[str, str] = {}
+    if not inner:
+        return labels
+    for part in inner.split(","):
+        if "=" not in part:
+            raise ValueError(f"line {lineno}: malformed label {part!r}")
+        key, _, value = part.partition("=")
+        labels[key] = value.strip('"')
+    return labels
+
+
 def summarize_metrics(recorder: "TelemetryRecorder | NullRecorder") -> str:
     """One fixed-width table over all instruments (CLI/bench output)."""
     from repro.core.report import format_metrics
 
     summaries = {
-        instrument.name: dict(
+        instrument.display_name: dict(
             type=instrument.kind, **instrument.summary()
         )
         for instrument in recorder.metrics

@@ -25,11 +25,27 @@ class Instrument:
 
     kind: str = "instrument"
 
-    def __init__(self, name: str, clock: Callable[[], float]) -> None:
+    def __init__(
+        self,
+        name: str,
+        clock: Callable[[], float],
+        labels: dict[str, str] | None = None,
+    ) -> None:
         self.name = name
+        self.labels: dict[str, str] = dict(labels) if labels else {}
         self._clock = clock
         #: ``(ts_ns, value)`` pairs in update order (simulated time).
         self.samples: list[tuple[float, float]] = []
+
+    @property
+    def display_name(self) -> str:
+        """``name{k=v,...}`` — unique across label sets of one name."""
+        if not self.labels:
+            return self.name
+        rendered = ",".join(
+            f"{k}={v}" for k, v in sorted(self.labels.items())
+        )
+        return f"{self.name}{{{rendered}}}"
 
     def _record(self, value: float) -> None:
         self.samples.append((self._clock(), value))
@@ -44,8 +60,13 @@ class Counter(Instrument):
 
     kind = "counter"
 
-    def __init__(self, name: str, clock: Callable[[], float]) -> None:
-        super().__init__(name, clock)
+    def __init__(
+        self,
+        name: str,
+        clock: Callable[[], float],
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        super().__init__(name, clock, labels)
         self.value = 0.0
 
     def add(self, amount: float = 1.0) -> None:
@@ -64,8 +85,13 @@ class Gauge(Instrument):
 
     kind = "gauge"
 
-    def __init__(self, name: str, clock: Callable[[], float]) -> None:
-        super().__init__(name, clock)
+    def __init__(
+        self,
+        name: str,
+        clock: Callable[[], float],
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        super().__init__(name, clock, labels)
         self.value = 0.0
 
     def set(self, value: float) -> None:
@@ -81,20 +107,35 @@ class Histogram(Instrument):
 
     kind = "histogram"
 
-    def __init__(self, name: str, clock: Callable[[], float]) -> None:
-        super().__init__(name, clock)
+    #: Exemplars kept per histogram (the largest observations win).
+    MAX_EXEMPLARS = 4
+
+    def __init__(
+        self,
+        name: str,
+        clock: Callable[[], float],
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        super().__init__(name, clock, labels)
         self.count = 0
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        #: ``(value, ts_ns, trace_id)`` — the slowest observations seen,
+        #: so latency histograms point straight at exemplar traces.
+        self.exemplars: list[tuple[float, float, str]] = []
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         value = float(value)
         self.count += 1
         self.sum += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
         self._record(value)
+        if exemplar is not None:
+            self.exemplars.append((value, self._clock(), exemplar))
+            if len(self.exemplars) > self.MAX_EXEMPLARS:
+                self.exemplars.remove(min(self.exemplars))
 
     @property
     def mean(self) -> float:
@@ -113,40 +154,105 @@ class Histogram(Instrument):
         }
 
 
+#: Label set overflowed instruments are folded into.
+OVERFLOW_LABELS = {"overflow": "__other__"}
+
+#: Warning counter bumped once per distinct label set that overflowed.
+LABEL_OVERFLOW_METRIC = "telemetry.label_overflow"
+
+
 class MetricsRegistry:
     """Name -> instrument map with create-on-first-use accessors.
 
     Asking for an existing name with a different instrument kind is a
-    ``TypeError`` — one name means one series.
+    ``TypeError`` — one name means one series. Instruments may carry a
+    ``labels`` dict (per-tenant, per-shard, per-reason series); each
+    distinct label set is its own series under the same name. A
+    cardinality guard caps distinct label sets per name at
+    ``max_label_sets``: further sets fold into a shared ``__other__``
+    bucket and bump :data:`LABEL_OVERFLOW_METRIC`, so unbounded tenant
+    or shard populations cannot blow up the registry.
     """
 
-    def __init__(self, clock: Callable[[], float]) -> None:
+    def __init__(
+        self, clock: Callable[[], float], max_label_sets: int = 32
+    ) -> None:
         self._clock = clock
+        self.max_label_sets = max_label_sets
         self._instruments: dict[str, Instrument] = {}
+        self._label_sets: dict[str, set] = {}
+        self._overflowed: dict[str, set] = {}
+        # (name, sorted label items) -> instrument, so steady-state
+        # labeled lookups skip the guard and the key formatting
+        self._labeled_cache: dict[tuple, Instrument] = {}
 
-    def _get(self, name: str, cls: type) -> Instrument:
-        instrument = self._instruments.get(name)
+    def _guard_labels(
+        self, name: str, labels: dict[str, str]
+    ) -> dict[str, str]:
+        items = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        known = self._label_sets.setdefault(name, set())
+        if items in known:
+            return dict(items)
+        if len(known) >= self.max_label_sets:
+            dropped = self._overflowed.setdefault(name, set())
+            if items not in dropped:
+                dropped.add(items)
+                self.counter(LABEL_OVERFLOW_METRIC).add(1)
+            return dict(OVERFLOW_LABELS)
+        known.add(items)
+        return dict(items)
+
+    def _get(
+        self, name: str, cls: type, labels: dict[str, str] | None = None
+    ) -> Instrument:
+        if labels:
+            items = tuple(
+                sorted((str(k), str(v)) for k, v in labels.items())
+            )
+            cached = self._labeled_cache.get((name, items))
+            if cached is not None:
+                if not isinstance(cached, cls):
+                    raise TypeError(
+                        f"metric {name!r} is a {cached.kind}, not a "
+                        f"{cls.kind}"  # type: ignore[attr-defined]
+                    )
+                return cached
+            labels = self._guard_labels(name, labels)
+            key = name + "{" + ",".join(
+                f"{k}={v}" for k, v in sorted(labels.items())
+            ) + "}"
+        else:
+            key = name
+        instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = cls(name, self._clock)
-            self._instruments[name] = instrument
+            instrument = cls(name, self._clock, labels)
+            self._instruments[key] = instrument
         elif not isinstance(instrument, cls):
             raise TypeError(
                 f"metric {name!r} is a {instrument.kind}, not a "
                 f"{cls.kind}"  # type: ignore[attr-defined]
             )
+        if labels:
+            self._labeled_cache[(name, items)] = instrument
         return instrument
 
-    def counter(self, name: str) -> Counter:
+    def counter(
+        self, name: str, labels: dict[str, str] | None = None
+    ) -> Counter:
         """The counter of this name (created on first use)."""
-        return self._get(name, Counter)  # type: ignore[return-value]
+        return self._get(name, Counter, labels)  # type: ignore[return-value]
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(
+        self, name: str, labels: dict[str, str] | None = None
+    ) -> Gauge:
         """The gauge of this name (created on first use)."""
-        return self._get(name, Gauge)  # type: ignore[return-value]
+        return self._get(name, Gauge, labels)  # type: ignore[return-value]
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self, name: str, labels: dict[str, str] | None = None
+    ) -> Histogram:
         """The histogram of this name (created on first use)."""
-        return self._get(name, Histogram)  # type: ignore[return-value]
+        return self._get(name, Histogram, labels)  # type: ignore[return-value]
 
     def __iter__(self) -> Iterator[Instrument]:
         """Instruments in creation order."""

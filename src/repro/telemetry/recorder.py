@@ -21,6 +21,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.telemetry.context import TraceContext
 from repro.telemetry.metrics import MetricsRegistry
 
 
@@ -47,7 +48,15 @@ class SimulatedClock:
 
 @dataclass
 class Span:
-    """One named interval on the simulated clock."""
+    """One named interval on the simulated clock.
+
+    Trace fields are ``None`` for standalone spans (the PR-2 behaviour);
+    spans opened under an installed :class:`TraceContext` carry the
+    causal identifiers the exporters surface for tree reconstruction.
+    ``track`` selects the export timeline: ``"sim"`` spans sit on the
+    hardware recorder clock, ``"requests"``/``"repair"`` spans carry
+    explicit event-loop times stamped via ``record_span``.
+    """
 
     name: str
     category: str
@@ -55,6 +64,10 @@ class Span:
     end_ns: float | None = None
     depth: int = 0
     args: dict = field(default_factory=dict)
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_id: str | None = None
+    track: str = "sim"
 
     @property
     def duration_ns(self) -> float:
@@ -74,7 +87,11 @@ class TelemetryRecorder:
         self.metrics = MetricsRegistry(clock=self.clock)
         #: Finished spans in completion order.
         self.spans: list[Span] = []
+        #: Instant events (alerts etc.) in emission order.
+        self.events: list[dict] = []
         self._stack: list[Span] = []
+        self._ctx: list[TraceContext] = []
+        self._next_id = 0
 
     # ------------------------------------------------------------------
     # clock
@@ -92,7 +109,13 @@ class TelemetryRecorder:
     # spans
     # ------------------------------------------------------------------
     def begin_span(self, name: str, category: str = "", **args) -> Span:
-        """Open a nested span at the current simulated time."""
+        """Open a nested span at the current simulated time.
+
+        When the enclosing span carries a trace identity, or a
+        :class:`TraceContext` is installed via :meth:`trace`, the new
+        span inherits the trace and is parented under the nearest
+        traced ancestor (falling back to the context's root span).
+        """
         span = Span(
             name=name,
             category=category,
@@ -100,6 +123,16 @@ class TelemetryRecorder:
             depth=len(self._stack),
             args=args,
         )
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None and parent.trace_id is not None:
+            span.trace_id = parent.trace_id
+            span.parent_id = parent.span_id
+            span.span_id = self.mint_id("s")
+        elif self._ctx:
+            ctx = self._ctx[-1]
+            span.trace_id = ctx.trace_id
+            span.parent_id = ctx.span_id
+            span.span_id = self.mint_id("s")
         self._stack.append(span)
         return span
 
@@ -138,6 +171,96 @@ class TelemetryRecorder:
         """Summed duration of all finished spans in one category."""
         return sum(s.duration_ns for s in self.spans if s.category == category)
 
+    # ------------------------------------------------------------------
+    # trace contexts
+    # ------------------------------------------------------------------
+    def mint_id(self, prefix: str = "s") -> str:
+        """A deterministic, process-unique identifier."""
+        self._next_id += 1
+        return prefix + str(self._next_id)
+
+    def new_trace(self, **baggage) -> TraceContext:
+        """Mint a fresh trace (one per admitted request)."""
+        return TraceContext(
+            trace_id=self.mint_id("t"),
+            span_id=self.mint_id("s"),
+            baggage=baggage,
+        )
+
+    @property
+    def current_context(self) -> TraceContext | None:
+        """The innermost installed trace context, if any."""
+        return self._ctx[-1] if self._ctx else None
+
+    @contextmanager
+    def trace(self, ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+        """Install ``ctx`` so spans opened inside join its trace.
+
+        ``None`` is accepted and is a no-op, so call sites need no
+        branching when no request context is available.
+        """
+        if ctx is None:
+            yield None
+            return
+        self._ctx.append(ctx)
+        try:
+            yield ctx
+        finally:
+            self._ctx.pop()
+
+    def record_span(
+        self,
+        name: str,
+        category: str,
+        start_ns: float,
+        end_ns: float,
+        *,
+        trace_id: str | None = None,
+        span_id: str | None = None,
+        parent_id: str | None = None,
+        track: str = "requests",
+        depth: int = 0,
+        **args,
+    ) -> Span:
+        """Record a finished span with explicit timestamps.
+
+        Unlike :meth:`begin_span`/:meth:`end_span` this does not touch
+        the recorder clock — the serving event loop uses it to emit
+        request trees and repair actions whose times live on *its*
+        clock, not the cumulative hardware clock.
+        """
+        if end_ns < start_ns:
+            raise ValueError(f"span {name!r} ends before it starts")
+        if span_id is None and trace_id is not None:
+            span_id = self.mint_id("s")
+        span = Span(
+            name,
+            category,
+            start_ns,
+            end_ns,
+            depth,
+            args,
+            trace_id,
+            span_id,
+            parent_id,
+            track,
+        )
+        self.spans.append(span)
+        return span
+
+    def record_event(
+        self, name: str, ts_ns: float | None = None, category: str = "event", **args
+    ) -> dict:
+        """Record an instant event (e.g. a structured SLO alert)."""
+        event = {
+            "name": name,
+            "category": category,
+            "ts_ns": self.clock.now if ts_ns is None else float(ts_ns),
+            "args": args,
+        }
+        self.events.append(event)
+        return event
+
 
 class _NullSpan:
     """The no-op span/context-manager the null recorder hands out."""
@@ -164,11 +287,14 @@ class _NullInstrument:
     __slots__ = ()
     kind = "null"
     name = ""
+    display_name = ""
     value = 0.0
     count = 0
     sum = 0.0
     mean = 0.0
     samples: list = []
+    labels: dict = {}
+    exemplars: list = []
 
     def add(self, amount: float = 1.0) -> None:
         return None
@@ -176,7 +302,7 @@ class _NullInstrument:
     def set(self, value: float) -> None:
         return None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         return None
 
     def summary(self) -> dict[str, float]:
@@ -188,13 +314,13 @@ class _NullMetrics:
 
     __slots__ = ()
 
-    def counter(self, name: str) -> _NullInstrument:
+    def counter(self, name: str, labels: dict | None = None) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def gauge(self, name: str) -> _NullInstrument:
+    def gauge(self, name: str, labels: dict | None = None) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def histogram(self, name: str) -> _NullInstrument:
+    def histogram(self, name: str, labels: dict | None = None) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
     def get(self, name: str) -> None:
@@ -224,14 +350,33 @@ class NullRecorder:
 
     enabled = False
     spans: list = []
+    events: list = []
     now_ns = 0.0
     open_spans = 0
+    current_context = None
 
     def __init__(self) -> None:
         self.metrics = _NULL_METRICS
 
     def advance(self, ns: float) -> float:
         return 0.0
+
+    def mint_id(self, prefix: str = "s") -> str:
+        return ""
+
+    def new_trace(self, **baggage) -> TraceContext:
+        return _NULL_CONTEXT
+
+    def trace(self, ctx=None) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_span(self, name: str, category: str, start_ns: float,
+                    end_ns: float, **kwargs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_event(self, name: str, ts_ns: float | None = None,
+                     category: str = "event", **args) -> dict:
+        return {}
 
     def begin_span(self, name: str, category: str = "", **args) -> _NullSpan:
         return _NULL_SPAN
@@ -250,6 +395,7 @@ class NullRecorder:
 
 
 _NULL_METRICS = _NullMetrics()
+_NULL_CONTEXT = TraceContext(trace_id="", span_id="")
 
 #: The process-wide disabled recorder (the default active recorder).
 NULL_RECORDER = NullRecorder()

@@ -9,8 +9,15 @@ checks that
 * span (``ph == "X"``) event start times are monotonically
   non-decreasing in file order (the simulated clock never runs
   backwards);
-* every metrics line is valid JSON with the sample/summary keys, and
-  each metric's sample timestamps are monotonically non-decreasing.
+* trace-context referential integrity holds: span_ids are unique, a
+  span carrying any trace field carries a trace_id + span_id pair, and
+  every ``parent_id`` resolves to a span in the same trace — a
+  dangling parent is a validation failure, not a rendering quirk;
+* instant events (``ph == "i"``) are well-formed, and alert instants
+  carry the structured alert payload (rule/objective/burn_rate/
+  severity);
+* every metrics line is valid JSON with the sample/summary/alert keys,
+  and each metric's sample timestamps are monotonically non-decreasing.
 
 CI runs this against a smoke workload so a malformed exporter fails the
 build before anyone loads a broken trace into Perfetto.
@@ -25,6 +32,8 @@ from typing import Sequence
 SPAN_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args")
 SAMPLE_KEYS = ("kind", "metric", "type", "ts_ns", "value")
 SUMMARY_KEYS = ("kind", "metric", "type")
+ALERT_KEYS = ("rule", "objective", "burn_rate", "severity")
+ALERT_LINE_KEYS = ("kind", "name", "ts_ns") + ALERT_KEYS
 
 
 class ValidationError(ValueError):
@@ -42,6 +51,8 @@ def validate_trace(path: str) -> int:
         raise ValidationError(f"{path}: traceEvents is not a list")
     spans = 0
     last_ts = float("-inf")
+    span_traces: dict[str, str] = {}
+    parent_refs: list[tuple[int, str, str]] = []
     for i, event in enumerate(events):
         if not isinstance(event, dict) or "ph" not in event:
             raise ValidationError(f"{path}: event {i} has no phase")
@@ -66,12 +77,61 @@ def validate_trace(path: str) -> int:
                 raise ValidationError(
                     f"{path}: span event {i} lacks exact-ns args"
                 )
+            traced = [k for k in ("trace_id", "span_id") if k in args]
+            if "parent_id" in args and len(traced) < 2:
+                raise ValidationError(
+                    f"{path}: span event {i} has parent_id without a "
+                    "trace_id/span_id pair"
+                )
+            if traced and len(traced) < 2:
+                raise ValidationError(
+                    f"{path}: span event {i} carries a partial trace "
+                    "context (needs both trace_id and span_id)"
+                )
+            if traced:
+                span_id = args["span_id"]
+                if span_id in span_traces:
+                    raise ValidationError(
+                        f"{path}: span event {i} reuses span_id "
+                        f"{span_id!r}"
+                    )
+                span_traces[span_id] = args["trace_id"]
+                if "parent_id" in args:
+                    parent_refs.append(
+                        (i, args["parent_id"], args["trace_id"])
+                    )
             spans += 1
         elif event["ph"] == "C":
             if "ts" not in event or event["ts"] < 0:
                 raise ValidationError(
                     f"{path}: counter event {i} has a bad timestamp"
                 )
+        elif event["ph"] == "i":
+            if "ts" not in event or event["ts"] < 0:
+                raise ValidationError(
+                    f"{path}: instant event {i} has a bad timestamp"
+                )
+            if "name" not in event or "args" not in event:
+                raise ValidationError(
+                    f"{path}: instant event {i} missing name/args"
+                )
+            if event.get("cat") == "alert":
+                for key in ALERT_KEYS:
+                    if key not in event["args"]:
+                        raise ValidationError(
+                            f"{path}: alert event {i} missing {key!r}"
+                        )
+    for i, parent_id, trace_id in parent_refs:
+        if parent_id not in span_traces:
+            raise ValidationError(
+                f"{path}: span event {i} has dangling parent_id "
+                f"{parent_id!r}"
+            )
+        if span_traces[parent_id] != trace_id:
+            raise ValidationError(
+                f"{path}: span event {i} is parented across traces "
+                f"({parent_id!r})"
+            )
     if spans == 0:
         raise ValidationError(f"{path}: no span events")
     return spans
@@ -117,6 +177,16 @@ def validate_metrics(path: str) -> int:
                         raise ValidationError(
                             f"{path}:{lineno}: summary missing {key!r}"
                         )
+            elif kind == "alert":
+                for key in ALERT_LINE_KEYS:
+                    if key not in record:
+                        raise ValidationError(
+                            f"{path}:{lineno}: alert missing {key!r}"
+                        )
+                if float(record["ts_ns"]) < 0:
+                    raise ValidationError(
+                        f"{path}:{lineno}: negative alert timestamp"
+                    )
             else:
                 raise ValidationError(
                     f"{path}:{lineno}: unknown kind {kind!r}"

@@ -110,3 +110,20 @@ class TestServeCommand:
         assert "scrubber       :" in text
         assert "repair         :" in text
         assert "replicas       :" in text
+
+    def test_observability_serve_run(self, tmp_path):
+        trace = tmp_path / "serve.trace.json"
+        prom = tmp_path / "serve.prom"
+        code, text = run_cli(
+            "serve", "--dataset", "Year", "--n", "240", "--shards", "2",
+            "--requests", "20", "--live-report", "10",
+            "--burn-window-us", "20",
+            "--trace-out", str(trace), "--prom-out", str(prom),
+        )
+        assert code == 0
+        assert "live report" in text
+        assert "alerts         :" in text
+        assert "slowest request (critical path):" in text
+        assert "prom written   :" in text
+        assert trace.exists() and prom.exists()
+        assert prom.read_text().rstrip().endswith("# EOF")

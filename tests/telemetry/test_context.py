@@ -1,0 +1,432 @@
+"""Unit tests for trace contexts, labels, exemplars and the validators.
+
+The PR-7 observability surface rests on three telemetry primitives:
+deterministic trace identities (:class:`TraceContext` + ``record_span``),
+the label-cardinality guard on the metrics registry, and histogram
+exemplars that link latency series back to traces. These tests pin the
+primitives directly; the serving-level span trees live in
+``tests/serving/test_tracing.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    TelemetryRecorder,
+    chrome_trace_events,
+    get_recorder,
+    parse_prometheus,
+    prometheus_snapshot,
+    telemetry_session,
+    write_chrome_trace,
+    write_metrics_jsonl,
+    write_prometheus,
+)
+from repro.telemetry.context import TraceContext
+from repro.telemetry.metrics import (
+    LABEL_OVERFLOW_METRIC,
+    OVERFLOW_LABELS,
+    MetricsRegistry,
+)
+from repro.telemetry.validate import (
+    ValidationError,
+    validate_metrics,
+    validate_trace,
+)
+
+
+@pytest.fixture
+def recorder():
+    return TelemetryRecorder()
+
+
+class TestTraceContext:
+    def test_mint_ids_are_deterministic_and_unique(self, recorder):
+        ctx_a = recorder.new_trace()
+        ctx_b = recorder.new_trace()
+        assert ctx_a.trace_id == "t1"
+        assert ctx_a.span_id == "s2"
+        assert ctx_b.trace_id == "t3"
+        assert ctx_a.trace_id != ctx_b.trace_id
+        assert ctx_a.span_id != ctx_b.span_id
+
+    def test_two_recorders_mint_independently(self):
+        assert TelemetryRecorder().new_trace() == TelemetryRecorder().new_trace()
+
+    def test_baggage_rides_on_the_context(self, recorder):
+        ctx = recorder.new_trace(tenant="a", request_id="r1")
+        assert ctx.baggage == {"tenant": "a", "request_id": "r1"}
+
+    def test_child_rebases_parent_keeps_trace_and_baggage(self, recorder):
+        ctx = recorder.new_trace(tenant="a")
+        child = ctx.child("s99")
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id == "s99"
+        assert child.baggage == ctx.baggage
+
+    def test_context_is_frozen(self, recorder):
+        ctx = recorder.new_trace()
+        with pytest.raises(AttributeError):
+            ctx.trace_id = "other"
+
+
+class TestSpanInheritance:
+    def test_spans_outside_a_trace_carry_no_identity(self, recorder):
+        with recorder.span("plain"):
+            pass
+        (span,) = recorder.spans
+        assert span.trace_id is None
+        assert span.span_id is None
+        assert span.parent_id is None
+
+    def test_installed_context_parents_new_spans(self, recorder):
+        ctx = recorder.new_trace()
+        with recorder.trace(ctx):
+            with recorder.span("work"):
+                pass
+        (span,) = recorder.spans
+        assert span.trace_id == ctx.trace_id
+        assert span.parent_id == ctx.span_id
+        assert span.span_id is not None
+
+    def test_nested_spans_parent_under_traced_ancestor(self, recorder):
+        ctx = recorder.new_trace()
+        with recorder.trace(ctx):
+            with recorder.span("outer"):
+                with recorder.span("inner"):
+                    pass
+        inner, outer = recorder.spans  # completion order
+        assert inner.trace_id == outer.trace_id == ctx.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id == ctx.span_id
+
+    def test_trace_accepts_none_as_noop(self, recorder):
+        with recorder.trace(None):
+            with recorder.span("work"):
+                pass
+        assert recorder.spans[0].trace_id is None
+        assert recorder.current_context is None
+
+    def test_current_context_tracks_the_stack(self, recorder):
+        ctx = recorder.new_trace()
+        assert recorder.current_context is None
+        with recorder.trace(ctx):
+            assert recorder.current_context is ctx
+        assert recorder.current_context is None
+
+
+class TestRecordSpan:
+    def test_explicit_times_do_not_touch_the_clock(self, recorder):
+        span = recorder.record_span(
+            "request", "request", 100.0, 400.0, trace_id="t1", span_id="s1"
+        )
+        assert recorder.now_ns == 0.0
+        assert span.duration_ns == 300.0
+        assert span.track == "requests"
+
+    def test_span_id_minted_when_traced_but_unset(self, recorder):
+        span = recorder.record_span("seg", "segment", 0.0, 1.0, trace_id="t1")
+        assert span.span_id is not None
+
+    def test_rejects_backwards_span(self, recorder):
+        with pytest.raises(ValueError, match="ends before"):
+            recorder.record_span("bad", "request", 10.0, 5.0)
+
+    def test_record_event_stamps_clock_or_explicit_time(self, recorder):
+        recorder.advance(50.0)
+        implicit = recorder.record_event("tick")
+        explicit = recorder.record_event("alert", ts_ns=7.0, category="alert")
+        assert implicit["ts_ns"] == 50.0
+        assert explicit["ts_ns"] == 7.0
+        assert recorder.events == [implicit, explicit]
+
+
+class TestLabelCardinality:
+    def make_registry(self, cap=2):
+        return MetricsRegistry(clock=lambda: 0.0, max_label_sets=cap)
+
+    def test_distinct_label_sets_are_distinct_series(self):
+        m = self.make_registry()
+        m.counter("rpc", labels={"tenant": "a"}).add(1)
+        m.counter("rpc", labels={"tenant": "b"}).add(2)
+        assert m.counter("rpc", labels={"tenant": "a"}).value == 1
+        assert m.counter("rpc", labels={"tenant": "b"}).value == 2
+
+    def test_overflow_folds_into_other_bucket(self):
+        m = self.make_registry(cap=2)
+        for tenant in ("a", "b", "c", "d"):
+            m.counter("rpc", labels={"tenant": tenant}).add(1)
+        # dropped sets all resolve to the shared __other__ instrument
+        overflow = m.counter("rpc", labels={"tenant": "c"})
+        assert overflow is m.counter("rpc", labels={"tenant": "d"})
+        assert overflow.labels == OVERFLOW_LABELS
+        assert overflow.value == 2  # c and d folded together
+        assert m.counter(LABEL_OVERFLOW_METRIC).value == 2
+
+    def test_overflow_warning_counts_distinct_sets_once(self):
+        m = self.make_registry(cap=1)
+        for _ in range(3):  # same dropped set three times
+            m.counter("rpc", labels={"tenant": "z"}).add(1)
+            m.counter("rpc", labels={"tenant": "y"}).add(1)
+        assert m.counter(LABEL_OVERFLOW_METRIC).value == 1
+        # "z" claimed the only slot; only "y" overflowed
+        assert m.counter("rpc", labels={"tenant": "y"}).value == 3
+
+    def test_cached_labeled_lookup_still_checks_kind(self):
+        m = self.make_registry()
+        m.counter("rpc", labels={"tenant": "a"})  # populates the cache
+        with pytest.raises(TypeError, match="counter"):
+            m.gauge("rpc", labels={"tenant": "a"})
+
+    def test_label_order_does_not_split_series(self):
+        m = self.make_registry()
+        first = m.counter("rpc", labels={"a": "1", "b": "2"})
+        second = m.counter("rpc", labels={"b": "2", "a": "1"})
+        assert first is second
+
+    def test_display_name_renders_sorted_labels(self):
+        m = self.make_registry()
+        inst = m.counter("rpc", labels={"b": "2", "a": "1"})
+        assert inst.display_name == "rpc{a=1,b=2}"
+
+
+class TestExemplars:
+    def test_largest_observations_win(self, recorder):
+        hist = recorder.metrics.histogram("latency")
+        for i in range(10):
+            hist.observe(float(i), exemplar=f"t{i}")
+        kept = sorted(trace for _, _, trace in hist.exemplars)
+        assert len(hist.exemplars) == hist.MAX_EXEMPLARS
+        assert kept == ["t6", "t7", "t8", "t9"]
+
+    def test_observations_without_exemplar_keep_none(self, recorder):
+        hist = recorder.metrics.histogram("latency")
+        hist.observe(5.0)
+        assert hist.exemplars == []
+
+    def test_snapshot_links_top_exemplar(self, recorder):
+        hist = recorder.metrics.histogram("serving.latency_ns")
+        hist.observe(10.0, exemplar="t7")
+        hist.observe(90.0, exemplar="t9")
+        text = prometheus_snapshot(recorder)
+        count_line = next(
+            line for line in text.splitlines() if "_count" in line
+        )
+        assert '# {trace_id="t9"} 90.0' in count_line
+
+
+class TestPrometheusRoundTrip:
+    def test_snapshot_parses_back(self, recorder):
+        m = recorder.metrics
+        m.counter("pim.waves").add(3)
+        m.gauge("queue.depth", labels={"tenant": "a"}).set(7)
+        hist = m.histogram("serving.latency_ns")
+        hist.observe(100.0, exemplar="t1")
+        hist.observe(300.0, exemplar="t2")
+        series = parse_prometheus(prometheus_snapshot(recorder))
+        assert series["pim_waves_total"]["value"] == 3.0
+        assert series['queue_depth{tenant="a"}']["labels"] == {"tenant": "a"}
+        count = series["serving_latency_ns_count"]
+        assert count["value"] == 2.0
+        assert count["exemplar"]["labels"] == {"trace_id": "t2"}
+        assert series["serving_latency_ns_sum"]["value"] == 400.0
+        assert series["serving_latency_ns_max"]["value"] == 300.0
+
+    def test_write_prometheus_counts_series_lines(self, recorder, tmp_path):
+        recorder.metrics.counter("pim.waves").add(1)
+        recorder.metrics.gauge("queue.depth").set(2)
+        path = tmp_path / "snap.prom"
+        written = write_prometheus(recorder, str(path))
+        text = path.read_text()
+        assert written == 2
+        assert text.endswith("# EOF\n")
+
+    def test_parse_rejects_malformed_line(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("pim_waves_total not-a-number\n# EOF\n")
+
+
+def span_event(name="work", ts=0.0, dur=1.0, cat="request", **args):
+    """A minimal valid Chrome complete-span event for validator tests."""
+    args = {"start_ns": ts * 1e3, "dur_ns": dur * 1e3, **args}
+    return {
+        "name": name,
+        "cat": cat,
+        "ph": "X",
+        "ts": ts,
+        "dur": dur,
+        "pid": 1,
+        "tid": 2,
+        "args": args,
+    }
+
+
+def write_trace(tmp_path, events):
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps({"traceEvents": events}))
+    return str(path)
+
+
+class TestTraceValidator:
+    def test_accepts_a_complete_tree(self, tmp_path):
+        path = write_trace(
+            tmp_path,
+            [
+                span_event("request", trace_id="t1", span_id="s1"),
+                span_event(
+                    "request.wave",
+                    ts=0.1,
+                    trace_id="t1",
+                    span_id="s2",
+                    parent_id="s1",
+                ),
+            ],
+        )
+        assert validate_trace(path) == 2
+
+    def test_rejects_dangling_parent(self, tmp_path):
+        path = write_trace(
+            tmp_path,
+            [span_event(trace_id="t1", span_id="s1", parent_id="s0")],
+        )
+        with pytest.raises(ValidationError, match="dangling parent_id"):
+            validate_trace(path)
+
+    def test_rejects_partial_trace_context(self, tmp_path):
+        path = write_trace(tmp_path, [span_event(trace_id="t1")])
+        with pytest.raises(ValidationError, match="partial trace"):
+            validate_trace(path)
+
+    def test_rejects_parent_without_identity(self, tmp_path):
+        path = write_trace(tmp_path, [span_event(parent_id="s1")])
+        with pytest.raises(ValidationError, match="parent_id without"):
+            validate_trace(path)
+
+    def test_rejects_duplicate_span_id(self, tmp_path):
+        path = write_trace(
+            tmp_path,
+            [
+                span_event(trace_id="t1", span_id="s1"),
+                span_event(ts=1.0, trace_id="t1", span_id="s1"),
+            ],
+        )
+        with pytest.raises(ValidationError, match="reuses span_id"):
+            validate_trace(path)
+
+    def test_rejects_cross_trace_parent(self, tmp_path):
+        path = write_trace(
+            tmp_path,
+            [
+                span_event(trace_id="t1", span_id="s1"),
+                span_event(
+                    ts=1.0, trace_id="t2", span_id="s2", parent_id="s1"
+                ),
+            ],
+        )
+        with pytest.raises(ValidationError, match="across traces"):
+            validate_trace(path)
+
+    def test_rejects_alert_instant_missing_payload(self, tmp_path):
+        path = write_trace(
+            tmp_path,
+            [
+                span_event(trace_id="t1", span_id="s1"),
+                {
+                    "name": "slo_burn_rate",
+                    "cat": "alert",
+                    "ph": "i",
+                    "ts": 2.0,
+                    "pid": 1,
+                    "tid": 2,
+                    "args": {"rule": "fast"},  # objective et al. missing
+                },
+            ],
+        )
+        with pytest.raises(ValidationError, match="alert event"):
+            validate_trace(path)
+
+    def test_exported_alert_instants_validate(self, tmp_path, recorder):
+        with telemetry_session(recorder) as tele:
+            with tele.span("work"):
+                tele.advance(10.0)
+            tele.record_event(
+                "slo_burn_rate",
+                ts_ns=5.0,
+                category="alert",
+                rule="fast",
+                objective="shed_rate",
+                burn_rate=20.0,
+                severity="page",
+            )
+        path = tmp_path / "trace.json"
+        write_chrome_trace(recorder, str(path))
+        assert validate_trace(str(path)) == 1
+
+
+class TestMetricsValidator:
+    def test_alert_lines_round_trip(self, tmp_path, recorder):
+        with telemetry_session(recorder) as tele:
+            tele.metrics.counter("pim.waves").add(1)
+            tele.record_event(
+                "slo_burn_rate",
+                ts_ns=5.0,
+                category="alert",
+                rule="fast",
+                objective="shed_rate",
+                burn_rate=20.0,
+                severity="page",
+            )
+        path = tmp_path / "metrics.jsonl"
+        lines = write_metrics_jsonl(recorder, str(path))
+        assert validate_metrics(str(path)) == lines == 3
+
+    def test_rejects_alert_line_missing_keys(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(
+            json.dumps(
+                {"kind": "alert", "name": "slo_burn_rate", "ts_ns": 1.0}
+            )
+            + "\n"
+        )
+        with pytest.raises(ValidationError, match="alert missing"):
+            validate_metrics(str(path))
+
+    def test_rejects_negative_alert_timestamp(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "kind": "alert",
+                    "name": "slo_burn_rate",
+                    "ts_ns": -1.0,
+                    "rule": "fast",
+                    "objective": "shed_rate",
+                    "burn_rate": 20.0,
+                    "severity": "page",
+                }
+            )
+            + "\n"
+        )
+        with pytest.raises(ValidationError, match="negative alert"):
+            validate_metrics(str(path))
+
+
+class TestTracksInExport:
+    def test_request_track_gets_its_own_thread(self, recorder):
+        recorder.record_span(
+            "request", "request", 0.0, 5.0, trace_id="t1", span_id="s1"
+        )
+        events = chrome_trace_events(recorder)
+        names = [
+            e["args"]["name"] for e in events if e["name"] == "thread_name"
+        ]
+        assert any("request" in n for n in names)
+        span = next(e for e in events if e["ph"] == "X")
+        assert span["tid"] != 1  # not on the simulated-hardware track
+
+    def test_session_scopes_the_active_recorder(self):
+        assert not get_recorder().enabled
+        with telemetry_session() as tele:
+            assert get_recorder() is tele
+        assert not get_recorder().enabled
