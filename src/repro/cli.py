@@ -181,6 +181,14 @@ def build_parser() -> argparse.ArgumentParser:
             "exactly to the reported PIM wave time)"
         ),
     )
+    knn.add_argument(
+        "--substrate", default="crossbar", metavar="NAME",
+        help=(
+            "memory-side compute backend for --pim runs (registered: "
+            "crossbar, hbm_pim); results are bit-identical, only the "
+            "cost model changes"
+        ),
+    )
 
     kmeans = sub.add_parser("kmeans", help="accelerate a k-means baseline")
     _add_common(kmeans)
@@ -247,6 +255,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--replication", type=_positive_int, default=1,
         help="replicas per data chunk (>=2 survives a shard death)",
+    )
+    serve.add_argument(
+        "--substrates", default=None, metavar="NAME[,NAME...]",
+        help=(
+            "substrate per shard: one name for a uniform fleet, or a "
+            "comma list naming each shard's backend (heterogeneous "
+            "placement; e.g. crossbar,hbm_pim,crossbar,hbm_pim)"
+        ),
+    )
+    serve.add_argument(
+        "--route", default="auto",
+        choices=("auto", "latency", "energy", "none"),
+        help=(
+            "cost-router objective for replica selection: auto prices "
+            "by latency on heterogeneous placements and stays off on "
+            "uniform ones"
+        ),
     )
     serve.add_argument(
         "--chaos", action="store_true",
@@ -317,6 +342,25 @@ def _cmd_info(out) -> int:
         ["internal bus", f"{platform.memory.internal_bus_gbs:.0f} GB/s"],
     ]
     print(format_table(["component", "value"], rows), file=out)
+    from repro.substrate import available_substrates, substrate_capabilities
+
+    print("\nRegistered compute substrates:", file=out)
+    rows = []
+    for name in available_substrates():
+        caps = substrate_capabilities(name, platform)
+        desc = caps.describe()
+        rows.append(
+            [
+                name,
+                desc["unit_name"],
+                desc["memory_device"],
+                f"{desc['endurance']:.0e}",
+            ]
+        )
+    print(
+        format_table(["substrate", "unit", "device", "endurance"], rows),
+        file=out,
+    )
     print("\nDataset catalog (scaled Table 6 stand-ins):", file=out)
     rows = [
         [p.name, p.dims, p.default_n, f"{p.paper_n:,}", p.description]
@@ -392,7 +436,7 @@ def _cmd_knn_pim(args, data, queries, out) -> int:
     from repro.mining.knn import make_pim_variant
 
     n, dims = data.shape
-    controller = PIMController(_platform(args))
+    controller = PIMController(_platform(args), substrate=args.substrate)
     algo = make_pim_variant(
         args.algorithm + "-PIM",
         dims,
@@ -411,6 +455,7 @@ def _cmd_knn_pim(args, data, queries, out) -> int:
     )
     label = args.data_file if args.data_file else args.dataset
     print(f"dataset        : {label} {data.shape}", file=out)
+    print(f"substrate      : {args.substrate}", file=out)
     print(f"algorithm      : {profile.name}", file=out)
     print(f"total time     : {profile.total_time_ms:.3f} ms", file=out)
     print(f"CPU time       : {profile.cpu_time_ns / 1e6:.3f} ms", file=out)
@@ -494,6 +539,9 @@ def _cmd_serve(args, out) -> int:
     )
 
     data = _load_data(args)
+    substrates = args.substrates
+    if substrates is not None and "," in substrates:
+        substrates = [name.strip() for name in substrates.split(",")]
     tenants = [
         TenantSpec(
             name=f"tenant{i}",
@@ -512,6 +560,8 @@ def _cmd_serve(args, out) -> int:
             placement=args.placement,
             hardware=_platform(args),
             seed=args.seed,
+            substrates=substrates,
+            route=args.route,
         )
         probe = make_workload(
             data, "near", n_queries=args.max_batch, seed=args.seed + 7
@@ -537,6 +587,8 @@ def _cmd_serve(args, out) -> int:
         replication=args.replication,
         fault_plan=fault_plan,
         spare_crossbars=args.spares,
+        substrates=substrates,
+        route=args.route,
     )
     repair = None
     if args.repair:
@@ -580,6 +632,24 @@ def _cmd_serve(args, out) -> int:
         f"(rows {manager.shard_sizes()})",
         file=out,
     )
+    if len(set(manager.substrates)) > 1 or manager._router is not None:
+        routing = manager.routing_report()
+        winners: dict[str, int] = {}
+        for decision in routing["decisions"]:
+            name = decision["winner_substrate"]
+            winners[name] = winners.get(name, 0) + 1
+        won = " ".join(
+            f"{name}={count}" for name, count in sorted(winners.items())
+        )
+        print(
+            f"substrates     : {' '.join(manager.substrates)}",
+            file=out,
+        )
+        print(
+            f"routing        : {routing['objective'] or 'off'} "
+            f"(winners {won or 'none'})",
+            file=out,
+        )
     print(
         f"offered        : {summary['offered']} requests @ "
         f"{rate:,.0f} qps ({args.arrival})",

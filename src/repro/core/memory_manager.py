@@ -20,9 +20,34 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import CapacityError
-from repro.hardware.config import PIMArrayConfig
-from repro.hardware.mapper import fits, max_dimensionality
+from repro.hardware.config import HBMPIMConfig, PIMArrayConfig
+from repro.hardware.mapper import fits as crossbar_fits
+from repro.hardware.mapper import max_dimensionality
 from repro.similarity.segments import equal_segment_counts
+
+
+def fits(n_vectors: int, dims: int, config) -> bool:
+    """Capacity test dispatching on the substrate config type.
+
+    Theorem 4's solvers are substrate-agnostic once the feasibility
+    predicate is: the crossbar array checks the crossbar budget, an
+    HBM-PIM stack checks the per-bank row budget.
+    """
+    if isinstance(config, HBMPIMConfig):
+        from repro.hardware.banked_memory import plan_bank_layout
+
+        try:
+            plan_bank_layout(n_vectors, dims, config)
+        except CapacityError:
+            return False
+        return True
+    return crossbar_fits(n_vectors, dims, config)
+
+
+def _budget_label(config) -> str:
+    if isinstance(config, HBMPIMConfig):
+        return f"{config.total_banks} HBM-PIM banks"
+    return f"{config.num_crossbars} crossbars"
 
 
 @dataclass(frozen=True)
@@ -82,7 +107,7 @@ def choose_compressed_dims(
     if not feasible:
         raise CapacityError(
             f"no dimensionality in 1..{dims} fits {n_vectors} vectors on "
-            f"{config.num_crossbars} crossbars"
+            f"{_budget_label(config)}"
         )
     return CompressionPlan(
         original_dims=dims,

@@ -12,14 +12,21 @@ benchmarks use; submodules hold the detail:
   Quartz-style CPU model and the NVSim-style wave latency model.
 """
 
+from repro.hardware.banked_memory import (
+    BankLayout,
+    BankedMatrixStore,
+    plan_bank_layout,
+)
 from repro.hardware.config import (
     CPUConfig,
     CrossbarConfig,
     HardwareConfig,
+    HBMPIMConfig,
     MemoryConfig,
     NVM_CHARACTERISTICS,
     PIMArrayConfig,
     baseline_platform,
+    hbm_pim_platform,
     pim_platform,
 )
 from repro.hardware.controller import PIMController, ProgramReceipt
@@ -60,6 +67,8 @@ from repro.hardware.reprogramming import (
 )
 
 __all__ = [
+    "BankLayout",
+    "BankedMatrixStore",
     "BatchWaveTiming",
     "CPUConfig",
     "ChunkedDotProductEngine",
@@ -68,6 +77,7 @@ __all__ = [
     "DatasetLayout",
     "EnduranceTracker",
     "EnergyModel",
+    "HBMPIMConfig",
     "HardwareConfig",
     "Instruction",
     "InstructionTrace",
@@ -93,9 +103,11 @@ __all__ = [
     "data_crossbars",
     "fits",
     "gather_crossbars",
+    "hbm_pim_platform",
     "max_dimensionality",
     "movement_to_compute_ratio",
     "pim_platform",
+    "plan_bank_layout",
     "plan_layout",
     "total_crossbars",
 ]

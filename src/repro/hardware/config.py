@@ -139,6 +139,98 @@ class PIMArrayConfig:
 
 
 @dataclass(frozen=True)
+class HBMPIMConfig:
+    """Geometry and DRAM timing of a bank-level-MAC HBM-PIM stack.
+
+    Models the commercial HBM-PIM organisation (Samsung FIMDRAM /
+    Aquabolt-XL as captured in SNIPPETS.md): a channel → bank-group →
+    bank hierarchy where every bank carries a small digital MAC unit fed
+    from the open DRAM row, a pair of general register files (GRFs) for
+    query operands and partial accumulators, and a scalar register file
+    (SRF). Commands (MAC/MAD/MOV/FILL) execute in all-bank lockstep, one
+    burst of ``burst_bytes`` per column access, paced by the DRAM
+    column-to-column delay ``tccd_cycles``; switching DRAM rows pays
+    ``trp_cycles + trcd_cycles``.
+
+    Arithmetic is digital and exact (no DAC/ADC slicing): the backend
+    built on this config produces values bit-identical to the crossbar
+    substrate while its *cost model* is dominated by per-command DRAM
+    timing instead of per-operand-slice analog cycles.
+    """
+
+    channels: int = 4
+    bankgroups_per_channel: int = 4
+    banks_per_bankgroup: int = 4
+    row_bytes: int = 1024
+    rows_per_bank: int = 16384
+    burst_bytes: int = 32
+    grf_entries: int = 8
+    srf_entries: int = 8
+    tck_ns: float = 0.833  # 1.2 GHz HBM2-class command clock
+    tccd_cycles: int = 2  # back-to-back column (MAC burst) spacing
+    trcd_cycles: int = 14  # row activate -> first column
+    trp_cycles: int = 14  # precharge before the next activate
+    mov_cycles: int = 2  # GRF <-> bus move per burst
+    fill_cycles: int = 1  # accumulator clear
+    write_burst_cycles: int = 4  # one burst written during programming
+    operand_bits: int = 32
+    accumulator_bits: int = 64
+    endurance: float = 1e15  # DRAM (Table 1)
+
+    def __post_init__(self) -> None:
+        if min(
+            self.channels, self.bankgroups_per_channel,
+            self.banks_per_bankgroup,
+        ) <= 0:
+            raise ConfigurationError("bank hierarchy counts must be positive")
+        if self.row_bytes <= 0 or self.rows_per_bank <= 0:
+            raise ConfigurationError("row geometry must be positive")
+        if self.burst_bytes <= 0 or self.burst_bytes > self.row_bytes:
+            raise ConfigurationError(
+                "burst size must be positive and fit one row"
+            )
+        if self.grf_entries <= 0 or self.srf_entries <= 0:
+            raise ConfigurationError("register files need >= 1 entry")
+        if self.tck_ns <= 0:
+            raise ConfigurationError("tCK must be positive")
+        if min(
+            self.tccd_cycles, self.trcd_cycles, self.trp_cycles,
+            self.mov_cycles, self.fill_cycles, self.write_burst_cycles,
+        ) <= 0:
+            raise ConfigurationError("command timings must be positive")
+        if self.operand_bits < 1:
+            raise ConfigurationError("operand width must be at least 1 bit")
+        if self.accumulator_bits < self.operand_bits:
+            raise ConfigurationError("accumulator must be wider than operands")
+        if self.endurance <= 0:
+            raise ConfigurationError("endurance must be positive")
+
+    @property
+    def total_banks(self) -> int:
+        """MAC-equipped banks across the whole stack."""
+        return (
+            self.channels
+            * self.bankgroups_per_channel
+            * self.banks_per_bankgroup
+        )
+
+    @property
+    def bank_bytes(self) -> int:
+        """Data capacity of one bank."""
+        return self.row_bytes * self.rows_per_bank
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Data capacity of the whole stack."""
+        return self.bank_bytes * self.total_banks
+
+    def burst_elems(self, operand_bits: int | None = None) -> int:
+        """Operands carried by one burst (one MAC command's fan-in)."""
+        bits = operand_bits if operand_bits is not None else self.operand_bits
+        return max((self.burst_bytes * 8) // bits, 1)
+
+
+@dataclass(frozen=True)
 class CPUConfig:
     """Host-processor model (paper: Broadwell Xeon E5-2620 @ 2.10 GHz)."""
 
@@ -199,6 +291,11 @@ class HardwareConfig:
     cpu: CPUConfig = field(default_factory=CPUConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     pim: PIMArrayConfig | None = field(default_factory=PIMArrayConfig)
+    #: Optional bank-level-MAC HBM-PIM stack (``None`` = not fitted; the
+    #: hbm_pim substrate falls back to a default stack that mirrors the
+    #: platform's operand/accumulator widths — see
+    #: :func:`repro.substrate.hbm_pim.hbm_config_for`).
+    hbm: HBMPIMConfig | None = None
 
     @property
     def has_pim(self) -> bool:
@@ -238,4 +335,20 @@ def pim_platform(
     xbar = crossbar if crossbar is not None else CrossbarConfig()
     return HardwareConfig(
         pim=PIMArrayConfig(crossbar=xbar, capacity_bytes=pim_capacity_bytes)
+    )
+
+
+def hbm_pim_platform(
+    pim_capacity_bytes: int = 2 * 1024**3,
+    hbm: HBMPIMConfig | None = None,
+) -> HardwareConfig:
+    """A platform carrying both a crossbar PIM array and an HBM-PIM stack.
+
+    The crossbar array is kept (heterogeneous placements program some
+    shards on each substrate) and the HBM stack defaults to the
+    :class:`HBMPIMConfig` geometry.
+    """
+    stack = hbm if hbm is not None else HBMPIMConfig()
+    return HardwareConfig(
+        pim=PIMArrayConfig(capacity_bytes=pim_capacity_bytes), hbm=stack
     )

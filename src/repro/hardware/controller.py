@@ -39,7 +39,15 @@ class ProgramReceipt:
 
 
 class PIMController:
-    """Facade coordinating memory array, PIM array and buffer array."""
+    """Facade coordinating memory array, compute substrate and buffer.
+
+    ``substrate`` selects the memory-side compute backend by registry
+    name (``"crossbar"``, ``"hbm_pim"``, ...). The default is the
+    paper's crossbar array, constructed exactly as before; any other
+    name is built through :func:`repro.substrate.create_substrate`, and
+    side data is staged in the device class the backend's capability
+    descriptor declares (ReRAM for crossbars, DRAM for HBM-PIM).
+    """
 
     def __init__(
         self,
@@ -48,21 +56,47 @@ class PIMController:
         noise=None,
         spare_crossbars: int = 0,
         reference: bool = False,
+        substrate: str = "crossbar",
     ) -> None:
         self.hardware = hardware if hardware is not None else pim_platform()
+        self.substrate = substrate
+        memory_device = "reram"
         if noise is not None:
+            if substrate != "crossbar":
+                from repro.errors import ConfigurationError
+
+                raise ConfigurationError(
+                    "analog noise models apply to the crossbar substrate "
+                    f"only, not {substrate!r}"
+                )
             from repro.hardware.noise import NoisyPIMArray
 
             self.pim: PIMArray = NoisyPIMArray(self.hardware, noise)
-        else:
+        elif substrate == "crossbar":
             self.pim = PIMArray(
                 self.hardware,
                 simulate_cells=simulate_cells,
                 spare_crossbars=spare_crossbars,
                 reference=reference,
             )
+        else:
+            from repro.substrate import (
+                create_substrate,
+                substrate_capabilities,
+            )
+
+            self.pim = create_substrate(
+                substrate,
+                hardware=self.hardware,
+                spare_units=spare_crossbars,
+                reference=reference,
+                simulate_cells=simulate_cells,
+            )
+            memory_device = substrate_capabilities(
+                substrate, self.hardware
+            ).memory_device
         self.noise = noise
-        self.memory = MemoryArray(self.hardware.memory, device="reram")
+        self.memory = MemoryArray(self.hardware.memory, device=memory_device)
         self._receipts: dict[str, ProgramReceipt] = {}
 
     def program(

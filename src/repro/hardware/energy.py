@@ -40,6 +40,11 @@ class EnergyModel:
     shift_add_j: float = 5.0e-14  # per partial combined
     buffer_byte_j: float = 1.0e-12  # eDRAM buffer write+read
     reram_write_bit_j: float = 1.0e-13  # Table 1
+    # HBM-PIM (bank-level digital MAC) prices
+    row_activation_j: float = 1.0e-9  # one DRAM row activate+precharge
+    bank_mac_j: float = 4.0e-13  # one burst-wide MAC command per bank
+    burst_read_j: float = 3.0e-12  # one 32 B burst out of the open row
+    dram_write_bit_j: float = 1.0e-14  # Table 1 (DRAM)
 
     # ------------------------------------------------------------------
     # host side
@@ -102,6 +107,39 @@ class EnergyModel:
     ) -> float:
         """Energy of ``n_waves`` waves against one programmed layout."""
         return n_waves * self.wave_energy_j(layout, config, input_bits)
+
+    # ------------------------------------------------------------------
+    # HBM-PIM side (bank-level digital MACs; no DAC/ADC terms)
+    # ------------------------------------------------------------------
+    def hbm_wave_energy_j(self, layout, n_queries: int = 1) -> float:
+        """Energy of one batched wave on the banked substrate.
+
+        ``layout`` is a :class:`~repro.hardware.banked_memory.BankLayout`;
+        the command mix comes from
+        :func:`~repro.hardware.banked_memory.bank_instruction_counts`, so
+        the energy is priced on exactly the instructions the reference
+        executor runs: row activates (shared across the batch), one burst
+        read + one MAC per streamed burst per bank, and the accumulator
+        drain through the buffer.
+        """
+        from repro.hardware.banked_memory import bank_instruction_counts
+
+        counts = bank_instruction_counts(layout, n_queries)
+        banks = layout.n_data_banks
+        activates_j = counts["row_activations"] * banks * self.row_activation_j
+        mac_j = counts["mac_commands"] * banks * self.bank_mac_j
+        reads_j = counts["mac_commands"] * banks * self.burst_read_j
+        drain_j = (
+            n_queries
+            * layout.n_vectors
+            * 8.0  # int64 accumulators
+            * self.buffer_byte_j
+        )
+        return activates_j + mac_j + reads_j + drain_j
+
+    def hbm_programming_energy_j(self, layout) -> float:
+        """DRAM write energy to program a banked layout's payload."""
+        return layout.storage_bits * self.dram_write_bit_j
 
 
 def movement_to_compute_ratio(model: EnergyModel) -> float:

@@ -97,6 +97,13 @@ class PIMStats:
     time the amortization saved versus sequential dispatch.
     ``per_matrix`` holds the same dispatch counters scoped to each live
     programmed matrix (cleared by ``reset_matrix``).
+
+    The counters are substrate-neutral: ``crossbars_used`` counts
+    occupied *physical units* of whatever the backend calls them
+    (crossbars, DRAM banks, ...), ``backend`` names the substrate, and
+    backend-specific counters (MAC commands, row activations, ADC
+    conversions per domain, ...) live in the free-form ``extra`` map so
+    unlike backends merge without assuming each other's fields.
     """
 
     waves: int = 0
@@ -108,8 +115,18 @@ class PIMStats:
     batched_queries: int = 0
     batch_saved_ns: float = 0.0
     remaps: int = 0
-    matrices: dict[str, DatasetLayout] = field(default_factory=dict)
+    matrices: dict[str, "object"] = field(default_factory=dict)
     per_matrix: dict[str, MatrixBatchState] = field(default_factory=dict)
+    backend: str = "crossbar"
+    extra: dict[str, float] = field(default_factory=dict)
+
+    #: distinct ``extra`` keys a merged stats object keeps before folding
+    #: the remainder into ``__other__`` (cardinality guard for reports)
+    MAX_EXTRA_KEYS = 16
+
+    def add_extra(self, key: str, amount: float) -> None:
+        """Accumulate a backend-specific counter."""
+        self.extra[key] = self.extra.get(key, 0.0) + float(amount)
 
     @property
     def waves_per_batch(self) -> float:
@@ -140,14 +157,36 @@ class PIMStats:
         like the chunked engine's ``"chunk"``, need distinct prefixes).
         An un-prefixed name collision raises :class:`ProgrammingError`
         rather than silently double counting.
+
+        The merge is backend-agnostic: parts from unlike substrates
+        combine cleanly — ``backend`` becomes ``"mixed"`` when the parts
+        disagree, and the backend-specific ``extra`` counters sum
+        key-wise, with keys past :attr:`MAX_EXTRA_KEYS` folded into a
+        single ``__other__`` bucket so heterogeneous fleets cannot blow
+        up report cardinality.
         """
         if prefixes is not None and len(prefixes) != len(parts):
             raise ProgrammingError(
                 "merge() needs exactly one prefix per stats part"
             )
         merged = cls()
+        backends = {part.backend for part in parts}
+        if backends:
+            merged.backend = (
+                backends.pop() if len(backends) == 1 else "mixed"
+            )
         for i, part in enumerate(parts):
             prefix = prefixes[i] if prefixes is not None else ""
+            for key in sorted(part.extra):
+                target = key
+                if (
+                    target not in merged.extra
+                    and len(merged.extra) >= cls.MAX_EXTRA_KEYS
+                ):
+                    target = "__other__"
+                merged.extra[target] = (
+                    merged.extra.get(target, 0.0) + part.extra[key]
+                )
             merged.waves += part.waves
             merged.pim_time_ns += part.pim_time_ns
             merged.programming_time_ns += part.programming_time_ns
@@ -518,6 +557,53 @@ class PIMArray:
             spares.append(spare)
             total_ns += ns
         return spares, total_ns
+
+    # ------------------------------------------------------------------
+    # substrate protocol surface (see repro.substrate.protocol)
+    # ------------------------------------------------------------------
+    #: what this backend calls one physical unit
+    unit_name = "crossbar"
+
+    def units_needed(self, n_vectors: int, dims: int) -> int:
+        """Physical units a fresh ``(n_vectors, dims)`` matrix occupies."""
+        from repro.hardware.mapper import total_crossbars
+
+        return total_crossbars(n_vectors, dims, self.config)
+
+    def fits_matrix(
+        self, n_vectors: int, dims: int, exclude: str | None = None
+    ) -> bool:
+        """Would a ``(n_vectors, dims)`` matrix fit alongside current data?
+
+        ``exclude`` names a programmed matrix whose units are treated as
+        free — the grow-in-place check used by chunk re-replication.
+        """
+        free = self.data_capacity - self.stats.crossbars_used
+        if exclude is not None and exclude in self._matrices:
+            free += self._matrices[exclude].layout.n_crossbars
+        return self.units_needed(n_vectors, dims) <= free
+
+    def unit_ids_of(self, name: str) -> list[int]:
+        """Substrate-neutral alias of :meth:`crossbar_ids_of`."""
+        return self.crossbar_ids_of(name)
+
+    def remap_unit(self, old_id: int) -> tuple[int, float]:
+        """Substrate-neutral alias of :meth:`remap_crossbar`."""
+        return self.remap_crossbar(old_id)
+
+    def remap_units(self, old_ids: list[int]) -> tuple[list[int], float]:
+        """Substrate-neutral alias of :meth:`remap_crossbars`."""
+        return self.remap_crossbars(old_ids)
+
+    def wear_report(self, top: int | None = None) -> dict:
+        """Endurance wear summary of this array's physical units."""
+        return self.endurance.wear_report(top=top)
+
+    def capabilities(self):
+        """The crossbar capability descriptor (cost-prediction hooks)."""
+        from repro.substrate.crossbar import CrossbarCapabilities
+
+        return CrossbarCapabilities(self.hardware)
 
     # ------------------------------------------------------------------
     # querying (online stage)

@@ -302,6 +302,7 @@ class _Shard:
         verify: bool = False,
         fault_plan: FaultPlan | None = None,
         spare_crossbars: int = 0,
+        substrate: str = "crossbar",
     ) -> None:
         self.shard_id = shard_id
         self.global_indices = global_indices
@@ -313,6 +314,7 @@ class _Shard:
         self.hardware = hardware
         self.fault_plan = fault_plan
         self.spare_crossbars = spare_crossbars
+        self.substrate = substrate
         self.reprogram_budget = reprogram_budget
         self.verify = verify and not chunked
         self.chunk_slices: dict[int, slice] = {}
@@ -338,7 +340,9 @@ class _Shard:
             self.engine.load(integers)
         else:
             self.controller = PIMController(
-                hardware, spare_crossbars=spare_crossbars
+                hardware,
+                spare_crossbars=spare_crossbars,
+                substrate=substrate,
             )
             if fault_plan is not None:
                 self.faulty = FaultyPIMArray(
@@ -378,7 +382,9 @@ class _Shard:
             )
         if self.controller is None:
             self.controller = PIMController(
-                self.hardware, spare_crossbars=self.spare_crossbars
+                self.hardware,
+                spare_crossbars=self.spare_crossbars,
+                substrate=self.substrate,
             )
             if self.fault_plan is not None:
                 self.faulty = FaultyPIMArray(
@@ -408,23 +414,28 @@ class _Shard:
 
         The capacity check live re-replication runs *before* mutating
         this shard: the combined payload (checksum row included) must
-        fit the array net of the spare-crossbar reservation and of any
+        fit the device net of the spare-unit reservation and of any
         other matrix it hosts. ``verify`` is only consulted when the
         shard has never been programmed (its own flag is authoritative
-        otherwise).
+        otherwise). Substrate-agnostic: a live device answers through
+        its :meth:`fits_matrix` hook, an unbuilt shard through the
+        backend's capability descriptor.
         """
-        config = self.hardware.pim
         v = self.verify if self.controller is not None else verify
         n = self.n_rows + int(extra_rows) + (1 if v else 0)
-        needed = total_crossbars(n, self.integers.shape[1], config)
+        dims = self.integers.shape[1]
         if self.controller is None:
-            return needed <= config.num_crossbars - self.spare_crossbars
-        pim = self.controller.pim
-        free = pim.data_capacity - pim.stats.crossbars_used
-        mine = pim.layouts().get(self.name)
-        if mine is not None:
-            free += mine.n_crossbars
-        return needed <= free
+            if self.substrate == "crossbar":
+                # the historical fast path, kept import-free
+                config = self.hardware.pim
+                needed = total_crossbars(n, dims, config)
+                return needed <= config.num_crossbars - self.spare_crossbars
+            from repro.substrate import substrate_capabilities
+
+            return substrate_capabilities(
+                self.substrate, self.hardware
+            ).fits_fresh(n, dims, self.spare_crossbars)
+        return self.controller.pim.fits_matrix(n, dims, exclude=self.name)
 
     @property
     def n_rows(self) -> int:
@@ -558,6 +569,23 @@ class ShardManager:
         counts and simulated timings are bit-identical — the loops stay
         as the independent oracle the fusion property suite checks
         against.
+    substrates:
+        Per-shard compute backend, by registry name: a single name for
+        a homogeneous fleet, or one name per shard for heterogeneous
+        placements (e.g. ``["crossbar", "hbm_pim", ...]``). Defaults to
+        ``"crossbar"`` everywhere. Every substrate computes the same
+        exact integer dot products, so answers are bit-identical for
+        any assignment — only the simulated cost differs. Requires
+        resident programming (``chunked=False``) for non-crossbar
+        backends.
+    route:
+        Replica-preference policy under replication: ``"auto"`` runs
+        the planner cost-router (latency objective) exactly when the
+        fleet is heterogeneous, ``"latency"``/``"energy"`` force it
+        with that objective, ``"none"`` keeps the historical
+        round-robin order. Routing only permutes which replica is
+        *tried first* — failover still walks the remaining replicas,
+        so values are unchanged by construction.
     """
 
     def __init__(
@@ -577,6 +605,8 @@ class ShardManager:
         verify: bool | None = None,
         spare_crossbars: int = 0,
         reference: bool = False,
+        substrates: "str | list[str] | tuple[str, ...] | None" = None,
+        route: str = "auto",
     ) -> None:
         data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2 or data.shape[0] < 1:
@@ -615,6 +645,50 @@ class ShardManager:
         self.chunked = bool(chunked)
         self.reference = bool(reference)
         self.spare_crossbars = int(spare_crossbars)
+        if substrates is None:
+            substrate_list = ["crossbar"] * self.n_shards
+        elif isinstance(substrates, str):
+            substrate_list = [substrates] * self.n_shards
+        else:
+            substrate_list = [str(s) for s in substrates]
+            if len(substrate_list) != self.n_shards:
+                raise ServingError(
+                    f"substrates names {len(substrate_list)} shards, "
+                    f"placement has {self.n_shards}"
+                )
+        self.substrates: list[str] = substrate_list
+        heterogeneous = len(set(substrate_list)) > 1
+        if any(s != "crossbar" for s in substrate_list):
+            if chunked:
+                raise ServingError(
+                    "non-crossbar substrates need resident programming; "
+                    "the chunked engine is crossbar-specific"
+                )
+            from repro.substrate import available_substrates
+
+            known = set(available_substrates())
+            unknown = sorted(set(substrate_list) - known)
+            if unknown:
+                raise ServingError(
+                    f"unknown substrates {unknown}; registered: "
+                    f"{sorted(known)}"
+                )
+        if route not in ("auto", "latency", "energy", "none"):
+            raise ServingError(
+                f"unknown route policy {route!r}; expected auto, "
+                "latency, energy or none"
+            )
+        self.route = route
+        self._router = None
+        if route in ("latency", "energy") or (
+            route == "auto" and heterogeneous
+        ):
+            from repro.substrate import CostRouter
+
+            objective = "energy" if route == "energy" else "latency"
+            self._router = CostRouter(self.hardware, objective=objective)
+        self._route_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+        self._route_decisions: list = []
         if verify is None:
             verify = fault_plan is not None and not chunked
         if verify and chunked:
@@ -659,6 +733,7 @@ class ShardManager:
                 verify=self.verify,
                 fault_plan=fault_plan,
                 spare_crossbars=self.spare_crossbars,
+                substrate=substrate_list[s],
             )
             offset = 0
             for c in hosted:
@@ -745,6 +820,55 @@ class ShardManager:
             shard=shard_id, outcome=outcome, chunks=n_chunks,
         ):
             pass  # zero-duration marker on the trace timeline
+
+    #: routed decisions kept for :meth:`routing_report` (newest last)
+    _MAX_ROUTE_DECISIONS = 256
+
+    def _route_order(self, c: int, batch: int) -> tuple[int, ...]:
+        """Replica preference order for one chunk dispatch.
+
+        Without a router this is the historical ``(c + j) % N`` order.
+        With one, replicas are ranked by the predicted cost of this
+        batch on each replica's substrate (capability-descriptor
+        predictions — no device is touched); the rest of the ranking
+        stays as the failover order. Cached per ``(chunk, batch)``
+        because serving replays the same shapes constantly; the cache
+        is invalidated when the replica set changes.
+        """
+        if self._router is None:
+            return self.replicas[c]
+        key = (c, batch)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        candidates = []
+        for s in self.replicas[c]:
+            shard = self.shards[s]
+            n = shard.n_rows + (1 if shard.verify else 0)
+            candidates.append((s, self.substrates[s], max(n, 1), self.dims))
+        decision = self._router.order(c, candidates, n_queries=batch)
+        order = tuple(s for s, _, _ in decision.ranked)
+        self._route_cache[key] = order
+        self._route_decisions.append(decision)
+        del self._route_decisions[: -self._MAX_ROUTE_DECISIONS]
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter(
+                f"serving.routed.{decision.winner_substrate}"
+            ).add(1)
+        return order
+
+    def routing_report(self) -> dict:
+        """Routing activity: objective, decision log, substrate map."""
+        return {
+            "route": self.route,
+            "enabled": self._router is not None,
+            "objective": (
+                self._router.objective if self._router is not None else None
+            ),
+            "substrates": list(self.substrates),
+            "decisions": [d.to_dict() for d in self._route_decisions],
+        }
 
     def _serve_chunks(
         self,
@@ -901,7 +1025,7 @@ class ShardManager:
                 if fails[c] > policy.max_retries:
                     doomed.append(c)
                     continue
-                reps = self.replicas[c]
+                reps = self._route_order(c, batch)
                 chosen = None
                 for step in range(len(reps)):
                     s = reps[(ptr[c] + step) % len(reps)]
@@ -984,6 +1108,7 @@ class ShardManager:
                 with tele.span(
                     span_name, "serving",
                     shard=s, rows=shard.n_rows, queries=batch,
+                    substrate=shard.substrate,
                 ):
                     try:
                         dots, pim_ns = shard.dot_products(q_int)
@@ -1089,12 +1214,18 @@ class ShardManager:
         k: int,
         approximate: bool,
         sel: np.ndarray | None = None,
+        lb: np.ndarray | None = None,
+        order: np.ndarray | None = None,
     ) -> tuple[_CanonicalHeap, int, int]:
         """Local top-k of one query on one shard (canonical order).
 
         ``sel`` restricts the work to a subset of the shard's local rows
         (the chunks this shard serves in the current dispatch, under
         replication); ``dots`` must already be restricted to match.
+        ``lb``/``order`` accept the precomputed clamped lower bounds and
+        their canonical ``lexsort((gidx, lb))`` permutation when the
+        caller batched that work across queries (:meth:`knn_batch`);
+        both are recomputed here when absent.
         """
         heap = _CanonicalHeap(k)
         if sel is None:
@@ -1106,16 +1237,21 @@ class ShardManager:
         n_local = int(gidx.size)
         if n_local == 0:
             return heap, 0, 0
-        alpha2 = self.quantizer.alpha**2
-        lb = (phi + phi_q - 2.0 * dots - 2.0 * self.dims) / alpha2
-        np.maximum(lb, 0.0, out=lb)
+        if lb is None:
+            alpha2 = self.quantizer.alpha**2
+            lb = (phi + phi_q - 2.0 * dots - 2.0 * self.dims) / alpha2
+            np.maximum(lb, 0.0, out=lb)
         if approximate:
             # degrade-to-approximate: the lower bound IS the score
-            order = np.lexsort((gidx, lb))[:k]
-            for j in order:
+            short = (
+                order[:k] if order is not None
+                else np.lexsort((gidx, lb))[:k]
+            )
+            for j in short:
                 heap.offer(float(lb[j]), int(gidx[j]))
-            return heap, 0, n_local - int(order.size)
-        order = np.lexsort((gidx, lb))
+            return heap, 0, n_local - int(short.size)
+        if order is None:
+            order = np.lexsort((gidx, lb))
         refined = 0
         if self.reference:
             for j in order:
@@ -1235,6 +1371,32 @@ class ShardManager:
 
         def process(shard: _Shard, sel, dots) -> float:
             n_local = shard.n_rows if sel is None else int(sel.size)
+            lb_all = orders = None
+            if not self.reference and n_local:
+                # Batched bound pipeline: one broadcast lb construction
+                # and one stable axis argsort for the whole batch. With
+                # the columns pre-permuted into ascending-gidx order, a
+                # stable sort on lb breaks ties by position — i.e. by
+                # gidx — so each row of ``orders`` equals that query's
+                # own lexsort((gidx, lb)) permutation bit for bit (gidx
+                # values are unique within a shard). One gidx argsort
+                # amortizes over the batch instead of re-sorting the
+                # tiebreak key per query.
+                if sel is None:
+                    phi, gidx = shard.phi, shard.global_indices
+                else:
+                    phi = shard.phi[sel]
+                    gidx = shard.global_indices[sel]
+                alpha2 = self.quantizer.alpha**2
+                lb_all = (
+                    phi[None, :] + phi_q[:, None]
+                    - 2.0 * dots - 2.0 * self.dims
+                ) / alpha2
+                np.maximum(lb_all, 0.0, out=lb_all)
+                perm = np.argsort(gidx, kind="stable")
+                orders = perm[
+                    np.argsort(lb_all[:, perm], axis=1, kind="stable")
+                ]
             refined_here = 0
             for b in range(batch):
                 heap, refined, pruned = self._shard_topk(
@@ -1245,6 +1407,8 @@ class ShardManager:
                     min(k_list[b], max(self.n_rows, 1)),
                     approx_list[b],
                     sel=sel,
+                    lb=None if lb_all is None else lb_all[b],
+                    order=None if orders is None else orders[b],
                 )
                 per_query_heaps[b].append(heap)
                 refined_total[b] += refined
@@ -1562,6 +1726,9 @@ class ShardManager:
         self.replicas[chunk] = tuple(
             list(self.replicas[chunk]) + [target_shard]
         )
+        # replica sets and the target's row count changed; routed
+        # orders priced against the old shapes are stale
+        self._route_cache.clear()
         tele = get_recorder()
         if tele.enabled:
             tele.metrics.counter("serving.rereplications").add(1)

@@ -1,0 +1,42 @@
+"""Pluggable PIM substrates.
+
+The mining and serving layers talk to memory-side compute through the
+:class:`~repro.substrate.protocol.Substrate` protocol — program integer
+matrices, fire dot-product waves, account simulated time/energy/wear —
+rather than to one concrete device. Two backends ship registered:
+
+* ``"crossbar"`` — the paper's analog ReRAM crossbar array
+  (:class:`~repro.hardware.pim_array.PIMArray`), bit-sliced DAC/ADC
+  waves, expensive SET/RESET programming, flat per-wave latency;
+* ``"hbm_pim"`` — a commercial-style HBM-PIM stack
+  (:class:`~repro.substrate.hbm_pim.HBMPIMArray`), one digital MAC per
+  DRAM bank fed by burst reads under per-command DRAM timing, cheap
+  programming, latency that scales with resident vectors per bank.
+
+Both compute exact integer dot products (mod ``2**accumulator_bits``),
+so every mining task is bit-identical across backends and any mixed
+placement — only the cost model differs, which is what the
+:class:`~repro.substrate.router.CostRouter` exploits.
+"""
+
+from repro.substrate.protocol import Substrate, SubstrateCapabilities
+from repro.substrate.registry import (
+    SubstrateSpec,
+    available_substrates,
+    create_substrate,
+    register_substrate,
+    substrate_capabilities,
+)
+from repro.substrate.router import CostRouter, RoutingDecision
+
+__all__ = [
+    "Substrate",
+    "SubstrateCapabilities",
+    "SubstrateSpec",
+    "available_substrates",
+    "create_substrate",
+    "register_substrate",
+    "substrate_capabilities",
+    "CostRouter",
+    "RoutingDecision",
+]

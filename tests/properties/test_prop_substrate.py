@@ -1,0 +1,221 @@
+"""Property-based tests: substrate choice never changes answers.
+
+The substrate contract, stated adversarially: for ANY placement of rows
+onto shards, ANY per-shard assignment of backends (all-crossbar,
+all-HBM, or mixed), and ANY survivable fault plan, serving returns
+answers bit-identical to the all-crossbar single-array baseline — the
+cost models differ wildly, the values may not. The same holds at the
+mining layer for Hamming kNN (1-bit operands, two resident matrices)
+and the k-means PIM assist.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan
+from repro.faults.plan import FaultEvent
+from repro.hardware.controller import PIMController
+from repro.mining.knn.hamming import PIMHammingKNN, binary_pim_platform
+from repro.serving import ShardManager, ShardPlacement
+from repro.similarity.quantization import Quantizer
+
+GRID = [0.0, 0.25, 0.5, 0.75, 1.0]
+SUBSTRATES = ["crossbar", "hbm_pim"]
+
+
+@st.composite
+def substrate_case(draw):
+    """Gridded data, an arbitrary placement, and per-shard backends."""
+    n = draw(st.integers(min_value=2, max_value=24))
+    dims = draw(st.sampled_from([2, 4, 6]))
+    n_shards = draw(st.integers(min_value=1, max_value=4))
+    cells = st.sampled_from(GRID)
+    data = np.array(
+        draw(
+            st.lists(
+                st.lists(cells, min_size=dims, max_size=dims),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    assignments = np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_shards - 1),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=np.int64,
+    )
+    backends = draw(
+        st.lists(
+            st.sampled_from(SUBSTRATES),
+            min_size=n_shards,
+            max_size=n_shards,
+        )
+    )
+    query = np.array(draw(st.lists(cells, min_size=dims, max_size=dims)))
+    k = draw(st.integers(min_value=1, max_value=n))
+    return data, assignments, n_shards, backends, query, k
+
+
+def _quantizer():
+    # degenerate all-equal grids break min-max fitting; both managers
+    # share the setting so the comparison stays honest
+    return Quantizer(assume_normalized=True)
+
+
+def _baseline(data):
+    return ShardManager(data, n_shards=1, quantizer=_quantizer())
+
+
+def _mixed(data, assignments, n_shards, backends, **kw):
+    return ShardManager(
+        data,
+        placement=ShardPlacement(
+            n_shards=n_shards, assignments=assignments
+        ),
+        quantizer=_quantizer(),
+        substrates=backends,
+        **kw,
+    )
+
+
+class TestSubstrateInvariance:
+    @given(substrate_case())
+    @settings(max_examples=25, deadline=None)
+    def test_knn_identical_for_any_backend_mix(self, case):
+        data, assignments, n_shards, backends, query, k = case
+        a = _baseline(data).knn(query, k)
+        b = _mixed(data, assignments, n_shards, backends).knn(query, k)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.scores, b.scores)
+
+    @given(substrate_case())
+    @settings(max_examples=10, deadline=None)
+    def test_routing_objective_never_changes_values(self, case):
+        data, assignments, n_shards, backends, query, k = case
+        a = _baseline(data).knn(query, k)
+        for route in ("latency", "energy", "none"):
+            b = _mixed(
+                data, assignments, n_shards, backends, route=route
+            ).knn(query, k)
+            assert np.array_equal(a.indices, b.indices), route
+            assert np.array_equal(a.scores, b.scores), route
+
+    @given(substrate_case())
+    @settings(max_examples=15, deadline=None)
+    def test_assign_identical_for_any_backend_mix(self, case):
+        data, assignments, n_shards, backends, centers_src, _ = case
+        centers = np.vstack([centers_src, data[0]])
+        a, _ = _baseline(data).assign(centers)
+        b, _ = _mixed(data, assignments, n_shards, backends).assign(
+            centers
+        )
+        assert np.array_equal(a.assignments, b.assignments)
+        assert np.array_equal(a.distances, b.distances)
+
+
+@st.composite
+def faulted_case(draw):
+    """A replicated mixed fleet and a survivable shard crash."""
+    n = draw(st.integers(min_value=4, max_value=20))
+    dims = draw(st.sampled_from([2, 4]))
+    n_shards = draw(st.integers(min_value=2, max_value=4))
+    cells = st.sampled_from(GRID)
+    data = np.array(
+        draw(
+            st.lists(
+                st.lists(cells, min_size=dims, max_size=dims),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    backends = draw(
+        st.lists(
+            st.sampled_from(SUBSTRATES),
+            min_size=n_shards,
+            max_size=n_shards,
+        )
+    )
+    victim = draw(st.integers(min_value=0, max_value=n_shards - 1))
+    query = np.array(draw(st.lists(cells, min_size=dims, max_size=dims)))
+    k = draw(st.integers(min_value=1, max_value=n))
+    return data, n_shards, backends, victim, query, k
+
+
+class TestFaultedSubstrateInvariance:
+    @given(faulted_case())
+    @settings(max_examples=15, deadline=None)
+    def test_survivable_crash_keeps_answers_identical(self, case):
+        data, n_shards, backends, victim, query, k = case
+        a = _baseline(data).knn(query, k)
+        plan = FaultPlan(
+            [
+                FaultEvent(
+                    t_ns=0.0, kind="shard_crash", target=f"shard{victim}"
+                )
+            ]
+        )
+        survivor = ShardManager(
+            data,
+            n_shards=n_shards,
+            quantizer=_quantizer(),
+            substrates=backends,
+            replication=2,
+            fault_plan=plan,
+        )
+        b = survivor.knn(query, k)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.scores, b.scores)
+
+
+class TestMiningLayerInvariance:
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.sampled_from([8, 24, 33]),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_hamming_knn_identical_across_substrates(self, n, bits, seed):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 2, size=(n, bits)).astype(np.int64)
+        query = rng.integers(0, 2, size=bits).astype(np.int64)
+        k = min(5, n)
+        results = {}
+        for substrate in SUBSTRATES:
+            algo = PIMHammingKNN(
+                controller=PIMController(
+                    binary_pim_platform(), substrate=substrate
+                )
+            )
+            results[substrate] = algo.fit(codes).query(query, k)
+        a, b = results["crossbar"], results["hbm_pim"]
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.scores, b.scores)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_kmeans_assist_identical_across_substrates(self, seed):
+        from repro.mining.kmeans import initial_centers, make_kmeans
+        from repro.mining.kmeans.pim import PIMAssist
+
+        rng = np.random.default_rng(seed)
+        data = rng.random((60, 6))
+        centers = initial_centers(data, 4, seed=seed)
+        labels = {}
+        for substrate in SUBSTRATES:
+            assist = PIMAssist(
+                controller=PIMController(substrate=substrate)
+            )
+            algo = make_kmeans(
+                "Standard-PIM", 4, max_iters=4, pim_assist=assist
+            )
+            labels[substrate] = algo.fit(data, centers=centers)
+        a, b = labels["crossbar"], labels["hbm_pim"]
+        assert np.array_equal(a.assignments, b.assignments)
+        assert np.array_equal(a.centers, b.centers)

@@ -1,0 +1,76 @@
+"""Cost-router behaviour: winner flips, tie-breaks, objectives."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.substrate import CostRouter
+
+
+class TestRouting:
+    def test_low_dim_small_n_prefers_hbm(self):
+        """Tiny single-query waves: per-command DRAM beats the crossbar
+        pipeline fill (the bank MAC streams a handful of bursts)."""
+        router = CostRouter()
+        hbm = router.predict("hbm_pim", 64, 16, 1)
+        xbar = router.predict("crossbar", 64, 16, 1)
+        assert hbm < xbar
+
+    def test_high_dim_batch_prefers_crossbar(self):
+        """Wide batched waves: GRF pressure streams hundreds of bursts
+        per vector while the crossbars stay one wave deep."""
+        router = CostRouter()
+        hbm = router.predict("hbm_pim", 100_000, 512, 32)
+        xbar = router.predict("crossbar", 100_000, 512, 32)
+        assert xbar < hbm
+
+    def test_order_ranks_cheapest_first_with_failover_tail(self):
+        router = CostRouter()
+        decision = router.order(
+            0,
+            [(0, "crossbar", 100_000, 512), (1, "hbm_pim", 100_000, 512)],
+            n_queries=32,
+        )
+        assert decision.winner == 0
+        assert decision.winner_substrate == "crossbar"
+        assert [s for s, _, _ in decision.ranked] == [0, 1]
+
+    def test_identical_predictions_tie_break_to_lower_shard(self):
+        router = CostRouter()
+        decision = router.order(
+            2,
+            [(3, "crossbar", 500, 32), (1, "crossbar", 500, 32)],
+            n_queries=2,
+        )
+        assert decision.winner == 1
+
+    def test_energy_objective_is_a_distinct_ranking_key(self):
+        lat = CostRouter(objective="latency")
+        joules = CostRouter(objective="energy")
+        a = lat.predict("hbm_pim", 1000, 64, 4)
+        b = joules.predict("hbm_pim", 1000, 64, 4)
+        assert a != b  # ns vs J scales differ by many orders
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostRouter(objective="carbon")
+
+    def test_predictions_memoized(self):
+        router = CostRouter()
+        router.predict("crossbar", 1000, 64, 4)
+        cached = dict(router._predictions)
+        router.predict("crossbar", 1000, 64, 4)
+        assert router._predictions == cached
+
+    def test_decision_to_dict_artifact_shape(self):
+        router = CostRouter()
+        decision = router.order(
+            1, [(0, "crossbar", 64, 16), (1, "hbm_pim", 64, 16)]
+        )
+        artifact = decision.to_dict()
+        assert artifact["chunk"] == 1
+        assert artifact["winner"] == decision.winner
+        assert artifact["winner_substrate"] == decision.winner_substrate
+        assert len(artifact["ranked"]) == 2
+        assert all(
+            entry["predicted_ns"] > 0 for entry in artifact["ranked"]
+        )
