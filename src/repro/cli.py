@@ -285,6 +285,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed of the chaos fault plan (with --chaos)",
     )
     serve.add_argument(
+        "--gray-chaos", action="store_true",
+        help=(
+            "inject a seeded gray-failure plan (a sustained straggler "
+            "shard, an intermittently slow shard and a flaky "
+            "host<->shard link) — slow-but-correct weather, "
+            "composable with --chaos"
+        ),
+    )
+    serve.add_argument(
+        "--outlier-ejection", action="store_true",
+        help=(
+            "enable the gray-failure defenses: latency-outlier "
+            "detection with ejection + probed re-admission, "
+            "observed-latency replica routing, and adaptive "
+            "p95-triggered hedging"
+        ),
+    )
+    serve.add_argument(
+        "--hedge-budget", type=float, default=None, metavar="FRACTION",
+        help=(
+            "cap hedged waves at this fraction of dispatch attempts "
+            "(implies --outlier-ejection)"
+        ),
+    )
+    serve.add_argument(
+        "--brownout", action="store_true",
+        help=(
+            "degrade overflow to approximate service instead of "
+            "shedding while an SLO burn-rate alert is firing"
+        ),
+    )
+    serve.add_argument(
         "--repair", action="store_true",
         help=(
             "attach the self-healing loop (repro.repair): background "
@@ -526,7 +558,18 @@ def _format_shard_health(entry: dict) -> str:
         detail = f"({entry['quarantine_left']} probes left)"
     elif status == "open" and entry["open_until_ns"] is not None:
         detail = f"(until {entry['open_until_ns'] / 1e6:.1f}ms)"
-    return f"shard{entry['shard']}={status}{detail}"
+    elif status == "ejected":
+        detail = f"(susp {entry.get('suspicion', 0.0):.1f})"
+    token = f"shard{entry['shard']}={status}{detail}"
+    # the detector's view, when one is attached: suspicion score and
+    # the observed service-time p95 behind routing/hedging decisions
+    p95 = entry.get("observed_p95_ns")
+    if p95 is not None:
+        token += f"[p95 {p95 / 1e3:.1f}us"
+        if status != "ejected" and entry.get("suspicion", 0.0) > 0.0:
+            token += f", susp {entry['suspicion']:.1f}"
+        token += "]"
+    return token
 
 
 def _cmd_serve(args, out) -> int:
@@ -569,14 +612,37 @@ def _cmd_serve(args, out) -> int:
         _, timing = probe_manager.knn_batch(probe, args.k)
         rate = 0.8 * args.max_batch * 1e9 / timing.service_ns
     fault_plan = None
+    horizon_ns = args.requests / rate * 1e9
     if args.chaos:
         from repro.faults import FaultPlan
 
         # horizon = expected run length, so the kill lands mid-run
         fault_plan = FaultPlan.chaos(
             args.shards,
-            horizon_ns=args.requests / rate * 1e9,
+            horizon_ns=horizon_ns,
             seed=args.fault_seed,
+        )
+    if args.gray_chaos:
+        from repro.faults import FaultPlan
+
+        gray = FaultPlan.gray_chaos(
+            args.shards, horizon_ns=horizon_ns, seed=args.fault_seed + 1
+        )
+        fault_plan = (
+            gray
+            if fault_plan is None
+            else FaultPlan(
+                fault_plan.events + gray.events, seed=args.fault_seed
+            )
+        )
+    recovery = None
+    if args.outlier_ejection or args.hedge_budget is not None:
+        from repro.serving import RecoveryPolicy
+
+        recovery = RecoveryPolicy(
+            outlier_ejection=True,
+            adaptive_hedge=True,
+            hedge_budget=args.hedge_budget,
         )
     manager = ShardManager(
         data,
@@ -586,6 +652,7 @@ def _cmd_serve(args, out) -> int:
         seed=args.seed,
         replication=args.replication,
         fault_plan=fault_plan,
+        recovery=recovery,
         spare_crossbars=args.spares,
         substrates=substrates,
         route=args.route,
@@ -605,6 +672,11 @@ def _cmd_serve(args, out) -> int:
     from repro.observability import BurnRateMonitor, LiveReport
 
     monitor = BurnRateMonitor(base_window_ns=args.burn_window_us * 1e3)
+    brownout = None
+    if args.brownout:
+        from repro.observability import BrownoutController
+
+        brownout = BrownoutController(monitor)
     live_report = None
     if args.live_report is not None:
         live_report = LiveReport(
@@ -621,6 +693,7 @@ def _cmd_serve(args, out) -> int:
         ),
         repair=repair,
         monitor=monitor,
+        brownout=brownout,
         live_report=live_report,
     )
     service.run(requests)
@@ -710,6 +783,27 @@ def _cmd_serve(args, out) -> int:
         dead = manager.health.dead_shards
         print(
             f"dead shards    : {dead if dead else 'none'}",
+            file=out,
+        )
+    if recovery is not None:
+        rec = summary["recovery"]
+        print(
+            "gray defense   : "
+            f"hedges={rec['hedges']} won={rec['hedges_won']} "
+            f"lost={rec['hedges_lost']} denied={rec['hedges_denied']} "
+            f"rate={rec['hedge_rate']:.1%} "
+            f"link_drops={rec['link_drops']} "
+            f"cancelled={rec['hedge_cancelled_ns'] / 1e3:.1f} us",
+            file=out,
+        )
+    if brownout is not None:
+        b = summary["brownout"]
+        print(
+            "brownout       : "
+            f"{'active' if b['active'] else 'idle'} "
+            f"engagements={b['engagements']} "
+            f"degraded={b['degraded_requests']} "
+            f"rescued_sheds={b['rescued_sheds']}",
             file=out,
         )
     print(

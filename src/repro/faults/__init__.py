@@ -17,7 +17,17 @@ mid-run. It provides:
   serving layer consults per dispatch);
 * residue/checksum integrity helpers (:mod:`repro.faults.integrity`)
   that flag corrupted waves without trusting analog values — one extra
-  non-negative integer column per crossbar, paper-consistent.
+  non-negative integer column per crossbar, paper-consistent;
+* gray failures (:data:`GRAY_FAULT_KINDS`) — sustained and intermittent
+  slowdowns, correlated bank-group stragglers, flaky host<->shard links
+  that delay or drop dispatches — all *bit-exactness-preserving* (a
+  slow answer is still the right answer), generated in one call by
+  :meth:`FaultPlan.gray_chaos`;
+* :class:`ChaosCampaign` (:mod:`repro.faults.campaign`) — declarative
+  phased scenario suites that serve identical traffic under a fault
+  plan with the gray-failure defenses on and off, asserting
+  bit-exactness against a clean reference and reporting p99/availability
+  per arm.
 
 Every injected fault is deterministic (seeded from the plan) and
 visible in telemetry (``fault.*`` spans and ``faults.*`` counters), so
@@ -37,9 +47,15 @@ from repro.faults.injectors import (
     FaultyShardEngine,
     ShardVerdict,
 )
+from repro.faults.campaign import (
+    ChaosCampaign,
+    ChaosScenario,
+    standard_campaign,
+)
 from repro.faults.plan import (
     ARRAY_FAULT_KINDS,
     FAULT_KINDS,
+    GRAY_FAULT_KINDS,
     SHARD_FAULT_KINDS,
     FaultEvent,
     FaultPlan,
@@ -47,6 +63,8 @@ from repro.faults.plan import (
 
 __all__ = [
     "ARRAY_FAULT_KINDS",
+    "ChaosCampaign",
+    "ChaosScenario",
     "DEFAULT_CORRUPT_MAGNITUDE",
     "FAULT_KINDS",
     "FaultEvent",
@@ -54,9 +72,11 @@ __all__ = [
     "FaultyCrossbar",
     "FaultyPIMArray",
     "FaultyShardEngine",
+    "GRAY_FAULT_KINDS",
     "SHARD_FAULT_KINDS",
     "ShardVerdict",
     "append_checksum_row",
     "checksum_row",
+    "standard_campaign",
     "verify_wave_residues",
 ]

@@ -149,6 +149,7 @@ class FaultyPIMArray:
         self.injected: dict[str, int] = {}
         self._event_rngs: dict[int, np.random.Generator] = {}
         self._stuck_cache: dict[tuple[str, int], tuple] = {}
+        self._bankgroup_cache: dict[int, frozenset] = {}
         self._repaired: set[int] = set()
 
     # Everything not fault-related is the wrapped array's business.
@@ -331,14 +332,72 @@ class FaultyPIMArray:
             return values
         return out.reshape(values.shape)
 
-    def _apply_latency(self, timing):
-        events = self._active("latency_spike")
+    def _straggling_groups(self, event: FaultEvent, n_groups: int) -> frozenset:
+        """The seeded set of bank groups one straggler event slows."""
+        key = id(event)
+        cached = self._bankgroup_cache.get(key)
+        if cached is None:
+            count = max(1, min(int(event.params.get("groups", 1)), n_groups))
+            rng = self.plan.rng_for(self.target, f"bankgroup@{event.t_ns}")
+            cached = frozenset(
+                int(g) for g in rng.permutation(n_groups)[:count]
+            )
+            self._bankgroup_cache[key] = cached
+        return cached
+
+    def _bankgroup_factor(self, name: str) -> float:
+        """Wave stretch from correlated bank-group stragglers.
+
+        Banked substrates run waves in all-bank lockstep, so the wave is
+        bounded by its slowest bank: the factor applies whenever any of
+        the matrix's physical banks falls in a straggling group. Arrays
+        without a bank layout (crossbars) have no group structure to
+        dodge into, so the whole array stretches.
+        """
+        events = self._active("bankgroup_straggler")
         if not events:
-            return timing
+            return 1.0
+        config = getattr(self._inner, "config", None)
+        banks_per_group = int(
+            getattr(config, "banks_per_bankgroup", 0) or 0
+        )
+        total_banks = int(getattr(config, "total_banks", 0) or 0)
+        unit_ids = None
+        if banks_per_group > 0 and total_banks > 0:
+            unit_ids_of = getattr(self._inner, "unit_ids_of", None)
+            if unit_ids_of is not None:
+                try:
+                    unit_ids = unit_ids_of(name)
+                except Exception:
+                    unit_ids = None
         factor = 1.0
         for event in events:
-            factor *= float(event.params.get("factor", 10.0))
-        self._note("latency_spike", factor=factor)
+            hit = True
+            if unit_ids is not None:
+                n_groups = max(1, total_banks // banks_per_group)
+                slowed = self._straggling_groups(event, n_groups)
+                hit = any(
+                    (int(b) // banks_per_group) in slowed for b in unit_ids
+                )
+            if hit:
+                event_factor = float(event.params.get("factor", 4.0))
+                factor *= event_factor
+                self._note(
+                    "bankgroup_straggler", matrix=name, factor=event_factor
+                )
+        return factor
+
+    def _apply_latency(self, timing, name: str | None = None):
+        factor = 1.0
+        events = self._active("latency_spike")
+        if events:
+            for event in events:
+                factor *= float(event.params.get("factor", 10.0))
+            self._note("latency_spike", factor=factor)
+        if name is not None:
+            factor *= self._bankgroup_factor(name)
+        if factor == 1.0:
+            return timing
         return _InflatedTiming(timing, factor)
 
     # ------------------------------------------------------------------
@@ -350,7 +409,7 @@ class FaultyPIMArray:
         queries = np.atleast_2d(np.asarray(vectors))
         values = self._apply_stuck(name, queries, result.values)
         values = self._apply_corruption(values)
-        timing = self._apply_latency(result.timing)
+        timing = self._apply_latency(result.timing, name)
         if self.auto_advance:
             self.now_ns += timing.total_ns
         return values, timing
@@ -372,13 +431,16 @@ class FaultyPIMArray:
 class ShardVerdict:
     """What the fault plan says about one shard at one instant.
 
-    ``status`` is ``"ok"``, ``"crash"``, ``"hang"`` or ``"slow"``;
-    ``factor`` is the service-time multiplier (1.0 unless slow);
-    ``event`` is the triggering fault, if any.
+    ``status`` is ``"ok"``, ``"crash"``, ``"hang"``, ``"drop"`` (the
+    host<->shard link ate the dispatch — fail fast, transient) or
+    ``"slow"``; ``factor`` is the service-time multiplier (1.0 unless
+    slow); ``delay_ns`` is additive link delay on top of the stretched
+    wave; ``event`` is the triggering fault, if any.
     """
 
     status: str
     factor: float = 1.0
+    delay_ns: float = 0.0
     event: FaultEvent | None = None
 
     @property
@@ -389,15 +451,57 @@ class ShardVerdict:
 class FaultyShardEngine:
     """Per-shard fault oracle the serving layer consults each dispatch.
 
-    Crash dominates hang dominates slow: a crashed shard fails fast
-    regardless of other active faults, a hung one never answers (the
-    serving watchdog's problem), a slow one answers late by the product
-    of the active slowdown factors.
+    Crash dominates hang dominates link drop dominates slow: a crashed
+    shard fails fast regardless of other active faults, a hung one
+    never answers (the serving watchdog's problem), a dropped dispatch
+    fails fast but transiently, and a slow one answers late by the
+    product of the active slowdown factors (sustained ``slow_shard``
+    times any ``intermittent_slow`` window currently in its slow phase)
+    plus any ``link_flaky`` delay. Link draws are stateless
+    (:meth:`FaultPlan.hash_unit`), so the verdict at an instant is a
+    pure function of the plan — independent of call order.
     """
 
     def __init__(self, plan: FaultPlan, target: str) -> None:
         self.plan = plan
         self.target = target
+
+    def _link_verdict(self, now_ns: float) -> tuple[str, float, FaultEvent | None]:
+        """(status, delay_ns, event) of the host<->shard link."""
+        delay = 0.0
+        event_hit: FaultEvent | None = None
+        for event in self.plan.active(self.target, "link_flaky", now_ns):
+            drop_p = float(event.params.get("drop_probability", 0.0))
+            delay_p = float(event.params.get("delay_probability", 0.0))
+            u = self.plan.hash_unit(
+                self.target, f"link@{event.t_ns}", now_ns
+            )
+            if u < drop_p:
+                return "drop", 0.0, event
+            if u < drop_p + delay_p:
+                delay += float(event.params.get("delay_ns", 100_000.0))
+                event_hit = event
+        return "ok", delay, event_hit
+
+    def _slow_factor(self, now_ns: float) -> tuple[float, FaultEvent | None]:
+        """Product of the active sustained + intermittent slowdowns."""
+        factor = 1.0
+        event_hit: FaultEvent | None = None
+        for event in self.plan.active(self.target, "slow_shard", now_ns):
+            factor *= float(event.params.get("factor", 10.0))
+            event_hit = event_hit or event
+        for event in self.plan.active(
+            self.target, "intermittent_slow", now_ns
+        ):
+            period = float(event.params.get("period_ns", 1_000_000.0))
+            duty = float(event.params.get("duty", 0.5))
+            if period <= 0:
+                continue
+            phase = (now_ns - event.t_ns) % period
+            if phase < duty * period:
+                factor *= float(event.params.get("factor", 10.0))
+                event_hit = event_hit or event
+        return factor, event_hit
 
     def outcome(self, now_ns: float) -> ShardVerdict:
         """The shard's verdict at simulated time ``now_ns``."""
@@ -407,12 +511,17 @@ class FaultyShardEngine:
         hangs = self.plan.active(self.target, "shard_hang", now_ns)
         if hangs:
             return ShardVerdict(status="hang", event=hangs[0])
-        slows = self.plan.active(self.target, "slow_shard", now_ns)
-        if slows:
-            factor = 1.0
-            for event in slows:
-                factor *= float(event.params.get("factor", 10.0))
-            return ShardVerdict(status="slow", factor=factor, event=slows[0])
+        link_status, delay, link_event = self._link_verdict(now_ns)
+        if link_status == "drop":
+            return ShardVerdict(status="drop", event=link_event)
+        factor, slow_event = self._slow_factor(now_ns)
+        if factor != 1.0 or delay > 0.0:
+            return ShardVerdict(
+                status="slow",
+                factor=factor,
+                delay_ns=delay,
+                event=slow_event or link_event,
+            )
         return ShardVerdict(status="ok")
 
     def crash_time(self) -> float | None:

@@ -22,6 +22,13 @@ Array-level (enforced by :class:`~repro.faults.injectors.FaultyPIMArray`):
   while active (stragglers).
 * ``crossbar_dead``  — the array stops answering: every wave raises
   :class:`~repro.errors.CrossbarDeadError` from ``t_ns`` on.
+* ``bankgroup_straggler`` — a seeded subset of the device's bank groups
+  runs ``params["factor"]`` times slower while active. Commands on a
+  banked substrate (HBM-PIM) run in all-bank lockstep, so a wave whose
+  matrix touches any straggling group is bounded by the slow group and
+  stretches whole; arrays without a bank layout (crossbars) degrade to
+  a whole-array slowdown. ``params``: ``factor``, ``groups`` (count of
+  straggling groups, default 1).
 
 Shard-level (consulted by :class:`~repro.faults.injectors.FaultyShardEngine`):
 
@@ -29,7 +36,22 @@ Shard-level (consulted by :class:`~repro.faults.injectors.FaultyShardEngine`):
 * ``shard_hang``     — dispatches never complete while active; the
   serving watchdog converts this into a per-dispatch timeout.
 * ``slow_shard``     — shard service time multiplied by
-  ``params["factor"]`` while active.
+  ``params["factor"]`` while active (a *sustained* gray failure).
+* ``intermittent_slow`` — shard service time multiplied by
+  ``params["factor"]``, but only during the first ``params["duty"]``
+  fraction of each ``params["period_ns"]`` window (phase-locked to the
+  event start) — a shard that alternates fast/slow.
+* ``link_flaky``     — the host<->shard link misbehaves per dispatch:
+  with ``params["drop_probability"]`` the dispatch is dropped (fails
+  fast, transient), else with ``params["delay_probability"]`` it is
+  delayed by ``params["delay_ns"]``. Draws are *stateless* — hashed
+  from ``(seed, target, event, dispatch time)`` — so the verdict at an
+  instant never depends on how many other draws happened first, and
+  detector-on vs detector-off runs see identical link weather.
+
+The gray kinds (everything that slows or delays but never corrupts)
+preserve bit-exactness by construction: slow answers are still correct
+answers.
 """
 
 from __future__ import annotations
@@ -46,8 +68,24 @@ ARRAY_FAULT_KINDS = (
     "wave_corrupt",
     "latency_spike",
     "crossbar_dead",
+    "bankgroup_straggler",
 )
-SHARD_FAULT_KINDS = ("shard_crash", "shard_hang", "slow_shard")
+SHARD_FAULT_KINDS = (
+    "shard_crash",
+    "shard_hang",
+    "slow_shard",
+    "intermittent_slow",
+    "link_flaky",
+)
+#: Kinds that degrade timing but never values: answers under any plan
+#: composed purely of these are bit-identical to a fault-free run.
+GRAY_FAULT_KINDS = (
+    "latency_spike",
+    "bankgroup_straggler",
+    "slow_shard",
+    "intermittent_slow",
+    "link_flaky",
+)
 FAULT_KINDS = ARRAY_FAULT_KINDS + SHARD_FAULT_KINDS
 
 
@@ -157,6 +195,21 @@ class FaultPlan:
         key = zlib.crc32(f"{target}|{salt}".encode("utf-8"))
         return np.random.default_rng((self.seed << 32) ^ key)
 
+    def hash_unit(self, target: str, salt: str, t_ns: float) -> float:
+        """A stateless uniform draw in ``[0, 1)`` for one instant.
+
+        Unlike :meth:`rng_for` streams, the draw is a pure function of
+        ``(seed, target, salt, t_ns)``: two runs that consult the plan
+        in different orders (or different numbers of times) still agree
+        on every per-dispatch outcome. The ``link_flaky`` injector
+        depends on this — a detector-on run must not reshuffle the link
+        weather a detector-off run saw.
+        """
+        key = zlib.crc32(
+            f"{self.seed}|{target}|{salt}|{float(t_ns)!r}".encode("utf-8")
+        )
+        return key / 4294967296.0
+
     def describe(self) -> list[dict]:
         """JSON-friendly schedule (for the fault-timeline artifact)."""
         return [e.describe() for e in self.events]
@@ -228,6 +281,128 @@ class FaultPlan:
                     target=f"shard{shard}",
                     duration_ns=horizon_ns / 3.0,
                     params={"factor": slow_factor},
+                )
+            )
+        return cls(events, seed=seed)
+
+    @classmethod
+    def gray_chaos(
+        cls,
+        n_shards: int,
+        horizon_ns: float,
+        seed: int = 0,
+        *,
+        straggler_shards: int = 1,
+        straggler_factor: float = 8.0,
+        intermittent_shards: int = 1,
+        intermittent_factor: float = 8.0,
+        intermittent_period_ns: float | None = None,
+        intermittent_duty: float = 0.5,
+        flaky_shards: int = 1,
+        drop_probability: float = 0.1,
+        delay_probability: float = 0.2,
+        delay_ns: float = 100_000.0,
+        bankgroup_shards: int = 0,
+        bankgroup_factor: float = 4.0,
+    ) -> "FaultPlan":
+        """A seeded *gray* chaos schedule: everything slow, nothing wrong.
+
+        Composes the gray failure modes over distinct victims while the
+        shard count allows: ``straggler_shards`` run ``slow_shard`` at
+        ``straggler_factor`` for the middle 60% of the horizon (the
+        sustained straggler the outlier detector must eject),
+        ``intermittent_shards`` alternate fast/slow with the given duty
+        cycle for the whole run (the flap-admit trap),
+        ``flaky_shards`` get a ``link_flaky`` link for the middle half,
+        and ``bankgroup_shards`` suffer correlated bank-group
+        stragglers. No kind in this generator ever corrupts a value, so
+        any run under it must stay bit-identical to a clean one.
+        """
+        if n_shards < 1:
+            raise ConfigurationError("need at least one shard")
+        horizon_ns = float(horizon_ns)
+        if horizon_ns <= 0:
+            raise ConfigurationError("horizon must be positive")
+        if not 0.0 < intermittent_duty < 1.0:
+            raise ConfigurationError("intermittent_duty must be in (0, 1)")
+        if drop_probability < 0 or delay_probability < 0:
+            raise ConfigurationError("link probabilities must be >= 0")
+        if drop_probability + delay_probability > 1.0:
+            raise ConfigurationError(
+                "drop_probability + delay_probability must be <= 1"
+            )
+        rng = np.random.default_rng(seed)
+        wanted = (
+            straggler_shards
+            + intermittent_shards
+            + flaky_shards
+            + bankgroup_shards
+        )
+        victims = list(rng.permutation(n_shards)[: min(wanted, n_shards)])
+        period = (
+            horizon_ns / 16.0
+            if intermittent_period_ns is None
+            else float(intermittent_period_ns)
+        )
+        events: list[FaultEvent] = []
+        for _ in range(straggler_shards):
+            if not victims:
+                break
+            shard = int(victims.pop(0))
+            events.append(
+                FaultEvent(
+                    t_ns=0.2 * horizon_ns,
+                    kind="slow_shard",
+                    target=f"shard{shard}",
+                    duration_ns=0.6 * horizon_ns,
+                    params={"factor": straggler_factor},
+                )
+            )
+        for _ in range(intermittent_shards):
+            if not victims:
+                break
+            shard = int(victims.pop(0))
+            events.append(
+                FaultEvent(
+                    t_ns=0.0,
+                    kind="intermittent_slow",
+                    target=f"shard{shard}",
+                    duration_ns=horizon_ns,
+                    params={
+                        "factor": intermittent_factor,
+                        "period_ns": period,
+                        "duty": intermittent_duty,
+                    },
+                )
+            )
+        for _ in range(flaky_shards):
+            if not victims:
+                break
+            shard = int(victims.pop(0))
+            events.append(
+                FaultEvent(
+                    t_ns=0.25 * horizon_ns,
+                    kind="link_flaky",
+                    target=f"shard{shard}",
+                    duration_ns=0.5 * horizon_ns,
+                    params={
+                        "drop_probability": drop_probability,
+                        "delay_probability": delay_probability,
+                        "delay_ns": delay_ns,
+                    },
+                )
+            )
+        for _ in range(bankgroup_shards):
+            if not victims:
+                break
+            shard = int(victims.pop(0))
+            events.append(
+                FaultEvent(
+                    t_ns=0.3 * horizon_ns,
+                    kind="bankgroup_straggler",
+                    target=f"shard{shard}",
+                    duration_ns=0.4 * horizon_ns,
+                    params={"factor": bankgroup_factor, "groups": 1},
                 )
             )
         return cls(events, seed=seed)

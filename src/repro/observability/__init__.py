@@ -5,6 +5,10 @@ Three pieces layered on :mod:`repro.telemetry`:
 * :mod:`repro.observability.burnrate` — Google-SRE-style multi-window
   burn-rate alerting over the serving error budgets (p99-deadline
   misses, shed rate, exactness violations), on simulated time;
+* :mod:`repro.observability.brownout` — degrade-instead-of-shed
+  control: while burn-rate alerts fire, admissions run from the
+  approximate tier rather than being rejected (the one deliberate
+  exception to "read-side only", opted into by attaching it);
 * :mod:`repro.observability.critical_path` — analysis of exported
   request traces: span-tree reconstruction, orphan detection, and
   per-request latency attribution (queue / dispatch / wave / ADC /
@@ -17,6 +21,7 @@ Everything here is read-side: attaching a monitor or dashboard never
 changes serving decisions, timings or answers.
 """
 
+from repro.observability.brownout import BrownoutController
 from repro.observability.burnrate import (
     DEFAULT_OBJECTIVES,
     BurnRateMonitor,
@@ -36,6 +41,7 @@ from repro.observability.dashboard import LiveReport
 
 __all__ = [
     "DEFAULT_OBJECTIVES",
+    "BrownoutController",
     "BurnRateMonitor",
     "BurnRateRule",
     "LiveReport",

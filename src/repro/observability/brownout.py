@@ -1,0 +1,120 @@
+"""Brownout control: degrade gracefully while the error budget burns.
+
+When a burn-rate alert is firing, the service is already failing its
+SLO — rejecting even more traffic to protect itself converts a latency
+problem into an availability problem. A *brownout* does the opposite:
+while any watched (objective, rule) pair fires, admitted requests are
+served from the degraded/approximate tier (lower-bound scores, no
+exact refinement — much cheaper waves) and queue overflow degrades
+instead of shedding. Answers are flagged ``approximate``/``degraded``
+exactly like the existing backpressure tier, so callers can tell.
+
+The controller is pure policy glue: it reads
+:meth:`~repro.observability.burnrate.BurnRateMonitor.firing` and keeps
+a hold-down window so serving does not flap between full-fidelity and
+degraded service on every alert edge. It never touches answers itself
+— :class:`~repro.serving.service.QueryService` consults
+:meth:`active` at admission time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServingError
+from repro.telemetry import get_recorder
+
+
+class BrownoutController:
+    """Hysteretic degrade-instead-of-shed switch over burn-rate alerts.
+
+    Parameters
+    ----------
+    monitor:
+        The :class:`~repro.observability.burnrate.BurnRateMonitor` whose
+        firing state drives the brownout.
+    objectives:
+        Objective names that may engage the brownout. Defaults to the
+        latency/availability budgets; ``exactness`` is deliberately
+        excluded — serving *more* approximate answers is no cure for
+        wrong ones.
+    hold_ns:
+        Hold-down: once engaged, the brownout stays active this long
+        past the last firing observation, so a single recovered window
+        does not flap service fidelity back and forth.
+    """
+
+    def __init__(
+        self,
+        monitor,
+        objectives: tuple = ("p99_deadline", "shed_rate"),
+        *,
+        hold_ns: float = 2_000_000.0,
+    ) -> None:
+        if monitor is None:
+            raise ServingError("BrownoutController needs a BurnRateMonitor")
+        if hold_ns < 0:
+            raise ServingError("hold_ns must be >= 0")
+        self.monitor = monitor
+        self.objectives = tuple(objectives)
+        self.hold_ns = float(hold_ns)
+        self._active_until_ns: float | None = None
+        #: Times the controller transitioned idle -> active.
+        self.engagements = 0
+        #: Requests served degraded because the brownout was active.
+        self.degraded_requests = 0
+        #: Queue-overflow requests admitted degraded instead of shed.
+        self.rescued_sheds = 0
+        #: (t_ns, event) transition log for the campaign timeline.
+        self.events: list[tuple[float, str]] = []
+
+    # ------------------------------------------------------------------
+    def active(self, now_ns: float) -> bool:
+        """Whether admissions at ``now_ns`` should run degraded.
+
+        Re-reads the monitor's firing state: any watched objective
+        firing (re)arms the hold-down window; otherwise the brownout
+        stays active only until the window expires.
+        """
+        firing = any(
+            objective in self.objectives
+            for objective, _rule in self.monitor.firing()
+        )
+        if firing:
+            if self._active_until_ns is None:
+                self.engagements += 1
+                self.events.append((float(now_ns), "engaged"))
+                tele = get_recorder()
+                if tele.enabled:
+                    tele.metrics.counter(
+                        "observability.brownout.engagements"
+                    ).add(1)
+            self._active_until_ns = float(now_ns) + self.hold_ns
+            return True
+        if self._active_until_ns is None:
+            return False
+        if now_ns <= self._active_until_ns:
+            return True
+        self._active_until_ns = None
+        self.events.append((float(now_ns), "released"))
+        return False
+
+    def note_degraded(self) -> None:
+        """One admission was degraded under the brownout."""
+        self.degraded_requests += 1
+
+    def note_rescued(self) -> None:
+        """One queue-overflow shed was converted into a degraded admit."""
+        self.rescued_sheds += 1
+
+    def snapshot(self) -> dict:
+        """Counters + transition log for reports and the ops surface."""
+        return {
+            "objectives": list(self.objectives),
+            "hold_ns": self.hold_ns,
+            "active": self._active_until_ns is not None,
+            "engagements": self.engagements,
+            "degraded_requests": self.degraded_requests,
+            "rescued_sheds": self.rescued_sheds,
+            "events": [
+                {"t_ns": t, "event": e} for t, e in self.events
+            ],
+        }

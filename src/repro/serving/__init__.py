@@ -22,10 +22,23 @@ re-dispatch, a per-shard circuit breaker
 fault injectors in :mod:`repro.faults`, a seeded chaos run stays
 bit-identical to a fault-free one on every completed response. See
 DESIGN.md section 9 and ``examples/faults_tour.py``.
+
+Gray failures — shards that are *slow* rather than dead — get their own
+defense: a :class:`LatencyOutlierDetector` (phi-accrual suspicion over
+per-(shard, substrate) service times) drives outlier ejection with
+probed re-admission in :class:`ShardHealthTracker`, adaptive p95-based
+hedging under a global :class:`HedgeBudget`, and observed-latency-aware
+replica routing. See DESIGN.md section 14 and
+``examples/chaos_tour.py``.
 """
 
 from repro.serving.driver import WorkloadDriver
-from repro.serving.health import RecoveryPolicy, ShardHealthTracker
+from repro.serving.health import (
+    HedgeBudget,
+    LatencyOutlierDetector,
+    RecoveryPolicy,
+    ShardHealthTracker,
+)
 from repro.serving.service import (
     QueryService,
     Request,
@@ -45,7 +58,9 @@ from repro.serving.slo import SLOTracker
 __all__ = [
     "AssignAnswer",
     "GatherTiming",
+    "HedgeBudget",
     "KNNAnswer",
+    "LatencyOutlierDetector",
     "QueryService",
     "RecoveryPolicy",
     "Request",

@@ -13,11 +13,26 @@ routes around it for ``breaker_reset_ns``, after which one half-open
 probe is allowed through), marks crashed shards permanently dead, and
 records down-to-up durations as MTTR samples the
 :class:`~repro.serving.slo.SLOTracker` consumes.
+
+The *gray*-failure half (``outlier_ejection=True``) is distinct from
+the breaker: the breaker trips on hard failures, while the
+:class:`LatencyOutlierDetector` watches *successful* wave service times
+per (shard, substrate), maintains an EWMA + sliding quantile sketch,
+and turns sustained deviation from the peer baseline into a
+phi-accrual-style suspicion score. A suspected-slow shard is *ejected*
+— demoted in dispatch preference, not blocked — then periodically
+probed through the same half-open probe tokens the breaker uses, and
+re-admitted only after a consecutive streak of clean probes whose
+required length doubles every time a probe comes back slow (hysteresis
+against flap-admitting an intermittently slow shard).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.errors import ServingError
 from repro.telemetry import get_recorder
@@ -62,6 +77,45 @@ class RecoveryPolicy:
         replicas answered (slow but exact, response flagged degraded).
         When ``False`` such a chunk raises
         :class:`~repro.errors.ChunkUnavailableError`.
+    outlier_ejection:
+        Attach a :class:`LatencyOutlierDetector` to the health tracker:
+        shards whose successful-wave service times sustain a suspicion
+        score >= ``suspicion_threshold`` are ejected (demoted in
+        dispatch preference) and re-admitted through probes.
+    suspicion_threshold:
+        Phi-accrual-style suspicion level (roughly ``-log10`` of the
+        probability the shard's recent service times come from the peer
+        distribution) at which a shard is ejected. 2.0 ~ "less than 1%
+        likely to be healthy".
+    detector_alpha / detector_window / detector_min_samples:
+        EWMA smoothing factor, sliding quantile-sketch width, and the
+        sample floor before the detector may eject (or an adaptive
+        hedge trigger may be derived).
+    detector_min_ratio:
+        Magnitude gate: a sample accrues suspicion only when it exceeds
+        this multiple of the peer baseline mean (see
+        :class:`LatencyOutlierDetector`).
+    ejection_probes / ejection_probe_period_ns / ejection_max_probes:
+        Clean probes in a row an ejected shard must serve to re-admit,
+        how often a probe dispatch is routed through it, and the cap on
+        the escalated streak requirement (every slow probe doubles the
+        required streak up to this cap — the anti-flapping hysteresis).
+    readmit_slack:
+        A probe counts clean when its service time is at most this
+        multiple of the peer baseline.
+    adaptive_hedge:
+        Derive the hedge trigger per shard from observed p95 service
+        times (``hedge_p95_factor`` x p95, floored at ``hedge_min_ns``)
+        instead of the fixed ``hedge_after_ns``. Falls back to
+        ``hedge_after_ns`` until the detector has enough samples.
+        Requires ``outlier_ejection`` (the detector provides the
+        sketch).
+    hedge_p95_factor / hedge_min_ns:
+        The adaptive trigger's multiplier and floor.
+    hedge_budget:
+        Global cap on hedged waves as a fraction of wave attempts
+        (token bucket: every attempt accrues ``hedge_budget`` tokens,
+        each hedge spends one). ``None`` leaves hedging uncapped.
     """
 
     max_retries: int = 3
@@ -75,6 +129,20 @@ class RecoveryPolicy:
     breaker_reset_ns: float = 500_000_000.0
     quarantine_probes: int = 3
     allow_degraded: bool = True
+    outlier_ejection: bool = False
+    suspicion_threshold: float = 2.0
+    detector_alpha: float = 0.2
+    detector_window: int = 64
+    detector_min_samples: int = 8
+    detector_min_ratio: float = 1.5
+    ejection_probes: int = 3
+    ejection_probe_period_ns: float = 500_000.0
+    ejection_max_probes: int = 24
+    readmit_slack: float = 1.5
+    adaptive_hedge: bool = False
+    hedge_p95_factor: float = 2.0
+    hedge_min_ns: float = 1_000.0
+    hedge_budget: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -93,6 +161,37 @@ class RecoveryPolicy:
             raise ServingError("breaker_threshold must be >= 1")
         if self.quarantine_probes < 0:
             raise ServingError("quarantine_probes must be >= 0")
+        if self.suspicion_threshold <= 0:
+            raise ServingError("suspicion_threshold must be positive")
+        if not 0.0 < self.detector_alpha <= 1.0:
+            raise ServingError("detector_alpha must be in (0, 1]")
+        if self.detector_window < 4:
+            raise ServingError("detector_window must be >= 4")
+        if self.detector_min_samples < 1:
+            raise ServingError("detector_min_samples must be >= 1")
+        if self.detector_min_ratio < 1.0:
+            raise ServingError("detector_min_ratio must be >= 1")
+        if self.ejection_probes < 1:
+            raise ServingError("ejection_probes must be >= 1")
+        if self.ejection_probe_period_ns < 0:
+            raise ServingError("ejection_probe_period_ns must be >= 0")
+        if self.ejection_max_probes < self.ejection_probes:
+            raise ServingError(
+                "ejection_max_probes must be >= ejection_probes"
+            )
+        if self.readmit_slack < 1.0:
+            raise ServingError("readmit_slack must be >= 1")
+        if self.adaptive_hedge and not self.outlier_ejection:
+            raise ServingError(
+                "adaptive_hedge needs outlier_ejection (the detector "
+                "supplies the service-time sketch)"
+            )
+        if self.hedge_p95_factor < 1.0:
+            raise ServingError("hedge_p95_factor must be >= 1")
+        if self.hedge_min_ns <= 0:
+            raise ServingError("hedge_min_ns must be positive")
+        if self.hedge_budget is not None and not 0.0 <= self.hedge_budget <= 1.0:
+            raise ServingError("hedge_budget must lie in [0, 1] or None")
 
     def backoff_ns(self, failures: int) -> float:
         """Backoff before retry number ``failures`` (1-based)."""
@@ -100,6 +199,226 @@ class RecoveryPolicy:
             return 0.0
         raw = self.backoff_base_ns * self.backoff_factor ** (failures - 1)
         return min(raw, self.backoff_cap_ns)
+
+
+class _ShardLatency:
+    """Streaming service-time state of one (shard, substrate)."""
+
+    __slots__ = ("count", "ewma", "dev_ewma", "window", "suspicion")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.ewma = 0.0
+        self.dev_ewma = 0.0
+        self.window: list[float] = []
+        self.suspicion = 0.0
+
+
+class LatencyOutlierDetector:
+    """Per-(shard, substrate) latency-outlier scoring for gray failures.
+
+    Each successful wave's service time feeds three streaming
+    statistics per shard: an EWMA (the shard's "current speed"), an
+    EWMA of absolute deviation (its jitter), and a sliding window of
+    the last ``window`` samples (the quantile sketch behind
+    :meth:`observed_p95_ns` and the adaptive hedge trigger).
+
+    The suspicion score is phi-accrual flavoured: each observation is
+    scored ``phi = -log10 P(x >= observed | shard behaves like its
+    peers)`` under a normal model whose mean/deviation come from the
+    *peer baseline* — the median EWMA/deviation of the other shards on
+    the same substrate (per-substrate grouping keeps an HBM-PIM shard
+    from looking like a straggler next to crossbar peers, and vice
+    versa). A shard alone on its substrate is scored against its own
+    sliding window instead, so a shard that *becomes* slower than its
+    own history still accrues suspicion. Scores are EWMA-smoothed, so
+    one slow wave cannot eject anybody but a sustained drift does.
+
+    ``min_ratio`` gates phi on *magnitude*: a sample only accrues
+    suspicion when it exceeds ``min_ratio x`` the peer baseline mean.
+    Replicated serving makes per-shard service times structurally
+    uneven (a shard hosting two chunks does strictly more host-side
+    work per wave than a single-chunk peer), and without the gate such
+    steady small gaps z-score their way into ejections. A gray failure
+    worth routing around is *meaningfully* slow, not 20% slower.
+    """
+
+    #: suspicion contribution cap per observation (P floored at 1e-15)
+    MAX_PHI = 15.0
+
+    def __init__(
+        self,
+        n_shards: int,
+        substrates=None,
+        *,
+        alpha: float = 0.2,
+        window: int = 64,
+        min_samples: int = 8,
+        min_ratio: float = 1.5,
+    ) -> None:
+        if n_shards < 1:
+            raise ServingError("need at least one shard")
+        if min_ratio < 1.0:
+            raise ServingError("min_ratio must be >= 1")
+        self.alpha = float(alpha)
+        self.window = int(window)
+        self.min_samples = int(min_samples)
+        self.min_ratio = float(min_ratio)
+        if substrates is None:
+            self.substrates = ["default"] * n_shards
+        else:
+            self.substrates = [str(s) for s in substrates]
+            if len(self.substrates) != n_shards:
+                raise ServingError(
+                    f"substrates names {len(self.substrates)} shards, "
+                    f"detector covers {n_shards}"
+                )
+        self._state = [_ShardLatency() for _ in range(n_shards)]
+        self._groups: dict[str, list[int]] = {}
+        for s, name in enumerate(self.substrates):
+            self._groups.setdefault(name, []).append(s)
+
+    # ------------------------------------------------------------------
+    def observe(self, shard: int, service_ns: float) -> None:
+        """Fold one successful wave's service time into the statistics."""
+        x = float(service_ns)
+        st = self._state[shard]
+        phi = self._phi(shard, x)
+        if st.count == 0:
+            st.ewma = x
+            st.dev_ewma = 0.0
+        else:
+            st.dev_ewma = (
+                (1.0 - self.alpha) * st.dev_ewma
+                + self.alpha * abs(x - st.ewma)
+            )
+            st.ewma = (1.0 - self.alpha) * st.ewma + self.alpha * x
+        st.count += 1
+        st.window.append(x)
+        del st.window[: -self.window]
+        st.suspicion = (1.0 - self.alpha) * st.suspicion + self.alpha * phi
+
+    def _baseline(self, shard: int) -> tuple[float, float] | None:
+        """(mean, deviation) the shard's samples are judged against."""
+        peers = [
+            self._state[s]
+            for s in self._groups[self.substrates[shard]]
+            if s != shard and self._state[s].count > 0
+        ]
+        if peers:
+            mu = float(np.median([p.ewma for p in peers]))
+            dev = float(np.median([p.dev_ewma for p in peers]))
+        else:
+            window = self._state[shard].window
+            if len(window) < self.min_samples:
+                return None
+            mu = float(np.median(window))
+            dev = float(np.median(np.abs(np.asarray(window) - mu)))
+        if mu <= 0.0:
+            return None
+        return mu, max(dev, 0.05 * mu)
+
+    def _phi(self, shard: int, x: float) -> float:
+        baseline = self._baseline(shard)
+        if baseline is None:
+            return 0.0
+        mu, dev = baseline
+        if x <= self.min_ratio * mu:
+            return 0.0
+        z = (x - mu) / dev
+        if z <= 0.0:
+            return 0.0
+        p = 0.5 * math.erfc(z / math.sqrt(2.0))
+        return min(-math.log10(max(p, 1e-15)), self.MAX_PHI)
+
+    # ------------------------------------------------------------------
+    def samples(self, shard: int) -> int:
+        """Observations folded in for ``shard``."""
+        return self._state[shard].count
+
+    def suspicion(self, shard: int) -> float:
+        """Current smoothed suspicion score of ``shard``."""
+        return self._state[shard].suspicion
+
+    def ewma(self, shard: int) -> float | None:
+        """Smoothed service time of ``shard`` (None before any sample)."""
+        st = self._state[shard]
+        return st.ewma if st.count > 0 else None
+
+    def observed_p95_ns(self, shard: int) -> float | None:
+        """p95 of the shard's sliding window (None under the floor)."""
+        st = self._state[shard]
+        if len(st.window) < self.min_samples:
+            return None
+        return float(np.percentile(st.window, 95.0))
+
+    def fleet_p95_ns(self) -> float | None:
+        """Median of the per-shard p95s (None before any shard has one)."""
+        values = [
+            p95
+            for s in range(len(self._state))
+            if (p95 := self.observed_p95_ns(s)) is not None
+        ]
+        if not values:
+            return None
+        return float(np.median(values))
+
+    def is_slow(self, shard: int, service_ns: float, slack: float) -> bool:
+        """Whether one sample exceeds ``slack`` x the peer baseline."""
+        baseline = self._baseline(shard)
+        if baseline is None:
+            return False
+        return float(service_ns) > slack * baseline[0]
+
+    def reset_suspicion(self, shard: int) -> None:
+        """Clear the suspicion score (on re-admission); samples stay."""
+        self._state[shard].suspicion = 0.0
+
+
+class HedgeBudget:
+    """Global token bucket capping hedges at a fraction of attempts.
+
+    Every wave attempt accrues ``fraction`` tokens (capped at
+    ``burst``); firing a hedge spends one whole token. Over any run,
+    ``granted <= burst + fraction * accruals`` — the hedge rate
+    converges to the budget fraction from above as traffic grows.
+    """
+
+    def __init__(self, fraction: float, burst: float = 1.0) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ServingError("hedge budget fraction must lie in [0, 1]")
+        if burst < 1.0:
+            raise ServingError("hedge budget burst must be >= 1")
+        self.fraction = float(fraction)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.accruals = 0
+        self.granted = 0
+        self.denied = 0
+
+    def accrue(self) -> None:
+        """One wave attempt happened: earn ``fraction`` of a hedge."""
+        self.accruals += 1
+        self.tokens = min(self.burst, self.tokens + self.fraction)
+
+    def try_take(self) -> bool:
+        """Spend one token to hedge; False when the budget is dry."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.granted += 1
+            return True
+        self.denied += 1
+        return False
+
+    def snapshot(self) -> dict:
+        """JSON-friendly budget state."""
+        return {
+            "fraction": self.fraction,
+            "tokens": self.tokens,
+            "accruals": self.accruals,
+            "granted": self.granted,
+            "denied": self.denied,
+        }
 
 
 class _ShardHealth:
@@ -117,6 +436,12 @@ class _ShardHealth:
         "quarantine_probes",
         "quarantine_left",
         "quarantined_since_ns",
+        "ejected",
+        "ejected_since_ns",
+        "ejections",
+        "eject_probe_target",
+        "eject_probes_left",
+        "next_probe_ns",
     )
 
     def __init__(self) -> None:
@@ -131,19 +456,42 @@ class _ShardHealth:
         self.quarantine_probes = 0
         self.quarantine_left = 0
         self.quarantined_since_ns: float | None = None
+        self.ejected = False
+        self.ejected_since_ns: float | None = None
+        self.ejections = 0
+        self.eject_probe_target = 0
+        self.eject_probes_left = 0
+        self.next_probe_ns: float | None = None
 
 
 class ShardHealthTracker:
     """Circuit breaker + MTTR bookkeeping over ``n_shards`` shards."""
 
     def __init__(
-        self, n_shards: int, policy: RecoveryPolicy | None = None
+        self,
+        n_shards: int,
+        policy: RecoveryPolicy | None = None,
+        substrates=None,
     ) -> None:
         if n_shards < 1:
             raise ServingError("need at least one shard")
         self.policy = policy if policy is not None else RecoveryPolicy()
         self._shards = [_ShardHealth() for _ in range(n_shards)]
         self._recoveries: list[float] = []
+        #: Bumped whenever the gray-failure detector changes a verdict
+        #: (ejection or re-admission); the dispatch layer watches it to
+        #: invalidate cached route orders.
+        self.version = 0
+        self.detector: LatencyOutlierDetector | None = None
+        if self.policy.outlier_ejection:
+            self.detector = LatencyOutlierDetector(
+                n_shards,
+                substrates,
+                alpha=self.policy.detector_alpha,
+                window=self.policy.detector_window,
+                min_samples=self.policy.detector_min_samples,
+                min_ratio=self.policy.detector_min_ratio,
+            )
 
     # ------------------------------------------------------------------
     def record_success(self, shard_id: int, t_ns: float) -> None:
@@ -168,6 +516,85 @@ class ShardHealthTracker:
                 tele.metrics.counter("serving.health.recoveries").add(1)
         h.open_until_ns = None
 
+    def record_service_time(
+        self, shard_id: int, t_ns: float, service_ns: float
+    ) -> None:
+        """A *successful* wave on ``shard_id`` took ``service_ns``.
+
+        Feeds the gray-failure detector (no-op without
+        ``outlier_ejection``). A healthy shard whose smoothed suspicion
+        crosses the policy threshold is ejected; an ejected shard's
+        observation doubles as its probe outcome — a clean sample
+        (within ``readmit_slack`` of the peer baseline) advances the
+        re-admission streak, a slow one escalates the required streak
+        (doubling, capped at ``ejection_max_probes``) so an
+        intermittently slow shard cannot flap back into rotation.
+        """
+        det = self.detector
+        if det is None:
+            return
+        det.observe(shard_id, service_ns)
+        h = self._shards[shard_id]
+        policy = self.policy
+        if h.ejected:
+            clean = not det.is_slow(
+                shard_id, service_ns, policy.readmit_slack
+            )
+            if clean:
+                h.eject_probes_left -= 1
+                if h.eject_probes_left <= 0:
+                    self._readmit(shard_id)
+            else:
+                h.eject_probe_target = min(
+                    h.eject_probe_target * 2, policy.ejection_max_probes
+                )
+                h.eject_probes_left = h.eject_probe_target
+                tele = get_recorder()
+                if tele.enabled:
+                    tele.metrics.counter(
+                        "serving.health.eject_probe_slow"
+                    ).add(1)
+            h.next_probe_ns = t_ns + policy.ejection_probe_period_ns
+        elif (
+            det.samples(shard_id) >= policy.detector_min_samples
+            and det.suspicion(shard_id) >= policy.suspicion_threshold
+        ):
+            self._eject(shard_id, t_ns)
+
+    def _eject(self, shard_id: int, t_ns: float) -> None:
+        h = self._shards[shard_id]
+        h.ejected = True
+        h.ejected_since_ns = t_ns
+        h.ejections += 1
+        if h.eject_probe_target == 0:
+            h.eject_probe_target = self.policy.ejection_probes
+        # ejections after a re-admission keep the escalated target: a
+        # shard with a flapping history earns longer probation, never
+        # shorter (the hysteresis is sticky by design)
+        h.eject_probes_left = h.eject_probe_target
+        h.next_probe_ns = t_ns + self.policy.ejection_probe_period_ns
+        self.version += 1
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter("serving.health.ejections").add(1)
+
+    def _readmit(self, shard_id: int) -> None:
+        h = self._shards[shard_id]
+        h.ejected = False
+        h.ejected_since_ns = None
+        h.next_probe_ns = None
+        if self.detector is not None:
+            self.detector.reset_suspicion(shard_id)
+        self.version += 1
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter("serving.health.ejection_readmits").add(1)
+
+    def _eject_probe_due(self, h: _ShardHealth, t_ns: float) -> bool:
+        return h.ejected and (
+            h.next_probe_ns is None or t_ns >= h.next_probe_ns
+        )
+
     def record_failure(
         self, shard_id: int, t_ns: float, permanent: bool = False
     ) -> None:
@@ -176,6 +603,14 @@ class ShardHealthTracker:
         h.failures += 1
         h.consecutive_failures += 1
         h.probe_in_flight = False
+        if h.ejected:
+            # a hard failure on an ejected shard is conclusive for its
+            # probation too: escalate and restart the clean streak
+            h.eject_probe_target = min(
+                h.eject_probe_target * 2, self.policy.ejection_max_probes
+            )
+            h.eject_probes_left = h.eject_probe_target
+            h.next_probe_ns = t_ns + self.policy.ejection_probe_period_ns
         if h.down_since_ns is None:
             h.down_since_ns = t_ns
         if permanent:
@@ -247,7 +682,11 @@ class ShardHealthTracker:
             return False
         if h.open_until_ns is not None and t_ns < h.open_until_ns:
             return False
-        probationary = h.open_until_ns is not None or h.quarantine_left > 0
+        probationary = (
+            h.open_until_ns is not None
+            or h.quarantine_left > 0
+            or self._eject_probe_due(h, t_ns)
+        )
         if probationary and h.probe_in_flight:
             return False
         return True
@@ -257,13 +696,55 @@ class ShardHealthTracker:
 
         Probationary shards take one probe dispatch at a time; hedging
         skips them (a hedge is a latency optimisation, not a probe).
+        An ejected shard is probationary exactly while a probe is due —
+        between probes it stays routable as a last resort without
+        consuming the probe token.
         """
         h = self._shards[shard_id]
         if h.dead:
             return False
         if h.quarantine_left > 0:
             return True
+        if self._eject_probe_due(h, t_ns):
+            return True
         return h.open_until_ns is not None and t_ns >= h.open_until_ns
+
+    def demoted(self, shard_id: int, t_ns: float) -> bool:
+        """Whether dispatch preference should rank ``shard_id`` last.
+
+        Ejected shards are demoted — still routable (a chunk whose
+        other replicas are gone prefers a slow answer over a degraded
+        recompute) but tried after every non-ejected replica — except
+        when their periodic probe is due, so probe traffic reaches them
+        through the normal dispatch path.
+        """
+        h = self._shards[shard_id]
+        return h.ejected and not self._eject_probe_due(h, t_ns)
+
+    def prefer_order(self, order, t_ns: float):
+        """Stable-partition a replica order: demoted shards go last."""
+        kept = [s for s in order if not self.demoted(s, t_ns)]
+        if len(kept) == len(order):
+            return tuple(order)
+        return tuple(kept) + tuple(
+            s for s in order if self.demoted(s, t_ns)
+        )
+
+    def ejected(self, shard_id: int) -> bool:
+        """Whether ``shard_id`` is currently ejected as a latency outlier."""
+        return self._shards[shard_id].ejected
+
+    def suspicion(self, shard_id: int) -> float:
+        """Detector suspicion score (0.0 without a detector)."""
+        if self.detector is None:
+            return 0.0
+        return self.detector.suspicion(shard_id)
+
+    def observed_p95_ns(self, shard_id: int) -> float | None:
+        """Observed p95 service time (None without detector/samples)."""
+        if self.detector is None:
+            return None
+        return self.detector.observed_p95_ns(shard_id)
 
     def begin_probe(self, shard_id: int, t_ns: float) -> bool:
         """Claim the single probe slot of a probationary shard.
@@ -305,8 +786,13 @@ class ShardHealthTracker:
         Includes the breaker window (``open_until_ns``) and the
         dead/down/quarantine timestamps, so operators can read *when* a
         shard went dark and how far its probation has progressed — not
-        just its instantaneous status.
+        just its instantaneous status. With the gray-failure detector
+        attached, each record also carries the ``suspicion`` score, the
+        ``ejected`` flag, and the ``observed_p95_ns`` sketch readout;
+        the same three are pushed as per-shard gauges so the Prometheus
+        snapshot mirrors them.
         """
+        tele = get_recorder()
         out = []
         for s, h in enumerate(self._shards):
             if h.dead:
@@ -315,10 +801,14 @@ class ShardHealthTracker:
                 status = "quarantine"
             elif h.open_until_ns is not None and t_ns < h.open_until_ns:
                 status = "open"
+            elif h.ejected:
+                status = "ejected"
             elif h.down_since_ns is not None:
                 status = "suspect"
             else:
                 status = "up"
+            suspicion = self.suspicion(s)
+            p95 = self.observed_p95_ns(s)
             out.append(
                 {
                     "shard": s,
@@ -332,6 +822,22 @@ class ShardHealthTracker:
                     "quarantined_since_ns": h.quarantined_since_ns,
                     "quarantine_left": h.quarantine_left,
                     "probe_in_flight": h.probe_in_flight,
+                    "suspicion": suspicion,
+                    "ejected": h.ejected,
+                    "ejections": h.ejections,
+                    "ejected_since_ns": h.ejected_since_ns,
+                    "observed_p95_ns": p95,
                 }
             )
+            if tele.enabled and self.detector is not None:
+                tele.metrics.gauge(f"serving.shard{s}.suspicion").set(
+                    suspicion
+                )
+                tele.metrics.gauge(f"serving.shard{s}.ejected").set(
+                    1.0 if h.ejected else 0.0
+                )
+                if p95 is not None:
+                    tele.metrics.gauge(
+                        f"serving.shard{s}.observed_p95_ns"
+                    ).set(p95)
         return out

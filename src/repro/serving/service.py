@@ -171,6 +171,12 @@ class QueryService:
     monitor:
         Optional :class:`~repro.observability.BurnRateMonitor` fed every
         terminal response; emits structured SLO alerts on the recorder.
+    brownout:
+        Optional :class:`~repro.observability.BrownoutController`
+        (requires ``monitor``). While its watched burn-rate alerts
+        fire, admitted requests are served from the approximate tier
+        and queue overflow degrades instead of shedding — the service
+        browns out rather than turning traffic away.
     live_report:
         Optional :class:`~repro.observability.LiveReport` printing a
         periodic console dashboard on simulated time.
@@ -189,6 +195,7 @@ class QueryService:
         tracker: SLOTracker | None = None,
         repair=None,
         monitor=None,
+        brownout=None,
         live_report=None,
     ) -> None:
         if max_batch < 1:
@@ -211,6 +218,18 @@ class QueryService:
         self.repair = repair
         #: Optional :class:`~repro.observability.BurnRateMonitor`.
         self.monitor = monitor
+        if brownout is not None and monitor is None:
+            raise ServingError(
+                "brownout control needs the burn-rate monitor that "
+                "drives it (pass monitor= as well)"
+            )
+        if brownout is not None and brownout.monitor is not monitor:
+            raise ServingError(
+                "the brownout controller must watch this service's "
+                "monitor"
+            )
+        #: Optional :class:`~repro.observability.BrownoutController`.
+        self.brownout = brownout
         #: Optional :class:`~repro.observability.LiveReport` dashboard.
         self.live_report = live_report
         if live_report is not None:
@@ -342,13 +361,26 @@ class QueryService:
             )
         bucket = self._buckets.get(request.tenant)
         if bucket is not None and not bucket.try_take(self.now_ns):
+            # per-tenant rate limits are contracts, not overload
+            # protection — the brownout never overrides them
             self._shed(request, "admission")
             return
+        browned = (
+            self.brownout is not None
+            and self.brownout.active(self.now_ns)
+        )
+        if browned and not request.degraded:
+            request.degraded = True
+            self.brownout.note_degraded()
         if len(self._queue) >= self.queue_capacity:
-            if self.policy == "reject":
+            if browned:
+                # brownout: overflow joins the degraded tier instead
+                # of shedding, whatever the configured policy
+                self.brownout.note_rescued()
+            elif self.policy == "reject":
                 self._shed(request, "queue_full")
                 return
-            if self.policy == "drop_oldest":
+            elif self.policy == "drop_oldest":
                 oldest = min(
                     self._queue,
                     key=lambda r: (r.arrival_ns, r.admit_seq),
@@ -670,4 +702,6 @@ class QueryService:
         if self.monitor is not None:
             result["alerts"] = [dict(a) for a in self.monitor.alerts]
             result["burn"] = self.monitor.snapshot(horizon)
+        if self.brownout is not None:
+            result["brownout"] = self.brownout.snapshot()
         return result

@@ -68,7 +68,11 @@ from repro.hardware.controller import PIMController
 from repro.hardware.mapper import total_crossbars
 from repro.hardware.pim_array import PIMStats
 from repro.hardware.reprogramming import ChunkedDotProductEngine
-from repro.serving.health import RecoveryPolicy, ShardHealthTracker
+from repro.serving.health import (
+    HedgeBudget,
+    RecoveryPolicy,
+    ShardHealthTracker,
+)
 from repro.similarity.quantization import Quantizer
 from repro.telemetry import get_recorder
 
@@ -213,11 +217,23 @@ class GatherTiming:
     retries: int = 0
     failovers: int = 0
     hedges: int = 0
+    #: hedged waves that finished before their original (and vice
+    #: versa); the loser is cancelled at the winner's completion and
+    #: only charged for the time it actually ran — the cancelled
+    #: remainder accumulates in ``hedge_cancelled_ns`` instead of
+    #: inflating shard busy time or the merged PIM stats.
+    hedges_won: int = 0
+    hedges_lost: int = 0
+    #: hedges the global budget refused (token bucket dry)
+    hedges_denied: int = 0
+    hedge_cancelled_ns: float = 0.0
     timeouts: int = 0
     corrupt_detected: int = 0
     crashes: int = 0
     backoff_ns: float = 0.0
     degraded_chunks: int = 0
+    #: dispatches a flaky host<->shard link dropped (transient fails)
+    link_drops: int = 0
 
     @property
     def service_ns(self) -> float:
@@ -311,6 +327,10 @@ class _Shard:
         self.floats = floats
         self.name = f"shard{shard_id}"
         self.busy_ns = 0.0
+        # PIM time charged to this shard's stats by waves whose result
+        # was discarded after a hedge race was decided — subtracted from
+        # the merged PIMStats so hedging never double-counts device time.
+        self.cancelled_pim_ns = 0.0
         self.hardware = hardware
         self.fault_plan = fault_plan
         self.spare_crossbars = spare_crossbars
@@ -641,7 +661,6 @@ class ShardManager:
         ]
         self.fault_plan = fault_plan
         self.recovery = recovery if recovery is not None else RecoveryPolicy()
-        self.health = ShardHealthTracker(self.n_shards, self.recovery)
         self.chunked = bool(chunked)
         self.reference = bool(reference)
         self.spare_crossbars = int(spare_crossbars)
@@ -657,6 +676,15 @@ class ShardManager:
                     f"placement has {self.n_shards}"
                 )
         self.substrates: list[str] = substrate_list
+        self.health = ShardHealthTracker(
+            self.n_shards, self.recovery, substrates=substrate_list
+        )
+        self._hedge_budget = (
+            HedgeBudget(self.recovery.hedge_budget)
+            if self.recovery.hedge_budget is not None
+            else None
+        )
+        self._health_version_seen = 0
         heterogeneous = len(set(substrate_list)) > 1
         if any(s != "crossbar" for s in substrate_list):
             if chunked:
@@ -686,7 +714,17 @@ class ShardManager:
             from repro.substrate import CostRouter
 
             objective = "energy" if route == "energy" else "latency"
-            self._router = CostRouter(self.hardware, objective=objective)
+            # With the latency-outlier detector running, observed
+            # service times are trustworthy enough to let measurements
+            # pull the ranking away from pure capability predictions.
+            observed_weight = (
+                0.5 if self.recovery.outlier_ejection else 0.0
+            )
+            self._router = CostRouter(
+                self.hardware,
+                objective=objective,
+                observed_weight=observed_weight,
+            )
         self._route_cache: dict[tuple[int, int], tuple[int, ...]] = {}
         self._route_decisions: list = []
         if verify is None:
@@ -830,13 +868,20 @@ class ShardManager:
         Without a router this is the historical ``(c + j) % N`` order.
         With one, replicas are ranked by the predicted cost of this
         batch on each replica's substrate (capability-descriptor
-        predictions — no device is touched); the rest of the ranking
-        stays as the failover order. Cached per ``(chunk, batch)``
-        because serving replays the same shapes constantly; the cache
-        is invalidated when the replica set changes.
+        predictions — no device is touched), blended with each
+        replica's observed service-time EWMA when the latency-outlier
+        detector is running; the rest of the ranking stays as the
+        failover order. Cached per ``(chunk, batch)`` because serving
+        replays the same shapes constantly; the cache is invalidated
+        when the replica set changes and whenever the health tracker's
+        verdict version moves (an ejection or re-admission means the
+        measured picture the cached ranking priced in is stale).
         """
         if self._router is None:
             return self.replicas[c]
+        if self.health.version != self._health_version_seen:
+            self._route_cache.clear()
+            self._health_version_seen = self.health.version
         key = (c, batch)
         cached = self._route_cache.get(key)
         if cached is not None:
@@ -846,7 +891,16 @@ class ShardManager:
             shard = self.shards[s]
             n = shard.n_rows + (1 if shard.verify else 0)
             candidates.append((s, self.substrates[s], max(n, 1), self.dims))
-        decision = self._router.order(c, candidates, n_queries=batch)
+        observed = None
+        if self.health.detector is not None:
+            observed = {
+                s: ewma
+                for s, _, _, _ in candidates
+                if (ewma := self.health.detector.ewma(s)) is not None
+            }
+        decision = self._router.order(
+            c, candidates, n_queries=batch, observed=observed
+        )
         order = tuple(s for s, _, _ in decision.ranked)
         self._route_cache[key] = order
         self._route_decisions.append(decision)
@@ -869,6 +923,32 @@ class ShardManager:
             "substrates": list(self.substrates),
             "decisions": [d.to_dict() for d in self._route_decisions],
         }
+
+    def _hedge_trigger_ns(self, s: int) -> float | None:
+        """Straggler threshold for one wave on shard ``s`` (ns).
+
+        Adaptive hedging derives it from observed p95s — ``factor x
+        min(own p95, fleet median p95)``, floored at ``hedge_min_ns`` —
+        so the trigger tracks what *healthy* replicas actually deliver
+        (a straggler's own inflated p95 never raises its own bar past
+        the fleet's). Before the detector has enough samples, or with
+        adaptive hedging off, this falls back to the policy's fixed
+        ``hedge_after_ns`` (None disables hedging entirely).
+        """
+        policy = self.recovery
+        det = self.health.detector
+        if policy.adaptive_hedge and det is not None:
+            candidates = [
+                p95
+                for p95 in (det.observed_p95_ns(s), det.fleet_p95_ns())
+                if p95 is not None
+            ]
+            if candidates:
+                return max(
+                    policy.hedge_min_ns,
+                    policy.hedge_p95_factor * min(candidates),
+                )
+        return policy.hedge_after_ns
 
     def _serve_chunks(
         self,
@@ -956,14 +1036,23 @@ class ShardManager:
                     ready[c] = max(ready[c], end_rel + delay)
                     timing.backoff_ns += delay
 
-        def try_hedge(s, chunks, start_rel, end_rel, cpu_ns):
+        def try_hedge(s, chunks, start_rel, end_rel, cpu_ns, trigger_ns):
             """Duplicate a straggling wave on an idle replica (values
             are identical either way; only the finish time improves).
+
+            Cancel-on-first-win: whichever wave finishes first is the
+            answer, and the loser is cancelled *at that instant* — the
+            loser's shard is only charged for the time it actually ran,
+            with the cancelled remainder booked to
+            ``timing.hedge_cancelled_ns`` and the discarded device time
+            to the shard's ``cancelled_pim_ns`` (subtracted from the
+            merged PIMStats). A global :class:`HedgeBudget`, when
+            configured, caps how often hedges fire.
 
             Returns ``(end_rel, component)`` where ``component``
             describes the hedge wave when it won the race, else None.
             """
-            hedge_start = start_rel + policy.hedge_after_ns
+            hedge_start = start_rel + trigger_ns
             for s2 in range(self.n_shards):
                 if s2 == s:
                     continue
@@ -973,9 +1062,18 @@ class ShardManager:
                 # spend a probationary shard's single probe slot on one
                 if self.health.probationary(s2, now_ns + hedge_start):
                     continue
+                # nor duplicate onto a suspected-slow (ejected) replica
+                if self.health.demoted(s2, now_ns + hedge_start):
+                    continue
                 alt = self.shards[s2]
                 if any(c not in alt.chunk_slices for c in chunks):
                     continue
+                if (
+                    self._hedge_budget is not None
+                    and not self._hedge_budget.try_take()
+                ):
+                    timing.hedges_denied += 1
+                    return end_rel, None
                 alt_start = max(elapsed[s2], hedge_start)
                 alt.advance_clock(now_ns + alt_start)
                 verdict = (
@@ -989,7 +1087,7 @@ class ShardManager:
                     dots2, pim2 = alt.dot_products(q_int)
                 except CrossbarDeadError:
                     continue
-                pim2 *= verdict.factor
+                pim2 = pim2 * verdict.factor + verdict.delay_ns
                 if alt.verify and alt.n_rows and not np.all(
                     verify_wave_residues(dots2, bits)
                 ):
@@ -998,11 +1096,28 @@ class ShardManager:
                 timing.hedges += 1
                 self._recovery_marker(tele, "hedge", s2, len(chunks))
                 alt_end = alt_start + pim2 + cpu_ns
-                elapsed[s2] = max(elapsed[s2], alt_end)
-                alt.busy_ns += pim2 + cpu_ns
-                pim_total[s2] += pim2
-                cpu_total[s2] += cpu_ns
                 if alt_end < end_rel:
+                    # hedge won: the original wave is cancelled at
+                    # alt_end — roll back the tail it never ran
+                    cancelled = end_rel - alt_end
+                    orig = self.shards[s]
+                    elapsed[s] = alt_end
+                    orig.busy_ns -= cancelled
+                    # the cpu stage runs last, so the cancelled tail
+                    # eats cpu time first, then device time
+                    cpu_cut = min(cancelled, cpu_ns)
+                    cpu_total[s] -= cpu_cut
+                    pim_total[s] -= cancelled - cpu_cut
+                    orig.cancelled_pim_ns += cancelled - cpu_cut
+                    timing.hedges_won += 1
+                    timing.hedge_cancelled_ns += cancelled
+                    elapsed[s2] = max(elapsed[s2], alt_end)
+                    alt.busy_ns += pim2 + cpu_ns
+                    pim_total[s2] += pim2
+                    cpu_total[s2] += cpu_ns
+                    self.health.record_service_time(
+                        s2, now_ns + alt_end, pim2 + cpu_ns
+                    )
                     return alt_end, {
                         "shard": s2,
                         "chunks": len(chunks),
@@ -1012,12 +1127,27 @@ class ShardManager:
                         "end_ns": alt_end,
                         "hedged": True,
                     }
+                # hedge lost: cancel it where the original finished —
+                # charge only the slice it actually ran, not its full
+                # would-be completion (the loser-accounting fix)
+                cut_end = min(alt_end, max(end_rel, alt_start))
+                charged = max(0.0, cut_end - alt_start)
+                elapsed[s2] = max(elapsed[s2], cut_end)
+                alt.busy_ns += charged
+                charged_pim = min(charged, pim2)
+                pim_total[s2] += charged_pim
+                cpu_total[s2] += charged - charged_pim
+                alt.cancelled_pim_ns += pim2 - charged_pim
+                timing.hedges_lost += 1
+                timing.hedge_cancelled_ns += (pim2 + cpu_ns) - charged
                 return end_rel, None
             return end_rel, None
 
         while pending:
             groups: dict[int, list[int]] = {}
             doomed: list[int] = []
+            # straggling waves of this round, hedged after the round
+            hedge_candidates: list[tuple] = []
             # shards whose single probe slot this round's dispatch holds:
             # chunks joining the same wave ride the probe together
             probing: set[int] = set()
@@ -1025,7 +1155,9 @@ class ShardManager:
                 if fails[c] > policy.max_retries:
                     doomed.append(c)
                     continue
-                reps = self._route_order(c, batch)
+                reps = self.health.prefer_order(
+                    self._route_order(c, batch), now_ns + ready[c]
+                )
                 chosen = None
                 for step in range(len(reps)):
                     s = reps[(ptr[c] + step) % len(reps)]
@@ -1070,6 +1202,10 @@ class ShardManager:
             for s in sorted(groups):
                 chunks = groups[s]
                 shard = self.shards[s]
+                if self._hedge_budget is not None:
+                    # the budget earns a fraction of a hedge per wave
+                    # attempt, so granted hedges stay <= budget x waves
+                    self._hedge_budget.accrue()
                 start_rel = max(elapsed[s], max(ready[c] for c in chunks))
                 t_start = now_ns + start_rel
                 verdict = (
@@ -1077,6 +1213,17 @@ class ShardManager:
                     if faulted and shard.fault_engine is not None
                     else ShardVerdict("ok")
                 )
+                if verdict.status == "drop":
+                    # flaky host<->shard link ate the dispatch: the
+                    # shard itself is fine, but from the host's side it
+                    # looks like a crash it must time out on
+                    timing.attempts += 1
+                    timing.link_drops += 1
+                    end_rel = start_rel + policy.crash_detect_ns
+                    elapsed[s] = end_rel
+                    self._recovery_marker(tele, "link_drop", s, len(chunks))
+                    fail_chunks(chunks, end_rel, s, False, True)
+                    continue
                 if verdict.status == "crash":
                     timing.attempts += 1
                     timing.crashes += 1
@@ -1121,7 +1268,9 @@ class ShardManager:
                         )
                         fail_chunks(chunks, end_rel, s, True, True)
                         continue
-                    pim_ns *= verdict.factor
+                    # slowdown scales the wave; a flaky link that chose
+                    # to delay (not drop) adds a flat in-flight stall
+                    pim_ns = pim_ns * verdict.factor + verdict.delay_ns
                     if (
                         faulted
                         and policy.dispatch_timeout_ns is not None
@@ -1179,6 +1328,9 @@ class ShardManager:
                 pim_total[s] += pim_ns
                 cpu_total[s] += cpu_ns
                 self.health.record_success(s, now_ns + end_rel)
+                self.health.record_service_time(
+                    s, now_ns + end_rel, pim_ns + cpu_ns
+                )
                 for c in chunks:
                     pending.discard(c)
                 comp = {
@@ -1190,17 +1342,30 @@ class ShardManager:
                     "end_ns": end_rel,
                     "hedged": False,
                 }
-                if (
-                    policy.hedge_after_ns is not None
-                    and pim_ns + cpu_ns > policy.hedge_after_ns
-                ):
-                    end_rel, hedge_comp = try_hedge(
-                        s, chunks, start_rel, end_rel, cpu_ns
-                    )
-                    if hedge_comp is not None:
-                        comp = hedge_comp
                 timing.wave_end_ns.append(end_rel)
                 timing.wave_components.append(comp)
+                trigger_ns = self._hedge_trigger_ns(s)
+                if trigger_ns is not None and pim_ns + cpu_ns > trigger_ns:
+                    hedge_candidates.append(
+                        (
+                            s, chunks, start_rel, end_rel, cpu_ns,
+                            trigger_ns, len(timing.wave_end_ns) - 1,
+                        )
+                    )
+            # hedges resolve only after every primary wave of the round
+            # is simulated: a hedge fires later in wall time than the
+            # round's waves start, so its replica pick must see their
+            # true busy times — evaluating inline would serialize the
+            # hedge *ahead* of a replica's own (earlier) wave
+            for s, chunks, start_rel, end_rel, cpu_ns, trig, widx in (
+                hedge_candidates
+            ):
+                new_end, hedge_comp = try_hedge(
+                    s, chunks, start_rel, end_rel, cpu_ns, trig
+                )
+                if hedge_comp is not None:
+                    timing.wave_end_ns[widx] = new_end
+                    timing.wave_components[widx] = hedge_comp
         timing.per_shard_pim_ns = pim_total
         timing.per_shard_cpu_ns = cpu_total
         return degraded
@@ -1774,8 +1939,20 @@ class ShardManager:
             shard.busy_ns = 0.0
 
     def merged_stats(self) -> PIMStats:
-        """Aggregate array stats over every shard, namespaced per shard."""
-        return PIMStats.merge(
+        """Aggregate array stats over every shard, namespaced per shard.
+
+        Device time spent on waves that a decided hedge race cancelled
+        is subtracted from the merged ``pim_time_ns`` (and reported
+        under ``extra["hedge_cancelled_ns"]``) so a hedged deployment's
+        total device time reflects work that produced answers — the
+        per-shard namespaced stats keep the raw uncancelled numbers.
+        """
+        merged = PIMStats.merge(
             [shard.pim_stats for shard in self.shards],
             prefixes=[f"shard{s}." for s in range(self.n_shards)],
         )
+        cancelled = sum(shard.cancelled_pim_ns for shard in self.shards)
+        if cancelled > 0.0:
+            merged.pim_time_ns = max(0.0, merged.pim_time_ns - cancelled)
+            merged.add_extra("hedge_cancelled_ns", cancelled)
+        return merged

@@ -57,6 +57,11 @@ class SLOTracker:
         self.crashes = 0
         self.corrupt_detected = 0
         self.hedges = 0
+        self.hedges_won = 0
+        self.hedges_lost = 0
+        self.hedges_denied = 0
+        self.hedge_cancelled_ns = 0.0
+        self.link_drops = 0
         self.degraded_chunks = 0
         self.mttr_samples: list[float] = []
         self.repair_events: list[dict] = []
@@ -134,6 +139,11 @@ class SLOTracker:
         self.crashes += timing.crashes
         self.corrupt_detected += timing.corrupt_detected
         self.hedges += timing.hedges
+        self.hedges_won += timing.hedges_won
+        self.hedges_lost += timing.hedges_lost
+        self.hedges_denied += timing.hedges_denied
+        self.hedge_cancelled_ns += timing.hedge_cancelled_ns
+        self.link_drops += timing.link_drops
         self.degraded_chunks += timing.degraded_chunks
 
     def record_recovery(self, duration_ns: float) -> None:
@@ -236,6 +246,14 @@ class SLOTracker:
                 "crashes": self.crashes,
                 "corrupt_detected": self.corrupt_detected,
                 "hedges": self.hedges,
+                "hedges_won": self.hedges_won,
+                "hedges_lost": self.hedges_lost,
+                "hedges_denied": self.hedges_denied,
+                "hedge_cancelled_ns": self.hedge_cancelled_ns,
+                "hedge_rate": (
+                    self.hedges / self.attempts if self.attempts else 0.0
+                ),
+                "link_drops": self.link_drops,
                 "degraded_chunks": self.degraded_chunks,
             },
             "repair_activity": dict(sorted(self.repair_counts.items())),

@@ -64,17 +64,37 @@ class CostRouter:
         predicted batch Joules. Ties (identical predictions — e.g. two
         replicas on the same backend) break toward the lower shard id,
         keeping routed serving deterministic.
+    observed_weight:
+        Blend factor for measured service times under the latency
+        objective: per-replica cost becomes ``(1 - w) * predicted +
+        w * observed_ewma`` when the caller passes an observation for
+        that shard. ``0.0`` (the default) keeps pure capability-model
+        routing; the energy objective never blends (no energy is
+        observed at serve time).
     """
 
-    def __init__(self, hardware=None, objective: str = "latency") -> None:
+    def __init__(
+        self,
+        hardware=None,
+        objective: str = "latency",
+        observed_weight: float = 0.0,
+    ) -> None:
         if objective not in ("latency", "energy"):
             from repro.errors import ConfigurationError
 
             raise ConfigurationError(
                 f"unknown routing objective {objective!r}"
             )
+        if not 0.0 <= observed_weight <= 1.0:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"observed_weight must lie in [0, 1] "
+                f"(got {observed_weight})"
+            )
         self.hardware = hardware
         self.objective = objective
+        self.observed_weight = float(observed_weight)
         self._caps: dict[str, object] = {}
         self._predictions: dict[tuple, float] = {}
         self.decisions = 0
@@ -116,23 +136,40 @@ class CostRouter:
         candidates: list[tuple[int, str, int, int]],
         n_queries: int = 1,
         input_bits: int | None = None,
+        observed: "dict[int, float] | None" = None,
     ) -> RoutingDecision:
         """Rank ``(shard_id, substrate, n_vectors, dims)`` candidates.
 
         Returns the full ranking, not just the winner: callers keep the
         tail as the failover order, so a dead winner degrades to the
         next-cheapest replica instead of an arbitrary one.
+
+        ``observed`` maps shard id -> measured per-dispatch service-time
+        EWMA in ns; when present (and ``observed_weight > 0`` under the
+        latency objective) each replica's cost blends the capability
+        prediction with its measured history, so a shard that *should*
+        be fast but is observed slow loses the ranking it would win on
+        paper.
         """
+        blend = (
+            self.observed_weight
+            if self.objective == "latency" and observed
+            else 0.0
+        )
+
+        def _cost(shard: int, substrate: str, n_vectors: int, dims: int):
+            predicted = self.predict(
+                substrate, n_vectors, dims, n_queries, input_bits
+            )
+            seen = observed.get(shard) if blend else None
+            if seen is None or seen <= 0.0:
+                return predicted
+            return (1.0 - blend) * predicted + blend * seen
+
         ranked = sorted(
             (
-                (
-                    shard,
-                    substrate,
-                    self.predict(
-                        substrate, n_vectors, dims, n_queries, input_bits
-                    ),
-                )
-                for shard, substrate, n_vectors, dims in candidates
+                (shard, substrate, _cost(shard, substrate, n, d))
+                for shard, substrate, n, d in candidates
             ),
             key=lambda item: (item[2], item[0]),
         )

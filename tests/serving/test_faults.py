@@ -209,6 +209,12 @@ class TestSLOTracker:
             "crashes": 0,
             "corrupt_detected": 0,
             "hedges": 0,
+            "hedges_won": 0,
+            "hedges_lost": 0,
+            "hedges_denied": 0,
+            "hedge_cancelled_ns": 0.0,
+            "hedge_rate": 0.0,
+            "link_drops": 0,
             "degraded_chunks": 0,
         }
 
