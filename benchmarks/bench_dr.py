@@ -1,0 +1,249 @@
+"""Disaster-recovery campaign: domain kills + cold restarts, gated.
+
+The durability claim behind :class:`repro.faults.DisasterRecoveryCampaign`:
+when a whole failure domain (every shard on one power rail) dies at
+once, *where the replicas sit* decides survival — and a checkpointed
+cold restart must be indistinguishable from a service that never
+crashed. The campaign serves one seeded query trace through a clean
+single-array oracle, through two equal-hardware fleets (ring placement
+vs domain-spread placement) under the same seeded
+:meth:`~repro.faults.FaultPlan.domain_outage` plan, and through a
+serve→checkpoint→crash→restore→serve leg. This bench gates:
+
+* **exactness** — zero violations in every arm and in the checkpoint
+  leg: a correlated outage may slow or degrade requests, never change
+  values;
+* **survival** — the spread arm's full-fidelity availability is
+  *strictly above* the naive arm's at equal shards/replication, and
+  stays at 1.0 (every chunk keeps a live replica outside the dead
+  domain);
+* **recovery point** — the restored service's recovery point equals
+  the checkpoint's snapshot time exactly (no silent replay gap);
+* **restore fidelity** — the crashed-and-restored service's answers
+  are bit-identical to the uninterrupted twin's, every request;
+* **placement accounting** — the pristine spread fleet reports zero
+  at-risk chunks while the naive fleet reports at least one (the
+  at-risk metric actually discriminates).
+
+Dual mode: a pytest bench (``pytest benchmarks/bench_dr.py``) and a
+standalone CLI (``python benchmarks/bench_dr.py --smoke``) used by the
+CI ``dr`` job, which uploads the recovery-timeline JSON artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.cli import add_telemetry_args, telemetry_scope
+from repro.core.report import format_table
+from repro.faults import DisasterRecoveryCampaign
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_ROWS = 1024
+DIMS = 48
+K = 10
+N_SHARDS = 8
+REPLICATION = 2
+N_REQUESTS = 160
+SMOKE_REQUESTS = 60
+HORIZON_NS = 1.5e7
+CAMPAIGN_SEED = 11
+#: The spread arm must keep every request on the full-fidelity path.
+SPREAD_AVAILABILITY = 1.0
+
+
+def _dataset() -> np.ndarray:
+    return np.random.default_rng(42).random((N_ROWS, DIMS))
+
+
+def run_bench(smoke: bool = False) -> dict:
+    """Run the DR campaign; returns the recovery-timeline artifact."""
+    campaign = DisasterRecoveryCampaign(
+        _dataset(),
+        n_shards=N_SHARDS,
+        replication=REPLICATION,
+        n_requests=SMOKE_REQUESTS if smoke else N_REQUESTS,
+        k=K,
+        horizon_ns=HORIZON_NS,
+        outage_domains=1,
+        level="power",
+        checkpoint_dir=str(RESULTS_DIR / "dr_checkpoints"),
+        seed=CAMPAIGN_SEED,
+    )
+    result = campaign.run()
+    result["meta"] = {"smoke": smoke}
+    result["thresholds"] = {
+        "spread_availability": SPREAD_AVAILABILITY,
+    }
+    return result
+
+
+def check(result: dict) -> list[str]:
+    """The acceptance gate; returns failure messages (empty = pass)."""
+    failures = []
+    naive = result["arms"]["naive"]
+    spread = result["arms"]["spread"]
+    for name, arm in result["arms"].items():
+        if arm["exactness_violations"]:
+            failures.append(
+                f"{name}: {arm['exactness_violations']} answers differ "
+                "from the clean single-array oracle"
+            )
+    if result["placement_answer_divergence"]:
+        failures.append(
+            f"placement arms disagree on "
+            f"{result['placement_answer_divergence']} answers "
+            "(placement must never change values)"
+        )
+    if not spread["availability"] > naive["availability"]:
+        failures.append(
+            f"spread availability {spread['availability']:.2%} is not "
+            f"strictly above naive {naive['availability']:.2%} at equal "
+            "hardware"
+        )
+    if spread["availability"] < SPREAD_AVAILABILITY:
+        failures.append(
+            f"spread availability {spread['availability']:.2%} < "
+            f"{SPREAD_AVAILABILITY:.0%} — a chunk lost every replica "
+            "to one domain"
+        )
+    if spread["at_risk_chunks_before_outage"] != 0:
+        failures.append(
+            f"spread placement left "
+            f"{spread['at_risk_chunks_before_outage']} chunks at risk "
+            "before the outage"
+        )
+    if naive["at_risk_chunks_before_outage"] == 0:
+        failures.append(
+            "naive placement reports zero at-risk chunks — the at-risk "
+            "metric does not discriminate on this fleet"
+        )
+    ck = result["checkpoint"]
+    if ck["exactness_violations"]:
+        failures.append(
+            f"checkpoint leg: {ck['exactness_violations']} answers "
+            "differ from the oracle"
+        )
+    if ck["restore_mismatches"]:
+        failures.append(
+            f"checkpoint leg: {ck['restore_mismatches']} answers differ "
+            "from the uninterrupted twin after restore"
+        )
+    if ck["recovery_point_ns"] != ck["checkpoint_t_ns"]:
+        failures.append(
+            f"recovery point {ck['recovery_point_ns']} != last "
+            f"checkpoint {ck['checkpoint_t_ns']}"
+        )
+    return failures
+
+
+def format_report(result: dict) -> str:
+    rows = []
+    for name in ("naive", "spread"):
+        arm = result["arms"][name]
+        rows.append(
+            [
+                name,
+                f"{arm['availability']:.2%}",
+                arm["exactness_violations"],
+                arm["degraded_responses"],
+                arm["at_risk_chunks_before_outage"],
+                arm["placement_violations"],
+                f"{arm['latency_p99_ns'] / 1e3:.1f}",
+            ]
+        )
+    ck = result["checkpoint"]
+    campaign = result["campaign"]
+    table = format_table(
+        [
+            "placement", "availability", "violations", "degraded",
+            "at-risk (pre)", "spread warns", "p99 (us)",
+        ],
+        rows,
+        title=(
+            f"Disaster recovery: {campaign['n_shards']} shards "
+            f"x{campaign['replication']} replicas, "
+            f"{campaign['outage_domains']} {campaign['level']} "
+            f"domain(s) down, {campaign['n_requests']} requests/arm, "
+            f"seed {campaign['seed']}"
+        ),
+    )
+    return (
+        f"{table}\n"
+        f"checkpoint leg    : {ck['requests_before_crash']} served, "
+        f"crash, restore, {ck['requests_after_restore']} served — "
+        f"{ck['restore_mismatches']} mismatches, recovery point "
+        f"{ck['recovery_point_ns'] / 1e6:.3f}ms "
+        f"(= checkpoint: "
+        f"{ck['recovery_point_ns'] == ck['checkpoint_t_ns']})"
+    )
+
+
+def save_timeline(result: dict, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+
+# ----------------------------------------------------------------------
+# pytest mode
+# ----------------------------------------------------------------------
+def test_dr_campaign(benchmark, save_results):
+    result = run_bench(smoke=True)
+    save_results("dr_campaign", format_report(result))
+    save_timeline(result, RESULTS_DIR / "dr_campaign_timeline.json")
+    failures = check(result)
+    assert not failures, "; ".join(failures)
+
+    campaign = DisasterRecoveryCampaign(
+        _dataset(),
+        n_shards=N_SHARDS,
+        replication=REPLICATION,
+        n_requests=16,
+        k=K,
+        horizon_ns=HORIZON_NS,
+        checkpoint_dir=str(RESULTS_DIR / "dr_checkpoints"),
+        seed=CAMPAIGN_SEED,
+    )
+    benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# CLI mode (used by the CI dr job)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "disaster-recovery campaign: domain outages, spread vs "
+            "naive placement, checkpointed cold restart"
+        )
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced trace (CI-sized); same assertions",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(RESULTS_DIR / "dr_campaign_timeline.json"),
+        metavar="FILE", help="recovery timeline JSON artifact path",
+    )
+    add_telemetry_args(parser)
+    args = parser.parse_args(argv)
+    with telemetry_scope(args):
+        result = run_bench(smoke=args.smoke)
+    print(format_report(result))
+    save_timeline(result, Path(args.out))
+    print(f"recovery timeline : {args.out}")
+    failures = check(result)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

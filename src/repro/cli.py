@@ -274,6 +274,49 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--topology", default=None, metavar="SxBxC",
+        help=(
+            "failure-domain tree as shards-per-board x boards-per-"
+            "channel x channels-per-power-domain (e.g. 2x2x1); turns "
+            "on domain-spread replica placement and the durability "
+            "accounting (at-risk chunks, spread violations)"
+        ),
+    )
+    serve.add_argument(
+        "--naive-placement", action="store_true",
+        help=(
+            "with --topology, keep the historical domain-oblivious "
+            "ring placement (the naive arm of the DR comparison) "
+            "while still reporting spread/at-risk accounting"
+        ),
+    )
+    serve.add_argument(
+        "--domain-outage", type=_positive_int, default=None,
+        nargs="?", const=1, metavar="N",
+        help=(
+            "inject a seeded correlated outage: every shard of N "
+            "whole power domains crashes simultaneously mid-run "
+            "(requires --topology; composable with --chaos/--gray-chaos)"
+        ),
+    )
+    serve.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help=(
+            "write a crash-consistent checkpoint of the fleet to FILE "
+            "after the run drains (atomic write-then-rename, SHA-256 "
+            "integrity hashes)"
+        ),
+    )
+    serve.add_argument(
+        "--restore", default=None, metavar="FILE",
+        help=(
+            "cold-start the fleet from a checkpoint instead of "
+            "building it fresh: dataset, placement, replication and "
+            "topology come from the checkpoint (bit-identical "
+            "answers); workload flags still shape the traffic"
+        ),
+    )
+    serve.add_argument(
         "--chaos", action="store_true",
         help=(
             "inject a seeded chaos fault plan (one shard killed "
@@ -611,6 +654,27 @@ def _cmd_serve(args, out) -> int:
         )
         _, timing = probe_manager.knn_batch(probe, args.k)
         rate = 0.8 * args.max_batch * 1e9 / timing.service_ns
+    topology = None
+    if args.topology is not None:
+        from repro.hardware import FailureDomainTopology
+
+        try:
+            spb, bpc, cpp = (
+                int(part) for part in args.topology.lower().split("x")
+            )
+        except ValueError:
+            raise SystemExit(
+                f"--topology expects SxBxC (e.g. 2x2x1), got "
+                f"{args.topology!r}"
+            )
+        topology = FailureDomainTopology(
+            n_shards=args.shards,
+            shards_per_board=spb,
+            boards_per_channel=bpc,
+            channels_per_power_domain=cpp,
+        )
+    if args.domain_outage is not None and topology is None:
+        raise SystemExit("--domain-outage requires --topology")
     fault_plan = None
     horizon_ns = args.requests / rate * 1e9
     if args.chaos:
@@ -635,6 +699,22 @@ def _cmd_serve(args, out) -> int:
                 fault_plan.events + gray.events, seed=args.fault_seed
             )
         )
+    if args.domain_outage is not None:
+        from repro.faults import FaultPlan
+
+        outage = FaultPlan.domain_outage(
+            topology,
+            horizon_ns=horizon_ns,
+            seed=args.fault_seed + 2,
+            outage_domains=args.domain_outage,
+        )
+        fault_plan = (
+            outage
+            if fault_plan is None
+            else FaultPlan(
+                fault_plan.events + outage.events, seed=args.fault_seed
+            )
+        )
     recovery = None
     if args.outlier_ejection or args.hedge_budget is not None:
         from repro.serving import RecoveryPolicy
@@ -644,19 +724,32 @@ def _cmd_serve(args, out) -> int:
             adaptive_hedge=True,
             hedge_budget=args.hedge_budget,
         )
-    manager = ShardManager(
-        data,
-        n_shards=args.shards,
-        placement=args.placement,
-        hardware=_platform(args),
-        seed=args.seed,
-        replication=args.replication,
-        fault_plan=fault_plan,
-        recovery=recovery,
-        spare_crossbars=args.spares,
-        substrates=substrates,
-        route=args.route,
-    )
+    if args.restore is not None:
+        from repro.checkpoint import restore_manager
+
+        manager = restore_manager(
+            args.restore,
+            hardware=_platform(args),
+            fault_plan=fault_plan,
+            recovery=recovery,
+        )
+        data = manager.source_data
+    else:
+        manager = ShardManager(
+            data,
+            n_shards=args.shards,
+            placement=args.placement,
+            hardware=_platform(args),
+            seed=args.seed,
+            replication=args.replication,
+            fault_plan=fault_plan,
+            recovery=recovery,
+            spare_crossbars=args.spares,
+            substrates=substrates,
+            route=args.route,
+            topology=topology,
+            spread=not args.naive_placement,
+        )
     repair = None
     if args.repair:
         from repro.repair import RepairController, RepairPolicy
@@ -701,10 +794,16 @@ def _cmd_serve(args, out) -> int:
     label = args.data_file if args.data_file else args.dataset
     print(f"dataset        : {label} {data.shape}", file=out)
     print(
-        f"shards         : {args.shards} x {args.placement} "
-        f"(rows {manager.shard_sizes()})",
+        f"shards         : {manager.n_shards} x "
+        f"{manager.placement.kind} (rows {manager.shard_sizes()})",
         file=out,
     )
+    if args.restore is not None:
+        print(
+            f"restored       : {args.restore} (recovery point "
+            f"{manager.last_checkpoint_ns / 1e6:.3f} ms)",
+            file=out,
+        )
     if len(set(manager.substrates)) > 1 or manager._router is not None:
         routing = manager.routing_report()
         winners: dict[str, int] = {}
@@ -812,6 +911,29 @@ def _cmd_serve(args, out) -> int:
         ),
         file=out,
     )
+    dur = summary["durability"]
+    if dur["topology"] is not None:
+        at_risk = dur["at_risk_chunks"]
+        print(
+            "durability     : "
+            f"{'spread' if dur['spread_placement'] else 'ring'} "
+            f"placement, min spread {dur['min_spread']}, "
+            f"at-risk chunks {at_risk if at_risk else 'none'}, "
+            f"violations {len(dur['violations'])}",
+            file=out,
+        )
+    if args.checkpoint is not None:
+        from repro.checkpoint import write_checkpoint
+
+        manifest = write_checkpoint(
+            manager, args.checkpoint, t_ns=service.now_ns
+        )
+        print(
+            f"checkpoint     : {args.checkpoint} "
+            f"(t={manifest['t_ns'] / 1e6:.3f} ms, "
+            f"{len(manifest['hashes'])} hashed arrays)",
+            file=out,
+        )
     if repair is not None:
         rep = summary["repair"]
         scrub = rep["scrub"]

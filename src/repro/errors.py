@@ -142,3 +142,9 @@ class AdmissionError(ServingError):
 class WatchdogTimeoutError(ServingError, TimeoutError):
     """The serving event loop stopped making progress (a hung dispatch
     or a non-terminating drain) and the watchdog terminated the run."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint cannot be written, read, or trusted: unsupported
+    version, truncated payload, an integrity hash that does not match
+    its array, or restored state inconsistent with the manifest."""

@@ -27,7 +27,13 @@ mid-run. It provides:
   phased scenario suites that serve identical traffic under a fault
   plan with the gray-failure defenses on and off, asserting
   bit-exactness against a clean reference and reporting p99/availability
-  per arm.
+  per arm;
+* correlated outages — :meth:`FaultPlan.domain_outage` crashes every
+  shard of whole failure domains simultaneously (plus staggered-recovery
+  brownouts), and :class:`DisasterRecoveryCampaign`
+  (:mod:`repro.faults.dr`) proves domain-spread placement survives them
+  at equal hardware and that a checkpointed cold restart is
+  bit-identical to an uninterrupted service.
 
 Every injected fault is deterministic (seeded from the plan) and
 visible in telemetry (``fault.*`` spans and ``faults.*`` counters), so
@@ -52,6 +58,7 @@ from repro.faults.campaign import (
     ChaosScenario,
     standard_campaign,
 )
+from repro.faults.dr import DisasterRecoveryCampaign
 from repro.faults.plan import (
     ARRAY_FAULT_KINDS,
     FAULT_KINDS,
@@ -66,6 +73,7 @@ __all__ = [
     "ChaosCampaign",
     "ChaosScenario",
     "DEFAULT_CORRUPT_MAGNITUDE",
+    "DisasterRecoveryCampaign",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultPlan",

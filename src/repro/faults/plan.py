@@ -408,6 +408,126 @@ class FaultPlan:
         return cls(events, seed=seed)
 
     @classmethod
+    def domain_outage(
+        cls,
+        topology,
+        horizon_ns: float,
+        seed: int = 0,
+        *,
+        outage_domains: int = 1,
+        level: str = "power",
+        outage_at_ns: float | None = None,
+        brownout_domains: int = 0,
+        brownout_level: str = "power",
+        brownout_at_ns: float | None = None,
+        brownout_duration_ns: float | None = None,
+        recovery_stagger_ns: float | None = None,
+    ) -> "FaultPlan":
+        """A seeded *correlated* outage over whole failure domains.
+
+        Picks ``outage_domains`` distinct domains at ``level`` (board,
+        channel or power — see
+        :class:`repro.hardware.FailureDomainTopology`) and crashes
+        every shard inside them **simultaneously** — the signature of a
+        shared power rail or channel controller going down, and the
+        scenario single-shard generators like :meth:`chaos` never
+        produce. Optionally browns out ``brownout_domains`` *other*
+        domains: their shards hang (``shard_hang``) from
+        ``brownout_at_ns`` and come back with *staggered* recovery —
+        shard ``i`` of the domain hangs for
+        ``brownout_duration_ns + i * recovery_stagger_ns``, the way
+        breakers re-close one leg at a time after a brownout.
+
+        Victim domains are seeded draws; brownout victims are drawn
+        from the domains the outage spared (at the brownout level), so
+        a plan never crashes and browns out the same shard.
+        """
+        horizon_ns = float(horizon_ns)
+        if horizon_ns <= 0:
+            raise ConfigurationError("horizon must be positive")
+        for lv in (level, brownout_level):
+            if lv not in ("board", "channel", "power"):
+                raise ConfigurationError(
+                    f"unknown domain level {lv!r}; expected board, "
+                    "channel or power"
+                )
+        if outage_domains < 0 or brownout_domains < 0:
+            raise ConfigurationError("domain counts must be >= 0")
+        if outage_domains > topology.n_domains(level):
+            raise ConfigurationError(
+                f"cannot kill {outage_domains} {level} domains, "
+                f"topology has {topology.n_domains(level)}"
+            )
+        rng = np.random.default_rng(seed)
+        outage_t = (
+            0.4 * horizon_ns if outage_at_ns is None else float(outage_at_ns)
+        )
+        dead_domains = [
+            int(d)
+            for d in rng.permutation(topology.n_domains(level))[
+                :outage_domains
+            ]
+        ]
+        events: list[FaultEvent] = []
+        dead_shards: set[int] = set()
+        for d in dead_domains:
+            for shard in topology.shards_in(level, d):
+                dead_shards.add(shard)
+                events.append(
+                    FaultEvent(
+                        t_ns=outage_t,
+                        kind="shard_crash",
+                        target=f"shard{shard}",
+                        params={"domain": d, "level": level},
+                    )
+                )
+        if brownout_domains:
+            spared = [
+                d
+                for d in range(topology.n_domains(brownout_level))
+                if not any(
+                    s in dead_shards
+                    for s in topology.shards_in(brownout_level, d)
+                )
+            ]
+            if brownout_domains > len(spared):
+                raise ConfigurationError(
+                    f"cannot brown out {brownout_domains} "
+                    f"{brownout_level} domains, only {len(spared)} "
+                    "escape the outage"
+                )
+            brown_t = (
+                0.2 * horizon_ns
+                if brownout_at_ns is None
+                else float(brownout_at_ns)
+            )
+            duration = (
+                0.15 * horizon_ns
+                if brownout_duration_ns is None
+                else float(brownout_duration_ns)
+            )
+            stagger = (
+                0.05 * horizon_ns
+                if recovery_stagger_ns is None
+                else float(recovery_stagger_ns)
+            )
+            picks = rng.permutation(len(spared))[:brownout_domains]
+            for d in (int(spared[i]) for i in picks):
+                for i, shard in enumerate(
+                    topology.shards_in(brownout_level, d)
+                ):
+                    events.append(
+                        FaultEvent(
+                            t_ns=brown_t,
+                            kind="shard_hang",
+                            target=f"shard{shard}",
+                            duration_ns=duration + i * stagger,
+                            params={"domain": d, "level": brownout_level},
+                        )
+                    )
+        return cls(events, seed=seed)
+
+    @classmethod
     def sustained(
         cls,
         n_shards: int,

@@ -20,6 +20,8 @@ from repro.hardware.banked_memory import (
 from repro.hardware.config import (
     CPUConfig,
     CrossbarConfig,
+    DOMAIN_LEVELS,
+    FailureDomainTopology,
     HardwareConfig,
     HBMPIMConfig,
     MemoryConfig,
@@ -74,9 +76,11 @@ __all__ = [
     "ChunkedDotProductEngine",
     "Crossbar",
     "CrossbarConfig",
+    "DOMAIN_LEVELS",
     "DatasetLayout",
     "EnduranceTracker",
     "EnergyModel",
+    "FailureDomainTopology",
     "HBMPIMConfig",
     "HardwareConfig",
     "Instruction",

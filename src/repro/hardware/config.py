@@ -314,6 +314,173 @@ class HardwareConfig:
         )
 
 
+#: Failure-domain levels, finest to coarsest blast radius. A board
+#: failure takes its shards; a channel failure takes every board on the
+#: channel; a power-domain failure takes every channel it feeds.
+DOMAIN_LEVELS = ("board", "channel", "power")
+
+
+@dataclass(frozen=True)
+class FailureDomainTopology:
+    """The shard -> board -> channel -> power-domain tree of one fleet.
+
+    Real PIM deployments fail in correlated groups, not one array at a
+    time: the boards of one memory channel share a controller, the
+    channels of one power domain share a supply. This class maps shard
+    ids onto that tree so placement can *spread* the replicas of a
+    chunk across domains (no single correlated outage takes every copy)
+    and the fault layer can script whole-domain outages.
+
+    Shards are packed contiguously: shard ``s`` sits on board
+    ``s // shards_per_board``, boards pack into channels and channels
+    into power domains the same way. Partial trailing groups are legal
+    (a 6-shard fleet at 4 shards/board has boards of 4 and 2 shards).
+    """
+
+    n_shards: int
+    shards_per_board: int = 2
+    boards_per_channel: int = 2
+    channels_per_power_domain: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigurationError("topology needs at least one shard")
+        if min(
+            self.shards_per_board,
+            self.boards_per_channel,
+            self.channels_per_power_domain,
+        ) < 1:
+            raise ConfigurationError(
+                "topology group sizes must be positive"
+            )
+
+    # -- shard -> domain ------------------------------------------------
+    def _check(self, shard: int) -> int:
+        shard = int(shard)
+        if not 0 <= shard < self.n_shards:
+            raise ConfigurationError(
+                f"shard {shard} outside fleet of {self.n_shards}"
+            )
+        return shard
+
+    def board_of(self, shard: int) -> int:
+        """Board id hosting ``shard``."""
+        return self._check(shard) // self.shards_per_board
+
+    def channel_of(self, shard: int) -> int:
+        """Memory channel id hosting ``shard``'s board."""
+        return self.board_of(shard) // self.boards_per_channel
+
+    def power_domain_of(self, shard: int) -> int:
+        """Power domain id feeding ``shard``'s channel."""
+        return self.channel_of(shard) // self.channels_per_power_domain
+
+    def domain_of(self, shard: int, level: str) -> int:
+        """Domain id of ``shard`` at one :data:`DOMAIN_LEVELS` level."""
+        if level == "board":
+            return self.board_of(shard)
+        if level == "channel":
+            return self.channel_of(shard)
+        if level == "power":
+            return self.power_domain_of(shard)
+        raise ConfigurationError(
+            f"unknown domain level {level!r}; one of {DOMAIN_LEVELS}"
+        )
+
+    def domains_of(self, shard: int) -> dict:
+        """``{level: domain id}`` for every level, for one shard."""
+        return {
+            level: self.domain_of(shard, level) for level in DOMAIN_LEVELS
+        }
+
+    # -- domain -> shards -----------------------------------------------
+    @property
+    def n_boards(self) -> int:
+        return -(-self.n_shards // self.shards_per_board)
+
+    @property
+    def n_channels(self) -> int:
+        return -(-self.n_boards // self.boards_per_channel)
+
+    @property
+    def n_power_domains(self) -> int:
+        return -(-self.n_channels // self.channels_per_power_domain)
+
+    def n_domains(self, level: str) -> int:
+        """Distinct domains at ``level``."""
+        if level == "board":
+            return self.n_boards
+        if level == "channel":
+            return self.n_channels
+        if level == "power":
+            return self.n_power_domains
+        raise ConfigurationError(
+            f"unknown domain level {level!r}; one of {DOMAIN_LEVELS}"
+        )
+
+    def shards_in(self, level: str, domain: int) -> tuple[int, ...]:
+        """Shard ids inside one domain (the domain's blast radius)."""
+        domain = int(domain)
+        if not 0 <= domain < self.n_domains(level):
+            raise ConfigurationError(
+                f"no {level} domain {domain} "
+                f"(fleet has {self.n_domains(level)})"
+            )
+        return tuple(
+            s
+            for s in range(self.n_shards)
+            if self.domain_of(s, level) == domain
+        )
+
+    # -- spread arithmetic ----------------------------------------------
+    def shared_level(self, a: int, b: int) -> str | None:
+        """Finest domain two shards share (``None`` = fully disjoint).
+
+        Sharing a board implies sharing its channel and power domain,
+        so the finest shared level names the *smallest* outage that
+        takes both shards at once.
+        """
+        if a == b:
+            raise ConfigurationError("shared_level needs distinct shards")
+        if self.board_of(a) == self.board_of(b):
+            return "board"
+        if self.channel_of(a) == self.channel_of(b):
+            return "channel"
+        if self.power_domain_of(a) == self.power_domain_of(b):
+            return "power"
+        return None
+
+    def shared_depth(self, a: int, b: int) -> int:
+        """How many domain levels two shards share (0 = disjoint, 3 =
+        same board). The quantity spread placement minimises."""
+        level = self.shared_level(a, b)
+        if level is None:
+            return 0
+        return len(DOMAIN_LEVELS) - DOMAIN_LEVELS.index(level)
+
+    # -- (de)serialisation ----------------------------------------------
+    def describe(self) -> dict:
+        """JSON-friendly form (checkpoints, timeline artifacts)."""
+        return {
+            "n_shards": self.n_shards,
+            "shards_per_board": self.shards_per_board,
+            "boards_per_channel": self.boards_per_channel,
+            "channels_per_power_domain": self.channels_per_power_domain,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FailureDomainTopology":
+        """Inverse of :meth:`describe`."""
+        return cls(
+            n_shards=int(payload["n_shards"]),
+            shards_per_board=int(payload["shards_per_board"]),
+            boards_per_channel=int(payload["boards_per_channel"]),
+            channels_per_power_domain=int(
+                payload["channels_per_power_domain"]
+            ),
+        )
+
+
 def baseline_platform() -> HardwareConfig:
     """The conventional DRAM-only platform of the paper's experiments."""
     return HardwareConfig(pim=None)

@@ -83,6 +83,7 @@ class RepairController:
         self._suspicion: dict[int, int] = {}
         self._unrepairable: set[int] = set()
         self._dead_handled: set[int] = set()
+        self._spread_noted: set[int] = set()
 
     # ------------------------------------------------------------------
     # idle-window scheduling
@@ -303,7 +304,18 @@ class RepairController:
         return self.manager.replication
 
     def _enqueue_missing(self, t_ns: float) -> int:
-        """Queue a transfer for every chunk below its replica target."""
+        """Queue a transfer for every chunk below its replica target.
+
+        Target selection defers to ``manager.replica_target_score``:
+        least-loaded shard first historically, and — with a failure-
+        domain topology attached — domain-disjoint shards before
+        co-domain ones, so repair restores *spread*, not just count.
+        A chunk already at its target count but whose surviving
+        replicas all share one failure domain (``manager.chunk_risk``)
+        gets one extra domain-disjoint copy when a shard outside that
+        domain can host it: count-only repair would declare victory
+        while the next correlated outage still takes every copy.
+        """
         manager = self.manager
         if manager.chunked:
             return 0  # chunked shards reprogram per chunk; no remap substrate
@@ -343,7 +355,8 @@ class RepairController:
                 if not candidates:
                     break
                 tgt = min(
-                    candidates, key=lambda s: (manager.shards[s].n_rows, s)
+                    candidates,
+                    key=lambda s: manager.replica_target_score(c, s),
                 )
                 size = manager.chunk_bytes(c)
                 self._pending.append(
@@ -362,6 +375,51 @@ class RepairController:
                 self._event(
                     t_ns, "rereplicate_start",
                     chunk=c, target=tgt, bytes=size,
+                )
+            if (
+                deficit <= 0
+                and not inflight.get(c)
+                and manager.topology is not None
+                and manager.spread
+                and manager.chunk_risk(c) is not None
+            ):
+                spread_candidates = [
+                    s
+                    for s in alive
+                    if c not in manager.shards[s].chunk_slices
+                    and (c, s) not in targeted
+                    and manager.shards[s].can_host(rows, manager.verify)
+                    and manager.replica_target_score(c, s)[0] == 0
+                ]
+                if not spread_candidates:
+                    if c not in self._spread_noted:
+                        self._spread_noted.add(c)
+                        self._event(
+                            t_ns, "spread_unrestorable",
+                            chunk=c, level=manager.chunk_risk(c),
+                        )
+                    continue
+                self._spread_noted.discard(c)
+                tgt = min(
+                    spread_candidates,
+                    key=lambda s: manager.replica_target_score(c, s),
+                )
+                size = manager.chunk_bytes(c)
+                self._pending.append(
+                    _Transfer(
+                        chunk=c,
+                        target=tgt,
+                        started_ns=t_ns,
+                        bytes=size,
+                        remaining_ns=size * self.policy.copy_ns_per_byte,
+                    )
+                )
+                targeted.add((c, tgt))
+                inflight[c] = inflight.get(c, 0) + 1
+                queued += 1
+                self._event(
+                    t_ns, "rereplicate_start",
+                    chunk=c, target=tgt, bytes=size, spread_repair=True,
                 )
         return queued
 
@@ -453,5 +511,6 @@ class RepairController:
             "pending_transfers": len(self._pending),
             "spares_remaining": spares,
             "replica_counts": manager.replica_counts(),
+            "at_risk_chunks": manager.spread_report()["n_at_risk"],
             "busy_ns": self.busy_ns,
         }

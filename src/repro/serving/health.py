@@ -492,6 +492,20 @@ class ShardHealthTracker:
                 min_samples=self.policy.detector_min_samples,
                 min_ratio=self.policy.detector_min_ratio,
             )
+        self._domains: list[dict | None] | None = None
+        self._spread_report = None
+
+    def attach_placement(self, domains, spread_report) -> None:
+        """Wire the tracker to the placement's durability accounting.
+
+        ``domains`` is the per-shard failure-domain dict (or ``None``
+        per shard when no topology is attached); ``spread_report`` is a
+        zero-argument callable (``ShardManager.spread_report``) queried
+        lazily at snapshot time so the tracker never holds stale copies
+        of the replica map.
+        """
+        self._domains = list(domains)
+        self._spread_report = spread_report
 
     # ------------------------------------------------------------------
     def record_success(self, shard_id: int, t_ns: float) -> None:
@@ -791,8 +805,21 @@ class ShardHealthTracker:
         ``ejected`` flag, and the ``observed_p95_ns`` sketch readout;
         the same three are pushed as per-shard gauges so the Prometheus
         snapshot mirrors them.
+
+        With a placement attached (:meth:`attach_placement`) each
+        record additionally carries the shard's failure-domain
+        coordinates (``domains``) and how many of its hosted chunks are
+        at risk of a correlated outage (``hosted_at_risk_chunks``);
+        fleet-wide durability (minimum replica spread, at-risk chunk
+        count, recorded violations, checkpoint age) goes out as gauges.
         """
         tele = get_recorder()
+        durability = (
+            self._spread_report() if self._spread_report is not None else None
+        )
+        per_shard_at_risk = (
+            durability["per_shard_at_risk"] if durability else None
+        )
         out = []
         for s, h in enumerate(self._shards):
             if h.dead:
@@ -827,6 +854,16 @@ class ShardHealthTracker:
                     "ejections": h.ejections,
                     "ejected_since_ns": h.ejected_since_ns,
                     "observed_p95_ns": p95,
+                    "domains": (
+                        self._domains[s]
+                        if self._domains is not None
+                        else None
+                    ),
+                    "hosted_at_risk_chunks": (
+                        per_shard_at_risk[s]
+                        if per_shard_at_risk is not None
+                        else None
+                    ),
                 }
             )
             if tele.enabled and self.detector is not None:
@@ -840,4 +877,60 @@ class ShardHealthTracker:
                     tele.metrics.gauge(
                         f"serving.shard{s}.observed_p95_ns"
                     ).set(p95)
+        if tele.enabled and durability is not None:
+            if durability["min_spread"] is not None:
+                tele.metrics.gauge("serving.placement.min_spread").set(
+                    float(durability["min_spread"])
+                )
+            tele.metrics.gauge("serving.placement.at_risk_chunks").set(
+                float(durability["n_at_risk"])
+            )
+            tele.metrics.gauge("serving.placement.violations").set(
+                float(len(durability["violations"]))
+            )
+            last = durability.get("last_checkpoint_ns")
+            if last is not None:
+                tele.metrics.gauge("serving.checkpoint.age_ns").set(
+                    max(t_ns - last, 0.0)
+                )
         return out
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Serialize the mutable health state for a checkpoint.
+
+        Captures every per-shard breaker/quarantine/ejection field plus
+        the tracker version and undrained MTTR samples. The latency-
+        outlier detector's sketches are deliberately *not* captured —
+        they are advisory (they bias routing preference, never results)
+        and rebuild from live traffic within one detector window.
+        """
+        return {
+            "version": self.version,
+            "recoveries": list(self._recoveries),
+            "shards": [
+                {slot: getattr(h, slot) for slot in _ShardHealth.__slots__}
+                for h in self._shards
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`export_state` output onto this tracker.
+
+        The shard count must match; the version counter is bumped past
+        the saved value so any route order cached before the restore is
+        invalidated.
+        """
+        shards = state["shards"]
+        if len(shards) != len(self._shards):
+            raise ServingError(
+                f"health state describes {len(shards)} shards, "
+                f"tracker has {len(self._shards)}"
+            )
+        for h, payload in zip(self._shards, shards):
+            for slot in _ShardHealth.__slots__:
+                setattr(h, slot, payload[slot])
+        self._recoveries = list(state.get("recoveries", []))
+        self.version = int(state.get("version", 0)) + 1

@@ -697,6 +697,7 @@ class QueryService:
             shard_busy_ns=self.manager.shard_busy_ns(),
         )
         result["health"] = self.manager.health.snapshot(horizon)
+        result["durability"] = self.manager.spread_report()
         if self.repair is not None:
             result["repair"] = self.repair.report()
         if self.monitor is not None:

@@ -63,7 +63,12 @@ from repro.errors import (
 from repro.faults.injectors import FaultyPIMArray, FaultyShardEngine, ShardVerdict
 from repro.faults.integrity import append_checksum_row, verify_wave_residues
 from repro.faults.plan import FaultPlan
-from repro.hardware.config import HardwareConfig, pim_platform
+from repro.hardware.config import (
+    DOMAIN_LEVELS,
+    FailureDomainTopology,
+    HardwareConfig,
+    pim_platform,
+)
 from repro.hardware.controller import PIMController
 from repro.hardware.mapper import total_crossbars
 from repro.hardware.pim_array import PIMStats
@@ -606,6 +611,21 @@ class ShardManager:
         round-robin order. Routing only permutes which replica is
         *tried first* — failover still walks the remaining replicas,
         so values are unchanged by construction.
+    topology:
+        Optional :class:`~repro.hardware.config.FailureDomainTopology`
+        mapping shard ids onto the board/channel/power-domain tree.
+        With ``spread=True`` (the default) replica placement becomes
+        *domain-spread*: each chunk's replicas are placed so that no
+        two share a failure domain whenever the fleet shape allows,
+        and every unavoidable co-domain pairing is recorded in
+        ``placement_violations``. Because answers are placement-
+        invariant by construction, spread placement changes *which*
+        shards host a chunk but never the values served.
+    spread:
+        With a topology attached, ``False`` keeps the historical ring
+        placement (domain-oblivious) while still exposing the
+        topology's spread/at-risk accounting — the "naive placement"
+        arm of the disaster-recovery bench.
     """
 
     def __init__(
@@ -627,6 +647,8 @@ class ShardManager:
         reference: bool = False,
         substrates: "str | list[str] | tuple[str, ...] | None" = None,
         route: str = "auto",
+        topology: FailureDomainTopology | None = None,
+        spread: bool = True,
     ) -> None:
         data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2 or data.shape[0] < 1:
@@ -655,10 +677,32 @@ class ShardManager:
                 f"(got {replication})"
             )
         self.replication = int(replication)
-        self.replicas: list[tuple[int, ...]] = [
-            tuple((c + j) % self.n_shards for j in range(self.replication))
-            for c in range(self.n_chunks)
-        ]
+        if topology is not None and topology.n_shards != self.n_shards:
+            raise ServingError(
+                f"topology describes {topology.n_shards} shards, "
+                f"placement has {self.n_shards}"
+            )
+        self.topology = topology
+        self.spread = bool(spread)
+        #: Unavoidable co-domain replica pairings, recorded at placement
+        #: time and by add_replica when no spread-restoring target
+        #: exists. Each record names the chunk, the offending shard pair
+        #: and the finest domain level they share.
+        self.placement_violations: list[dict] = []
+        #: Every successful add_replica as ``(chunk, target)`` in
+        #: application order — replayed verbatim by checkpoint restore
+        #: so shard row layouts come back byte-identical.
+        self.replica_log: list[tuple[int, int]] = []
+        if topology is not None and self.spread and self.replication > 1:
+            self.replicas = self._spread_replicas()
+        else:
+            self.replicas: list[tuple[int, ...]] = [
+                tuple(
+                    (c + j) % self.n_shards
+                    for j in range(self.replication)
+                )
+                for c in range(self.n_chunks)
+            ]
         self.fault_plan = fault_plan
         self.recovery = recovery if recovery is not None else RecoveryPolicy()
         self.chunked = bool(chunked)
@@ -779,6 +823,213 @@ class ShardManager:
                 shard.chunk_slices[c] = slice(offset, offset + size)
                 offset += size
             self.shards.append(shard)
+        #: The dataset as handed in (float64) — the checkpoint layer
+        #: snapshots it so a cold restart re-quantizes bit-identically.
+        self.source_data = data
+        #: Simulated time of the last checkpoint written against this
+        #: manager (None = never); feeds the checkpoint-age gauge.
+        self.last_checkpoint_ns: float | None = None
+        self.health.attach_placement(
+            [
+                topology.domains_of(s) if topology is not None else None
+                for s in range(self.n_shards)
+            ],
+            self.spread_report,
+        )
+
+    # ------------------------------------------------------------------
+    # failure-domain-aware placement
+    # ------------------------------------------------------------------
+    def _spread_replicas(self) -> list[tuple[int, ...]]:
+        """Greedy domain-spread replica placement.
+
+        Chunk ``c`` keeps shard ``c`` as its primary (bit-compatible
+        with the ring layout at replication 1); each further replica
+        goes to the candidate sharing the *fewest* domain levels with
+        the replicas already chosen, breaking ties toward the least-
+        loaded shard and then ring order, so the layout stays balanced
+        and deterministic. When even the best candidate shares a
+        domain (fleet shape makes full spread impossible), the pairing
+        is recorded in ``placement_violations``.
+        """
+        topology = self.topology
+        load = [0] * self.n_shards
+        replicas: list[tuple[int, ...]] = []
+        for c in range(self.n_chunks):
+            chosen = [c % self.n_shards]
+            load[chosen[0]] += 1
+            for _ in range(1, self.replication):
+                best = None
+                best_key = None
+                for offset in range(1, self.n_shards):
+                    s = (c + offset) % self.n_shards
+                    if s in chosen:
+                        continue
+                    depth = max(
+                        topology.shared_depth(s, t) for t in chosen
+                    )
+                    key = (depth, load[s], offset)
+                    if best_key is None or key < best_key:
+                        best, best_key = s, key
+                if best is None:
+                    break  # replication == n_shards and all chosen
+                if best_key[0] > 0:
+                    other = max(
+                        (t for t in chosen),
+                        key=lambda t: topology.shared_depth(best, t),
+                    )
+                    self._record_spread_violation(
+                        "placement", c, best, other
+                    )
+                chosen.append(best)
+                load[best] += 1
+            replicas.append(tuple(chosen))
+        return replicas
+
+    def _record_spread_violation(
+        self, context: str, chunk: int, shard: int, other: int
+    ) -> None:
+        """Note an unavoidable co-domain replica pairing."""
+        level = self.topology.shared_level(shard, other)
+        self.placement_violations.append(
+            {
+                "context": context,
+                "chunk": int(chunk),
+                "shard": int(shard),
+                "with": int(other),
+                "level": level,
+            }
+        )
+        tele = get_recorder()
+        if tele.enabled:
+            tele.metrics.counter(
+                "serving.placement.spread_violations"
+            ).add(1)
+
+    def chunk_risk(self, chunk: int) -> str | None:
+        """The widest domain level whose single outage would take every
+        live replica of ``chunk`` (None = no correlated single point of
+        failure, or no topology attached).
+
+        Checked coarsest-first: replicas all inside one power domain
+        are at risk from a power outage even if they sit on distinct
+        boards and channels. A level only counts when the fleet has
+        more than one domain at it — a one-power-domain fleet cannot
+        spread at the power level, and flagging every chunk would
+        drown the signal.
+        """
+        if self.topology is None:
+            return None
+        live = self.live_replicas(chunk)
+        if not live:
+            return None
+        for level in reversed(DOMAIN_LEVELS):  # power, channel, board
+            if self.topology.n_domains(level) < 2:
+                continue
+            domains = {self.topology.domain_of(s, level) for s in live}
+            if len(domains) == 1:
+                return level
+        return None
+
+    def spread_report(self) -> dict:
+        """Fleet durability accounting: per-chunk replica spread,
+        at-risk chunks, placement violations, checkpoint age.
+
+        Without a topology the report degrades gracefully: spread is
+        the live replica count and a chunk is at risk exactly when a
+        single further shard loss would leave no replica.
+        """
+        topology = self.topology
+        per_chunk = []
+        at_risk: list[int] = []
+        per_shard_at_risk = [0] * self.n_shards
+        min_spread: int | None = None
+        for c in range(self.n_chunks):
+            live = self.live_replicas(c)
+            entry: dict = {"chunk": c, "live_replicas": live}
+            if topology is not None:
+                entry["spread"] = {
+                    level: len(
+                        {topology.domain_of(s, level) for s in live}
+                    )
+                    for level in DOMAIN_LEVELS
+                }
+                risk = self.chunk_risk(c)
+                entry["at_risk"] = risk
+                spread = entry["spread"]["power"]
+            else:
+                risk = "shard" if len(live) == 1 else None
+                entry["at_risk"] = risk
+                spread = len(live)
+            if live:
+                min_spread = (
+                    spread
+                    if min_spread is None
+                    else min(min_spread, spread)
+                )
+            if risk is not None:
+                at_risk.append(c)
+                for s in live:
+                    per_shard_at_risk[s] += 1
+            per_chunk.append(entry)
+        return {
+            "per_chunk": per_chunk,
+            "at_risk_chunks": at_risk,
+            "n_at_risk": len(at_risk),
+            "per_shard_at_risk": per_shard_at_risk,
+            "min_spread": min_spread,
+            "violations": [dict(v) for v in self.placement_violations],
+            "topology": (
+                topology.describe() if topology is not None else None
+            ),
+            "spread_placement": (
+                topology is not None and self.spread
+            ),
+            "last_checkpoint_ns": self.last_checkpoint_ns,
+        }
+
+    def replica_target_score(self, chunk: int, shard: int) -> tuple:
+        """Ordering key for re-replication targets of ``chunk``.
+
+        Lower is better: first minimise the domain overlap with the
+        chunk's live replicas (0 = fully spread-restoring), then prefer
+        the emptiest shard, then the lowest id — without a topology the
+        overlap term is constant and the historical (rows, id) order is
+        preserved exactly.
+        """
+        if self.topology is None:
+            overlap = 0
+        else:
+            overlap = max(
+                (
+                    self.topology.shared_depth(shard, t)
+                    for t in self.live_replicas(chunk)
+                    if t != shard
+                ),
+                default=0,
+            )
+        return (overlap, self.shards[shard].n_rows, shard)
+
+    def select_replica_target(self, chunk: int) -> int | None:
+        """The best shard to host a new replica of ``chunk``.
+
+        Prefers spread-restoring shards (no shared failure domain with
+        any live replica) per :meth:`replica_target_score`; ``None``
+        when no alive shard can legally host the chunk.
+        """
+        rows = int(self.chunk_rows[chunk].size)
+        candidates = [
+            s
+            for s in range(self.n_shards)
+            if self.health.alive(s)
+            and chunk not in self.shards[s].chunk_slices
+            and self.shards[s].can_host(rows, self.verify)
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates, key=lambda s: self.replica_target_score(chunk, s)
+        )
 
     # ------------------------------------------------------------------
     # CPU accounting (Quartz model, one bucket per stage)
@@ -1806,7 +2057,9 @@ class ShardManager:
         )
         return int(rows * per_row)
 
-    def add_replica(self, chunk: int, target_shard: int) -> dict:
+    def add_replica(
+        self, chunk: int, target_shard: int | None = None
+    ) -> dict:
         """Copy ``chunk`` onto ``target_shard`` (live re-replication).
 
         The chunk's rows are copied from any surviving replica (the
@@ -1818,6 +2071,13 @@ class ShardManager:
         from — the hypothesis suite asserts the copied bytes equal their
         source.
 
+        With ``target_shard=None`` the target is chosen by
+        :meth:`select_replica_target`, which prefers a shard restoring
+        full failure-domain spread. A target (chosen or explicit) that
+        still shares a domain with a live replica is accepted — a
+        co-domain copy beats no copy — but the pairing is recorded in
+        ``placement_violations`` and counted in telemetry.
+
         Returns a repair record: source/target shards, rows and bytes
         copied, and the reprogramming time the caller must charge
         against the repair-bandwidth budget.
@@ -1828,6 +2088,29 @@ class ShardManager:
             )
         if not 0 <= chunk < self.n_chunks:
             raise ServingError(f"no chunk {chunk}")
+        if target_shard is None:
+            target_shard = self.select_replica_target(chunk)
+            if target_shard is None:
+                raise CapacityError(
+                    f"no alive shard can host a replica of chunk {chunk}"
+                )
+        if self.topology is not None:
+            conflicts = [
+                t
+                for t in self.live_replicas(chunk)
+                if t != target_shard
+                and self.topology.shared_depth(target_shard, t) > 0
+            ]
+            if conflicts:
+                other = max(
+                    conflicts,
+                    key=lambda t: self.topology.shared_depth(
+                        target_shard, t
+                    ),
+                )
+                self._record_spread_violation(
+                    "re-replication", chunk, target_shard, other
+                )
         target = self.shards[target_shard]
         if chunk in target.chunk_slices:
             raise ServingError(
@@ -1891,6 +2174,7 @@ class ShardManager:
         self.replicas[chunk] = tuple(
             list(self.replicas[chunk]) + [target_shard]
         )
+        self.replica_log.append((int(chunk), int(target_shard)))
         # replica sets and the target's row count changed; routed
         # orders priced against the old shapes are stale
         self._route_cache.clear()

@@ -151,6 +151,36 @@ class Quantizer:
         """Convenience: :meth:`fit` then :meth:`quantize` the dataset."""
         return self.fit(data).quantize(data)
 
+    def export_state(self) -> dict:
+        """The fitted statistics, for checkpointing.
+
+        Returns ``alpha``, ``assume_normalized`` and — when fitted —
+        the per-dimension ``min``/``range`` arrays. A quantizer rebuilt
+        with :meth:`from_state` maps every vector bit-identically, so
+        a restored service quantizes queries exactly as the original.
+        """
+        state = {
+            "alpha": self.alpha,
+            "assume_normalized": bool(self.assume_normalized),
+            "fitted": self.is_fitted,
+        }
+        if self.is_fitted:
+            state["min"] = np.array(self._min, dtype=np.float64)
+            state["range"] = np.array(self._range, dtype=np.float64)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Quantizer":
+        """Rebuild a quantizer from :meth:`export_state` output."""
+        q = cls(
+            alpha=float(state["alpha"]),
+            assume_normalized=bool(state["assume_normalized"]),
+        )
+        if state.get("fitted"):
+            q._min = np.asarray(state["min"], dtype=np.float64)
+            q._range = np.asarray(state["range"], dtype=np.float64)
+        return q
+
     def error_bound(self, dims: int) -> float:
         """Theorem 3 bound for this quantizer's alpha."""
         return theorem3_error_bound(dims, self.alpha)

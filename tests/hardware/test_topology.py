@@ -1,0 +1,123 @@
+"""Failure-domain topology: the shard -> board -> channel -> power tree."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import DOMAIN_LEVELS, FailureDomainTopology
+
+
+def topo8():
+    # 8 shards, boards of 2, channels of 2 boards, 1 channel per rail:
+    # power domains are {0..3} and {4..7}
+    return FailureDomainTopology(
+        n_shards=8,
+        shards_per_board=2,
+        boards_per_channel=2,
+        channels_per_power_domain=1,
+    )
+
+
+class TestMapping:
+    def test_contiguous_packing(self):
+        t = topo8()
+        assert [t.board_of(s) for s in range(8)] == [
+            0, 0, 1, 1, 2, 2, 3, 3,
+        ]
+        assert [t.channel_of(s) for s in range(8)] == [
+            0, 0, 0, 0, 1, 1, 1, 1,
+        ]
+        assert [t.power_domain_of(s) for s in range(8)] == [
+            0, 0, 0, 0, 1, 1, 1, 1,
+        ]
+
+    def test_domain_counts(self):
+        t = topo8()
+        assert t.n_boards == 4
+        assert t.n_channels == 2
+        assert t.n_power_domains == 2
+        assert [t.n_domains(level) for level in DOMAIN_LEVELS] == [4, 2, 2]
+
+    def test_partial_trailing_groups(self):
+        t = FailureDomainTopology(n_shards=6, shards_per_board=4)
+        assert t.n_boards == 2
+        assert t.shards_in("board", 0) == (0, 1, 2, 3)
+        assert t.shards_in("board", 1) == (4, 5)
+
+    def test_shards_in_is_the_blast_radius(self):
+        t = topo8()
+        assert t.shards_in("power", 0) == (0, 1, 2, 3)
+        assert t.shards_in("power", 1) == (4, 5, 6, 7)
+        assert t.shards_in("board", 2) == (4, 5)
+
+    def test_domains_of_names_every_level(self):
+        t = topo8()
+        assert t.domains_of(5) == {"board": 2, "channel": 1, "power": 1}
+
+
+class TestSpreadArithmetic:
+    def test_shared_level_finest_wins(self):
+        t = topo8()
+        assert t.shared_level(0, 1) == "board"
+        assert t.shared_level(0, 2) == "channel"
+        assert t.shared_level(0, 7) is None
+        # one channel per power domain: sharing a channel and sharing
+        # power coincide, and the finer level is reported
+        assert t.shared_level(0, 3) == "channel"
+
+    def test_shared_level_power_only(self):
+        t = FailureDomainTopology(
+            n_shards=8,
+            shards_per_board=2,
+            boards_per_channel=1,
+            channels_per_power_domain=2,
+        )
+        assert t.shared_level(0, 2) == "power"
+
+    def test_shared_depth_ordering(self):
+        t = topo8()
+        assert t.shared_depth(0, 1) == 3  # same board
+        assert t.shared_depth(0, 2) == 2  # same channel
+        assert t.shared_depth(0, 4) == 0  # disjoint
+        assert t.shared_depth(4, 5) == 3
+
+    def test_shared_level_rejects_identical_shards(self):
+        with pytest.raises(ConfigurationError):
+            topo8().shared_level(3, 3)
+
+
+class TestValidation:
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ConfigurationError):
+            FailureDomainTopology(n_shards=0)
+
+    def test_rejects_nonpositive_groups(self):
+        with pytest.raises(ConfigurationError):
+            FailureDomainTopology(n_shards=4, shards_per_board=0)
+
+    def test_rejects_out_of_range_shard(self):
+        with pytest.raises(ConfigurationError):
+            topo8().board_of(8)
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(ConfigurationError):
+            topo8().domain_of(0, "rack")
+        with pytest.raises(ConfigurationError):
+            topo8().n_domains("rack")
+
+    def test_rejects_unknown_domain(self):
+        with pytest.raises(ConfigurationError):
+            topo8().shards_in("power", 2)
+
+
+class TestSerialization:
+    def test_describe_round_trip(self):
+        t = topo8()
+        clone = FailureDomainTopology.from_dict(t.describe())
+        assert clone == t
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        assert json.loads(json.dumps(topo8().describe())) == (
+            topo8().describe()
+        )

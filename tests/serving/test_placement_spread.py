@@ -1,0 +1,246 @@
+"""Domain-spread replica placement and the durability accounting.
+
+The placement contract: with a failure-domain topology attached, no two
+replicas of a chunk share a domain whenever the fleet shape allows —
+and when it doesn't, the violation is *recorded*, never silent. Because
+answers are placement-invariant by construction, every spread layout
+must also serve bit-identically to the ring layout it replaces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ServingError
+from repro.hardware import FailureDomainTopology
+from repro.repair import RepairController, RepairPolicy
+from repro.serving import ShardManager
+from repro.similarity.quantization import Quantizer
+
+
+def topo(n_shards, spb=2, bpc=2, cpp=1):
+    return FailureDomainTopology(
+        n_shards=n_shards,
+        shards_per_board=spb,
+        boards_per_channel=bpc,
+        channels_per_power_domain=cpp,
+    )
+
+
+def dataset(rows=64, dims=6, seed=0):
+    return np.random.default_rng(seed).random((rows, dims))
+
+
+class TestSpreadPlacement:
+    def test_no_two_replicas_share_a_power_domain(self):
+        t = topo(8)
+        m = ShardManager(dataset(), 8, replication=2, topology=t)
+        for c, replicas in enumerate(m.replicas):
+            domains = {t.power_domain_of(s) for s in replicas}
+            assert len(domains) == len(replicas), (
+                f"chunk {c} replicas {replicas} share a power domain"
+            )
+        assert m.placement_violations == []
+
+    def test_replication_three_spreads_across_boards_too(self):
+        # 12 shards / boards of 2 / 3 boards per channel / 2 channels
+        # per power domain -> 6 boards, 2 channels, 1 power domain:
+        # full power spread is impossible (one rail), but three
+        # replicas can always take three distinct boards
+        t = topo(12, spb=2, bpc=3, cpp=2)
+        m = ShardManager(dataset(96), 12, replication=3, topology=t)
+        for replicas in m.replicas:
+            boards = {t.board_of(s) for s in replicas}
+            assert len(boards) == len(replicas)
+
+    def test_impossible_spread_is_recorded_not_silent(self):
+        # every shard on one board: any replica pair must share it
+        t = topo(4, spb=4)
+        m = ShardManager(dataset(32), 4, replication=2, topology=t)
+        assert m.placement_violations, (
+            "co-domain placement happened but nothing was recorded"
+        )
+        for v in m.placement_violations:
+            assert v["context"] == "placement"
+            assert v["level"] == "board"
+
+    def test_spread_false_keeps_the_ring_layout(self):
+        plain = ShardManager(dataset(), 8, replication=2)
+        naive = ShardManager(
+            dataset(), 8, replication=2, topology=topo(8), spread=False
+        )
+        assert naive.replicas == plain.replicas
+
+    def test_spread_layout_serves_bit_identically(self):
+        data = dataset(80, 8)
+        queries = np.random.default_rng(3).random((5, 8))
+        spread = ShardManager(data, 8, replication=2, topology=topo(8))
+        ring = ShardManager(data, 8, replication=2)
+        a, _ = spread.knn_batch(queries, 7)
+        b, _ = ring.knn_batch(queries, 7)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.indices, y.indices)
+            assert np.array_equal(x.scores, y.scores)
+
+    def test_topology_shard_count_must_match(self):
+        with pytest.raises(ServingError):
+            ShardManager(dataset(), 4, topology=topo(8))
+
+
+class TestDurabilityAccounting:
+    def test_spread_fleet_reports_no_risk_ring_fleet_does(self):
+        t = topo(8)
+        spread = ShardManager(dataset(), 8, replication=2, topology=t)
+        ring = ShardManager(
+            dataset(), 8, replication=2, topology=t, spread=False
+        )
+        assert spread.spread_report()["n_at_risk"] == 0
+        # ring neighbours (c, c+1) share a board for even c
+        assert ring.spread_report()["n_at_risk"] > 0
+
+    def test_chunk_risk_names_the_widest_vulnerable_level(self):
+        t = topo(8)
+        m = ShardManager(
+            dataset(), 8, replication=2, topology=t, spread=False
+        )
+        # chunk 0 lives on shards (0, 1): same board, channel and rail;
+        # the *widest* single outage taking both is the power domain
+        assert m.chunk_risk(0) == "power"
+        # spread chunks keep fully disjoint replicas
+        spread = ShardManager(dataset(), 8, replication=2, topology=t)
+        assert spread.chunk_risk(0) is None
+
+    def test_single_domain_levels_do_not_count_as_risk(self):
+        # one board hosting everything: board/channel/power all have a
+        # single fleet-wide domain, so no level can discriminate and
+        # flagging every chunk would drown the signal
+        t = topo(2, spb=2)
+        m = ShardManager(dataset(16), 2, replication=2, topology=t)
+        assert m.spread_report()["n_at_risk"] == 0
+
+    def test_no_topology_degrades_to_replica_counting(self):
+        m = ShardManager(dataset(), 4, replication=1)
+        report = m.spread_report()
+        assert report["topology"] is None
+        assert report["n_at_risk"] == m.n_chunks  # one replica each
+
+    def test_snapshot_carries_domains_and_at_risk_counts(self):
+        t = topo(8)
+        m = ShardManager(
+            dataset(), 8, replication=2, topology=t, spread=False
+        )
+        snap = m.health.snapshot(0.0)
+        assert snap[0]["domains"] == t.domains_of(0)
+        assert any(r["hosted_at_risk_chunks"] > 0 for r in snap)
+
+    def test_snapshot_without_topology_keeps_uniform_shape(self):
+        m = ShardManager(dataset(), 4)
+        for record in m.health.snapshot(0.0):
+            assert record["domains"] is None
+            # no-topology at-risk accounting still counts single-replica
+            assert record["hosted_at_risk_chunks"] >= 0
+
+
+class TestAddReplicaSpread:
+    def test_auto_target_restores_spread(self):
+        t = topo(8)
+        m = ShardManager(
+            dataset(), 8, replication=2, topology=t, spread=False
+        )
+        # chunk 0 lives on (0, 1) — same board; the chosen target must
+        # land outside their shared power domain {0..3}
+        record = m.add_replica(0)
+        assert record["target"] >= 4
+        assert m.chunk_risk(0) is None
+
+    def test_explicit_codomain_target_records_a_warning(self):
+        t = topo(8)
+        m = ShardManager(
+            dataset(), 8, replication=2, topology=t, spread=False
+        )
+        before = len(m.placement_violations)
+        m.add_replica(0, 2)  # same channel as shards 0 and 1
+        after = [
+            v
+            for v in m.placement_violations[before:]
+            if v["context"] == "re-replication"
+        ]
+        assert len(after) == 1
+        assert after[0]["chunk"] == 0
+        assert after[0]["shard"] == 2
+
+    def test_codomain_fallback_when_nothing_better_exists(self):
+        # single-board fleet: every target shares the board, and the
+        # copy must still happen (a co-domain copy beats no copy)
+        t = topo(3, spb=3)
+        m = ShardManager(dataset(24), 3, replication=2, topology=t)
+        before = len(m.placement_violations)
+        m.add_replica(0)
+        assert len(m.placement_violations) == before + 1
+
+    def test_replica_log_records_every_success(self):
+        m = ShardManager(dataset(), 8, replication=2, topology=topo(8))
+        record = m.add_replica(3)
+        assert m.replica_log == [(3, record["target"])]
+
+    def test_auto_target_without_capacity_raises(self):
+        data = dataset(16, 4)
+        m = ShardManager(data, 2, replication=2)
+        # both shards already host both chunks: nowhere to go
+        with pytest.raises(CapacityError):
+            m.add_replica(0)
+
+
+class TestRepairRestoresSpread:
+    def test_heal_clears_at_risk_chunks_after_a_shard_death(self):
+        t = topo(8)
+        data = dataset(96, 6)
+        m = ShardManager(
+            data,
+            8,
+            replication=2,
+            topology=t,
+            quantizer=Quantizer(assume_normalized=True),
+        )
+        ctrl = RepairController(
+            m, RepairPolicy(scrub_period_ns=10_000.0)
+        )
+        # kill shard 4: its chunks fail over to their other replica,
+        # which then sits alone — count-based repair would stop at k
+        # copies wherever they landed; spread repair must also leave
+        # no chunk with all copies inside one domain
+        m.health.record_failure(4, 0.0, permanent=True)
+        ctrl.heal(0.0)
+        report = m.spread_report()
+        assert report["n_at_risk"] == 0
+        for c, count in enumerate(m.replica_counts()):
+            assert count >= 2, f"chunk {c} below target replication"
+
+    def test_spread_repair_events_are_flagged(self):
+        # replication 1 is at count target yet every chunk is at risk:
+        # the extra copies queued here are spread repair, not deficit
+        # repair, and carry the flag so dashboards can tell them apart
+        t = topo(8)
+        m = ShardManager(dataset(), 8, replication=1, topology=t)
+        assert m.spread_report()["n_at_risk"] == m.n_chunks
+        ctrl = RepairController(m, RepairPolicy())
+        ctrl.heal(0.0)
+        flagged = [
+            e
+            for e in ctrl.drain_events()
+            if e["kind"] == "rereplicate_start"
+            and e.get("spread_repair")
+        ]
+        assert len(flagged) == m.n_chunks
+        assert m.spread_report()["n_at_risk"] == 0
+
+    def test_spread_false_opts_out_of_spread_repair(self):
+        # the naive arm of the DR campaign must *stay* naive: with
+        # spread=False the healer restores counts only, never placement
+        t = topo(8)
+        m = ShardManager(
+            dataset(), 8, replication=2, topology=t, spread=False
+        )
+        ctrl = RepairController(m, RepairPolicy())
+        ctrl.heal(0.0)
+        assert ctrl.drain_events() == []
+        assert m.spread_report()["n_at_risk"] > 0
